@@ -1,0 +1,14 @@
+"""Ablation — reactive dynamic tiering vs static CAST++ (paper §6)."""
+
+from repro.experiments.ablation import (
+    format_dynamic_ablation,
+    run_dynamic_ablation,
+)
+
+
+def test_bench_ablation_dynamic(once):
+    rows = once(run_dynamic_ablation)
+    print("\n" + format_dynamic_ablation(rows))
+    by = {r.policy: r for r in rows}
+    # §6: static application-aware tiering is the right call for batch.
+    assert by["CAST++ (static)"].utility > by["reactive-dynamic"].utility

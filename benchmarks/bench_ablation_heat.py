@@ -1,0 +1,11 @@
+"""Ablation — heat-based hot/cold tiering vs CAST (paper §3.2)."""
+
+from repro.experiments.ablation import format_heat_ablation, run_heat_ablation
+
+
+def test_bench_ablation_heat(once):
+    rows = once(run_heat_ablation)
+    print("\n" + format_heat_ablation(rows))
+    by = {r.policy: r for r in rows}
+    # §3.2: the heat recipe cannot match application-aware tiering.
+    assert by["CAST"].utility > by["heat-based"].utility

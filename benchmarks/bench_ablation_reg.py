@@ -1,0 +1,13 @@
+"""Ablation — PCHIP spline vs linear interpolation for REG."""
+
+from repro.experiments.ablation import (
+    format_regression_ablation,
+    run_regression_ablation,
+)
+
+
+def test_bench_ablation_reg(once):
+    rows = once(run_regression_ablation)
+    print("\n" + format_regression_ablation(rows))
+    for r in rows:
+        assert r.pchip_mean_abs_err_pct < 10.0

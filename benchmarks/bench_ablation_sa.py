@@ -1,0 +1,13 @@
+"""Ablation — annealer iteration budget and cooling rate."""
+
+from repro.experiments.ablation import format_sa_ablation, run_sa_ablation
+
+
+def test_bench_ablation_sa(once):
+    points = once(run_sa_ablation)
+    print("\n" + format_sa_ablation(points))
+    # More iterations never hurt (best-so-far semantics), and the
+    # largest budget should reach the reference.
+    best_budget = max(p.iterations for p in points)
+    top = [p for p in points if p.iterations == best_budget]
+    assert max(p.utility_vs_reference for p in top) > 0.99

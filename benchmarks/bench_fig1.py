@@ -1,0 +1,13 @@
+"""Fig. 1 — per-application runtime and tenant utility across tiers."""
+
+from repro.cloud.storage import Tier
+from repro.experiments.fig1 import format_fig1, run_fig1
+
+
+def test_bench_fig1(once):
+    result = once(run_fig1)
+    print("\n" + format_fig1(result))
+    assert result.best_utility_tier("sort") is Tier.EPH_SSD
+    assert result.best_utility_tier("join") is Tier.PERS_SSD
+    assert result.best_utility_tier("grep") is Tier.OBJ_STORE
+    assert result.best_utility_tier("kmeans") is Tier.PERS_HDD

@@ -1,0 +1,11 @@
+"""Fig. 2 — persSSD capacity scaling with the REG spline overlay."""
+
+from repro.experiments.fig2 import format_fig2, run_fig2
+
+
+def test_bench_fig2(once):
+    series = once(run_fig2)
+    print("\n" + format_fig2(series))
+    for s in series:
+        assert s.drop_100_to_200_pct > 40.0
+        assert s.regression_mean_abs_err_pct < 8.0

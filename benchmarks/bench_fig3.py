@@ -1,0 +1,13 @@
+"""Fig. 3 — tenant utility under data-reuse patterns."""
+
+from repro.cloud.storage import Tier
+from repro.experiments.fig3 import format_fig3, run_fig3
+from repro.workloads.spec import ReuseLifetime
+
+
+def test_bench_fig3(once):
+    result = once(run_fig3)
+    print("\n" + format_fig3(result))
+    assert result.best_tier("join", ReuseLifetime.SHORT) is Tier.EPH_SSD
+    assert result.best_tier("sort", ReuseLifetime.LONG) is Tier.OBJ_STORE
+    assert result.best_tier("kmeans", ReuseLifetime.LONG) is Tier.PERS_HDD

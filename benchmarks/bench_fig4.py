@@ -1,0 +1,13 @@
+"""Fig. 4 — workflow tiering plans: runtime/cost/deadline trade-off."""
+
+from repro.experiments.fig4 import format_fig4, run_fig4
+
+
+def test_bench_fig4(once):
+    plans = once(run_fig4)
+    print("\n" + format_fig4(plans))
+    by_name = {p.name: p for p in plans}
+    assert not by_name["objStore"].meets_deadline
+    assert not by_name["persSSD"].meets_deadline
+    assert by_name["objStore+ephSSD"].meets_deadline
+    assert by_name["objStore+ephSSD+persSSD"].meets_deadline

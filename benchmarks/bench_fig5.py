@@ -1,0 +1,11 @@
+"""Fig. 5 — fine-grained block partitioning vs all-or-nothing."""
+
+from repro.experiments.fig5 import format_fig5, run_fig5
+
+
+def test_bench_fig5(once):
+    result = once(run_fig5)
+    print("\n" + format_fig5(result))
+    base = result.sweep_point(0.0).runtime_s
+    assert result.sweep_point(0.7).runtime_s > base * 0.95
+    assert result.sweep_point(1.0).normalized_pct < 110.0

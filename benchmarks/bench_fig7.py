@@ -1,0 +1,11 @@
+"""Fig. 7 — the main evaluation: 8 configurations on the 100-job workload."""
+
+from repro.experiments.fig7 import format_fig7, run_fig7
+
+
+def test_bench_fig7(once):
+    result = once(run_fig7)
+    print("\n" + format_fig7(result))
+    for tier in ("ephSSD", "persSSD", "persHDD", "objStore"):
+        assert result.utility_improvement_pct("CAST", f"{tier} 100%") > 0
+    assert result.utility_improvement_pct("CAST++", "CAST") > 5.0

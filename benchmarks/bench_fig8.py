@@ -1,0 +1,10 @@
+"""Fig. 8 — predicted vs observed runtime across persSSD capacities."""
+
+from repro.experiments.fig8 import format_fig8, run_fig8
+
+
+def test_bench_fig8(once):
+    result = once(run_fig8)
+    print("\n" + format_fig8(result))
+    assert result.mean_abs_error_pct < 15.0
+    assert result.same_trend

@@ -1,0 +1,12 @@
+"""Fig. 9 — workflow deadline miss rates and cost."""
+
+from repro.experiments.fig9 import format_fig9, run_fig9
+
+
+def test_bench_fig9(once):
+    result = once(run_fig9)
+    print("\n" + format_fig9(result))
+    assert result.config("CAST++").misses == 0
+    costs = {c.name: c.total_cost_usd for c in result.configs}
+    assert min(costs, key=costs.get) == "CAST++"
+    assert result.config("persHDD 100%").miss_rate_pct == 100.0

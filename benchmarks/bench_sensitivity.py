@@ -1,0 +1,14 @@
+"""Extension — plan robustness under storage repricing."""
+
+from repro.experiments.sensitivity import (
+    format_price_sensitivity,
+    run_price_sensitivity,
+)
+
+
+def test_bench_sensitivity(once):
+    rows = once(run_price_sensitivity)
+    print("\n" + format_price_sensitivity(rows))
+    # Re-planning can only help under the new prices (regret >= 0 by
+    # construction); at least one repricing must actually move the plan.
+    assert any(r.placement_churn_pct > 0 for r in rows)

@@ -1,0 +1,11 @@
+"""Table 1 — storage microbenchmark (fio/gsutil analogue)."""
+
+from repro.experiments.table1 import format_table1, run_table1
+
+
+def test_bench_table1(once):
+    rows = once(run_table1)
+    print("\n" + format_table1(rows))
+    assert len(rows) == 8
+    for row in rows:
+        assert abs(row.measured_mb_s - row.catalog_mb_s) / row.catalog_mb_s < 0.02

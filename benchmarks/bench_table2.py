@@ -1,0 +1,9 @@
+"""Table 2 — application phase characterization."""
+
+from repro.experiments.table2 import format_table2, run_table2
+
+
+def test_bench_table2(once):
+    rows = once(run_table2)
+    print("\n" + format_table2(rows))
+    assert all(r.matches for r in rows)

@@ -1,0 +1,9 @@
+"""Table 4 — Facebook job-size distribution synthesis."""
+
+from repro.experiments.table4 import format_table4, run_table4
+
+
+def test_bench_table4(once):
+    check = once(run_table4)
+    print("\n" + format_table4(check))
+    assert check.histogram_matches

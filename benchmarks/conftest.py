@@ -1,0 +1,40 @@
+"""Benchmark harness configuration.
+
+Each benchmark regenerates one of the paper's tables/figures end to end
+and prints the resulting rows (run with ``-s`` to see them).  The
+experiments are deterministic, so one measured round per bench is
+meaningful; pytest-benchmark still reports the wall time so regressions
+in the simulator/solver hot paths are visible.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture()
+def once(benchmark):
+    """Run a deterministic experiment exactly once under timing."""
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1, warmup_rounds=0)
+
+    return run
+
+
+def pytest_collection_modifyitems(items):
+    # Benchmarks are ordered like the paper: tables first, then figures.
+    order = {
+        "table1": 0, "table2": 1, "table4": 2,
+        "fig1": 3, "fig2": 4, "fig3": 5, "fig4": 6, "fig5": 7,
+        "fig7": 8, "fig8": 9, "fig9": 10, "ablation": 11,
+    }
+
+    def key(item):
+        for name, rank in order.items():
+            if name in item.nodeid:
+                return rank
+        return 99
+
+    items.sort(key=key)

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Capacity what-if analysis with the profiled performance models.
+
+Cloud block volumes get faster as they get bigger (Table 1), so "how
+much persSSD should I buy?" is a real planning question.  This example
+sweeps provisioned per-VM persSSD capacity for two I/O-bound jobs,
+compares the simulator's ground truth against the Eq. 1 + REG spline
+prediction (the Fig. 2 / Fig. 8 methodology), and reports the
+sweet-spot capacity where marginal dollars stop buying runtime.
+
+Run:
+    python examples/capacity_whatif.py
+"""
+
+from __future__ import annotations
+
+from repro.cloud.provider import google_cloud_2015
+from repro.cloud.storage import Tier
+from repro.cloud.vm import ClusterSpec
+from repro.core.cost import deployment_cost
+from repro.core.perf_model import estimate_job
+from repro.profiler.profiler import build_model_matrix
+from repro.simulator.engine import simulate_job
+from repro.workloads.spec import JobSpec
+
+
+def main() -> None:
+    provider = google_cloud_2015()
+    cluster = ClusterSpec(n_vms=10)
+    matrix = build_model_matrix(provider=provider, cluster_spec=cluster)
+
+    for app_name, gb in (("sort", 100.0), ("grep", 300.0)):
+        job = JobSpec.make(f"whatif-{app_name}", app_name, gb)
+        print(f"\n=== {app_name} over {gb:.0f} GB on 10 VMs "
+              f"(network-attached persSSD) ===")
+        print(f"{'cap/VM(GB)':>11s} {'obs(s)':>8s} {'pred(s)':>8s} "
+              f"{'cost($)':>8s} {'$ x min':>8s}")
+        best_cap, best_score = None, float("inf")
+        for cap in (100.0, 200.0, 300.0, 400.0, 500.0, 700.0, 1000.0):
+            obs = simulate_job(job, Tier.PERS_SSD, cluster, provider,
+                               per_vm_capacity_gb={Tier.PERS_SSD: cap}).total_s
+            pred = estimate_job(job, Tier.PERS_SSD, cap, cluster,
+                                matrix, provider).total_s
+            cost = deployment_cost(
+                provider, cluster, obs, {Tier.PERS_SSD: cap * cluster.n_vms}
+            ).total_usd
+            # A simple cost-delay product as the sweet-spot criterion.
+            score = cost * (obs / 60.0)
+            marker = ""
+            if score < best_score:
+                best_cap, best_score = cap, score
+                marker = "  <-"
+            print(f"{cap:11.0f} {obs:8.1f} {pred:8.1f} {cost:8.2f} "
+                  f"{score:8.2f}{marker}")
+        print(f"sweet spot: {best_cap:.0f} GB/VM "
+              f"(minimizes cost x runtime; more capacity buys "
+              f"little once the volume saturates)")
+
+
+if __name__ == "__main__":
+    main()

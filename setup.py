@@ -1,0 +1,10 @@
+"""Setuptools shim for environments without the ``wheel`` package.
+
+All real metadata lives in ``pyproject.toml``; this file only enables
+``pip install -e . --no-build-isolation`` / ``python setup.py develop``
+on toolchains that cannot build PEP-517 editable wheels offline.
+"""
+
+from setuptools import setup
+
+setup()

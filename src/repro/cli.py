@@ -1,0 +1,291 @@
+"""Command-line interface: ``cast-plan`` / ``python -m repro``.
+
+Subcommands
+-----------
+
+``plan``
+    Synthesize (or read) a workload, run CAST/CAST++ and print the
+    tiering plan with its predicted utility/cost.
+``experiment``
+    Regenerate one of the paper's tables/figures or an ablation
+    (``table1 table2 table4 fig1 fig2 fig3 fig4 fig5 fig7 fig8 fig9
+    ablation-sa ablation-reg ablation-heat ablation-dynamic
+    sensitivity``, or ``all``).
+``size``
+    Sweep candidate cluster sizes for a workload and report the
+    utility-maximizing VM count (the paper's future-work extension).
+``report``
+    Regenerate every artifact into one markdown reproduction report.
+``catalog``
+    Print the provider's storage catalog and prices.
+
+All workload-consuming commands accept ``--provider {google,aws}`` and
+``--workload-file path.json`` (see :mod:`repro.workloads.io` for the
+schema) in place of the built-in synthetic workloads.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional, Sequence
+
+from . import plan_workload
+from .cloud.aws import aws_2015
+from .cloud.provider import google_cloud_2015
+from .errors import CastError
+from .workloads.io import load_json
+from .workloads.spec import WorkloadSpec
+from .workloads.swim import synthesize_facebook_workload, synthesize_small_workload
+
+_PROVIDERS = {"google": google_cloud_2015, "aws": aws_2015}
+
+
+def _resolve_provider(name: str):
+    return _PROVIDERS[name]()
+
+
+def _resolve_workload(args: argparse.Namespace):
+    """Workload from --workload-file, else the named synthetic one."""
+    if getattr(args, "workload_file", None):
+        loaded = load_json(args.workload_file)
+        if not isinstance(loaded, WorkloadSpec):
+            raise CastError(
+                f"{args.workload_file} contains a workflow, not a workload"
+            )
+        return loaded
+    if args.workload == "facebook":
+        return synthesize_facebook_workload()
+    if args.workload == "small":
+        return synthesize_small_workload()
+    raise CastError(f"unknown workload: {args.workload!r}")
+
+__all__ = ["main", "build_parser"]
+
+
+def _cmd_catalog(args: argparse.Namespace) -> int:
+    prov = _resolve_provider(args.provider)
+    print(f"provider: {prov.name}")
+    print(f"{'tier':10s} {'persistent':>10s} {'$/GB/month':>11s} {'$/GB/hr':>10s}")
+    for tier in prov.tiers:
+        svc = prov.service(tier)
+        print(
+            f"{tier.value:10s} {str(svc.persistent):>10s} "
+            f"{svc.price_gb_month:11.3f} {prov.storage_price_gb_hr(tier):10.6f}"
+        )
+    print(f"VM ({prov.default_vm.name}): ${prov.prices.vm_price_per_min * 60:.4f}/hour")
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    try:
+        workload = _resolve_workload(args)
+    except CastError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    outcome = plan_workload(
+        workload,
+        n_vms=args.vms,
+        provider=_resolve_provider(args.provider),
+        use_castpp=not args.basic,
+        iterations=args.iterations,
+        seed=args.seed,
+    )
+    ev = outcome.evaluation
+    solver_name = "CAST" if args.basic else "CAST++"
+    print(f"{solver_name} plan for {workload.name} ({workload.n_jobs} jobs, {args.vms} VMs)")
+    print(
+        f"predicted: T={ev.makespan_min:.1f} min  cost=${ev.cost.total_usd:.2f} "
+        f"(vm ${ev.cost.vm_usd:.2f} + storage ${ev.cost.storage_usd:.2f})  "
+        f"utility={ev.utility:.3e}"
+    )
+    if args.verbose:
+        print(f"{'job':12s} {'app':8s} {'input(GB)':>10s} {'tier':>9s} {'cap(GB)':>9s}")
+        for job in workload.jobs:
+            p = outcome.plan.placement(job.job_id)
+            print(
+                f"{job.job_id:12s} {job.app.name:8s} {job.input_gb:10.1f} "
+                f"{p.tier.value:>9s} {p.capacity_gb:9.1f}"
+            )
+    else:
+        mix: Dict[str, float] = {}
+        for tier, gb in outcome.plan.aggregate_capacity_gb().items():
+            mix[tier.value] = gb
+        total = sum(mix.values())
+        shares = ", ".join(f"{k}: {v / total:.0%}" for k, v in sorted(mix.items()))
+        print(f"capacity mix: {shares}  (use --verbose for per-job placements)")
+    if args.out:
+        import json
+        from pathlib import Path
+
+        Path(args.out).write_text(
+            json.dumps(outcome.plan.to_dict(), indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote plan to {args.out}")
+    return 0
+
+
+_EXPERIMENTS: Dict[str, Callable[[], str]] = {}
+
+
+def _register_experiments() -> None:
+    """Lazily bind experiment names to run+format pairs."""
+    if _EXPERIMENTS:
+        return
+    from . import experiments as ex
+
+    _EXPERIMENTS.update(
+        {
+            "table1": lambda: ex.format_table1(ex.run_table1()),
+            "table2": lambda: ex.format_table2(ex.run_table2()),
+            "table4": lambda: ex.format_table4(ex.run_table4()),
+            "fig1": lambda: ex.format_fig1(ex.run_fig1()),
+            "fig2": lambda: ex.format_fig2(ex.run_fig2()),
+            "fig3": lambda: ex.format_fig3(ex.run_fig3()),
+            "fig4": lambda: ex.format_fig4(ex.run_fig4()),
+            "fig5": lambda: ex.format_fig5(ex.run_fig5()),
+            "fig7": lambda: ex.format_fig7(ex.run_fig7()),
+            "fig8": lambda: ex.format_fig8(ex.run_fig8()),
+            "fig9": lambda: ex.format_fig9(ex.run_fig9()),
+            "ablation-sa": lambda: ex.format_sa_ablation(ex.run_sa_ablation()),
+            "ablation-reg": lambda: ex.format_regression_ablation(
+                ex.run_regression_ablation()
+            ),
+            "ablation-heat": lambda: ex.format_heat_ablation(
+                ex.run_heat_ablation()
+            ),
+            "ablation-dynamic": lambda: ex.format_dynamic_ablation(
+                ex.run_dynamic_ablation()
+            ),
+            "sensitivity": lambda: ex.format_price_sensitivity(
+                ex.run_price_sensitivity()
+            ),
+        }
+    )
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    _register_experiments()
+    names: Sequence[str]
+    if args.name == "all":
+        names = list(_EXPERIMENTS)
+    elif args.name in _EXPERIMENTS:
+        names = [args.name]
+    else:
+        print(
+            f"unknown experiment {args.name!r}; "
+            f"known: all {' '.join(sorted(_EXPERIMENTS))}",
+            file=sys.stderr,
+        )
+        return 2
+    for name in names:
+        print(f"=== {name} ===")
+        print(_EXPERIMENTS[name]())
+        print()
+    return 0
+
+
+def _cmd_size(args: argparse.Namespace) -> int:
+    from .core.sizing import best_cluster_size, sweep_cluster_sizes
+
+    try:
+        workload = _resolve_workload(args)
+    except CastError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    prov = _resolve_provider(args.provider)
+    sizes = [int(x) for x in args.sizes.split(",")]
+    points = sweep_cluster_sizes(
+        workload, sizes, prov, iterations=args.iterations, seed=args.seed
+    )
+    print(f"{'VMs':>5s} {'utility':>12s} {'cost($)':>9s} {'runtime(min)':>13s}")
+    for p in points:
+        print(
+            f"{p.n_vms:5d} {p.utility:12.3e} "
+            f"{p.evaluation.cost.total_usd:9.2f} {p.evaluation.makespan_min:13.1f}"
+        )
+    best = best_cluster_size(points)
+    print(f"best size: {best.n_vms} VMs ({best.vm.name})")
+    return 0
+
+
+def _add_workload_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--workload", default="facebook",
+                   choices=("facebook", "small"),
+                   help="which built-in workload to plan")
+    p.add_argument("--workload-file", default=None,
+                   help="JSON workload file (overrides --workload)")
+    p.add_argument("--provider", default="google",
+                   choices=sorted(_PROVIDERS),
+                   help="cloud catalog to plan against")
+    p.add_argument("--iterations", type=int, default=3000,
+                   help="annealer iteration budget")
+    p.add_argument("--seed", type=int, default=42, help="solver RNG seed")
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .experiments.report import generate_report
+
+    text = generate_report(quick=args.quick)
+    if args.out:
+        from pathlib import Path
+
+        Path(args.out).write_text(text)
+        print(f"wrote {args.out} ({len(text)} chars)")
+    else:
+        print(text)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``cast-plan`` argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="cast-plan",
+        description="CAST cloud storage tiering planner (HPDC'15 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_catalog = sub.add_parser("catalog", help="print the storage catalog")
+    p_catalog.add_argument("--provider", default="google",
+                           choices=sorted(_PROVIDERS))
+    p_catalog.set_defaults(func=_cmd_catalog)
+
+    p_plan = sub.add_parser("plan", help="plan a workload")
+    _add_workload_args(p_plan)
+    p_plan.add_argument("--vms", type=int, default=25, help="cluster size")
+    p_plan.add_argument("--basic", action="store_true",
+                        help="use basic CAST instead of CAST++")
+    p_plan.add_argument("--verbose", action="store_true",
+                        help="print per-job placements")
+    p_plan.add_argument("--out", default=None,
+                        help="write the plan as JSON to this file")
+    p_plan.set_defaults(func=_cmd_plan)
+
+    p_size = sub.add_parser("size", help="sweep cluster sizes for a workload")
+    _add_workload_args(p_size)
+    p_size.add_argument("--sizes", default="5,10,25",
+                        help="comma-separated candidate VM counts")
+    p_size.set_defaults(func=_cmd_size)
+
+    p_exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    p_exp.add_argument("name", help="experiment id (or 'all')")
+    p_exp.set_defaults(func=_cmd_experiment)
+
+    p_rep = sub.add_parser("report", help="generate the full reproduction report")
+    p_rep.add_argument("--out", default=None, help="write markdown to this file")
+    p_rep.add_argument("--quick", action="store_true",
+                       help="reduced solver budgets (fast smoke run)")
+    p_rep.set_defaults(func=_cmd_report)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

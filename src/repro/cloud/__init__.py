@@ -1,0 +1,40 @@
+"""Cloud substrate: storage services, pricing, VM shapes, providers.
+
+This subpackage encodes the paper's Table 1 (Google Cloud storage
+catalog, Jan 2015), the Eq. 5/6 pricing model, and the capacity→
+performance scaling behaviour of network-attached block volumes.
+"""
+
+from .aws import C3_4XLARGE, aws_2015
+from .pricing import PriceBook, google_cloud_2015_pricebook
+from .provider import CloudProvider, google_cloud_2015
+from .scaling import ScalingCurve, flat_curve
+from .storage import GOOGLE_CLOUD_2015_SERVICES, StorageService, Tier
+from .vm import (
+    CHARACTERIZATION_CLUSTER,
+    EVALUATION_CLUSTER,
+    N1_STANDARD_4,
+    N1_STANDARD_16,
+    ClusterSpec,
+    VMType,
+)
+
+__all__ = [
+    "CloudProvider",
+    "google_cloud_2015",
+    "aws_2015",
+    "C3_4XLARGE",
+    "PriceBook",
+    "google_cloud_2015_pricebook",
+    "ScalingCurve",
+    "flat_curve",
+    "StorageService",
+    "Tier",
+    "GOOGLE_CLOUD_2015_SERVICES",
+    "VMType",
+    "ClusterSpec",
+    "N1_STANDARD_4",
+    "N1_STANDARD_16",
+    "CHARACTERIZATION_CLUSTER",
+    "EVALUATION_CLUSTER",
+]

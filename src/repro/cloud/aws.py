@@ -1,0 +1,126 @@
+"""An AWS-style provider catalog (mid-2015 era).
+
+The paper (§1, §3.1.2) notes that other clouds expose the same four
+storage roles with different mechanics: "Other cloud service providers
+such as AWS EC2 provide similar storage services with different
+performance–cost trade-offs", and that where Google scales volumes by
+size, "typically the block storage performance in these clouds can be
+scaled by creating logical volumes by striping (RAID-0) across multiple
+network-attached block volumes".
+
+This catalog maps the four :class:`~repro.cloud.storage.Tier` roles to
+their mid-2015 AWS analogues:
+
+=============  =====================  =========================================
+Role           AWS service            Modelling
+=============  =====================  =========================================
+``ephSSD``     c3 instance-store SSD  2 × 160 GB local devices, ~400 MB/s
+``persSSD``    EBS gp2 (RAID-0)       striped volumes up to the ~250 MB/s
+                                      EBS-optimized instance ceiling
+``persHDD``    EBS magnetic (RAID-0)  striped spindles up to ~120 MB/s
+``objStore``   S3                     ~180 MB/s/node, higher request latency
+=============  =====================  =========================================
+
+Numbers are era-plausible list prices and measured-throughput figures
+(synthetic where AWS published none); the point of the catalog is that
+**nothing downstream changes** — profiler, solver and experiments run
+against it untouched, which is itself a reproduction claim: CAST's
+method is provider-agnostic.
+"""
+
+from __future__ import annotations
+
+from .pricing import PriceBook
+from .provider import CloudProvider
+from .scaling import ScalingCurve, flat_curve
+from .storage import StorageService, Tier
+from .vm import VMType
+from ..units import monthly_to_hourly_price
+
+__all__ = ["aws_2015", "C3_4XLARGE"]
+
+#: 16 vCPU / 30 GB instance comparable to n1-standard-16 ($0.84/hr,
+#: us-east-1 on-demand, mid 2015).
+C3_4XLARGE = VMType(
+    name="c3.4xlarge", vcpus=16, memory_gb=30.0,
+    map_slots=10, reduce_slots=6, network_mb_s=1000.0,
+)
+
+
+def _aws_services() -> dict:
+    instance_ssd = StorageService(
+        tier=Tier.EPH_SSD,
+        persistent=False,
+        throughput=flat_curve(400.0),
+        iops=flat_curve(65_000.0),
+        # Instance storage is bundled with the VM; the effective rate
+        # here prices the capacity share of the instance premium.
+        price_gb_month=0.20,
+        fixed_volume_gb=160.0,
+        max_volumes_per_vm=2,
+        requires_backing=Tier.OBJ_STORE,
+    )
+    ebs_gp2 = StorageService(
+        tier=Tier.PERS_SSD,
+        persistent=True,
+        # RAID-0 striping: throughput grows with aggregate capacity
+        # until the EBS-optimized instance ceiling.
+        throughput=ScalingCurve(
+            points=((100.0, 128.0), (250.0, 160.0), (500.0, 220.0)),
+            cap=250.0,
+        ),
+        iops=ScalingCurve(
+            points=((100.0, 300.0), (250.0, 750.0), (500.0, 1500.0)),
+            cap=10_000.0,
+        ),
+        price_gb_month=0.10,
+        max_volume_gb=16_384.0,
+    )
+    ebs_magnetic = StorageService(
+        tier=Tier.PERS_HDD,
+        persistent=True,
+        throughput=ScalingCurve(
+            points=((100.0, 40.0), (250.0, 60.0), (500.0, 90.0)),
+            cap=120.0,
+        ),
+        iops=ScalingCurve(
+            points=((100.0, 100.0), (250.0, 100.0), (500.0, 100.0)),
+            cap=200.0,
+        ),
+        price_gb_month=0.05,
+        max_volume_gb=1_024.0,
+    )
+    s3 = StorageService(
+        tier=Tier.OBJ_STORE,
+        persistent=True,
+        throughput=flat_curve(180.0),
+        iops=flat_curve(300.0),
+        price_gb_month=0.03,
+        request_overhead_s=0.3,
+        bulk_staging_mb_s=120.0,
+        requires_intermediate=Tier.PERS_SSD,
+    )
+    return {
+        Tier.EPH_SSD: instance_ssd,
+        Tier.PERS_SSD: ebs_gp2,
+        Tier.PERS_HDD: ebs_magnetic,
+        Tier.OBJ_STORE: s3,
+    }
+
+
+def aws_2015() -> CloudProvider:
+    """The AWS-style provider instance (era-plausible catalog)."""
+    services = _aws_services()
+    prices = PriceBook(
+        vm_price_per_min=0.840 / 60.0,
+        storage_price_gb_hr={
+            tier: monthly_to_hourly_price(svc.price_gb_month)
+            for tier, svc in services.items()
+        },
+    )
+    return CloudProvider(
+        name="aws-2015",
+        services=services,
+        prices=prices,
+        default_vm=C3_4XLARGE,
+    )

@@ -1,0 +1,77 @@
+"""A cloud provider = storage catalog + price book.
+
+:class:`CloudProvider` is the single object the planner, simulator and
+experiments consume; :func:`google_cloud_2015` builds the provider the
+paper evaluates on.  Alternate catalogs (AWS-style striped volumes,
+hypothetical price points for sensitivity studies) can be expressed by
+constructing a :class:`CloudProvider` with different services/prices —
+nothing downstream hard-codes Google numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping
+
+from ..errors import CatalogError
+from .pricing import PriceBook, google_cloud_2015_pricebook
+from .storage import GOOGLE_CLOUD_2015_SERVICES, StorageService, Tier
+from .vm import VMType, N1_STANDARD_16
+
+__all__ = ["CloudProvider", "google_cloud_2015"]
+
+
+@dataclass(frozen=True)
+class CloudProvider:
+    """Everything the planner needs to know about one cloud.
+
+    Attributes
+    ----------
+    name:
+        Human-readable provider id.
+    services:
+        Storage catalog keyed by :class:`Tier`.
+    prices:
+        :class:`PriceBook` with VM and storage rates.
+    default_vm:
+        Slave VM type for analytics clusters.
+    """
+
+    name: str
+    services: Mapping[Tier, StorageService]
+    prices: PriceBook
+    default_vm: VMType = N1_STANDARD_16
+
+    def service(self, tier: Tier) -> StorageService:
+        """Look up a service; raise :class:`CatalogError` if absent."""
+        try:
+            return self.services[tier]
+        except KeyError:
+            raise CatalogError(
+                f"provider {self.name!r} has no service {tier!r}; "
+                f"available: {sorted(t.value for t in self.services)}"
+            ) from None
+
+    @property
+    def tiers(self) -> Iterable[Tier]:
+        """All tiers this provider offers (``F`` in Table 3)."""
+        return tuple(self.services.keys())
+
+    def persistent_tiers(self) -> Iterable[Tier]:
+        """Tiers that survive VM termination."""
+        return tuple(t for t, s in self.services.items() if s.persistent)
+
+    def storage_price_gb_hr(self, tier: Tier) -> float:
+        """$/GB/hour for a tier (validates the tier exists)."""
+        self.service(tier)
+        return self.prices.storage_price_gb_hr[tier]
+
+
+def google_cloud_2015() -> CloudProvider:
+    """The provider instance used throughout the paper (Table 1 verbatim)."""
+    return CloudProvider(
+        name="google-cloud-2015",
+        services=dict(GOOGLE_CLOUD_2015_SERVICES),
+        prices=google_cloud_2015_pricebook(),
+        default_vm=N1_STANDARD_16,
+    )

@@ -1,0 +1,221 @@
+"""Cloud storage service descriptions (paper Table 1).
+
+Four services from Google Cloud, January 2015:
+
+=========  ===========================  ========  ========  ============
+Service    Volume sizing                MB/s      IOPS 4K   $/GB/month
+=========  ===========================  ========  ========  ============
+ephSSD     fixed 375 GB, ≤4 per VM      733       100 000   0.218
+persSSD    100–10 240 GB, scales        48–234+   3k–15k+   0.17
+persHDD    100–10 240 GB, scales        20–97+    150–750+  0.04
+objStore   unlimited                    265       550       0.026
+=========  ===========================  ========  ========  ============
+
+``ephSSD`` is VM-local and **not persistent**: durable inputs must be
+downloaded from (and outputs uploaded to) ``objStore``, whose capacity
+is then also billed.  ``objStore`` is a RESTful object store whose GCS
+connector adds a per-request setup overhead that penalizes workloads
+creating many small files (Join's reduce phase, §3.1.2).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import CapacityError
+from .scaling import ScalingCurve, flat_curve
+
+__all__ = ["Tier", "StorageService", "GOOGLE_CLOUD_2015_SERVICES"]
+
+
+class Tier(str, enum.Enum):
+    """The four storage services evaluated in the paper."""
+
+    EPH_SSD = "ephSSD"
+    PERS_SSD = "persSSD"
+    PERS_HDD = "persHDD"
+    OBJ_STORE = "objStore"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class StorageService:
+    """Static description of one cloud storage service.
+
+    Attributes
+    ----------
+    tier:
+        Which :class:`Tier` this service implements.
+    persistent:
+        Whether data survives VM termination.  ``ephSSD`` is the only
+        non-persistent service; it needs ``objStore`` as backing store.
+    throughput:
+        Per-volume sequential throughput curve (MB/s) vs capacity (GB).
+    iops:
+        Per-volume 4 KB random-IOPS curve vs capacity (GB).
+    price_gb_month:
+        List price in $/GB/month.
+    fixed_volume_gb:
+        If set, volumes come only in multiples of this size (ephSSD: 375).
+    max_volumes_per_vm:
+        Provider limit on volumes attachable to one VM (ephSSD: 4).
+    max_volume_gb:
+        Largest single volume (persSSD/persHDD: 10 240 GB).  ``None``
+        means unlimited (objStore).
+    request_overhead_s:
+        Fixed per-object request setup latency (GCS connector); zero for
+        block devices.
+    bulk_staging_mb_s:
+        Per-node throughput for *bulk dataset staging* (objStore↔ephSSD
+        copies).  Distinct from — and lower than — the streaming-read
+        throughput Hadoop tasks see: the connector serializes copy,
+        checksum and rename steps per object, which the paper's Fig. 1
+        download/upload segments reflect.
+    requires_backing:
+        Tier whose capacity must additionally be provisioned to give the
+        data durability (``objStore`` for ``ephSSD``).
+    requires_intermediate:
+        Tier needed to host shuffle/intermediate data because the
+        service itself cannot (``persSSD`` for ``objStore``).
+    """
+
+    tier: Tier
+    persistent: bool
+    throughput: ScalingCurve
+    iops: ScalingCurve
+    price_gb_month: float
+    fixed_volume_gb: Optional[float] = None
+    max_volumes_per_vm: Optional[int] = None
+    max_volume_gb: Optional[float] = None
+    request_overhead_s: float = 0.0
+    bulk_staging_mb_s: Optional[float] = None
+    requires_backing: Optional[Tier] = None
+    requires_intermediate: Optional[Tier] = None
+
+    # -- capacity provisioning -------------------------------------------
+
+    def provisionable_capacity_gb(self, requested_gb: float) -> float:
+        """Smallest provisionable capacity covering ``requested_gb``.
+
+        ephSSD rounds up to whole 375 GB volumes; block services clamp
+        to at least the smallest billable volume (we use 10 GB, GCE's
+        persistent-disk minimum); objStore bills the exact size.
+
+        Raises
+        ------
+        CapacityError
+            If the request exceeds the per-VM volume limits (caller is
+            expected to spread across VMs before asking, so the limit
+            here is per *volume stack on one VM*).
+        """
+        if requested_gb < 0:
+            raise CapacityError(f"negative capacity request: {requested_gb}")
+        if requested_gb == 0:
+            return 0.0
+        if self.fixed_volume_gb is not None:
+            n_volumes = int(math.ceil(requested_gb / self.fixed_volume_gb))
+            if self.max_volumes_per_vm is not None and n_volumes > self.max_volumes_per_vm:
+                raise CapacityError(
+                    f"{self.tier}: {requested_gb:.0f} GB needs {n_volumes} volumes "
+                    f"but only {self.max_volumes_per_vm} fit on one VM"
+                )
+            return n_volumes * self.fixed_volume_gb
+        if self.max_volume_gb is not None and requested_gb > self.max_volume_gb:
+            raise CapacityError(
+                f"{self.tier}: {requested_gb:.0f} GB exceeds the "
+                f"{self.max_volume_gb:.0f} GB per-volume limit"
+            )
+        if self.tier is Tier.OBJ_STORE:
+            return float(requested_gb)
+        return float(max(requested_gb, 10.0))
+
+    def max_capacity_per_vm_gb(self) -> float:
+        """Largest capacity stackable on a single VM."""
+        if self.fixed_volume_gb is not None and self.max_volumes_per_vm is not None:
+            return self.fixed_volume_gb * self.max_volumes_per_vm
+        if self.max_volume_gb is not None:
+            return self.max_volume_gb
+        return float("inf")
+
+    # -- performance -----------------------------------------------------
+
+    def throughput_mb_s(self, capacity_gb: float) -> float:
+        """Per-volume sequential throughput at the given capacity."""
+        return self.throughput(capacity_gb)
+
+    def iops_4k(self, capacity_gb: float) -> float:
+        """Per-volume 4 KB random IOPS at the given capacity."""
+        return self.iops(capacity_gb)
+
+
+def _google_cloud_services() -> dict:
+    """The Table 1 catalog, encoded verbatim.
+
+    persSSD / persHDD anchor points are the three measured capacities
+    from Table 1; caps follow GCE's documented per-VM limits of the
+    time (persSSD 240 MB/s & 15 000 IOPS per VM; persHDD 180 MB/s &
+    3 000 IOPS).  ephSSD and objStore do not scale with capacity.
+    """
+    eph_ssd = StorageService(
+        tier=Tier.EPH_SSD,
+        persistent=False,
+        throughput=flat_curve(733.0),
+        iops=flat_curve(100_000.0),
+        price_gb_month=0.218,
+        fixed_volume_gb=375.0,
+        max_volumes_per_vm=4,
+        requires_backing=Tier.OBJ_STORE,
+    )
+    pers_ssd = StorageService(
+        tier=Tier.PERS_SSD,
+        persistent=True,
+        throughput=ScalingCurve(
+            points=((100.0, 48.0), (250.0, 118.0), (500.0, 234.0)),
+            cap=240.0,
+        ),
+        iops=ScalingCurve(
+            points=((100.0, 3000.0), (250.0, 7500.0), (500.0, 15000.0)),
+            cap=15_000.0,
+        ),
+        price_gb_month=0.17,
+        max_volume_gb=10_240.0,
+    )
+    pers_hdd = StorageService(
+        tier=Tier.PERS_HDD,
+        persistent=True,
+        throughput=ScalingCurve(
+            points=((100.0, 20.0), (250.0, 45.0), (500.0, 97.0)),
+            cap=180.0,
+        ),
+        iops=ScalingCurve(
+            points=((100.0, 150.0), (250.0, 375.0), (500.0, 750.0)),
+            cap=3000.0,
+        ),
+        price_gb_month=0.04,
+        max_volume_gb=10_240.0,
+    )
+    obj_store = StorageService(
+        tier=Tier.OBJ_STORE,
+        persistent=True,
+        throughput=flat_curve(265.0),
+        iops=flat_curve(550.0),
+        price_gb_month=0.026,
+        request_overhead_s=0.25,
+        bulk_staging_mb_s=150.0,
+        requires_intermediate=Tier.PERS_SSD,
+    )
+    return {
+        Tier.EPH_SSD: eph_ssd,
+        Tier.PERS_SSD: pers_ssd,
+        Tier.PERS_HDD: pers_hdd,
+        Tier.OBJ_STORE: obj_store,
+    }
+
+
+#: Table 1 catalog: ``{Tier: StorageService}`` for Google Cloud, Jan 2015.
+GOOGLE_CLOUD_2015_SERVICES = _google_cloud_services()

@@ -1,0 +1,106 @@
+"""VM types and compute-cluster specification.
+
+The paper runs all experiments on ``n1-standard-16`` slave VMs (16
+vCPUs, 60 GB RAM) with an ``n1-standard-4`` master (§3.1.1, §5).  The
+estimator only needs the slot counts — the number of map/reduce tasks a
+node can run concurrently (``mc`` and ``rc`` in Table 3).  Hadoop-1-era
+deployments of the period used roughly one slot per 1–2 vCPUs split
+between map and reduce; we default to the classic 2/3-map 1/3-reduce
+split.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["VMType", "ClusterSpec", "N1_STANDARD_4", "N1_STANDARD_16"]
+
+
+@dataclass(frozen=True)
+class VMType:
+    """A cloud VM shape.
+
+    Attributes
+    ----------
+    name:
+        Provider SKU (``n1-standard-16``).
+    vcpus / memory_gb:
+        Compute shape.
+    map_slots / reduce_slots:
+        Concurrent map / reduce task capacity of one node (``mc``/``rc``).
+    network_mb_s:
+        Node NIC throughput (MB/s); bounds network-attached storage and
+        shuffle traffic per node.
+    """
+
+    name: str
+    vcpus: int
+    memory_gb: float
+    map_slots: int
+    reduce_slots: int
+    network_mb_s: float = 1000.0
+
+    def __post_init__(self) -> None:
+        if self.vcpus <= 0 or self.map_slots <= 0 or self.reduce_slots <= 0:
+            raise ValueError(f"invalid VM shape: {self}")
+
+
+#: Master node used in the paper's testbed (not simulated as a worker).
+N1_STANDARD_4 = VMType(
+    name="n1-standard-4", vcpus=4, memory_gb=15.0, map_slots=2, reduce_slots=2,
+    network_mb_s=500.0,
+)
+
+#: Slave node: 16 vCPU, 60 GB; 10 map + 6 reduce slots (2:1-ish split).
+N1_STANDARD_16 = VMType(
+    name="n1-standard-16", vcpus=16, memory_gb=60.0, map_slots=10,
+    reduce_slots=6, network_mb_s=2000.0,
+)
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A homogeneous analytics cluster (``R-hat`` in Table 3).
+
+    The paper's evaluation cluster is 25 slave VMs × 16 vCPUs = 400
+    cores (§5); the §3 characterization cluster is 10 slaves.
+    """
+
+    n_vms: int
+    vm: VMType = N1_STANDARD_16
+
+    def __post_init__(self) -> None:
+        if self.n_vms <= 0:
+            raise ValueError(f"cluster needs at least one VM, got {self.n_vms}")
+
+    @property
+    def total_cores(self) -> int:
+        """Aggregate vCPU count (the paper names clusters by this)."""
+        return self.n_vms * self.vm.vcpus
+
+    @property
+    def total_map_slots(self) -> int:
+        """Cluster-wide concurrent map-task capacity (``nvm * mc``)."""
+        return self.n_vms * self.vm.map_slots
+
+    @property
+    def total_reduce_slots(self) -> int:
+        """Cluster-wide concurrent reduce-task capacity (``nvm * rc``)."""
+        return self.n_vms * self.vm.reduce_slots
+
+    def map_waves(self, n_map_tasks: int) -> int:
+        """``ceil(m / (nvm * mc))`` — scheduling waves for the map phase."""
+        if n_map_tasks <= 0:
+            return 0
+        return -(-n_map_tasks // self.total_map_slots)
+
+    def reduce_waves(self, n_reduce_tasks: int) -> int:
+        """``ceil(r / (nvm * rc))`` — scheduling waves for reduce/shuffle."""
+        if n_reduce_tasks <= 0:
+            return 0
+        return -(-n_reduce_tasks // self.total_reduce_slots)
+
+
+# The two testbeds used in the paper.
+CHARACTERIZATION_CLUSTER = ClusterSpec(n_vms=10)   # §3 (160 cores)
+EVALUATION_CLUSTER = ClusterSpec(n_vms=25)         # §5 (400 cores)

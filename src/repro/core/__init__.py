@@ -1,0 +1,67 @@
+"""The CAST contribution: estimator, regression, cost/utility, solvers.
+
+Public entry points:
+
+* :func:`~repro.core.perf_model.estimate_job` — Eq. 1 runtime model;
+* :class:`~repro.core.plan.TieringPlan` — per-job placement decisions;
+* :func:`~repro.core.utility.evaluate_plan` — Eq. 2–6 plan evaluation;
+* :class:`~repro.core.solver.CastSolver` — basic simulated-annealing
+  tiering solver (Algorithm 2);
+* :class:`~repro.core.castpp.CastPlusPlus` — reuse- and
+  workflow-aware enhancements (§4.3);
+* :func:`~repro.core.greedy.greedy_exact_fit` /
+  :func:`~repro.core.greedy.greedy_over_provisioned` — Algorithm 1
+  baselines.
+"""
+
+from .annealing import AnnealingResult, AnnealingSchedule, simulated_annealing
+from .castpp import CastPlusPlus, WorkflowEvaluation, evaluate_workflow_plan
+from .cost import CostBreakdown, deployment_cost, holding_cost
+from .goals import GoalOutcome, TenantGoal, solve_for_goal
+from .greedy import greedy_exact_fit, greedy_over_provisioned, greedy_plan
+from .heat import DEFAULT_HEAT_LADDER, HeatScore, heat_based_plan, heat_scores
+from .perf_model import JobEstimate, estimate_job, staging_seconds
+from .plan import Placement, TieringPlan
+from .regression import CapacitySpline, LinearCapacityModel, fit_runtime_model
+from .sizing import SizingPoint, best_cluster_size, sweep_cluster_sizes
+from .solver import CAPACITY_MULTIPLIERS, CastSolver
+from .utility import PlanEvaluation, evaluate_plan, per_vm_capacity, tenant_utility
+
+__all__ = [
+    "AnnealingSchedule",
+    "AnnealingResult",
+    "simulated_annealing",
+    "CastSolver",
+    "CastPlusPlus",
+    "CAPACITY_MULTIPLIERS",
+    "WorkflowEvaluation",
+    "evaluate_workflow_plan",
+    "CostBreakdown",
+    "deployment_cost",
+    "holding_cost",
+    "greedy_plan",
+    "greedy_exact_fit",
+    "greedy_over_provisioned",
+    "TenantGoal",
+    "GoalOutcome",
+    "solve_for_goal",
+    "HeatScore",
+    "heat_scores",
+    "heat_based_plan",
+    "DEFAULT_HEAT_LADDER",
+    "SizingPoint",
+    "sweep_cluster_sizes",
+    "best_cluster_size",
+    "JobEstimate",
+    "estimate_job",
+    "staging_seconds",
+    "Placement",
+    "TieringPlan",
+    "CapacitySpline",
+    "LinearCapacityModel",
+    "fit_runtime_model",
+    "PlanEvaluation",
+    "evaluate_plan",
+    "per_vm_capacity",
+    "tenant_utility",
+]

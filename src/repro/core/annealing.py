@@ -1,0 +1,144 @@
+"""Generic simulated-annealing engine (paper Algorithm 2).
+
+The paper's solver structure, factored out of the tiering domain so the
+basic solver, CAST++'s reuse-constrained solver and the workflow
+deadline solver all share one annealer:
+
+* in every iteration a random neighbor of the current solution is
+  drawn;
+* a strictly better neighbor always becomes current (and possibly
+  best-so-far);
+* a worse neighbor is accepted with the Metropolis probability
+  ``exp(dU / temp)``, where ``dU`` is the *relative* utility loss —
+  utilities here have units of 1/(minute·dollar) and tiny magnitudes,
+  so the difference is normalized by the running best before comparing
+  with the temperature;
+* the temperature decays geometrically (``Cooling``), narrowing the
+  search as iterations pass, exactly as Algorithm 2 describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Generic, Iterable, List, Optional, Tuple, TypeVar
+
+import numpy as np
+
+from ..errors import SolverError
+
+__all__ = ["AnnealingSchedule", "AnnealingResult", "simulated_annealing"]
+
+S = TypeVar("S")
+
+
+@dataclass(frozen=True)
+class AnnealingSchedule:
+    """Hyperparameters of the annealer.
+
+    Attributes
+    ----------
+    temp_init:
+        Initial (dimensionless, relative) temperature.
+    cooling_rate:
+        Geometric decay factor applied once per iteration.
+    iter_max:
+        Total neighbor evaluations (Algorithm 2's ``iter_max``).
+    temp_min:
+        Floor below which acceptance is effectively greedy.
+    """
+
+    temp_init: float = 0.2
+    cooling_rate: float = 0.998
+    iter_max: int = 3000
+    temp_min: float = 1e-6
+
+    def __post_init__(self) -> None:
+        if not 0 < self.cooling_rate <= 1:
+            raise SolverError(f"cooling rate out of (0,1]: {self.cooling_rate}")
+        if self.temp_init <= 0:
+            raise SolverError(f"non-positive initial temperature: {self.temp_init}")
+        if self.iter_max < 1:
+            raise SolverError(f"need at least one iteration, got {self.iter_max}")
+
+
+@dataclass(frozen=True)
+class AnnealingResult(Generic[S]):
+    """Outcome of one annealing run."""
+
+    best_state: S
+    best_utility: float
+    iterations: int
+    accepted: int
+    #: best-so-far utility after each iteration (convergence curves).
+    trajectory: Tuple[float, ...]
+
+
+def simulated_annealing(
+    initial_state: S,
+    utility_fn: Callable[[S], float],
+    neighbor_fn: Callable[[S, np.random.Generator], S],
+    schedule: AnnealingSchedule,
+    rng: Optional[np.random.Generator] = None,
+    record_trajectory: bool = False,
+) -> AnnealingResult[S]:
+    """Maximize ``utility_fn`` over states by simulated annealing.
+
+    Parameters
+    ----------
+    initial_state:
+        ``P-hat_init`` — where the search starts (Algorithm 2 seeds it
+        with the greedy plan or Table 2 heuristics).
+    utility_fn:
+        Objective to maximize.  May raise
+        :class:`~repro.errors.CastError` for infeasible states, which
+        are treated as utility ``-inf`` (never accepted).
+    neighbor_fn:
+        Draws a random neighbor of the given state.
+    """
+    from ..errors import CastError
+
+    rng = rng if rng is not None else np.random.default_rng(0)
+
+    def safe_utility(state: S) -> float:
+        try:
+            return utility_fn(state)
+        except CastError:
+            return float("-inf")
+
+    current = initial_state
+    u_current = safe_utility(current)
+    if u_current == float("-inf"):
+        raise SolverError("initial state is infeasible")
+    best, u_best = current, u_current
+
+    temp = schedule.temp_init
+    accepted = 0
+    trajectory: List[float] = []
+
+    for _ in range(schedule.iter_max):
+        temp = max(temp * schedule.cooling_rate, schedule.temp_min)
+        neighbor = neighbor_fn(current, rng)
+        u_neighbor = safe_utility(neighbor)
+
+        if u_neighbor > u_best:
+            best, u_best = neighbor, u_neighbor
+
+        if u_neighbor >= u_current:
+            current, u_current = neighbor, u_neighbor
+            accepted += 1
+        elif u_neighbor > float("-inf"):
+            scale = abs(u_best) if u_best != 0 else 1.0
+            delta = (u_neighbor - u_current) / scale
+            if rng.random() < float(np.exp(delta / temp)):
+                current, u_current = neighbor, u_neighbor
+                accepted += 1
+        if record_trajectory:
+            trajectory.append(u_best)
+
+    return AnnealingResult(
+        best_state=best,
+        best_utility=u_best,
+        iterations=schedule.iter_max,
+        accepted=accepted,
+        trajectory=tuple(trajectory),
+    )

@@ -1,0 +1,311 @@
+"""CAST++: reuse-pattern and workflow awareness (paper §4.3).
+
+Two enhancements over the basic solver:
+
+**Enhancement 1 — data-reuse awareness.**  Constraint 7 pins every job
+in a reuse set to one storage service; the objective becomes the
+reuse-aware utility (shared datasets staged once, held for their
+lifetime).  Neighbor moves relocate whole reuse sets atomically so the
+constraint holds throughout the search.
+
+**Enhancement 2 — workflow awareness.**  For each workflow, the
+objective flips from utility maximization to *cost minimization under
+the tenant deadline* (Eq. 8–9).  The Eq. 10 capacity constraint only
+charges a job's input capacity when its producer sits on a different
+service, and its output capacity when the consumer shares the service;
+cross-tier output→input transfers join both the predicted makespan and
+the bill.  Neighbor generation follows a depth-first traversal of the
+DAG (§4.3), mutating jobs in DFS order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import networkx as nx
+import numpy as np
+
+from ..cloud.provider import CloudProvider
+from ..cloud.storage import Tier
+from ..cloud.vm import ClusterSpec
+from ..errors import SolverError
+from ..profiler.models import ModelMatrix
+from ..simulator.engine import cross_tier_transfer_seconds, intermediate_tier_for
+from ..workloads.spec import WorkloadSpec
+from ..workloads.workflow import Workflow
+from .annealing import AnnealingResult, AnnealingSchedule, simulated_annealing
+from .cost import CostBreakdown, deployment_cost
+from .perf_model import estimate_job, staging_seconds
+from .plan import Placement, TieringPlan
+from .solver import CAPACITY_MULTIPLIERS, CastSolver
+from .utility import PlanEvaluation, evaluate_plan, per_vm_capacity
+
+__all__ = ["WorkflowEvaluation", "evaluate_workflow_plan", "CastPlusPlus"]
+
+
+# ---------------------------------------------------------------------------
+# Workflow plan evaluation (Eq. 8-10)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class WorkflowEvaluation:
+    """Predicted makespan, cost and deadline verdict for one workflow."""
+
+    workflow_name: str
+    makespan_s: float
+    transfer_s: float
+    cost: CostBreakdown
+    deadline_s: float
+
+    @property
+    def meets_deadline(self) -> bool:
+        """Eq. 9: predicted completion within the tenant SLO."""
+        return self.makespan_s <= self.deadline_s
+
+
+def _workflow_billed_capacity(
+    workflow: Workflow,
+    plan: TieringPlan,
+    provider: CloudProvider,
+) -> Dict[Tier, float]:
+    """Eq. 10 capacities with helper/backing attribution."""
+    g = workflow.graph()
+    billed: Dict[Tier, float] = {}
+
+    def add(tier: Tier, gb: float) -> None:
+        if gb > 0:
+            billed[tier] = billed.get(tier, 0.0) + gb
+
+    for job in workflow.jobs:
+        tier = plan.tier_of(job.job_id)
+        svc = provider.service(tier)
+        preds = list(g.predecessors(job.job_id))
+        succs = list(g.successors(job.job_id))
+
+        # Input capacity only when the data is not already resident
+        # (root jobs, or any producer on a different service).
+        needs_input = not preds or any(
+            plan.tier_of(p) is not tier for p in preds
+        )
+        if needs_input:
+            add(tier, job.input_gb)
+
+        inter_tier = intermediate_tier_for(provider, tier)
+        add(inter_tier, job.intermediate_gb)
+
+        # Output stays on this service when a consumer shares it, or
+        # when the job is terminal (its output is the deliverable).
+        keeps_output = not succs or any(plan.tier_of(s) is tier for s in succs)
+        if keeps_output:
+            add(tier, job.output_gb)
+
+        if svc.requires_backing is not None:
+            backing_gb = (job.input_gb if (not preds) else 0.0) + (
+                job.output_gb if not succs else 0.0
+            )
+            add(svc.requires_backing, backing_gb)
+    return billed
+
+
+def evaluate_workflow_plan(
+    workflow: Workflow,
+    plan: TieringPlan,
+    cluster_spec: ClusterSpec,
+    matrix: ModelMatrix,
+    provider: CloudProvider,
+) -> WorkflowEvaluation:
+    """Predict one workflow's makespan and cost under a plan.
+
+    Jobs execute in topological order on the shared cluster (Eq. 9's
+    sum), with objStore staging only at the DAG boundary (roots read
+    external data; leaves persist results) and cross-tier transfers on
+    every tier-changing edge — the costs the workflow-oblivious basic
+    CAST mis-predicts (§5.2.1).
+    """
+    pvc = per_vm_capacity(plan, cluster_spec, provider)
+    g = workflow.graph()
+    makespan = 0.0
+    transfer_total = 0.0
+
+    for job_id in workflow.topological_order():
+        job = workflow.job(job_id)
+        tier = plan.tier_of(job_id)
+        est = estimate_job(
+            job, tier, pvc.get(tier, 10.0), cluster_spec, matrix, provider,
+            include_staging=False,
+        )
+        makespan += est.processing_s
+
+        preds = list(g.predecessors(job_id))
+        succs = list(g.successors(job_id))
+        if tier is Tier.EPH_SSD and not preds:
+            makespan += staging_seconds(job.input_gb, job.map_tasks, cluster_spec, provider)
+        if tier is Tier.EPH_SSD and not succs:
+            makespan += staging_seconds(
+                job.output_gb,
+                job.reduce_tasks * job.app.files_per_reduce_task,
+                cluster_spec,
+                provider,
+            )
+        for succ in succs:
+            dst = plan.tier_of(succ)
+            t = cross_tier_transfer_seconds(
+                job.output_gb, tier, dst, cluster_spec, provider,
+                per_vm_capacity_gb=pvc,
+            )
+            transfer_total += t
+
+    makespan += transfer_total
+    billed = _workflow_billed_capacity(workflow, plan, provider)
+    cost = deployment_cost(provider, cluster_spec, makespan, billed)
+    return WorkflowEvaluation(
+        workflow_name=workflow.name,
+        makespan_s=makespan,
+        transfer_s=transfer_total,
+        cost=cost,
+        deadline_s=workflow.deadline_s,
+    )
+
+
+# ---------------------------------------------------------------------------
+# The CAST++ solver
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CastPlusPlus(CastSolver):
+    """CAST++ solver: Constraint 7 + Eq. 8-10 on top of basic CAST."""
+
+    # -- Enhancement 1: reuse awareness ------------------------------------
+
+    def objective(self, workload: WorkloadSpec) -> Callable[[TieringPlan], float]:
+        """Reuse-aware Eq. 2 utility (overrides the oblivious base)."""
+
+        def utility(plan: TieringPlan) -> float:
+            return evaluate_plan(
+                workload, plan, self.cluster_spec, self.matrix, self.provider,
+                reuse_aware=True,
+            ).utility
+
+        return utility
+
+    def neighbor(
+        self, workload: WorkloadSpec
+    ) -> Callable[[TieringPlan, np.random.Generator], TieringPlan]:
+        """Single-job move that relocates whole reuse sets atomically."""
+        tiers = list(self.provider.tiers)
+        jobs = list(workload.jobs)
+
+        def move(plan: TieringPlan, rng: np.random.Generator) -> TieringPlan:
+            job = jobs[rng.integers(len(jobs))]
+            group = [job.job_id]
+            rs = workload.reuse_set_of(job.job_id)
+            if rs is not None:
+                group = sorted(rs.job_ids)
+            current = plan.placement(job.job_id)
+            kind = rng.integers(3)
+            tier = current.tier
+            mult_choice = None
+            if kind in (0, 2):
+                others = [t for t in tiers if t is not tier]
+                tier = others[rng.integers(len(others))]
+            if kind in (1, 2):
+                mult_choice = CAPACITY_MULTIPLIERS[rng.integers(len(CAPACITY_MULTIPLIERS))]
+            new_plan = plan
+            for jid in group:
+                member = workload.job(jid)
+                mult = (
+                    mult_choice
+                    if mult_choice is not None
+                    else max(1.0, plan.placement(jid).capacity_gb / member.footprint_gb)
+                )
+                new_plan = new_plan.with_placement(
+                    jid, Placement(tier=tier, capacity_gb=member.footprint_gb * mult)
+                )
+            return new_plan
+
+        return move
+
+    def initial_plan(self, workload: WorkloadSpec) -> TieringPlan:
+        """Greedy seed with Constraint 7 repaired (sets co-placed)."""
+        plan = super().initial_plan(workload)
+        for rs in workload.reuse_sets:
+            members = sorted(rs.job_ids)
+            anchor_tier = plan.tier_of(members[0])
+            for jid in members[1:]:
+                p = plan.placement(jid)
+                plan = plan.with_placement(
+                    jid, Placement(tier=anchor_tier, capacity_gb=p.capacity_gb)
+                )
+        return plan
+
+    # -- Enhancement 2: workflow awareness ----------------------------------
+
+    def workflow_objective(
+        self, workflow: Workflow
+    ) -> Callable[[TieringPlan], float]:
+        """Eq. 8 under Eq. 9: maximize ``-cost``; deadline violations
+        are pushed below every feasible value with a slope toward
+        feasibility so the annealer can climb back in."""
+
+        def objective(plan: TieringPlan) -> float:
+            ev = evaluate_workflow_plan(
+                workflow, plan, self.cluster_spec, self.matrix, self.provider
+            )
+            if ev.meets_deadline:
+                return -ev.cost.total_usd
+            overshoot = ev.makespan_s / workflow.deadline_s
+            return -1e6 * overshoot - ev.cost.total_usd
+
+        return objective
+
+    def workflow_neighbor(
+        self, workflow: Workflow
+    ) -> Callable[[TieringPlan, np.random.Generator], TieringPlan]:
+        """DFS-order traversal of the DAG (§4.3's neighbor search)."""
+        g = workflow.graph()
+        dfs_order: List[str] = []
+        for root in workflow.roots():
+            dfs_order.extend(
+                n for n in nx.dfs_preorder_nodes(g, source=root) if n not in dfs_order
+            )
+        tiers = list(self.provider.tiers)
+        cursor = [0]
+
+        def move(plan: TieringPlan, rng: np.random.Generator) -> TieringPlan:
+            job_id = dfs_order[cursor[0] % len(dfs_order)]
+            cursor[0] += 1
+            job = workflow.job(job_id)
+            current = plan.placement(job_id)
+            others = [t for t in tiers if t is not current.tier]
+            tier = others[rng.integers(len(others))]
+            mult = CAPACITY_MULTIPLIERS[rng.integers(len(CAPACITY_MULTIPLIERS))]
+            return plan.with_placement(
+                job_id, Placement(tier=tier, capacity_gb=job.footprint_gb * mult)
+            )
+
+        return move
+
+    def solve_workflow(
+        self,
+        workflow: Workflow,
+        initial: Optional[TieringPlan] = None,
+    ) -> AnnealingResult[TieringPlan]:
+        """Optimize one workflow separately (the §4.3 procedure)."""
+        if initial is None:
+            initial = TieringPlan.uniform(workflow.as_workload(), Tier.PERS_SSD)
+        return simulated_annealing(
+            initial_state=initial,
+            utility_fn=self.workflow_objective(workflow),
+            neighbor_fn=self.workflow_neighbor(workflow),
+            schedule=self.schedule,
+            rng=np.random.default_rng(self.seed),
+        )
+
+    def solve_workflows(
+        self, workflows: Sequence[Workflow]
+    ) -> Dict[str, AnnealingResult[TieringPlan]]:
+        """Optimize every workflow in a suite independently."""
+        return {wf.name: self.solve_workflow(wf) for wf in workflows}

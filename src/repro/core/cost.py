@@ -1,0 +1,89 @@
+"""Deployment cost model (paper Eq. 5, Eq. 6, §3.1.3 reuse costs).
+
+Shared by predictions (solver objectives) and observations (simulator
+post-processing) so the two sides of every comparison price
+identically:
+
+* **VM cost** — ``nvm * price_vm * T`` with ``T`` in minutes (Eq. 5);
+* **storage cost** — per-service aggregate GB-hours, hours rounded up
+  (Eq. 6);
+* **holding cost** — data kept warm on a tier between re-accesses is
+  billed at that tier's rate over the reuse lifetime (the §3.1.3
+  analysis behind Fig. 3).  Holding ephemeral SSD data additionally
+  requires keeping its persistent objStore backing copy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping
+
+from ..cloud.provider import CloudProvider
+from ..cloud.storage import Tier
+from ..cloud.vm import ClusterSpec
+
+__all__ = ["CostBreakdown", "deployment_cost", "holding_cost"]
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """Dollar totals for one deployment (one workload execution)."""
+
+    vm_usd: float
+    storage_usd: float
+
+    @property
+    def total_usd(self) -> float:
+        """``$vm + $store`` — the Eq. 2 denominator."""
+        return self.vm_usd + self.storage_usd
+
+    def __add__(self, other: "CostBreakdown") -> "CostBreakdown":
+        return CostBreakdown(
+            vm_usd=self.vm_usd + other.vm_usd,
+            storage_usd=self.storage_usd + other.storage_usd,
+        )
+
+
+def deployment_cost(
+    provider: CloudProvider,
+    cluster_spec: ClusterSpec,
+    makespan_s: float,
+    billed_capacity_gb: Mapping[Tier, float],
+) -> CostBreakdown:
+    """Eq. 5 + Eq. 6 for one workload execution.
+
+    Parameters
+    ----------
+    makespan_s:
+        Workload completion time ``T`` (seconds).
+    billed_capacity_gb:
+        Aggregate provisioned capacity per service, *including* helper
+        and backing allocations
+        (:meth:`~repro.core.plan.TieringPlan.billed_capacity_gb`).
+    """
+    vm = provider.prices.vm_cost(cluster_spec.n_vms, makespan_s)
+    store = provider.prices.storage_cost(billed_capacity_gb, makespan_s)
+    return CostBreakdown(vm_usd=vm, storage_usd=store)
+
+
+def holding_cost(
+    provider: CloudProvider,
+    tier: Tier,
+    dataset_gb: float,
+    lifetime_s: float,
+) -> float:
+    """Cost of keeping ``dataset_gb`` warm on ``tier`` for ``lifetime_s``.
+
+    For ephSSD the persistent backing copy on objStore is billed too —
+    ephemeral data alone cannot satisfy a future re-access if the VMs
+    recycle, so tenants keep both (§3.2's persistence caveat).
+    """
+    if dataset_gb < 0:
+        raise ValueError(f"negative dataset size: {dataset_gb}")
+    if lifetime_s <= 0 or dataset_gb == 0:
+        return 0.0
+    total = provider.prices.storage_holding_cost(tier, dataset_gb, lifetime_s)
+    backing = provider.service(tier).requires_backing
+    if backing is not None:
+        total += provider.prices.storage_holding_cost(backing, dataset_gb, lifetime_s)
+    return total

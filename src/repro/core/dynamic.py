@@ -1,0 +1,202 @@
+"""Dynamic (reactive) tiering prototype — the paper's §6 future work.
+
+The paper argues that for batch analytics a *static, coarse-grained,
+application-aware* plan (CAST) beats classic dynamic tiering, and
+defers "fine-grained dynamic tiering" to future work.  This module
+builds that comparison point: a reactive tierer in the style of
+enterprise hot/cold auto-tiering —
+
+* every dataset starts on a **base tier** (the cheap object store);
+* when a dataset is re-accessed within a **hot window**, it is
+  *promoted* to the fast tier before the job runs, paying the migration
+  transfer;
+* promoted datasets whose last access falls out of the window are
+  *demoted* (the fast-tier copy is dropped; the base copy persists).
+
+The tierer sees only access recency — no application profiles, no
+capacity scaling, no deadlines — exactly the information classic
+storage tiering products use.  :func:`run_dynamic` executes a workload
+under the policy on the simulator and prices it with the same Eq. 5/6
+models as every other evaluation, so the §6 argument becomes a number
+(see ``bench_ablation_dynamic``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..cloud.provider import CloudProvider
+from ..cloud.storage import Tier
+from ..cloud.vm import ClusterSpec
+from ..core.cost import CostBreakdown, deployment_cost
+from ..core.utility import tenant_utility
+from ..errors import SolverError
+from ..simulator.engine import (
+    HELPER_INTERMEDIATE_GB_PER_VM,
+    cross_tier_transfer_seconds,
+    simulate_job,
+)
+from ..workloads.spec import WorkloadSpec
+
+__all__ = ["ReactivePolicy", "DynamicRunResult", "run_dynamic"]
+
+
+@dataclass(frozen=True)
+class ReactivePolicy:
+    """Recency-driven promote/demote rules.
+
+    Attributes
+    ----------
+    base_tier:
+        Where cold data lives (and where every dataset starts).
+    fast_tier:
+        Promotion target for hot data.
+    hot_window_s:
+        A dataset re-accessed within this window of its previous access
+        counts as hot.
+    """
+
+    base_tier: Tier = Tier.OBJ_STORE
+    fast_tier: Tier = Tier.EPH_SSD
+    hot_window_s: float = 3600.0
+
+    def __post_init__(self) -> None:
+        if self.hot_window_s <= 0:
+            raise SolverError(f"non-positive hot window: {self.hot_window_s}")
+        if self.base_tier is self.fast_tier:
+            raise SolverError("base and fast tier must differ")
+
+
+@dataclass(frozen=True)
+class DynamicRunResult:
+    """Outcome of a reactive-tiering run."""
+
+    makespan_s: float
+    cost: CostBreakdown
+    utility: float
+    promotions: int
+    demotions: int
+    tier_of_run: Mapping[str, Tier]
+
+    @property
+    def makespan_min(self) -> float:
+        """Completion time in minutes."""
+        return self.makespan_s / 60.0
+
+
+def _dataset_key(workload: WorkloadSpec, job_id: str) -> str:
+    """Jobs in a reuse set read one dataset; others own theirs."""
+    rs = workload.reuse_set_of(job_id)
+    if rs is None:
+        return f"ds-{job_id}"
+    return "ds-" + "+".join(sorted(rs.job_ids))
+
+
+def run_dynamic(
+    workload: WorkloadSpec,
+    cluster_spec: ClusterSpec,
+    prov: CloudProvider,
+    policy: Optional[ReactivePolicy] = None,
+) -> DynamicRunResult:
+    """Execute a workload under the reactive hot/cold policy.
+
+    Jobs run in workload order on the simulator.  Before each job the
+    policy decides its dataset's tier: promotion copies the input from
+    the base tier (charged as a cross-tier transfer); demotion is free
+    (drop the fast copy).  Capacity is billed like an exact-fit plan —
+    every dataset keeps a base-tier copy for persistence; promoted
+    datasets additionally occupy the fast tier while hot.
+    """
+    policy = policy or ReactivePolicy()
+    prov.service(policy.base_tier)
+    prov.service(policy.fast_tier)
+
+    caps = {
+        Tier.EPH_SSD: 375.0,
+        Tier.PERS_SSD: 500.0,
+        Tier.PERS_HDD: 500.0,
+    }
+    if prov.service(policy.base_tier).requires_intermediate is not None:
+        helper = prov.service(policy.base_tier).requires_intermediate
+        caps[helper] = max(caps.get(helper, 0.0), HELPER_INTERMEDIATE_GB_PER_VM)
+
+    clock = 0.0
+    promotions = demotions = 0
+    last_access: Dict[str, float] = {}
+    promoted: Dict[str, bool] = {}
+    fast_peak_gb = 0.0
+    fast_now_gb = 0.0
+    tier_of_run: Dict[str, Tier] = {}
+
+    for job in workload.jobs:
+        key = _dataset_key(workload, job.job_id)
+        prev = last_access.get(key)
+        is_hot = prev is not None and (clock - prev) <= policy.hot_window_s
+
+        # Demote datasets that went cold (free; base copy persists).
+        for other, is_promoted in list(promoted.items()):
+            if not is_promoted or other == key:
+                continue
+            if clock - last_access.get(other, -1e18) > policy.hot_window_s:
+                promoted[other] = False
+                fast_now_gb -= _dataset_gb(workload, other)
+                demotions += 1
+
+        if is_hot and not promoted.get(key, False):
+            clock += cross_tier_transfer_seconds(
+                job.input_gb, policy.base_tier, policy.fast_tier,
+                cluster_spec, prov, per_vm_capacity_gb=caps,
+            )
+            promoted[key] = True
+            fast_now_gb += job.input_gb
+            promotions += 1
+
+        tier = policy.fast_tier if promoted.get(key, False) else policy.base_tier
+        tier_of_run[job.job_id] = tier
+        fast_is_ephemeral = not prov.service(policy.fast_tier).persistent
+        # Recency is measured from the *start* of the previous access:
+        # back-to-back jobs over the same dataset are only "hot" when
+        # the earlier run itself fits inside the window.
+        last_access[key] = clock
+        res = simulate_job(
+            job, tier, cluster_spec, prov, per_vm_capacity_gb=caps,
+            # Promoted data is already resident (no stage-in), but a
+            # non-persistent fast tier must still persist its outputs
+            # back to the base tier.
+            stage_in=False,
+            stage_out=(tier is policy.fast_tier and fast_is_ephemeral),
+        )
+        clock += res.total_s
+        fast_peak_gb = max(fast_peak_gb, fast_now_gb)
+
+    # Billing: every dataset persists on the base tier; the fast tier
+    # bills its peak promoted footprint; helpers bill their volumes.
+    billed: Dict[Tier, float] = {}
+    base_gb = sum(j.footprint_gb for j in workload.jobs)
+    billed[policy.base_tier] = base_gb
+    if fast_peak_gb > 0:
+        billed[policy.fast_tier] = (
+            billed.get(policy.fast_tier, 0.0) + fast_peak_gb
+        )
+    helper = prov.service(policy.base_tier).requires_intermediate
+    if helper is not None:
+        billed[helper] = billed.get(helper, 0.0) + caps[helper] * cluster_spec.n_vms
+
+    cost = deployment_cost(prov, cluster_spec, clock, billed)
+    return DynamicRunResult(
+        makespan_s=clock,
+        cost=cost,
+        utility=tenant_utility(clock, cost.total_usd),
+        promotions=promotions,
+        demotions=demotions,
+        tier_of_run=tier_of_run,
+    )
+
+
+def _dataset_gb(workload: WorkloadSpec, key: str) -> float:
+    """Input size of the dataset behind a key (max across sharers)."""
+    ids = key[len("ds-"):].split("+")
+    return max(workload.job(j).input_gb for j in ids if any(
+        jb.job_id == j for jb in workload.jobs
+    ))

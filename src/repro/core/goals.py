@@ -1,0 +1,179 @@
+"""Tenant goals (paper §1/§4: "high-level tenant goals").
+
+CAST "lets tenants specify high-level objectives such as maximizing
+tenant utility, or minimizing deadline miss rate".  This module is that
+front door: a :class:`TenantGoal` picks the objective, and
+:func:`solve_for_goal` dispatches to the right solver configuration:
+
+* ``MAX_UTILITY`` — basic CAST (Algorithm 2, Eq. 2 objective);
+* ``MAX_UTILITY_REUSE`` — CAST++'s reuse-aware utility (§4.3 E1);
+* ``MIN_COST_UNDER_DEADLINES`` — CAST++'s per-workflow Eq. 8–10 mode;
+* ``MIN_MISS_RATE`` — a joint objective over a workflow suite: fewest
+  missed deadlines first, dollars as the tiebreaker.  Useful when some
+  deadlines are simply infeasible and the tenant wants graceful
+  degradation instead of Eq. 9's hard constraint.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..cloud.provider import CloudProvider
+from ..cloud.vm import ClusterSpec
+from ..errors import SolverError
+from ..profiler.models import ModelMatrix
+from ..workloads.spec import WorkloadSpec
+from ..workloads.workflow import Workflow
+from .annealing import AnnealingSchedule, simulated_annealing
+from .castpp import CastPlusPlus, evaluate_workflow_plan
+from .plan import TieringPlan
+from .solver import CastSolver
+
+__all__ = ["TenantGoal", "GoalOutcome", "solve_for_goal"]
+
+
+class TenantGoal(str, enum.Enum):
+    """The high-level objectives a tenant can hand the planner."""
+
+    MAX_UTILITY = "max-utility"
+    MAX_UTILITY_REUSE = "max-utility-reuse"
+    MIN_COST_UNDER_DEADLINES = "min-cost-deadlines"
+    MIN_MISS_RATE = "min-miss-rate"
+
+
+@dataclass(frozen=True)
+class GoalOutcome:
+    """What the planner returns for a tenant goal.
+
+    ``plans`` maps a scope name (the workload name, or each workflow's
+    name) to its tiering plan; ``objective_value`` is goal-specific
+    (utility, dollars, or miss count).
+    """
+
+    goal: TenantGoal
+    plans: Mapping[str, TieringPlan]
+    objective_value: float
+
+
+def _require(cond: bool, message: str) -> None:
+    if not cond:
+        raise SolverError(message)
+
+
+def solve_for_goal(
+    goal: TenantGoal,
+    *,
+    cluster_spec: ClusterSpec,
+    matrix: ModelMatrix,
+    provider: CloudProvider,
+    workload: Optional[WorkloadSpec] = None,
+    workflows: Optional[Sequence[Workflow]] = None,
+    schedule: Optional[AnnealingSchedule] = None,
+    seed: int = 42,
+) -> GoalOutcome:
+    """Plan for a tenant goal (the framework's single entry point).
+
+    Utility goals need a ``workload``; deadline goals need
+    ``workflows``.
+    """
+    schedule = schedule or AnnealingSchedule()
+
+    if goal is TenantGoal.MAX_UTILITY:
+        _require(workload is not None, "MAX_UTILITY needs a workload")
+        solver = CastSolver(cluster_spec=cluster_spec, matrix=matrix,
+                            provider=provider, schedule=schedule, seed=seed)
+        result = solver.solve(workload)
+        return GoalOutcome(
+            goal=goal,
+            plans={workload.name: result.best_state},
+            objective_value=result.best_utility,
+        )
+
+    if goal is TenantGoal.MAX_UTILITY_REUSE:
+        _require(workload is not None, "MAX_UTILITY_REUSE needs a workload")
+        solver = CastPlusPlus(cluster_spec=cluster_spec, matrix=matrix,
+                              provider=provider, schedule=schedule, seed=seed)
+        result = solver.solve(workload)
+        return GoalOutcome(
+            goal=goal,
+            plans={workload.name: result.best_state},
+            objective_value=result.best_utility,
+        )
+
+    if goal is TenantGoal.MIN_COST_UNDER_DEADLINES:
+        _require(bool(workflows), "MIN_COST_UNDER_DEADLINES needs workflows")
+        solver = CastPlusPlus(cluster_spec=cluster_spec, matrix=matrix,
+                              provider=provider, schedule=schedule, seed=seed)
+        plans: Dict[str, TieringPlan] = {}
+        total_cost = 0.0
+        for wf in workflows:
+            plan = solver.solve_workflow(wf).best_state
+            plans[wf.name] = plan
+            total_cost += evaluate_workflow_plan(
+                wf, plan, cluster_spec, matrix, provider
+            ).cost.total_usd
+        return GoalOutcome(goal=goal, plans=plans, objective_value=total_cost)
+
+    if goal is TenantGoal.MIN_MISS_RATE:
+        _require(bool(workflows), "MIN_MISS_RATE needs workflows")
+        return _solve_min_miss_rate(
+            list(workflows), cluster_spec, matrix, provider, schedule, seed
+        )
+
+    raise SolverError(f"unknown tenant goal: {goal!r}")  # pragma: no cover
+
+
+def _solve_min_miss_rate(
+    workflows: List[Workflow],
+    cluster_spec: ClusterSpec,
+    matrix: ModelMatrix,
+    provider: CloudProvider,
+    schedule: AnnealingSchedule,
+    seed: int,
+) -> GoalOutcome:
+    """Fewest missed deadlines, dollars as the tiebreaker.
+
+    Each workflow anneals independently (misses are per-workflow, so
+    the joint objective decomposes) under a lexicographic objective:
+    a miss costs more than any feasible dollar difference; among plans
+    with equal misses, cheaper wins; among infeasible plans, smaller
+    overshoot wins — the annealer can always climb toward feasibility.
+    """
+    solver = CastPlusPlus(cluster_spec=cluster_spec, matrix=matrix,
+                          provider=provider, schedule=schedule, seed=seed)
+    plans: Dict[str, TieringPlan] = {}
+    total_misses = 0
+    for wf in workflows:
+
+        def objective(plan: TieringPlan, wf: Workflow = wf) -> float:
+            ev = evaluate_workflow_plan(wf, plan, cluster_spec, matrix, provider)
+            if ev.meets_deadline:
+                return -ev.cost.total_usd
+            overshoot = (ev.makespan_s - wf.deadline_s) / wf.deadline_s
+            return -1e6 * (1.0 + overshoot) - ev.cost.total_usd
+
+        from ..cloud.storage import Tier
+
+        initial = TieringPlan.uniform(wf.as_workload(), Tier.PERS_SSD)
+        result = simulated_annealing(
+            initial_state=initial,
+            utility_fn=objective,
+            neighbor_fn=solver.workflow_neighbor(wf),
+            schedule=schedule,
+            rng=np.random.default_rng(seed),
+        )
+        plans[wf.name] = result.best_state
+        ev = evaluate_workflow_plan(
+            wf, result.best_state, cluster_spec, matrix, provider
+        )
+        if not ev.meets_deadline:
+            total_misses += 1
+    return GoalOutcome(
+        goal=TenantGoal.MIN_MISS_RATE,
+        plans=plans,
+        objective_value=float(total_misses),
+    )

@@ -1,0 +1,116 @@
+"""Greedy static tiering (paper Algorithm 1 and its §5.1.2 variants).
+
+The greedy baseline walks the jobs once and gives each the tier that
+maximizes that job's *stand-alone* utility.  Its blind spot is the
+coupling the paper calls out: placing a job changes the service's
+aggregate provisioned capacity, which (through the scaling curves)
+changes the performance — and hence the best tier — of every job
+already placed.  The evaluation compares two capacity policies:
+
+* **exact-fit** — provision exactly each job's Eq. 3 footprint (cheap,
+  but leaves scaling services at low-capacity/low-throughput points);
+* **over-provisioned** — provision enough extra capacity to push the
+  scaling services toward their throughput saturation point (fast, but
+  pays for unused space).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Sequence
+
+from ..cloud.provider import CloudProvider
+from ..cloud.storage import Tier
+from ..cloud.vm import ClusterSpec
+from ..profiler.models import ModelMatrix
+from ..workloads.spec import JobSpec, WorkloadSpec
+from .plan import Placement, TieringPlan
+from .utility import evaluate_plan
+
+__all__ = ["greedy_plan", "greedy_exact_fit", "greedy_over_provisioned"]
+
+
+def _single_job_utility(
+    job: JobSpec,
+    placement: Placement,
+    cluster_spec: ClusterSpec,
+    matrix: ModelMatrix,
+    provider: CloudProvider,
+) -> float:
+    """Algorithm 1's ``Utility(j, f)``: the job alone on the tier."""
+    solo = WorkloadSpec(jobs=(job,), name=f"solo-{job.job_id}")
+    plan = TieringPlan(placements={job.job_id: placement})
+    return evaluate_plan(solo, plan, cluster_spec, matrix, provider).utility
+
+
+def _over_provisioned_capacity(
+    job: JobSpec, tier: Tier, cluster_spec: ClusterSpec, provider: CloudProvider
+) -> float:
+    """Capacity pushing the tier toward its throughput saturation point.
+
+    Block-storage tiers are provisioned to the smaller of their
+    saturation capacity and 1 TB per VM; non-scaling tiers keep the
+    footprint (over-provisioning buys them nothing).
+    """
+    svc = provider.service(tier)
+    if tier in (Tier.EPH_SSD, Tier.OBJ_STORE):
+        return job.footprint_gb
+    sat_per_vm = min(svc.throughput.saturation_capacity_gb, 1000.0)
+    return max(job.footprint_gb, sat_per_vm * cluster_spec.n_vms)
+
+
+def greedy_plan(
+    workload: WorkloadSpec,
+    cluster_spec: ClusterSpec,
+    matrix: ModelMatrix,
+    provider: CloudProvider,
+    over_provision: bool = False,
+    tiers: Optional[Sequence[Tier]] = None,
+) -> TieringPlan:
+    """Algorithm 1: per-job best stand-alone tier.
+
+    Parameters
+    ----------
+    over_provision:
+        ``False`` → exact-fit capacities; ``True`` → capacity pushed to
+        the scaling services' saturation point.
+    tiers:
+        Candidate services (defaults to the whole catalog, ``F``).
+    """
+    candidates = list(tiers) if tiers is not None else list(provider.tiers)
+    placements: Dict[str, Placement] = {}
+    for job in workload.jobs:
+        best_placement = None
+        best_utility = float("-inf")
+        for tier in candidates:
+            cap = (
+                _over_provisioned_capacity(job, tier, cluster_spec, provider)
+                if over_provision
+                else job.footprint_gb
+            )
+            placement = Placement(tier=tier, capacity_gb=cap)
+            utility = _single_job_utility(job, placement, cluster_spec, matrix, provider)
+            if utility > best_utility:
+                best_utility, best_placement = utility, placement
+        assert best_placement is not None
+        placements[job.job_id] = best_placement
+    return TieringPlan(placements=placements)
+
+
+def greedy_exact_fit(
+    workload: WorkloadSpec,
+    cluster_spec: ClusterSpec,
+    matrix: ModelMatrix,
+    provider: CloudProvider,
+) -> TieringPlan:
+    """The §5.1.2 ``Greedy exact-fit`` baseline."""
+    return greedy_plan(workload, cluster_spec, matrix, provider, over_provision=False)
+
+
+def greedy_over_provisioned(
+    workload: WorkloadSpec,
+    cluster_spec: ClusterSpec,
+    matrix: ModelMatrix,
+    provider: CloudProvider,
+) -> TieringPlan:
+    """The §5.1.2 ``Greedy over-provisioned`` baseline."""
+    return greedy_plan(workload, cluster_spec, matrix, provider, over_provision=True)

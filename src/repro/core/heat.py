@@ -1,0 +1,135 @@
+"""Heat-based tiering straw man (paper §3.2, "Heat-based Tiering").
+
+The classic storage-tiering recipe the paper argues *against*: rank
+datasets by a heat metric (access frequency × recency) and place hot
+data on the fastest medium, semi-hot on the middle tiers, cold on the
+cheapest — ignoring application behaviour, the persistence gap, and the
+capacity-scaled performance of cloud volumes.
+
+Implemented faithfully so the argument can be *measured* instead of
+asserted: :func:`heat_based_plan` produces a tiering plan from heat
+quantiles, and the ``bench_ablation_heat`` benchmark pits it against
+CAST on the paper's evaluation workload.
+
+Heat here derives from the workload itself: a job's dataset is hotter
+the more jobs share it (re-access frequency) and the shorter its reuse
+lifetime (recency); unshared datasets are touched exactly once and rank
+coldest.  This is the most favourable reading of the straw man — it
+gets perfect knowledge of future accesses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..cloud.provider import CloudProvider
+from ..cloud.storage import Tier
+from ..errors import SolverError
+from ..workloads.spec import JobSpec, ReuseLifetime, WorkloadSpec
+from .plan import Placement, TieringPlan
+
+__all__ = ["HeatScore", "heat_scores", "heat_based_plan", "DEFAULT_HEAT_LADDER"]
+
+#: Hot → cold tier ladder, priced fastest-first (the straw man's view
+#: of the Table 1 catalog).
+DEFAULT_HEAT_LADDER: Tuple[Tier, ...] = (
+    Tier.EPH_SSD,
+    Tier.PERS_SSD,
+    Tier.PERS_HDD,
+    Tier.OBJ_STORE,
+)
+
+
+@dataclass(frozen=True)
+class HeatScore:
+    """One job's dataset heat.
+
+    Attributes
+    ----------
+    job_id:
+        The job whose input this scores.
+    accesses:
+        Total expected accesses of the dataset (sharing jobs × their
+        re-access counts).
+    recency_weight:
+        1 / (hours between accesses); single-shot data gets the
+        coldest weight.
+    """
+
+    job_id: str
+    accesses: float
+    recency_weight: float
+
+    @property
+    def heat(self) -> float:
+        """The classic frequency × recency product."""
+        return self.accesses * self.recency_weight
+
+
+def heat_scores(workload: WorkloadSpec) -> List[HeatScore]:
+    """Score every job's dataset by access frequency and recency."""
+    scores: List[HeatScore] = []
+    for job in workload.jobs:
+        rs = workload.reuse_set_of(job.job_id)
+        if rs is None:
+            scores.append(HeatScore(job_id=job.job_id, accesses=1.0,
+                                    recency_weight=0.1))
+            continue
+        window_h = max(rs.lifetime.window_seconds / 3600.0, 1e-3)
+        accesses = float(len(rs.job_ids) * rs.n_accesses)
+        gap_h = window_h / max(rs.n_accesses, 1)
+        scores.append(
+            HeatScore(job_id=job.job_id, accesses=accesses,
+                      recency_weight=1.0 / max(gap_h, 1e-3))
+        )
+    return scores
+
+
+def heat_based_plan(
+    workload: WorkloadSpec,
+    provider: CloudProvider,
+    ladder: Sequence[Tier] = DEFAULT_HEAT_LADDER,
+    quantiles: Sequence[float] = (0.25, 0.5, 0.75),
+) -> TieringPlan:
+    """Place jobs on the hot/cold ladder by heat quantile.
+
+    The hottest quartile lands on the first (fastest) rung, the coldest
+    on the last (cheapest), with exact-fit Eq. 3 capacities — precisely
+    the POSIX-world policy the paper's §3.2 deconstructs.
+
+    Parameters
+    ----------
+    ladder:
+        Tiers from hottest to coldest rung; must all exist in the
+        provider's catalog and have ``len(quantiles) + 1`` rungs.
+    quantiles:
+        Heat-rank cut points splitting the workload across rungs.
+    """
+    if len(ladder) != len(quantiles) + 1:
+        raise SolverError(
+            f"{len(ladder)} ladder rungs need {len(ladder) - 1} quantiles, "
+            f"got {len(quantiles)}"
+        )
+    for tier in ladder:
+        provider.service(tier)
+    if list(quantiles) != sorted(quantiles) or not all(0 < q < 1 for q in quantiles):
+        raise SolverError(f"quantiles must be increasing in (0,1): {quantiles}")
+
+    scores = heat_scores(workload)
+    # Rank hottest first; ties broken by dataset size (bigger = hotter
+    # in byte-weighted heat maps) then id for determinism.
+    order = sorted(
+        scores,
+        key=lambda s: (-s.heat, -workload.job(s.job_id).input_gb, s.job_id),
+    )
+    n = len(order)
+    cuts = [int(round(q * n)) for q in quantiles]
+
+    placements: Dict[str, Placement] = {}
+    for rank, score in enumerate(order):
+        rung = sum(1 for c in cuts if rank >= c)
+        tier = ladder[rung]
+        job = workload.job(score.job_id)
+        placements[job.job_id] = Placement(tier=tier, capacity_gb=job.footprint_gb)
+    return TieringPlan(placements=placements)

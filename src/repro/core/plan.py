@@ -1,0 +1,202 @@
+"""Tiering plans: per-job (storage service, capacity) assignments.
+
+A plan (``P-hat`` in Table 3) is the solver's decision variable: for
+every job ``i``, the service ``s_i`` it runs on and the capacity
+``c_i`` provisioned for it.  Eq. 3 requires
+``c_i >= input_i + inter_i + output_i``; the aggregate capacity per
+service (``capacity[f] = sum of c_i with s_i == f``) feeds both the
+Eq. 6 storage bill and the REG capacity-scaling lookup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+from ..cloud.provider import CloudProvider
+from ..cloud.storage import Tier
+from ..errors import PlanError
+from ..simulator.engine import intermediate_tier_for
+from ..workloads.spec import JobSpec, WorkloadSpec
+
+__all__ = ["Placement", "TieringPlan"]
+
+
+@dataclass(frozen=True)
+class Placement:
+    """One job's assignment: service ``s_i`` and capacity ``c_i`` (GB)."""
+
+    tier: Tier
+    capacity_gb: float
+
+    def __post_init__(self) -> None:
+        if self.capacity_gb < 0:
+            raise PlanError(f"negative capacity: {self.capacity_gb}")
+
+
+@dataclass(frozen=True)
+class TieringPlan:
+    """A complete data placement + provisioning plan for a workload.
+
+    Immutable; solver moves produce new plans via :meth:`with_placement`.
+    """
+
+    placements: Mapping[str, Placement]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "placements", dict(self.placements))
+
+    # -- construction -------------------------------------------------------
+
+    @staticmethod
+    def exact_fit(
+        workload: WorkloadSpec, tier_of: Mapping[str, Tier]
+    ) -> "TieringPlan":
+        """Build a plan provisioning exactly each job's Eq. 3 footprint.
+
+        Intermediate data hosted on a helper tier (objStore jobs
+        shuffle through persSSD) is still counted in ``c_i`` — the
+        paper's Eq. 3 aggregates all phases' needs into one capacity.
+        """
+        placements = {}
+        for job in workload.jobs:
+            tier = tier_of[job.job_id]
+            placements[job.job_id] = Placement(tier=tier, capacity_gb=job.footprint_gb)
+        return TieringPlan(placements=placements)
+
+    @staticmethod
+    def uniform(workload: WorkloadSpec, tier: Tier) -> "TieringPlan":
+        """All jobs on one tier, exact-fit capacities (the paper's
+        ``<tier> 100%`` baseline configurations)."""
+        return TieringPlan.exact_fit(
+            workload, {j.job_id: tier for j in workload.jobs}
+        )
+
+    def with_placement(self, job_id: str, placement: Placement) -> "TieringPlan":
+        """A copy of this plan with one job reassigned."""
+        if job_id not in self.placements:
+            raise PlanError(f"job {job_id!r} not in plan")
+        new = dict(self.placements)
+        new[job_id] = placement
+        return TieringPlan(placements=new)
+
+    # -- lookups -----------------------------------------------------------
+
+    def placement(self, job_id: str) -> Placement:
+        """This job's assignment."""
+        try:
+            return self.placements[job_id]
+        except KeyError:
+            raise PlanError(f"job {job_id!r} not in plan") from None
+
+    def tier_of(self, job_id: str) -> Tier:
+        """This job's service (``s_i``)."""
+        return self.placement(job_id).tier
+
+    @property
+    def job_ids(self) -> Tuple[str, ...]:
+        """All planned jobs."""
+        return tuple(self.placements.keys())
+
+    # -- aggregates -----------------------------------------------------------
+
+    def aggregate_capacity_gb(self) -> Dict[Tier, float]:
+        """``capacity[f]`` per service (Eq. 6's per-service sums).
+
+        Helper-tier intermediate capacity for objStore jobs is
+        attributed to the helper (it is billed at the helper's rate),
+        ephSSD jobs' backing capacity to objStore.
+        """
+        out: Dict[Tier, float] = {}
+        for placement in self.placements.values():
+            out[placement.tier] = out.get(placement.tier, 0.0) + placement.capacity_gb
+        return out
+
+    def billed_capacity_gb(
+        self, workload: WorkloadSpec, provider: CloudProvider
+    ) -> Dict[Tier, float]:
+        """Aggregate capacity including helper/backing side allocations.
+
+        * objStore jobs shuffle through the ``requires_intermediate``
+          service — that capacity is billed at the helper's rate;
+        * ephSSD jobs keep persistent copies of input and output on the
+          ``requires_backing`` service (objStore), billed there.
+        """
+        out: Dict[Tier, float] = {}
+        for job in workload.jobs:
+            p = self.placement(job.job_id)
+            svc = provider.service(p.tier)
+            if svc.requires_intermediate is not None:
+                # Shuffle data cannot live on the service itself.
+                inter = job.intermediate_gb
+                helper = svc.requires_intermediate
+                out[helper] = out.get(helper, 0.0) + inter
+                out[p.tier] = out.get(p.tier, 0.0) + max(
+                    p.capacity_gb - inter, job.input_gb + job.output_gb
+                )
+            else:
+                out[p.tier] = out.get(p.tier, 0.0) + p.capacity_gb
+            if svc.requires_backing is not None:
+                backing = svc.requires_backing
+                out[backing] = out.get(backing, 0.0) + job.input_gb + job.output_gb
+        return out
+
+    # -- serialization ----------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """Schema-v1 dict: the deployable artifact a tenant hands ops."""
+        return {
+            "version": 1,
+            "kind": "tiering-plan",
+            "placements": {
+                job_id: {"tier": p.tier.value, "capacity_gb": p.capacity_gb}
+                for job_id, p in sorted(self.placements.items())
+            },
+        }
+
+    @staticmethod
+    def from_dict(data: Mapping[str, object]) -> "TieringPlan":
+        """Inverse of :meth:`to_dict` (validating tiers and shapes)."""
+        if data.get("version") != 1 or data.get("kind") != "tiering-plan":
+            raise PlanError(
+                f"not a v1 tiering-plan record: "
+                f"version={data.get('version')!r} kind={data.get('kind')!r}"
+            )
+        placements = {}
+        for job_id, rec in dict(data.get("placements", {})).items():
+            try:
+                tier = Tier(rec["tier"])
+            except (KeyError, ValueError):
+                raise PlanError(
+                    f"{job_id}: bad tier {rec.get('tier')!r}"
+                ) from None
+            try:
+                cap = float(rec["capacity_gb"])
+            except (KeyError, TypeError, ValueError):
+                raise PlanError(f"{job_id}: bad capacity") from None
+            placements[str(job_id)] = Placement(tier=tier, capacity_gb=cap)
+        return TieringPlan(placements=placements)
+
+    # -- validation -----------------------------------------------------------
+
+    def validate(self, workload: WorkloadSpec, provider: CloudProvider) -> None:
+        """Check plan structure and the Eq. 3 capacity constraint.
+
+        Raises :class:`PlanError` on missing/extra jobs or unknown
+        tiers, :class:`~repro.errors.CapacityError` indirectly through
+        provider lookups for impossible volumes.
+        """
+        plan_ids = set(self.placements)
+        wl_ids = {j.job_id for j in workload.jobs}
+        if plan_ids != wl_ids:
+            missing = sorted(wl_ids - plan_ids)
+            extra = sorted(plan_ids - wl_ids)
+            raise PlanError(f"plan/workload mismatch: missing={missing} extra={extra}")
+        for job in workload.jobs:
+            p = self.placement(job.job_id)
+            provider.service(p.tier)  # raises CatalogError when unknown
+            if p.capacity_gb + 1e-9 < job.footprint_gb:
+                raise PlanError(
+                    f"{job.job_id}: Eq. 3 violated — provisioned "
+                    f"{p.capacity_gb:.1f} GB < footprint {job.footprint_gb:.1f} GB"
+                )

@@ -1,0 +1,115 @@
+"""Capacity-scaling regression (``REG`` in Eq. 4, §4.2.1).
+
+The paper: *"After carefully considering multiple regression models, we
+find that a third degree polynomial-based cubic Hermite spline is a
+good fit for the applications and storage services considered"* — used
+both to interpolate profiled runtimes across provisioned capacity
+(Fig. 2) and inside the solver's completion-time estimate (Eq. 4).
+
+:class:`CapacitySpline` is that model: a shape-preserving PCHIP cubic
+Hermite spline through observed ``(capacity, value)`` points, with
+constant extension outside the observed range (extrapolating a cubic
+would let the solver invent performance no measurement supports).  A
+linear variant is provided for the regression-model ablation bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence, Tuple
+
+import numpy as np
+from scipy.interpolate import PchipInterpolator
+
+__all__ = ["CapacitySpline", "LinearCapacityModel", "fit_runtime_model"]
+
+
+@dataclass(frozen=True)
+class CapacitySpline:
+    """PCHIP cubic-Hermite spline through ``(capacity, value)`` points.
+
+    Monotone data yields a monotone interpolant (PCHIP's defining
+    property), so runtime-vs-capacity curves never oscillate between
+    anchors the way a least-squares cubic can.
+    """
+
+    points: Tuple[Tuple[float, float], ...]
+    _interp: object = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.points:
+            raise ValueError("CapacitySpline needs at least one point")
+        xs = np.asarray([p[0] for p in self.points], dtype=float)
+        ys = np.asarray([p[1] for p in self.points], dtype=float)
+        if xs.size > 1 and np.any(np.diff(xs) <= 0):
+            raise ValueError("capacities must be strictly increasing")
+        interp = PchipInterpolator(xs, ys, extrapolate=False) if xs.size > 1 else None
+        object.__setattr__(self, "_interp", interp)
+
+    def __call__(self, capacity: float) -> float:
+        """Evaluate with constant extension outside the anchor range."""
+        xs = [p[0] for p in self.points]
+        ys = [p[1] for p in self.points]
+        if capacity <= xs[0]:
+            return float(ys[0])
+        if capacity >= xs[-1]:
+            return float(ys[-1])
+        return float(self._interp(capacity))  # type: ignore[operator]
+
+    def evaluate(self, capacities: Sequence[float]) -> np.ndarray:
+        """Vectorized evaluation."""
+        return np.asarray([self(c) for c in capacities], dtype=float)
+
+
+@dataclass(frozen=True)
+class LinearCapacityModel:
+    """Piecewise-linear interpolation baseline (ablation comparator)."""
+
+    points: Tuple[Tuple[float, float], ...]
+
+    def __post_init__(self) -> None:
+        if not self.points:
+            raise ValueError("LinearCapacityModel needs at least one point")
+        xs = [p[0] for p in self.points]
+        if sorted(xs) != xs or len(set(xs)) != len(xs):
+            raise ValueError("capacities must be strictly increasing")
+
+    def __call__(self, capacity: float) -> float:
+        xs = np.asarray([p[0] for p in self.points], dtype=float)
+        ys = np.asarray([p[1] for p in self.points], dtype=float)
+        return float(np.interp(capacity, xs, ys))
+
+    def evaluate(self, capacities: Sequence[float]) -> np.ndarray:
+        """Vectorized evaluation."""
+        xs = np.asarray([p[0] for p in self.points], dtype=float)
+        ys = np.asarray([p[1] for p in self.points], dtype=float)
+        return np.interp(np.asarray(capacities, dtype=float), xs, ys)
+
+
+def fit_runtime_model(
+    capacities_gb: Sequence[float],
+    runtimes_s: Sequence[float],
+    kind: str = "pchip",
+):
+    """Fit a runtime-vs-capacity model from profiled observations.
+
+    Parameters
+    ----------
+    capacities_gb / runtimes_s:
+        Paired observations (need not be sorted).
+    kind:
+        ``"pchip"`` (the paper's model) or ``"linear"`` (ablation).
+    """
+    caps = np.asarray(capacities_gb, dtype=float)
+    runs = np.asarray(runtimes_s, dtype=float)
+    if caps.shape != runs.shape:
+        raise ValueError(
+            f"shape mismatch: {caps.shape} capacities vs {runs.shape} runtimes"
+        )
+    order = np.argsort(caps)
+    pts = tuple((float(caps[i]), float(runs[i])) for i in order)
+    if kind == "pchip":
+        return CapacitySpline(points=pts)
+    if kind == "linear":
+        return LinearCapacityModel(points=pts)
+    raise ValueError(f"unknown regression kind: {kind!r}")

@@ -1,0 +1,176 @@
+"""The basic CAST tiering solver (paper §4.2).
+
+Searches the space of per-job (service, capacity) assignments with
+simulated annealing, maximizing the Eq. 2 tenant utility of the whole
+workload under the Eq. 3 capacity constraint.  Capacities are explored
+as multipliers of each job's footprint — the floor Eq. 3 imposes —
+which keeps every visited plan feasible by construction while still
+letting the solver over-provision scaling tiers where the throughput
+payoff justifies the bill (§3.1.2's "careful over-provisioning").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..cloud.provider import CloudProvider
+from ..cloud.storage import Tier
+from ..cloud.vm import ClusterSpec
+from ..profiler.models import ModelMatrix
+from ..workloads.spec import WorkloadSpec
+from .annealing import AnnealingResult, AnnealingSchedule, simulated_annealing
+from .greedy import greedy_exact_fit
+from .plan import Placement, TieringPlan
+from .utility import PlanEvaluation, evaluate_plan
+
+__all__ = ["CastSolver", "CAPACITY_MULTIPLIERS"]
+
+#: Capacity over-provisioning levels the solver may try per job.
+CAPACITY_MULTIPLIERS: Tuple[float, ...] = (1.0, 1.25, 1.5, 2.0, 3.0, 4.0)
+
+
+@dataclass
+class CastSolver:
+    """Basic CAST: SA over tiering plans, reuse/workflow oblivious.
+
+    Parameters
+    ----------
+    cluster_spec / matrix / provider:
+        The deployment being planned for (``R-hat``, ``M-hat``, ``F``).
+    schedule:
+        Annealing hyperparameters.
+    seed:
+        RNG seed — identical seeds reproduce identical plans.
+    """
+
+    cluster_spec: ClusterSpec
+    matrix: ModelMatrix
+    provider: CloudProvider
+    schedule: AnnealingSchedule = AnnealingSchedule()
+    seed: int = 42
+
+    # -- objective ------------------------------------------------------------
+
+    def objective(self, workload: WorkloadSpec) -> Callable[[TieringPlan], float]:
+        """Eq. 2 utility of a plan (reuse-oblivious, basic CAST)."""
+
+        def utility(plan: TieringPlan) -> float:
+            return evaluate_plan(
+                workload, plan, self.cluster_spec, self.matrix, self.provider,
+                reuse_aware=False,
+            ).utility
+
+        return utility
+
+    # -- neighborhood ---------------------------------------------------------
+
+    def neighbor(
+        self, workload: WorkloadSpec
+    ) -> Callable[[TieringPlan, np.random.Generator], TieringPlan]:
+        """Random move: retier/resize one job, or bulk-retier one app.
+
+        Single-job moves alone cannot cross the capacity-coupling
+        valley — the first job moved onto an empty scaling service sees
+        a starved volume and is always rejected, even when moving the
+        whole application class would win.  Since analytics workloads
+        consist of a handful of application types (§6), the
+        neighborhood also includes *application-level* bulk moves.
+        """
+        tiers = list(self.provider.tiers)
+        jobs = list(workload.jobs)
+        by_app = workload.jobs_by_app()
+        app_names = sorted(by_app)
+
+        def move(plan: TieringPlan, rng: np.random.Generator) -> TieringPlan:
+            kind = rng.integers(4)
+            if kind == 3:
+                # Bulk move: all jobs of one application to one tier.
+                app = app_names[rng.integers(len(app_names))]
+                tier = tiers[rng.integers(len(tiers))]
+                mult = CAPACITY_MULTIPLIERS[rng.integers(len(CAPACITY_MULTIPLIERS))]
+                new_plan = plan
+                for job in by_app[app]:
+                    new_plan = new_plan.with_placement(
+                        job.job_id,
+                        Placement(tier=tier, capacity_gb=job.footprint_gb * mult),
+                    )
+                return new_plan
+            job = jobs[rng.integers(len(jobs))]
+            current = plan.placement(job.job_id)
+            tier = current.tier
+            mult = max(1.0, current.capacity_gb / job.footprint_gb)
+            if kind in (0, 2):
+                others = [t for t in tiers if t is not tier]
+                tier = others[rng.integers(len(others))]
+            if kind in (1, 2):
+                mult = CAPACITY_MULTIPLIERS[rng.integers(len(CAPACITY_MULTIPLIERS))]
+            return plan.with_placement(
+                job.job_id,
+                Placement(tier=tier, capacity_gb=job.footprint_gb * mult),
+            )
+
+        return move
+
+    # -- entry points ------------------------------------------------------------
+
+    def initial_plan(self, workload: WorkloadSpec) -> TieringPlan:
+        """``P-hat_init``: the better of Algorithm 2's two seed choices.
+
+        The paper seeds the annealer with either the greedy plan or a
+        placement derived from the Table 2 application characteristics
+        (CPU-bound → persHDD, map-I/O-bound → objStore, shuffle-heavy
+        → persSSD); we evaluate both and start from the stronger one.
+        """
+        greedy = greedy_exact_fit(
+            workload, self.cluster_spec, self.matrix, self.provider
+        )
+        heuristic = self._table2_seed(workload)
+        objective = self.objective(workload)
+        return max((greedy, heuristic), key=objective)
+
+    def _table2_seed(self, workload: WorkloadSpec) -> TieringPlan:
+        """Per-app placement from the Table 2 phase characteristics."""
+        available = set(self.provider.tiers)
+
+        def tier_for(job) -> Tier:
+            app = job.app
+            if app.cpu_intensive and Tier.PERS_HDD in available:
+                return Tier.PERS_HDD
+            if app.io_intensive_shuffle and Tier.PERS_SSD in available:
+                return Tier.PERS_SSD
+            if app.io_intensive_map and Tier.OBJ_STORE in available:
+                return Tier.OBJ_STORE
+            return next(iter(sorted(available, key=lambda t: t.value)))
+
+        return TieringPlan.exact_fit(
+            workload, {j.job_id: tier_for(j) for j in workload.jobs}
+        )
+
+    def solve(
+        self,
+        workload: WorkloadSpec,
+        initial: Optional[TieringPlan] = None,
+        record_trajectory: bool = False,
+    ) -> AnnealingResult[TieringPlan]:
+        """Run Algorithm 2 and return the best plan found."""
+        init = initial if initial is not None else self.initial_plan(workload)
+        return simulated_annealing(
+            initial_state=init,
+            utility_fn=self.objective(workload),
+            neighbor_fn=self.neighbor(workload),
+            schedule=self.schedule,
+            rng=np.random.default_rng(self.seed),
+            record_trajectory=record_trajectory,
+        )
+
+    def evaluate(
+        self, workload: WorkloadSpec, plan: TieringPlan, reuse_aware: bool = True
+    ) -> PlanEvaluation:
+        """Report-grade evaluation of a plan (reuse-aware by default)."""
+        return evaluate_plan(
+            workload, plan, self.cluster_spec, self.matrix, self.provider,
+            reuse_aware=reuse_aware,
+        )

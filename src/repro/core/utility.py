@@ -1,0 +1,161 @@
+"""Tenant utility and whole-plan evaluation (paper Eq. 2–6).
+
+The tenant utility of a deployment is
+
+.. math::
+
+    U = \\frac{1/T}{\\$_{vm} + \\$_{store}}
+
+with ``T`` the workload completion time in minutes (Eq. 2).
+:func:`evaluate_plan` computes ``T`` by summing per-job Eq. 1/REG
+estimates at the plan's aggregate capacities (Eq. 4), prices the
+deployment through the Eq. 5/6 cost model, and — when asked to be
+reuse-aware — applies the §3.1.3 data-reuse economics:
+
+* jobs in a reuse set co-placed on ephSSD pay the objStore download
+  only once (the data is already staged for later accesses);
+* a co-placed shared dataset occupies capacity once, not once per job;
+* shared datasets are held on their tier for the reuse lifetime, billed
+  beyond the workload makespan.
+
+The reuse-oblivious mode (``reuse_aware=False``) is exactly the basic
+CAST solver's world view; CAST++ optimizes — and all final reporting
+happens — in the reuse-aware mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Tuple
+
+from ..cloud.provider import CloudProvider
+from ..cloud.storage import Tier
+from ..cloud.vm import ClusterSpec
+from ..errors import PlanError
+from ..profiler.models import ModelMatrix
+from ..units import seconds_to_minutes
+from ..workloads.spec import ReuseLifetime, WorkloadSpec
+from .cost import CostBreakdown, deployment_cost, holding_cost
+from .perf_model import JobEstimate, estimate_job
+from .plan import TieringPlan
+
+__all__ = ["tenant_utility", "PlanEvaluation", "evaluate_plan", "per_vm_capacity"]
+
+
+def tenant_utility(makespan_s: float, cost_usd: float) -> float:
+    """Eq. 2: ``(1/T_minutes) / $total``."""
+    if makespan_s <= 0:
+        raise ValueError(f"non-positive makespan: {makespan_s}")
+    if cost_usd <= 0:
+        raise ValueError(f"non-positive cost: {cost_usd}")
+    return (1.0 / seconds_to_minutes(makespan_s)) / cost_usd
+
+
+@dataclass(frozen=True)
+class PlanEvaluation:
+    """Everything the solver and the reports need about one plan."""
+
+    makespan_s: float
+    cost: CostBreakdown
+    utility: float
+    per_job: Mapping[str, JobEstimate]
+    capacity_gb: Mapping[Tier, float]
+
+    @property
+    def makespan_min(self) -> float:
+        """Completion time in minutes (the paper's reporting unit)."""
+        return seconds_to_minutes(self.makespan_s)
+
+
+def per_vm_capacity(
+    plan: TieringPlan,
+    cluster_spec: ClusterSpec,
+    provider: CloudProvider,
+) -> Dict[Tier, float]:
+    """Per-VM provisioned capacity per service under a plan.
+
+    The workload's aggregate capacity on a service spreads across the
+    cluster (``capacity[f] / nvm``), clamped to the service's per-VM
+    stacking limit, floored at the smallest billable volume so the REG
+    lookup stays in-domain.
+    """
+    out: Dict[Tier, float] = {}
+    for tier, agg in plan.aggregate_capacity_gb().items():
+        svc = provider.service(tier)
+        per_vm = agg / cluster_spec.n_vms
+        per_vm = min(per_vm, svc.max_capacity_per_vm_gb())
+        out[tier] = max(per_vm, 10.0)
+    return out
+
+
+def evaluate_plan(
+    workload: WorkloadSpec,
+    plan: TieringPlan,
+    cluster_spec: ClusterSpec,
+    matrix: ModelMatrix,
+    provider: CloudProvider,
+    reuse_aware: bool = False,
+) -> PlanEvaluation:
+    """Estimate utility, makespan and cost of a plan (Eq. 2–6).
+
+    Parameters
+    ----------
+    reuse_aware:
+        Apply the §3.1.3 reuse economics (CAST++'s world view and the
+        fair final-reporting mode).  When ``False``, every job is
+        priced independently — basic CAST's objective.
+    """
+    plan.validate(workload, provider)
+    pvc = per_vm_capacity(plan, cluster_spec, provider)
+
+    estimates: Dict[str, JobEstimate] = {}
+    makespan_s = 0.0
+    for job in workload.jobs:
+        tier = plan.tier_of(job.job_id)
+        est = estimate_job(
+            job, tier, pvc[tier], cluster_spec, matrix, provider,
+            include_staging=True,
+        )
+        estimates[job.job_id] = est
+        makespan_s += est.total_s
+
+    billed = plan.billed_capacity_gb(workload, provider)
+    extra_holding_usd = 0.0
+
+    if reuse_aware:
+        for rs in workload.reuse_sets:
+            tiers = {plan.tier_of(j) for j in rs.job_ids}
+            members = sorted(rs.job_ids)
+            shared_gb = max(workload.job(j).input_gb for j in members)
+            if len(tiers) == 1:
+                tier = next(iter(tiers))
+                # One staged copy serves every member: later ephSSD
+                # accesses skip the objStore download...
+                if tier is Tier.EPH_SSD:
+                    by_dl = sorted(members, key=lambda j: estimates[j].download_s)
+                    for j in by_dl[:-1]:
+                        makespan_s -= estimates[j].download_s
+                # ...and the shared input occupies capacity once.
+                dup = (len(members) - 1) * shared_gb
+                billed[tier] = max(0.0, billed.get(tier, 0.0) - dup)
+                backing = provider.service(tier).requires_backing
+                if backing is not None:
+                    billed[backing] = max(0.0, billed.get(backing, 0.0) - dup)
+            # Holding beyond the workload run, on every tier hosting a copy.
+            extra_s = max(0.0, rs.lifetime.window_seconds - makespan_s)
+            if extra_s > 0:
+                for tier in tiers:
+                    extra_holding_usd += holding_cost(provider, tier, shared_gb, extra_s)
+
+    if makespan_s <= 0:
+        raise PlanError("plan evaluates to a non-positive makespan")
+
+    cost = deployment_cost(provider, cluster_spec, makespan_s, billed)
+    cost = CostBreakdown(vm_usd=cost.vm_usd, storage_usd=cost.storage_usd + extra_holding_usd)
+    return PlanEvaluation(
+        makespan_s=makespan_s,
+        cost=cost,
+        utility=tenant_utility(makespan_s, cost.total_usd),
+        per_job=estimates,
+        capacity_gb=billed,
+    )

@@ -1,0 +1,51 @@
+"""Exception hierarchy for the CAST reproduction.
+
+All library-raised errors derive from :class:`CastError` so callers can
+catch every domain failure with a single ``except`` clause while still
+letting programming errors (``TypeError`` etc.) propagate untouched.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "CastError",
+    "CatalogError",
+    "CapacityError",
+    "PlanError",
+    "SimulationError",
+    "WorkloadError",
+    "SolverError",
+]
+
+
+class CastError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class CatalogError(CastError):
+    """An unknown storage service, VM type, or provider was requested."""
+
+
+class CapacityError(CastError):
+    """A capacity constraint was violated (Eq. 3 / Eq. 10 of the paper).
+
+    Raised when a plan provisions less storage than a job's aggregate
+    input + intermediate + output footprint, or when a volume request
+    exceeds the provider's per-volume limits.
+    """
+
+
+class PlanError(CastError):
+    """A tiering plan is structurally invalid (missing jobs, bad tiers)."""
+
+
+class SimulationError(CastError):
+    """The discrete-event simulator reached an inconsistent state."""
+
+
+class WorkloadError(CastError):
+    """A workload specification is malformed (cycles, negative sizes...)."""
+
+
+class SolverError(CastError):
+    """The tiering solver could not produce a feasible plan."""

@@ -1,0 +1,348 @@
+"""Ablation studies for CAST's design choices (DESIGN.md §5).
+
+Two ablations beyond the paper's own (Fig. 5 ablates all-or-nothing
+placement; Fig. 7 ablates the solver; Fig. 9 ablates workflow
+awareness):
+
+* **SA hyperparameters** — achieved utility vs iteration budget and
+  cooling rate, quantifying how much annealing the solver actually
+  needs before the plan quality saturates;
+* **regression model** — PCHIP cubic Hermite spline (the paper's
+  choice) vs piecewise-linear interpolation, scored on held-out
+  capacity points of the Fig. 2 runtime curves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..cloud.provider import CloudProvider
+from ..cloud.storage import Tier
+from ..cloud.vm import ClusterSpec
+from ..core.annealing import AnnealingSchedule
+from ..core.regression import fit_runtime_model
+from ..core.solver import CastSolver
+from ..profiler.models import ModelMatrix
+from ..simulator.engine import simulate_job
+from ..workloads.apps import GREP, SORT
+from ..workloads.spec import JobSpec, WorkloadSpec
+from ..workloads.swim import synthesize_facebook_workload
+from .common import characterization_cluster, evaluation_cluster, model_matrix, provider
+
+__all__ = [
+    "SAAblationPoint",
+    "run_sa_ablation",
+    "format_sa_ablation",
+    "RegressionAblation",
+    "run_regression_ablation",
+    "format_regression_ablation",
+    "HeatAblationRow",
+    "run_heat_ablation",
+    "format_heat_ablation",
+    "DynamicAblationRow",
+    "run_dynamic_ablation",
+    "format_dynamic_ablation",
+]
+
+
+# ---------------------------------------------------------------------------
+# SA hyperparameter ablation
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SAAblationPoint:
+    """Solver quality at one (iterations, cooling) setting."""
+
+    iterations: int
+    cooling_rate: float
+    best_utility: float
+    utility_vs_reference: float
+
+
+def run_sa_ablation(
+    prov: Optional[CloudProvider] = None,
+    cluster: Optional[ClusterSpec] = None,
+    workload: Optional[WorkloadSpec] = None,
+    matrix: Optional[ModelMatrix] = None,
+    iteration_grid: Sequence[int] = (250, 1000, 3000, 6000),
+    cooling_grid: Sequence[float] = (0.9, 0.99, 0.998),
+    seed: int = 42,
+) -> List[SAAblationPoint]:
+    """Sweep the annealer's budget and cooling rate.
+
+    The reference utility is the largest achieved across the sweep;
+    points report their fraction of it.
+    """
+    prov = prov or provider()
+    cluster = cluster or evaluation_cluster()
+    workload = workload or synthesize_facebook_workload()
+    matrix = matrix or model_matrix(prov, cluster)
+
+    raw: List[Tuple[int, float, float]] = []
+    for iters in iteration_grid:
+        for cooling in cooling_grid:
+            solver = CastSolver(
+                cluster_spec=cluster,
+                matrix=matrix,
+                provider=prov,
+                schedule=AnnealingSchedule(iter_max=iters, cooling_rate=cooling),
+                seed=seed,
+            )
+            result = solver.solve(workload)
+            raw.append((iters, cooling, result.best_utility))
+    reference = max(u for _, _, u in raw)
+    return [
+        SAAblationPoint(
+            iterations=i,
+            cooling_rate=c,
+            best_utility=u,
+            utility_vs_reference=u / reference,
+        )
+        for i, c, u in raw
+    ]
+
+
+def format_sa_ablation(points: List[SAAblationPoint]) -> str:
+    """Render the sweep as a table."""
+    lines = [f"{'iters':>6s} {'cooling':>8s} {'utility':>12s} {'vs best':>8s}"]
+    for p in points:
+        lines.append(
+            f"{p.iterations:6d} {p.cooling_rate:8.3f} "
+            f"{p.best_utility:12.3e} {p.utility_vs_reference:7.1%}"
+        )
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Regression model ablation
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RegressionAblation:
+    """Held-out interpolation error of both regression models."""
+
+    app: str
+    pchip_mean_abs_err_pct: float
+    linear_mean_abs_err_pct: float
+
+
+def run_regression_ablation(
+    prov: Optional[CloudProvider] = None,
+    cluster: Optional[ClusterSpec] = None,
+) -> List[RegressionAblation]:
+    """Fit PCHIP and linear models on sparse anchors, score held-out.
+
+    Uses the Fig. 2 runtime-vs-capacity curves (Sort 100 GB, Grep
+    300 GB on persSSD): anchors at every other capacity, errors at the
+    held-out capacities.
+    """
+    prov = prov or provider()
+    cluster = cluster or characterization_cluster()
+    capacities = np.arange(100.0, 1001.0, 100.0)
+    out: List[RegressionAblation] = []
+    for app, input_gb in ((SORT, 100.0), (GREP, 300.0)):
+        job = JobSpec(job_id=f"abl-{app.name}", app=app, input_gb=input_gb)
+        runtimes = np.asarray(
+            [
+                simulate_job(
+                    job, Tier.PERS_SSD, cluster, prov,
+                    per_vm_capacity_gb={Tier.PERS_SSD: float(c)},
+                ).total_s
+                for c in capacities
+            ]
+        )
+        anchor = np.arange(0, capacities.size, 2)
+        held = np.setdiff1d(np.arange(capacities.size), anchor)
+        errors = {}
+        for kind in ("pchip", "linear"):
+            model = fit_runtime_model(capacities[anchor], runtimes[anchor], kind=kind)
+            pred = model.evaluate(capacities[held])
+            errors[kind] = float(
+                np.mean(np.abs(pred - runtimes[held]) / runtimes[held]) * 100.0
+            )
+        out.append(
+            RegressionAblation(
+                app=app.name,
+                pchip_mean_abs_err_pct=errors["pchip"],
+                linear_mean_abs_err_pct=errors["linear"],
+            )
+        )
+    return out
+
+
+def format_regression_ablation(rows: List[RegressionAblation]) -> str:
+    """Render the PCHIP vs linear comparison."""
+    lines = [f"{'app':8s} {'PCHIP err':>10s} {'linear err':>11s}"]
+    for r in rows:
+        lines.append(
+            f"{r.app:8s} {r.pchip_mean_abs_err_pct:9.2f}% "
+            f"{r.linear_mean_abs_err_pct:10.2f}%"
+        )
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Heat-based tiering straw man (paper §3.2)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class HeatAblationRow:
+    """Measured outcome of one placement policy on the Fig. 7 workload."""
+
+    policy: str
+    utility: float
+    cost_usd: float
+    makespan_min: float
+    utility_vs_heat: float
+
+
+def run_heat_ablation(
+    prov: Optional[CloudProvider] = None,
+    cluster: Optional[ClusterSpec] = None,
+    workload: Optional[WorkloadSpec] = None,
+    matrix: Optional[ModelMatrix] = None,
+    iterations: int = 6000,
+    seed: int = 42,
+) -> List[HeatAblationRow]:
+    """Quantify §3.2's argument against hot/cold heat-based tiering.
+
+    Places the Fig. 7 workload with (a) the heat-quantile ladder —
+    given *perfect* knowledge of future re-accesses — and (b) CAST's
+    solver, then deploys both on the simulated cluster.  The paper
+    argues the heat recipe mis-prices ephSSD's persistence gap and
+    ignores application behaviour; the measured utility gap is that
+    argument in numbers.
+    """
+    from ..core.heat import heat_based_plan
+    from ..core.solver import CastSolver
+    from ..core.annealing import AnnealingSchedule
+    from .measure import measure_plan
+
+    prov = prov or provider()
+    cluster = cluster or evaluation_cluster()
+    workload = workload or synthesize_facebook_workload()
+    matrix = matrix or model_matrix(prov, cluster)
+
+    heat_plan = heat_based_plan(workload, prov)
+    solver = CastSolver(
+        cluster_spec=cluster, matrix=matrix, provider=prov,
+        schedule=AnnealingSchedule(iter_max=iterations), seed=seed,
+    )
+    cast_plan = solver.solve(workload).best_state
+
+    measured = {
+        "heat-based": measure_plan(workload, heat_plan, cluster, prov),
+        "CAST": measure_plan(workload, cast_plan, cluster, prov),
+    }
+    base = measured["heat-based"].utility
+    return [
+        HeatAblationRow(
+            policy=name,
+            utility=m.utility,
+            cost_usd=m.cost.total_usd,
+            makespan_min=m.makespan_min,
+            utility_vs_heat=m.utility / base,
+        )
+        for name, m in measured.items()
+    ]
+
+
+def format_heat_ablation(rows: List[HeatAblationRow]) -> str:
+    """Render the heat-vs-CAST comparison."""
+    lines = [f"{'policy':12s} {'U/U_heat':>9s} {'cost($)':>9s} {'runtime(min)':>13s}"]
+    for r in rows:
+        lines.append(
+            f"{r.policy:12s} {r.utility_vs_heat:9.2f} {r.cost_usd:9.2f} "
+            f"{r.makespan_min:13.1f}"
+        )
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Dynamic (reactive) tiering vs static CAST (paper §6)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DynamicAblationRow:
+    """One policy's measured outcome on the reuse-heavy workload."""
+
+    policy: str
+    utility: float
+    cost_usd: float
+    makespan_min: float
+    promotions: int
+
+
+def run_dynamic_ablation(
+    prov: Optional[CloudProvider] = None,
+    cluster: Optional[ClusterSpec] = None,
+    workload: Optional[WorkloadSpec] = None,
+    matrix: Optional[ModelMatrix] = None,
+    iterations: int = 6000,
+    seed: int = 42,
+) -> List[DynamicAblationRow]:
+    """Measure §6's static-vs-dynamic argument.
+
+    Pits a recency-driven reactive tierer (promote on re-access within
+    an hour, demote when cold) against CAST++'s static application-
+    aware plan on the Fig. 7 workload.  The reactive policy sees only
+    access history; CAST++ sees application profiles, capacity scaling
+    and reuse structure — the information gap the paper says makes
+    static coarse-grained tiering the right call for batch analytics.
+    """
+    from ..core.annealing import AnnealingSchedule
+    from ..core.castpp import CastPlusPlus
+    from ..core.dynamic import ReactivePolicy, run_dynamic
+    from .measure import measure_plan
+
+    prov = prov or provider()
+    cluster = cluster or evaluation_cluster()
+    workload = workload or synthesize_facebook_workload()
+    matrix = matrix or model_matrix(prov, cluster)
+
+    dynamic = run_dynamic(workload, cluster, prov, ReactivePolicy())
+
+    solver = CastPlusPlus(
+        cluster_spec=cluster, matrix=matrix, provider=prov,
+        schedule=AnnealingSchedule(iter_max=iterations), seed=seed,
+    )
+    plan = solver.solve(workload).best_state
+    static = measure_plan(workload, plan, cluster, prov, reuse_engineered=True)
+
+    return [
+        DynamicAblationRow(
+            policy="reactive-dynamic",
+            utility=dynamic.utility,
+            cost_usd=dynamic.cost.total_usd,
+            makespan_min=dynamic.makespan_min,
+            promotions=dynamic.promotions,
+        ),
+        DynamicAblationRow(
+            policy="CAST++ (static)",
+            utility=static.utility,
+            cost_usd=static.cost.total_usd,
+            makespan_min=static.makespan_min,
+            promotions=0,
+        ),
+    ]
+
+
+def format_dynamic_ablation(rows: List[DynamicAblationRow]) -> str:
+    """Render the static-vs-dynamic comparison."""
+    lines = [
+        f"{'policy':18s} {'utility':>12s} {'cost($)':>9s} "
+        f"{'runtime(min)':>13s} {'promotions':>11s}"
+    ]
+    for r in rows:
+        lines.append(
+            f"{r.policy:18s} {r.utility:12.3e} {r.cost_usd:9.2f} "
+            f"{r.makespan_min:13.1f} {r.promotions:11d}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,137 @@
+"""Fig. 1 — per-application runtime and tenant utility across tiers.
+
+Runs each of the four studied applications on each of the four §3
+single-tier configurations on the 10-VM characterization cluster,
+reporting the paper's bar components (input download / data processing
+/ output upload), the Eq. 5/6 cost, and the Eq. 2 tenant utility
+normalized to the ephSSD configuration.
+
+Expected shape (paper §3.1.2):
+
+* **Sort** — ephSSD best runtime *and* utility, even after paying the
+  objStore staging; persSSD second; persHDD worst utility.
+* **Join** — persSSD best utility; objStore worst (GCS-connector
+  request overheads on the many small reduce outputs).
+* **Grep** — persSSD and objStore comparable performance, objStore
+  clearly better utility (≈34 % in the paper).
+* **KMeans** — tier-insensitive runtime; cheap persHDD wins utility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..cloud.provider import CloudProvider
+from ..cloud.storage import Tier
+from ..cloud.vm import ClusterSpec
+from ..core.utility import tenant_utility
+from ..simulator.engine import simulate_job
+from ..workloads.apps import GREP, JOIN, KMEANS, SORT, AppProfile
+from ..workloads.spec import JobSpec
+from .common import characterization_cluster, fig1_capacity, provider, single_config_cost
+
+__all__ = ["Fig1Cell", "Fig1Result", "run_fig1", "format_fig1", "FIG1_JOBS"]
+
+#: The §3.1.2 job sizes (Sort/Join/KMeans ~100 GB; Grep 300 GB as in Fig. 2).
+FIG1_JOBS: Tuple[Tuple[AppProfile, float], ...] = (
+    (SORT, 100.0),
+    (JOIN, 100.0),
+    (GREP, 300.0),
+    (KMEANS, 100.0),
+)
+
+
+@dataclass(frozen=True)
+class Fig1Cell:
+    """One bar of Fig. 1: an (app, tier) execution."""
+
+    app: str
+    tier: Tier
+    download_s: float
+    processing_s: float
+    upload_s: float
+    total_s: float
+    cost_usd: float
+    utility: float
+    utility_vs_ephssd: float
+
+
+@dataclass(frozen=True)
+class Fig1Result:
+    """All four panels."""
+
+    cells: Tuple[Fig1Cell, ...]
+
+    def panel(self, app: str) -> List[Fig1Cell]:
+        """One application's four bars, catalog tier order."""
+        return [c for c in self.cells if c.app == app]
+
+    def cell(self, app: str, tier: Tier) -> Fig1Cell:
+        """A single bar."""
+        for c in self.cells:
+            if c.app == app and c.tier is tier:
+                return c
+        raise KeyError((app, tier))
+
+    def best_utility_tier(self, app: str) -> Tier:
+        """The utility-maximizing tier for an app (the panel's winner)."""
+        return max(self.panel(app), key=lambda c: c.utility).tier
+
+
+def run_fig1(
+    prov: Optional[CloudProvider] = None,
+    cluster: Optional[ClusterSpec] = None,
+    jobs: Tuple[Tuple[AppProfile, float], ...] = FIG1_JOBS,
+) -> Fig1Result:
+    """Execute the 16 (app, tier) runs and price them."""
+    prov = prov or provider()
+    cluster = cluster or characterization_cluster()
+    cells: List[Fig1Cell] = []
+    for app, input_gb in jobs:
+        job = JobSpec(job_id=f"fig1-{app.name}", app=app, input_gb=input_gb)
+        per_app: Dict[Tier, Fig1Cell] = {}
+        for tier in (Tier.EPH_SSD, Tier.PERS_SSD, Tier.PERS_HDD, Tier.OBJ_STORE):
+            caps = fig1_capacity(tier)
+            res = simulate_job(job, tier, cluster, prov, per_vm_capacity_gb=caps)
+            cost = single_config_cost(job, tier, res.total_s, cluster, prov, caps)
+            per_app[tier] = Fig1Cell(
+                app=app.name,
+                tier=tier,
+                download_s=res.download_s,
+                processing_s=res.processing_s,
+                upload_s=res.upload_s,
+                total_s=res.total_s,
+                cost_usd=cost.total_usd,
+                utility=tenant_utility(res.total_s, cost.total_usd),
+                utility_vs_ephssd=0.0,  # filled below
+            )
+        base = per_app[Tier.EPH_SSD].utility
+        for tier, cell in per_app.items():
+            cells.append(
+                Fig1Cell(
+                    **{
+                        **cell.__dict__,
+                        "utility_vs_ephssd": cell.utility / base,
+                    }
+                )
+            )
+    return Fig1Result(cells=tuple(cells))
+
+
+def format_fig1(result: Fig1Result) -> str:
+    """Render the four panels as text tables."""
+    lines: List[str] = []
+    for app in ("sort", "join", "grep", "kmeans"):
+        lines.append(f"--- Fig.1 ({app})")
+        lines.append(
+            f"{'tier':10s} {'download':>9s} {'process':>9s} {'upload':>8s} "
+            f"{'total(s)':>9s} {'cost($)':>8s} {'U/U_eph':>8s}"
+        )
+        for c in result.panel(app):
+            lines.append(
+                f"{c.tier.value:10s} {c.download_s:9.1f} {c.processing_s:9.1f} "
+                f"{c.upload_s:8.1f} {c.total_s:9.1f} {c.cost_usd:8.2f} "
+                f"{c.utility_vs_ephssd:8.2f}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,154 @@
+"""Fig. 7 — the main evaluation: CAST / CAST++ vs baselines.
+
+The 100-job Facebook-derived workload (Table 4, 15 % input sharing)
+runs on the 400-core evaluation cluster under eight configurations:
+
+1-4. the four single-service plans (``<tier> 100%``, exact-fit);
+5.   Greedy exact-fit (Algorithm 1);
+6.   Greedy over-provisioned;
+7.   CAST (Algorithm 2, reuse-oblivious objective);
+8.   CAST++ (Constraint 7 + reuse-aware objective).
+
+Plans come from the solvers' *predictions*; the reported numbers come
+from *deploying* each plan on the simulated cluster
+(:func:`~repro.experiments.measure.measure_plan`).  Expected shape
+(§5.1.2–5.1.3): CAST beats every non-tiered configuration by tens of
+percent (paper: 33.7–178 %), greedy exact-fit lands near objStore-100 %,
+greedy over-provisioned near-but-below persSSD-100 %, and CAST++ adds
+roughly another 10-15 % over CAST via reuse placement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..cloud.provider import CloudProvider
+from ..cloud.storage import Tier
+from ..cloud.vm import ClusterSpec
+from ..core.annealing import AnnealingSchedule
+from ..core.castpp import CastPlusPlus
+from ..core.greedy import greedy_exact_fit, greedy_over_provisioned
+from ..core.plan import TieringPlan
+from ..core.solver import CastSolver
+from ..profiler.models import ModelMatrix
+from ..workloads.spec import WorkloadSpec
+from ..workloads.swim import synthesize_facebook_workload
+from .common import evaluation_cluster, model_matrix, provider
+from .measure import PlanMeasurement, measure_plan
+
+__all__ = ["Fig7Config", "Fig7Result", "run_fig7", "format_fig7", "FIG7_CONFIG_ORDER"]
+
+FIG7_CONFIG_ORDER: Tuple[str, ...] = (
+    "ephSSD 100%",
+    "persSSD 100%",
+    "persHDD 100%",
+    "objStore 100%",
+    "greedy exact-fit",
+    "greedy over-prov",
+    "CAST",
+    "CAST++",
+)
+
+
+@dataclass(frozen=True)
+class Fig7Config:
+    """One bar group: a configuration's plan and measured outcome."""
+
+    name: str
+    plan: TieringPlan
+    measured: PlanMeasurement
+    utility_vs_cast: float
+
+    def capacity_share(self) -> Dict[Tier, float]:
+        """Fig. 7(c): fraction of billed capacity per service."""
+        total = sum(self.measured.capacity_gb.values())
+        if total <= 0:
+            return {}
+        return {t: gb / total for t, gb in self.measured.capacity_gb.items()}
+
+
+@dataclass(frozen=True)
+class Fig7Result:
+    """All eight configurations."""
+
+    configs: Tuple[Fig7Config, ...]
+
+    def config(self, name: str) -> Fig7Config:
+        """Look up one configuration by name."""
+        for c in self.configs:
+            if c.name == name:
+                return c
+        raise KeyError(name)
+
+    def utility_improvement_pct(self, name: str, over: str) -> float:
+        """How much better ``name`` is than ``over`` (percent)."""
+        u1 = self.config(name).measured.utility
+        u2 = self.config(over).measured.utility
+        return (u1 / u2 - 1.0) * 100.0
+
+
+def run_fig7(
+    prov: Optional[CloudProvider] = None,
+    cluster: Optional[ClusterSpec] = None,
+    workload: Optional[WorkloadSpec] = None,
+    matrix: Optional[ModelMatrix] = None,
+    iterations: int = 6000,
+    seed: int = 42,
+) -> Fig7Result:
+    """Solve and measure all eight configurations."""
+    prov = prov or provider()
+    cluster = cluster or evaluation_cluster()
+    workload = workload or synthesize_facebook_workload()
+    matrix = matrix or model_matrix(prov, cluster)
+    schedule = AnnealingSchedule(iter_max=iterations)
+
+    plans: Dict[str, TieringPlan] = {}
+    for tier in (Tier.EPH_SSD, Tier.PERS_SSD, Tier.PERS_HDD, Tier.OBJ_STORE):
+        plans[f"{tier.value} 100%"] = TieringPlan.uniform(workload, tier)
+    plans["greedy exact-fit"] = greedy_exact_fit(workload, cluster, matrix, prov)
+    plans["greedy over-prov"] = greedy_over_provisioned(workload, cluster, matrix, prov)
+
+    cast = CastSolver(cluster_spec=cluster, matrix=matrix, provider=prov,
+                      schedule=schedule, seed=seed)
+    plans["CAST"] = cast.solve(workload).best_state
+    castpp = CastPlusPlus(cluster_spec=cluster, matrix=matrix, provider=prov,
+                          schedule=schedule, seed=seed)
+    plans["CAST++"] = castpp.solve(workload).best_state
+
+    measured = {
+        name: measure_plan(
+            workload, plan, cluster, prov,
+            reuse_engineered=(name == "CAST++"),
+        )
+        for name, plan in plans.items()
+    }
+    cast_u = measured["CAST"].utility
+    configs = tuple(
+        Fig7Config(
+            name=name,
+            plan=plans[name],
+            measured=measured[name],
+            utility_vs_cast=measured[name].utility / cast_u,
+        )
+        for name in FIG7_CONFIG_ORDER
+    )
+    return Fig7Result(configs=configs)
+
+
+def format_fig7(result: Fig7Result) -> str:
+    """Render panels (a) utility, (b) cost+runtime, (c) capacity mix."""
+    lines = [
+        f"{'config':18s} {'U/U_CAST':>9s} {'cost($)':>9s} {'runtime(min)':>13s}  capacity mix"
+    ]
+    for c in result.configs:
+        mix = " ".join(
+            f"{t.value}:{share:.0%}"
+            for t, share in sorted(c.capacity_share().items(), key=lambda kv: kv[0].value)
+            if share >= 0.005
+        )
+        lines.append(
+            f"{c.name:18s} {c.utility_vs_cast:9.2f} "
+            f"{c.measured.cost.total_usd:9.2f} {c.measured.makespan_min:13.1f}  {mix}"
+        )
+    return "\n".join(lines)

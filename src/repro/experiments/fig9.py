@@ -1,0 +1,173 @@
+"""Fig. 9 — workflow deadlines: miss rates and cost.
+
+The §5.2 evaluation: five workflows (31 jobs, deadlines between 15 and
+40 minutes) deploy under six configurations — the four single-service
+plans, basic CAST (which optimizes the combined 31-job set for utility,
+blind to deadlines and cross-tier transfers), and CAST++ (per-workflow
+Eq. 8–10 cost-minimization under the deadline).
+
+Every configuration is *measured* by simulating each workflow end to
+end, including cross-tier output→input transfer time.  Expected shape
+(paper): CAST++ meets every deadline at the lowest cost; basic CAST
+misses a large fraction (60 % in the paper) despite low cost; the
+fast-but-expensive single-service plans miss some (ephSSD 20 %,
+persSSD 40 %) and the slow ones miss all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..cloud.provider import CloudProvider
+from ..cloud.storage import Tier
+from ..cloud.vm import ClusterSpec
+from ..core.annealing import AnnealingSchedule
+from ..core.castpp import CastPlusPlus, _workflow_billed_capacity
+from ..core.cost import deployment_cost
+from ..core.plan import Placement, TieringPlan
+from ..core.solver import CastSolver
+from ..profiler.models import ModelMatrix
+from ..simulator.engine import simulate_workflow
+from ..workloads.spec import WorkloadSpec
+from ..workloads.workflow import Workflow, evaluation_workflow_suite
+from .common import evaluation_cluster, model_matrix, provider
+
+__all__ = ["Fig9Config", "Fig9Result", "run_fig9", "format_fig9", "FIG9_CONFIG_ORDER"]
+
+FIG9_CONFIG_ORDER: Tuple[str, ...] = (
+    "ephSSD 100%",
+    "persSSD 100%",
+    "persHDD 100%",
+    "objStore 100%",
+    "CAST",
+    "CAST++",
+)
+
+
+@dataclass(frozen=True)
+class Fig9Config:
+    """One configuration's deadline outcome across the suite."""
+
+    name: str
+    total_cost_usd: float
+    misses: int
+    n_workflows: int
+    makespans_s: Mapping[str, float]
+    deadlines_s: Mapping[str, float]
+
+    @property
+    def miss_rate_pct(self) -> float:
+        """Fraction of workflow deadlines missed."""
+        return self.misses / self.n_workflows * 100.0
+
+
+@dataclass(frozen=True)
+class Fig9Result:
+    """All six configurations."""
+
+    configs: Tuple[Fig9Config, ...]
+
+    def config(self, name: str) -> Fig9Config:
+        """Look up a configuration."""
+        for c in self.configs:
+            if c.name == name:
+                return c
+        raise KeyError(name)
+
+
+def _measure_config(
+    name: str,
+    workflows: Sequence[Workflow],
+    tier_of_all: Mapping[str, Tier],
+    cluster: ClusterSpec,
+    prov: CloudProvider,
+) -> Fig9Config:
+    """Simulate every workflow under a per-job tier map and price it."""
+    # Deployments provision working volumes (§3 sizing): one ephSSD
+    # stack and 500 GB block volumes per VM.
+    caps = {Tier.EPH_SSD: 375.0, Tier.PERS_SSD: 500.0, Tier.PERS_HDD: 500.0}
+    total_cost = 0.0
+    misses = 0
+    makespans: Dict[str, float] = {}
+    deadlines: Dict[str, float] = {}
+    for wf in workflows:
+        tier_of = {j.job_id: tier_of_all[j.job_id] for j in wf.jobs}
+        sim = simulate_workflow(wf, tier_of, cluster, prov, per_vm_capacity_gb=caps)
+        makespans[wf.name] = sim.makespan_s
+        deadlines[wf.name] = wf.deadline_s
+        if sim.makespan_s > wf.deadline_s:
+            misses += 1
+        plan = TieringPlan(
+            placements={
+                j.job_id: Placement(tier=tier_of[j.job_id], capacity_gb=j.footprint_gb)
+                for j in wf.jobs
+            }
+        )
+        billed = _workflow_billed_capacity(wf, plan, prov)
+        total_cost += deployment_cost(prov, cluster, sim.makespan_s, billed).total_usd
+    return Fig9Config(
+        name=name,
+        total_cost_usd=total_cost,
+        misses=misses,
+        n_workflows=len(workflows),
+        makespans_s=makespans,
+        deadlines_s=deadlines,
+    )
+
+
+def run_fig9(
+    prov: Optional[CloudProvider] = None,
+    cluster: Optional[ClusterSpec] = None,
+    workflows: Optional[Sequence[Workflow]] = None,
+    matrix: Optional[ModelMatrix] = None,
+    iterations: int = 3000,
+    seed: int = 42,
+) -> Fig9Result:
+    """Plan and measure all six configurations over the suite."""
+    prov = prov or provider()
+    cluster = cluster or evaluation_cluster()
+    workflows = list(workflows) if workflows is not None else evaluation_workflow_suite()
+    matrix = matrix or model_matrix(prov, cluster)
+    schedule = AnnealingSchedule(iter_max=iterations)
+
+    all_jobs = tuple(j for wf in workflows for j in wf.jobs)
+    union = WorkloadSpec(jobs=all_jobs, name="fig9-union")
+
+    tier_maps: Dict[str, Dict[str, Tier]] = {}
+    for tier in (Tier.EPH_SSD, Tier.PERS_SSD, Tier.PERS_HDD, Tier.OBJ_STORE):
+        tier_maps[f"{tier.value} 100%"] = {j.job_id: tier for j in all_jobs}
+
+    # Basic CAST: deadline- and transfer-oblivious utility optimization
+    # over the combined job set (§5.2.1's description of its failure).
+    cast = CastSolver(cluster_spec=cluster, matrix=matrix, provider=prov,
+                      schedule=schedule, seed=seed)
+    cast_plan = cast.solve(union).best_state
+    tier_maps["CAST"] = {j.job_id: cast_plan.tier_of(j.job_id) for j in all_jobs}
+
+    # CAST++: each workflow optimized separately for cost s.t. deadline.
+    castpp = CastPlusPlus(cluster_spec=cluster, matrix=matrix, provider=prov,
+                          schedule=schedule, seed=seed)
+    castpp_map: Dict[str, Tier] = {}
+    for wf in workflows:
+        result = castpp.solve_workflow(wf)
+        for j in wf.jobs:
+            castpp_map[j.job_id] = result.best_state.tier_of(j.job_id)
+    tier_maps["CAST++"] = castpp_map
+
+    configs = tuple(
+        _measure_config(name, workflows, tier_maps[name], cluster, prov)
+        for name in FIG9_CONFIG_ORDER
+    )
+    return Fig9Result(configs=configs)
+
+
+def format_fig9(result: Fig9Result) -> str:
+    """Render the miss-rate / cost panel."""
+    lines = [f"{'config':14s} {'cost($)':>9s} {'missed':>7s} {'miss rate':>10s}"]
+    for c in result.configs:
+        lines.append(
+            f"{c.name:14s} {c.total_cost_usd:9.2f} "
+            f"{c.misses:4d}/{c.n_workflows:<2d} {c.miss_rate_pct:9.0f}%"
+        )
+    return "\n".join(lines)

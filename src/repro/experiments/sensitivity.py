@@ -1,0 +1,139 @@
+"""Price-sensitivity study: how robust are CAST's plans to repricing?
+
+The paper's whole mechanism runs on the provider's price sheet
+(Table 1), which cloud vendors reprice regularly.  Two questions a
+tenant should ask before trusting a plan:
+
+1. **Placement sensitivity** — if a service's price moves by ±50 %,
+   how much of the plan changes?  (Measured as the fraction of jobs
+   whose tier assignment flips when the solver re-runs on the repriced
+   catalog.)
+2. **Regret** — if I keep yesterday's plan after a repricing, how much
+   utility do I leave on the table vs re-planning?  (Measured as
+   `U(replan) / U(stale plan) − 1` under the *new* prices.)
+
+Both are answered by re-running the full solver against perturbed
+:class:`~repro.cloud.pricing.PriceBook`s — the catalog's performance
+side is untouched, so any plan movement is purely price-driven.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace as dc_replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..cloud.pricing import PriceBook
+from ..cloud.provider import CloudProvider
+from ..cloud.storage import Tier
+from ..cloud.vm import ClusterSpec
+from ..core.annealing import AnnealingSchedule
+from ..core.castpp import CastPlusPlus
+from ..core.plan import TieringPlan
+from ..core.utility import evaluate_plan
+from ..profiler.models import ModelMatrix
+from ..workloads.spec import WorkloadSpec
+from ..workloads.swim import synthesize_small_workload
+from .common import characterization_cluster, model_matrix, provider
+
+__all__ = [
+    "SensitivityRow",
+    "reprice",
+    "run_price_sensitivity",
+    "format_price_sensitivity",
+]
+
+
+def reprice(prov: CloudProvider, tier: Tier, factor: float) -> CloudProvider:
+    """A provider with one service's storage price scaled by ``factor``.
+
+    Only the price book changes; catalog performance (and hence the
+    profiled model matrix) stays valid for the repriced provider.
+    """
+    if factor <= 0:
+        raise ValueError(f"non-positive price factor: {factor}")
+    prov.service(tier)  # validate
+    new_rates = dict(prov.prices.storage_price_gb_hr)
+    new_rates[tier] = new_rates[tier] * factor
+    return CloudProvider(
+        name=f"{prov.name}/{tier.value}x{factor:g}",
+        services=prov.services,
+        prices=PriceBook(
+            vm_price_per_min=prov.prices.vm_price_per_min,
+            storage_price_gb_hr=new_rates,
+        ),
+        default_vm=prov.default_vm,
+    )
+
+
+@dataclass(frozen=True)
+class SensitivityRow:
+    """Outcome of one repricing scenario."""
+
+    tier: Tier
+    factor: float
+    placement_churn_pct: float
+    regret_pct: float
+    new_utility: float
+
+
+def run_price_sensitivity(
+    prov: Optional[CloudProvider] = None,
+    cluster: Optional[ClusterSpec] = None,
+    workload: Optional[WorkloadSpec] = None,
+    matrix: Optional[ModelMatrix] = None,
+    factors: Sequence[float] = (0.5, 2.0),
+    tiers: Sequence[Tier] = (Tier.EPH_SSD, Tier.PERS_SSD, Tier.OBJ_STORE),
+    iterations: int = 1500,
+    seed: int = 42,
+) -> List[SensitivityRow]:
+    """Re-plan under perturbed prices and measure churn and regret."""
+    prov = prov or provider()
+    cluster = cluster or characterization_cluster()
+    workload = workload or synthesize_small_workload()
+    matrix = matrix or model_matrix(prov, cluster)
+    schedule = AnnealingSchedule(iter_max=iterations)
+
+    def solve(p: CloudProvider) -> TieringPlan:
+        solver = CastPlusPlus(cluster_spec=cluster, matrix=matrix, provider=p,
+                              schedule=schedule, seed=seed)
+        return solver.solve(workload).best_state
+
+    baseline_plan = solve(prov)
+
+    rows: List[SensitivityRow] = []
+    for tier in tiers:
+        for factor in factors:
+            newprov = reprice(prov, tier, factor)
+            replanned = solve(newprov)
+            churn = sum(
+                1 for j in workload.jobs
+                if replanned.tier_of(j.job_id) is not baseline_plan.tier_of(j.job_id)
+            ) / workload.n_jobs * 100.0
+            stale = evaluate_plan(workload, baseline_plan, cluster, matrix,
+                                  newprov, reuse_aware=True)
+            fresh = evaluate_plan(workload, replanned, cluster, matrix,
+                                  newprov, reuse_aware=True)
+            regret = max(0.0, (fresh.utility / stale.utility - 1.0) * 100.0)
+            rows.append(
+                SensitivityRow(
+                    tier=tier,
+                    factor=factor,
+                    placement_churn_pct=churn,
+                    regret_pct=regret,
+                    new_utility=fresh.utility,
+                )
+            )
+    return rows
+
+
+def format_price_sensitivity(rows: List[SensitivityRow]) -> str:
+    """Render the repricing table."""
+    lines = [
+        f"{'tier':10s} {'price x':>8s} {'plan churn':>11s} {'stale-plan regret':>18s}"
+    ]
+    for r in rows:
+        lines.append(
+            f"{r.tier.value:10s} {r.factor:8.2f} {r.placement_churn_pct:10.0f}% "
+            f"{r.regret_pct:17.1f}%"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,81 @@
+"""Table 4 — Facebook job-size distribution and the synthesized workload.
+
+Verifies that the SWIM-style generator reproduces the paper's
+quantization exactly: 100 jobs across 7 bins with the specified
+map-task counts, the large-job bins carrying >99 % of the bytes, and
+~15 % of jobs sharing input data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..workloads.spec import WorkloadSpec
+from ..workloads.swim import FACEBOOK_BINS, facebook_bin_table, synthesize_facebook_workload
+
+__all__ = ["Table4Check", "run_table4", "format_table4"]
+
+
+@dataclass(frozen=True)
+class Table4Check:
+    """Generator-vs-Table-4 comparison."""
+
+    workload: WorkloadSpec
+    bin_rows: Tuple[Dict[str, object], ...]
+    jobs_per_bin: Tuple[int, ...]
+    expected_jobs_per_bin: Tuple[int, ...]
+    data_share_large_bins_pct: float
+    sharing_jobs_pct: float
+
+    @property
+    def histogram_matches(self) -> bool:
+        """Whether the generated map-count histogram is exactly Table 4."""
+        return self.jobs_per_bin == self.expected_jobs_per_bin
+
+
+def run_table4(seed: int = 2015) -> Table4Check:
+    """Generate the canonical workload and audit it against Table 4."""
+    workload = synthesize_facebook_workload(rng=np.random.default_rng(seed))
+    counts: Dict[int, int] = {}
+    for job in workload.jobs:
+        counts[job.map_tasks] = counts.get(job.map_tasks, 0) + 1
+    jobs_per_bin = tuple(counts.get(b.maps_in_workload, 0) for b in FACEBOOK_BINS)
+    expected = tuple(b.jobs_in_workload for b in FACEBOOK_BINS)
+
+    total_gb = sum(j.input_gb for j in workload.jobs)
+    large_gb = sum(j.input_gb for j in workload.jobs if j.map_tasks >= 500)
+    sharing = sum(len(rs.job_ids) for rs in workload.reuse_sets)
+
+    return Table4Check(
+        workload=workload,
+        bin_rows=tuple(facebook_bin_table()),
+        jobs_per_bin=jobs_per_bin,
+        expected_jobs_per_bin=expected,
+        data_share_large_bins_pct=large_gb / total_gb * 100.0,
+        sharing_jobs_pct=sharing / workload.n_jobs * 100.0,
+    )
+
+
+def format_table4(check: Table4Check) -> str:
+    """Render the bin table plus audit lines."""
+    lines = [
+        f"{'bin':>4s} {'FB maps':>12s} {'FB %jobs':>9s} {'FB %data':>9s} "
+        f"{'maps':>6s} {'jobs(exp)':>10s} {'jobs(gen)':>10s}"
+    ]
+    for row, got in zip(check.bin_rows, check.jobs_per_bin):
+        lo, hi = row["fb_maps_range"]  # type: ignore[misc]
+        rng = f"{lo}" if lo == hi else f"{lo}-{hi}"
+        jobs_pct = f"{row['fb_jobs_pct']:.0f}%" if row["fb_jobs_pct"] else ""
+        data_pct = f"{row['fb_data_pct']:.1f}%" if row["fb_data_pct"] else ""
+        lines.append(
+            f"{row['bin']:4d} {rng:>12s} {jobs_pct:>9s} {data_pct:>9s} "
+            f"{row['maps_in_workload']:6d} {row['jobs_in_workload']:10d} {got:10d}"
+        )
+    lines.append(
+        f"large-bin (5-7) data share: {check.data_share_large_bins_pct:.1f}% "
+        f"(paper: >99%); sharing jobs: {check.sharing_jobs_pct:.0f}% (paper: 15%)"
+    )
+    return "\n".join(lines)

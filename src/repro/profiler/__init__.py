@@ -1,0 +1,13 @@
+"""Offline job profiling: calibration runs → performance model matrix."""
+
+from .models import CapacityProfile, ModelMatrix, PhaseBandwidths
+from .profiler import DEFAULT_CAPACITY_GRID_GB, Profiler, build_model_matrix
+
+__all__ = [
+    "PhaseBandwidths",
+    "CapacityProfile",
+    "ModelMatrix",
+    "Profiler",
+    "build_model_matrix",
+    "DEFAULT_CAPACITY_GRID_GB",
+]

@@ -1,0 +1,42 @@
+"""Discrete-event MapReduce + cloud-storage cluster simulator.
+
+The reproduction's stand-in for the paper's 400-core Google Cloud
+Hadoop testbed: slot-scheduled map/reduce phases, processor-shared
+storage channels per node and tier, per-block placement, object-store
+request overheads, and ephSSD persistence staging.
+"""
+
+from .cluster import SimCluster, SimNode
+from .engine import (
+    cross_tier_transfer_seconds,
+    default_per_vm_capacity,
+    intermediate_tier_for,
+    simulate_job,
+    simulate_workflow,
+    simulate_workload,
+)
+from .events import EventQueue
+from .hdfs import BlockPlacement
+from .metrics import JobSimResult, WorkloadSimResult
+from .scheduler import PhaseRun
+from .storage_backend import SharedChannel
+from .tasks import make_map_task, make_reduce_task
+
+__all__ = [
+    "EventQueue",
+    "SharedChannel",
+    "SimCluster",
+    "SimNode",
+    "PhaseRun",
+    "BlockPlacement",
+    "JobSimResult",
+    "WorkloadSimResult",
+    "make_map_task",
+    "make_reduce_task",
+    "intermediate_tier_for",
+    "default_per_vm_capacity",
+    "simulate_job",
+    "simulate_workload",
+    "simulate_workflow",
+    "cross_tier_transfer_seconds",
+]

@@ -1,0 +1,146 @@
+"""Simulated cluster: nodes, per-node storage channels, slot accounting.
+
+A :class:`SimCluster` instantiates one :class:`SimNode` per VM.  Each
+node owns one :class:`~repro.simulator.storage_backend.SharedChannel`
+per storage tier it touches, sized from the provisioned per-VM capacity
+through the provider's scaling curves:
+
+* **ephSSD** — 733 MB/s per 375 GB volume, up to 4 volumes per VM;
+* **persSSD / persHDD** — the Table 1 capacity→throughput curve
+  evaluated at the per-VM volume size;
+* **objStore** — each VM gets the measured 265 MB/s of connector
+  throughput plus the per-request setup overhead.
+
+Channels are created lazily on first use, so a job that never touches
+persHDD pays nothing for it.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Mapping, Optional
+
+from ..cloud.provider import CloudProvider
+from ..cloud.storage import Tier
+from ..cloud.vm import ClusterSpec
+from ..errors import SimulationError
+from .events import EventQueue
+from .storage_backend import SharedChannel
+
+__all__ = ["SimNode", "SimCluster"]
+
+
+class SimNode:
+    """One worker VM: slots plus per-tier storage channels."""
+
+    __slots__ = (
+        "node_id", "cluster", "map_slots_free", "reduce_slots_free",
+        "_channels", "_staging",
+    )
+
+    def __init__(self, node_id: int, cluster: "SimCluster") -> None:
+        self.node_id = node_id
+        self.cluster = cluster
+        self.map_slots_free = cluster.spec.vm.map_slots
+        self.reduce_slots_free = cluster.spec.vm.reduce_slots
+        self._channels: Dict[Tier, SharedChannel] = {}
+        self._staging: Optional[SharedChannel] = None
+
+    def channel(self, tier: Tier) -> SharedChannel:
+        """The node's channel for ``tier`` (created on first use)."""
+        ch = self._channels.get(tier)
+        if ch is None:
+            ch = self.cluster._make_channel(self.node_id, tier)
+            self._channels[tier] = ch
+        return ch
+
+    def staging_channel(self) -> SharedChannel:
+        """The node's bulk objStore↔ephSSD staging channel.
+
+        Slower than the streaming objStore channel: the connector
+        serializes copy/checksum/rename per object during bulk copies.
+        """
+        if self._staging is None:
+            svc = self.cluster.provider.service(Tier.OBJ_STORE)
+            bw = svc.bulk_staging_mb_s or svc.throughput_mb_s(1.0)
+            self._staging = SharedChannel(
+                self.cluster.queue,
+                bandwidth_mb_s=bw,
+                name=f"node{self.node_id}/staging",
+                request_overhead_s=svc.request_overhead_s,
+            )
+        return self._staging
+
+
+class SimCluster:
+    """The simulated analytics cluster.
+
+    Parameters
+    ----------
+    spec:
+        VM count and shape.
+    provider:
+        Storage catalog (channel bandwidths, request overheads).
+    per_vm_capacity_gb:
+        Provisioned per-VM volume capacity for each block tier; sizes
+        the persSSD/persHDD/ephSSD channels.  Tiers absent from the
+        mapping fall back to a sensible floor (the smallest catalog
+        volume) so characterization runs don't need full plans.
+    """
+
+    def __init__(
+        self,
+        spec: ClusterSpec,
+        provider: CloudProvider,
+        per_vm_capacity_gb: Optional[Mapping[Tier, float]] = None,
+    ) -> None:
+        self.spec = spec
+        self.provider = provider
+        self.per_vm_capacity_gb: Dict[Tier, float] = dict(per_vm_capacity_gb or {})
+        self.queue = EventQueue()
+        self.nodes = [SimNode(i, self) for i in range(spec.n_vms)]
+
+    # -- channel construction -------------------------------------------------
+
+    def _make_channel(self, node_id: int, tier: Tier) -> SharedChannel:
+        svc = self.provider.service(tier)
+        name = f"node{node_id}/{tier.value}"
+        if tier is Tier.OBJ_STORE:
+            return SharedChannel(
+                self.queue,
+                bandwidth_mb_s=svc.throughput_mb_s(1.0),
+                name=name,
+                request_overhead_s=svc.request_overhead_s,
+            )
+        cap = self.per_vm_capacity_gb.get(tier, 0.0)
+        if tier is Tier.EPH_SSD:
+            # Extra volumes add capacity, not throughput: Hadoop-1's
+            # local-dir I/O paths do not stripe across a JBOD of local
+            # SSDs, so a node's effective ephemeral bandwidth plateaus
+            # at one device's speed (the paper's ephSSD-100% config
+            # runs *slower* than persSSD-100% despite 4 volumes/VM).
+            bw = svc.throughput_mb_s(svc.fixed_volume_gb)
+        else:
+            # Block volumes: throughput follows provisioned size; fall
+            # back to the smallest Table 1 volume when unsized.
+            eff_cap = cap if cap > 0 else 100.0
+            bw = svc.throughput_mb_s(eff_cap)
+        bw = min(bw, self.spec.vm.network_mb_s) if svc.persistent and tier is not Tier.EPH_SSD else bw
+        return SharedChannel(self.queue, bandwidth_mb_s=bw, name=name)
+
+    # -- convenience -----------------------------------------------------------
+
+    @property
+    def n_nodes(self) -> int:
+        """Worker VM count."""
+        return len(self.nodes)
+
+    def node(self, node_id: int) -> SimNode:
+        """Node lookup with bounds checking."""
+        if not 0 <= node_id < len(self.nodes):
+            raise SimulationError(f"no node {node_id} in {self.n_nodes}-node cluster")
+        return self.nodes[node_id]
+
+    def tier_bandwidth_per_node(self, tier: Tier) -> float:
+        """Channel bandwidth a node sees for ``tier`` (diagnostics)."""
+        return self.node(0).channel(tier).bandwidth_mb_s

@@ -1,0 +1,97 @@
+"""Discrete-event simulation core.
+
+A minimal, fast event queue: callbacks scheduled at absolute times,
+executed in time order with FIFO tie-breaking.  All simulator
+components (shared storage channels, slot schedulers, job drivers)
+communicate exclusively through this queue, which keeps the whole
+cluster model deterministic — identical inputs replay identical event
+sequences.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional, Tuple
+
+from ..errors import SimulationError
+
+__all__ = ["EventQueue"]
+
+
+class EventQueue:
+    """A heap-ordered event calendar.
+
+    Events are ``(time, seq, callback)`` triples; ``seq`` is a
+    monotonically increasing counter so simultaneous events run in
+    scheduling order (and callbacks never need to be comparable).
+    """
+
+    __slots__ = ("_heap", "_seq", "_now", "_running", "_n_dispatched")
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, Callable[[], None]]] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+        self._running = False
+        self._n_dispatched = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def events_dispatched(self) -> int:
+        """Total callbacks executed so far (diagnostics / tests)."""
+        return self._n_dispatched
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` at absolute simulated ``time``.
+
+        Scheduling into the past is an error — it would silently
+        corrupt causality.
+        """
+        if time < self._now - 1e-9:
+            raise SimulationError(
+                f"scheduling into the past: t={time:.6f} < now={self._now:.6f}"
+            )
+        heapq.heappush(self._heap, (max(time, self._now), next(self._seq), callback))
+
+    def schedule_after(self, delay: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` after ``delay`` seconds of simulated time."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        self.schedule_at(self._now + delay, callback)
+
+    def run(self, until: Optional[float] = None, max_events: int = 50_000_000) -> float:
+        """Dispatch events until the calendar drains (or ``until``).
+
+        Returns the final simulated time.  ``max_events`` guards
+        against runaway feedback loops in model code.
+        """
+        if self._running:
+            raise SimulationError("EventQueue.run() is not reentrant")
+        self._running = True
+        try:
+            dispatched = 0
+            while self._heap:
+                time, _, callback = self._heap[0]
+                if until is not None and time > until:
+                    self._now = until
+                    break
+                heapq.heappop(self._heap)
+                self._now = time
+                callback()
+                self._n_dispatched += 1
+                dispatched += 1
+                if dispatched > max_events:
+                    raise SimulationError(
+                        f"exceeded {max_events} events; likely a model feedback loop"
+                    )
+        finally:
+            self._running = False
+        return self._now
+
+    def __len__(self) -> int:
+        return len(self._heap)

@@ -1,0 +1,144 @@
+"""Task execution models: map and reduce task state machines.
+
+Hadoop tasks stream records: input I/O overlaps with user-code
+processing, so a task's read-and-process stage lasts as long as the
+*slower* of its I/O and its compute — the pipelined approximation
+``max(io, cpu)``.  This is what makes CPU-bound applications (KMeans,
+Pagerank) tier-insensitive: their compute leg dominates on every tier
+(§3.1.2, Fig. 1(d)).  Output writes happen after processing and are
+serialized behind it.
+
+* **map task** — (read split ∥ compute at ``cpu_map``) → write its
+  intermediate partition to the intermediate tier;
+* **reduce task** — (shuffle-read ∥ compute at the shuffle+reduce
+  rates) → write its output partition, paying per-object request
+  overheads when that tier is an object store
+  (``files_per_reduce_task`` requests per task — Join's pain point in
+  §3.1.2).
+
+I/O legs run on the node's :class:`SharedChannel` for the relevant
+tier and therefore contend with every concurrent task on the node.
+Compute legs are plain timed delays: slots already bound compute
+concurrency, and the per-slot CPU rate is an app-profile constant.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..cloud.storage import Tier
+from ..units import gb_to_mb
+from ..workloads.apps import AppProfile
+from .cluster import SimNode
+from .scheduler import TaskBody
+
+__all__ = ["TASK_STARTUP_S", "make_map_task", "make_reduce_task"]
+
+#: Fixed per-task launch latency (Hadoop-1 JVM spawn + heartbeat).
+#: Keeps single-split jobs from finishing in milliseconds and puts a
+#: tier-independent floor under every wave, which is why small jobs'
+#: runtimes are insensitive to the storage choice (§5.1.1).
+TASK_STARTUP_S = 1.0
+
+
+def make_map_task(
+    app: AppProfile,
+    split_gb: float,
+    block_tier: Tier,
+    intermediate_tier: Tier,
+) -> TaskBody:
+    """Build a map-task body.
+
+    Parameters
+    ----------
+    app:
+        Application profile (CPU rates, selectivities).
+    split_gb:
+        Input split size for this task.
+    block_tier:
+        Tier holding this task's input block (per-block for Fig. 5).
+    intermediate_tier:
+        Tier receiving the map output partition.
+    """
+    split_mb = gb_to_mb(split_gb)
+    inter_mb = split_mb * app.map_selectivity
+
+    def body(node: SimNode, done: Callable[[], None]) -> None:
+        queue = node.cluster.queue
+        pending = [2]  # read leg + compute leg run in parallel
+
+        def leg_done() -> None:
+            pending[0] -= 1
+            if pending[0] == 0:
+                after_process()
+
+        def after_process() -> None:
+            if inter_mb <= 0:
+                done()
+                return
+            node.channel(intermediate_tier).start_transfer(
+                inter_mb, done, n_requests=1
+            )
+
+        def launch() -> None:
+            node.channel(block_tier).start_transfer(split_mb, leg_done, n_requests=1)
+            queue.schedule_after(split_mb / app.cpu_map_mb_s, leg_done)
+
+        queue.schedule_after(TASK_STARTUP_S, launch)
+
+    return body
+
+
+def make_reduce_task(
+    app: AppProfile,
+    shuffle_gb: float,
+    output_gb: float,
+    intermediate_tier: Tier,
+    output_tier: Tier,
+) -> TaskBody:
+    """Build a reduce-task body (shuffle read + compute + output write).
+
+    Parameters
+    ----------
+    shuffle_gb:
+        This task's share of the intermediate data (``inter/r``).
+    output_gb:
+        This task's share of the job output (``output/r``).
+    intermediate_tier / output_tier:
+        Where the shuffle data lives and where output lands.
+    """
+    shuffle_mb = gb_to_mb(shuffle_gb)
+    output_mb = gb_to_mb(output_gb)
+
+    def body(node: SimNode, done: Callable[[], None]) -> None:
+        queue = node.cluster.queue
+        pending = [2]  # shuffle-read leg + compute leg run in parallel
+
+        def leg_done() -> None:
+            pending[0] -= 1
+            if pending[0] == 0:
+                after_process()
+
+        def after_process() -> None:
+            if output_mb <= 0:
+                done()
+                return
+            node.channel(output_tier).start_transfer(
+                output_mb, done, n_requests=app.files_per_reduce_task
+            )
+
+        def launch() -> None:
+            compute_s = (
+                shuffle_mb / app.cpu_shuffle_mb_s + shuffle_mb / app.cpu_reduce_mb_s
+            )
+            queue.schedule_after(compute_s, leg_done)
+            if shuffle_mb <= 0:
+                leg_done()
+            else:
+                node.channel(intermediate_tier).start_transfer(
+                    shuffle_mb, leg_done, n_requests=1
+                )
+
+        queue.schedule_after(TASK_STARTUP_S, launch)
+
+    return body

@@ -1,0 +1,81 @@
+"""Unit conventions and conversion helpers.
+
+The library uses one fixed internal convention, matching the paper's
+presentation:
+
+============  ==================  =========================================
+Quantity      Unit                Notes
+============  ==================  =========================================
+data size     **GB** (decimal)    Table 1 and all workload sizes are GB
+bandwidth     **MB/s**            fio-style sequential throughput
+IOPS          ops/s @ 4 KB        Table 1's random-I/O column
+time          **seconds**         internal simulator / estimator unit
+cost          **USD**             Eq. 5 uses $/min VM price, Eq. 6 $/GB/hr
+============  ==================  =========================================
+
+``1 GB == 1000 MB`` (decimal, as cloud providers bill) throughout.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "MB_PER_GB",
+    "SECONDS_PER_MINUTE",
+    "SECONDS_PER_HOUR",
+    "HOURS_PER_MONTH",
+    "gb_to_mb",
+    "mb_to_gb",
+    "seconds_to_minutes",
+    "seconds_to_hours_ceil",
+    "monthly_to_hourly_price",
+    "transfer_seconds",
+]
+
+MB_PER_GB = 1000.0
+SECONDS_PER_MINUTE = 60.0
+SECONDS_PER_HOUR = 3600.0
+#: Cloud billing convention (Google Cloud, Jan 2015): a month is 730 hours.
+HOURS_PER_MONTH = 730.0
+
+
+def gb_to_mb(gb: float) -> float:
+    """Convert a decimal-GB size to MB."""
+    return gb * MB_PER_GB
+
+
+def mb_to_gb(mb: float) -> float:
+    """Convert an MB size to decimal GB."""
+    return mb / MB_PER_GB
+
+
+def seconds_to_minutes(seconds: float) -> float:
+    """Convert seconds to (fractional) minutes."""
+    return seconds / SECONDS_PER_MINUTE
+
+
+def seconds_to_hours_ceil(seconds: float) -> int:
+    """Convert seconds to whole billed hours, rounding up.
+
+    Storage in Eq. 6 is charged per GB-hour with partial hours rounded
+    up (``ceil(T/60)`` with T in minutes).  A zero-length interval still
+    bills zero hours.
+    """
+    if seconds <= 0:
+        return 0
+    return int(math.ceil(seconds / SECONDS_PER_HOUR))
+
+
+def monthly_to_hourly_price(price_per_gb_month: float) -> float:
+    """Convert a $/GB/month list price into $/GB/hour (730 h months)."""
+    return price_per_gb_month / HOURS_PER_MONTH
+
+
+def transfer_seconds(size_gb: float, bandwidth_mb_s: float) -> float:
+    """Seconds to move ``size_gb`` at ``bandwidth_mb_s`` sequential MB/s."""
+    if size_gb < 0:
+        raise ValueError(f"negative transfer size: {size_gb} GB")
+    if bandwidth_mb_s <= 0:
+        raise ValueError(f"non-positive bandwidth: {bandwidth_mb_s} MB/s")
+    return gb_to_mb(size_gb) / bandwidth_mb_s

@@ -1,0 +1,64 @@
+"""Workload specification and synthesis.
+
+Application profiles (Table 2), job/workload specs, SWIM-style
+Facebook trace synthesis (Table 4), and workflow DAGs (Fig. 4, §5.2).
+"""
+
+from .apps import (
+    APP_CATALOG,
+    GREP,
+    JOIN,
+    KMEANS,
+    PAGERANK,
+    SORT,
+    SPLIT_GB,
+    AppProfile,
+    characterization_table,
+)
+from .io import (
+    load_json,
+    save_json,
+    workflow_from_dict,
+    workflow_to_dict,
+    workload_from_dict,
+    workload_to_dict,
+)
+from .spec import JobSpec, ReuseLifetime, ReuseSet, WorkloadSpec
+from .swim import (
+    FACEBOOK_BINS,
+    SwimBin,
+    facebook_bin_table,
+    synthesize_facebook_workload,
+    synthesize_small_workload,
+)
+from .workflow import Workflow, evaluation_workflow_suite, search_engine_workflow
+
+__all__ = [
+    "AppProfile",
+    "APP_CATALOG",
+    "SORT",
+    "JOIN",
+    "GREP",
+    "KMEANS",
+    "PAGERANK",
+    "SPLIT_GB",
+    "characterization_table",
+    "JobSpec",
+    "ReuseLifetime",
+    "ReuseSet",
+    "WorkloadSpec",
+    "save_json",
+    "load_json",
+    "workload_to_dict",
+    "workload_from_dict",
+    "workflow_to_dict",
+    "workflow_from_dict",
+    "SwimBin",
+    "FACEBOOK_BINS",
+    "facebook_bin_table",
+    "synthesize_facebook_workload",
+    "synthesize_small_workload",
+    "Workflow",
+    "search_engine_workflow",
+    "evaluation_workflow_suite",
+]

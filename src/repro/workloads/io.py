@@ -1,0 +1,185 @@
+"""Workload and workflow (de)serialization.
+
+Production tenants describe their workloads in files, not Python; this
+module defines a stable JSON representation for
+:class:`~repro.workloads.spec.WorkloadSpec` and
+:class:`~repro.workloads.workflow.Workflow` so plans can be driven from
+the CLI (``cast-plan plan --workload-file …``) and synthesized traces
+can be archived next to their results.
+
+Schema (version 1)::
+
+    {
+      "version": 1,
+      "kind": "workload",          # or "workflow"
+      "name": "...",
+      "jobs": [
+        {"job_id": "...", "app": "sort", "input_gb": 100.0,
+         "n_maps": 400, "n_reduces": 140},        # task counts optional
+        ...
+      ],
+      "reuse_sets": [              # workload only
+        {"job_ids": ["a", "b"], "lifetime": "1-hr", "n_accesses": 7}
+      ],
+      "edges": [["u", "v"], ...],  # workflow only
+      "deadline_s": 900.0          # workflow only
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+from ..errors import WorkloadError
+from .spec import JobSpec, ReuseLifetime, ReuseSet, WorkloadSpec
+from .workflow import Workflow
+
+__all__ = [
+    "workload_to_dict",
+    "workload_from_dict",
+    "workflow_to_dict",
+    "workflow_from_dict",
+    "save_json",
+    "load_json",
+]
+
+_VERSION = 1
+
+
+def _job_to_dict(job: JobSpec) -> Dict[str, Any]:
+    out: Dict[str, Any] = {
+        "job_id": job.job_id,
+        "app": job.app.name,
+        "input_gb": job.input_gb,
+    }
+    if job.n_maps is not None:
+        out["n_maps"] = job.n_maps
+    if job.n_reduces is not None:
+        out["n_reduces"] = job.n_reduces
+    return out
+
+
+def _job_from_dict(data: Dict[str, Any]) -> JobSpec:
+    try:
+        return JobSpec.make(
+            job_id=data["job_id"],
+            app_name=data["app"],
+            input_gb=float(data["input_gb"]),
+            n_maps=data.get("n_maps"),
+            n_reduces=data.get("n_reduces"),
+        )
+    except KeyError as exc:
+        raise WorkloadError(f"job record missing field {exc}") from None
+
+
+def workload_to_dict(workload: WorkloadSpec) -> Dict[str, Any]:
+    """Serialize a workload to the schema-v1 dict."""
+    return {
+        "version": _VERSION,
+        "kind": "workload",
+        "name": workload.name,
+        "jobs": [_job_to_dict(j) for j in workload.jobs],
+        "reuse_sets": [
+            {
+                "job_ids": sorted(rs.job_ids),
+                "lifetime": rs.lifetime.value,
+                "n_accesses": rs.n_accesses,
+            }
+            for rs in workload.reuse_sets
+        ],
+    }
+
+
+def workload_from_dict(data: Dict[str, Any]) -> WorkloadSpec:
+    """Deserialize a schema-v1 workload dict (validating everything)."""
+    _check_header(data, "workload")
+    jobs = tuple(_job_from_dict(j) for j in data.get("jobs", []))
+    reuse_sets = []
+    for rs in data.get("reuse_sets", []):
+        try:
+            lifetime = ReuseLifetime(rs.get("lifetime", ReuseLifetime.SHORT.value))
+        except ValueError:
+            raise WorkloadError(
+                f"unknown reuse lifetime {rs.get('lifetime')!r}; "
+                f"known: {[p.value for p in ReuseLifetime]}"
+            ) from None
+        reuse_sets.append(
+            ReuseSet(
+                job_ids=frozenset(rs["job_ids"]),
+                lifetime=lifetime,
+                n_accesses=int(rs.get("n_accesses", 7)),
+            )
+        )
+    return WorkloadSpec(
+        jobs=jobs,
+        reuse_sets=tuple(reuse_sets),
+        name=str(data.get("name", "workload")),
+    )
+
+
+def workflow_to_dict(workflow: Workflow) -> Dict[str, Any]:
+    """Serialize a workflow to the schema-v1 dict."""
+    return {
+        "version": _VERSION,
+        "kind": "workflow",
+        "name": workflow.name,
+        "jobs": [_job_to_dict(j) for j in workflow.jobs],
+        "edges": [list(edge) for edge in workflow.edges],
+        "deadline_s": workflow.deadline_s,
+    }
+
+
+def workflow_from_dict(data: Dict[str, Any]) -> Workflow:
+    """Deserialize a schema-v1 workflow dict."""
+    _check_header(data, "workflow")
+    jobs = tuple(_job_from_dict(j) for j in data.get("jobs", []))
+    try:
+        deadline = float(data["deadline_s"])
+    except KeyError:
+        raise WorkloadError("workflow record missing 'deadline_s'") from None
+    return Workflow(
+        name=str(data.get("name", "workflow")),
+        jobs=jobs,
+        edges=tuple((str(u), str(v)) for u, v in data.get("edges", [])),
+        deadline_s=deadline,
+    )
+
+
+def _check_header(data: Dict[str, Any], kind: str) -> None:
+    version = data.get("version")
+    if version != _VERSION:
+        raise WorkloadError(
+            f"unsupported schema version {version!r} (supported: {_VERSION})"
+        )
+    got = data.get("kind")
+    if got != kind:
+        raise WorkloadError(f"expected kind={kind!r}, file says {got!r}")
+
+
+def save_json(
+    obj: Union[WorkloadSpec, Workflow], path: Union[str, Path]
+) -> None:
+    """Write a workload or workflow to a JSON file."""
+    if isinstance(obj, WorkloadSpec):
+        data = workload_to_dict(obj)
+    elif isinstance(obj, Workflow):
+        data = workflow_to_dict(obj)
+    else:
+        raise WorkloadError(f"cannot serialize a {type(obj).__name__}")
+    Path(path).write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+def load_json(path: Union[str, Path]) -> Union[WorkloadSpec, Workflow]:
+    """Read a workload or workflow from a JSON file (kind-dispatched)."""
+    try:
+        data = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise WorkloadError(f"{path}: not valid JSON ({exc})") from None
+    kind = data.get("kind")
+    if kind == "workload":
+        return workload_from_dict(data)
+    if kind == "workflow":
+        return workflow_from_dict(data)
+    raise WorkloadError(f"{path}: unknown kind {kind!r}")

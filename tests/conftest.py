@@ -1,0 +1,65 @@
+"""Shared fixtures for the test suite.
+
+Heavy objects (the profiled model matrix, workloads) are session-scoped:
+profiling is deterministic, so sharing one instance across tests only
+saves time, never leaks state (everything handed out is immutable or
+rebuilt per test where mutation matters).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cloud.provider import CloudProvider, google_cloud_2015
+from repro.cloud.vm import ClusterSpec
+from repro.profiler.profiler import build_model_matrix
+from repro.workloads.swim import synthesize_facebook_workload, synthesize_small_workload
+
+
+@pytest.fixture(scope="session")
+def provider() -> CloudProvider:
+    """The Google Cloud Jan-2015 provider (immutable)."""
+    return google_cloud_2015()
+
+
+@pytest.fixture(scope="session")
+def char_cluster() -> ClusterSpec:
+    """The 10-VM characterization cluster (§3)."""
+    return ClusterSpec(n_vms=10)
+
+
+@pytest.fixture(scope="session")
+def eval_cluster() -> ClusterSpec:
+    """The 25-VM / 400-core evaluation cluster (§5)."""
+    return ClusterSpec(n_vms=25)
+
+
+@pytest.fixture(scope="session")
+def matrix(provider, char_cluster):
+    """Profiled model matrix on the characterization cluster."""
+    return build_model_matrix(provider=provider, cluster_spec=char_cluster)
+
+
+@pytest.fixture(scope="session")
+def eval_matrix(provider, eval_cluster):
+    """Profiled model matrix on the evaluation cluster."""
+    return build_model_matrix(provider=provider, cluster_spec=eval_cluster)
+
+
+@pytest.fixture(scope="session")
+def facebook_workload():
+    """The canonical 100-job Table 4 workload."""
+    return synthesize_facebook_workload()
+
+
+@pytest.fixture(scope="session")
+def small_workload():
+    """The 16-job §5.1.4 validation workload."""
+    return synthesize_small_workload()
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """A fresh deterministic generator per test."""
+    return np.random.default_rng(1234)

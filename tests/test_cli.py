@@ -1,0 +1,96 @@
+"""The cast-plan command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_plan_defaults(self):
+        args = build_parser().parse_args(["plan"])
+        assert args.workload == "facebook"
+        assert args.vms == 25
+        assert not args.basic
+
+    def test_experiment_takes_a_name(self):
+        args = build_parser().parse_args(["experiment", "table4"])
+        assert args.name == "table4"
+
+
+class TestCommands:
+    def test_catalog_prints_all_tiers(self, capsys):
+        assert main(["catalog"]) == 0
+        out = capsys.readouterr().out
+        for tier in ("ephSSD", "persSSD", "persHDD", "objStore"):
+            assert tier in out
+        assert "0.218" in out
+
+    def test_plan_small_workload(self, capsys):
+        rc = main(["plan", "--workload", "small", "--vms", "10",
+                   "--iterations", "100", "--seed", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "CAST++" in out
+        assert "utility" in out
+
+    def test_plan_basic_and_verbose(self, capsys):
+        rc = main(["plan", "--workload", "small", "--vms", "10",
+                   "--iterations", "100", "--basic", "--verbose"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "CAST plan" in out
+        assert "sjob-00" in out
+
+    def test_plan_unknown_workload_fails(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["plan", "--workload", "mystery"])
+
+    def test_experiment_table4(self, capsys):
+        assert main(["experiment", "table4"]) == 0
+        out = capsys.readouterr().out
+        assert "=== table4 ===" in out
+        assert "3000" in out
+
+    def test_experiment_unknown_name(self, capsys):
+        assert main(["experiment", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+
+class TestProvidersAndFiles:
+    def test_catalog_aws(self, capsys):
+        assert main(["catalog", "--provider", "aws"]) == 0
+        out = capsys.readouterr().out
+        assert "aws-2015" in out
+        assert "c3.4xlarge" in out
+
+    def test_plan_from_workload_file(self, capsys, tmp_path):
+        from repro.workloads.io import save_json
+        from repro.workloads.swim import synthesize_small_workload
+
+        path = tmp_path / "wl.json"
+        save_json(synthesize_small_workload(n_jobs=4), path)
+        rc = main(["plan", "--workload-file", str(path), "--vms", "5",
+                   "--iterations", "50"])
+        assert rc == 0
+        assert "4 jobs" in capsys.readouterr().out
+
+    def test_plan_rejects_workflow_file(self, capsys, tmp_path):
+        from repro.workloads.io import save_json
+        from repro.workloads.workflow import search_engine_workflow
+
+        path = tmp_path / "wf.json"
+        save_json(search_engine_workflow(), path)
+        assert main(["plan", "--workload-file", str(path)]) == 2
+        assert "workflow" in capsys.readouterr().err
+
+    def test_size_subcommand(self, capsys):
+        rc = main(["size", "--workload", "small", "--sizes", "5,10",
+                   "--iterations", "50"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "best size:" in out
+        assert "VMs" in out

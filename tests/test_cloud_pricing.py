@@ -1,0 +1,76 @@
+"""Pricing model (Eq. 5 / Eq. 6)."""
+
+import pytest
+
+from repro.cloud.pricing import google_cloud_2015_pricebook
+from repro.cloud.storage import Tier
+from repro.units import HOURS_PER_MONTH
+
+
+@pytest.fixture()
+def prices():
+    return google_cloud_2015_pricebook()
+
+
+class TestVMCost:
+    def test_eq5_linear_in_time_and_vms(self, prices):
+        one = prices.vm_cost(1, 60.0)
+        assert prices.vm_cost(10, 60.0) == pytest.approx(10 * one)
+        assert prices.vm_cost(1, 600.0) == pytest.approx(10 * one)
+
+    def test_rate_matches_2015_gce(self, prices):
+        # n1-standard-16 on-demand: $0.832/hour.
+        assert prices.vm_cost(1, 3600.0) == pytest.approx(0.832)
+
+    def test_zero_time_is_free(self, prices):
+        assert prices.vm_cost(25, 0.0) == 0.0
+
+    def test_negative_inputs_rejected(self, prices):
+        with pytest.raises(ValueError):
+            prices.vm_cost(-1, 10.0)
+        with pytest.raises(ValueError):
+            prices.vm_cost(1, -10.0)
+
+
+class TestStorageCost:
+    def test_eq6_hourly_rounding(self, prices):
+        caps = {Tier.PERS_SSD: 1000.0}
+        one_hour = prices.storage_cost(caps, 3600.0)
+        # 61 minutes bills two hours.
+        assert prices.storage_cost(caps, 3660.0) == pytest.approx(2 * one_hour)
+
+    def test_rates_derive_from_monthly(self, prices):
+        caps = {Tier.PERS_HDD: HOURS_PER_MONTH}  # so the math is exact
+        assert prices.storage_cost(caps, 3600.0) == pytest.approx(0.04)
+
+    def test_multiple_services_sum(self, prices):
+        a = prices.storage_cost({Tier.EPH_SSD: 100.0}, 3600.0)
+        b = prices.storage_cost({Tier.OBJ_STORE: 100.0}, 3600.0)
+        both = prices.storage_cost(
+            {Tier.EPH_SSD: 100.0, Tier.OBJ_STORE: 100.0}, 3600.0
+        )
+        assert both == pytest.approx(a + b)
+
+    def test_cheapest_service_is_objstore(self, prices):
+        rates = prices.storage_price_gb_hr
+        assert min(rates, key=rates.get) is Tier.OBJ_STORE
+
+    def test_most_expensive_service_is_ephssd(self, prices):
+        rates = prices.storage_price_gb_hr
+        assert max(rates, key=rates.get) is Tier.EPH_SSD
+
+    def test_negative_capacity_rejected(self, prices):
+        with pytest.raises(ValueError):
+            prices.storage_cost({Tier.PERS_SSD: -1.0}, 3600.0)
+
+
+class TestHoldingCost:
+    def test_holding_equals_storage_at_same_duration(self, prices):
+        held = prices.storage_holding_cost(Tier.PERS_SSD, 100.0, 7200.0)
+        billed = prices.storage_cost({Tier.PERS_SSD: 100.0}, 7200.0)
+        assert held == pytest.approx(billed)
+
+    def test_week_long_holding_scales(self, prices):
+        week = prices.storage_holding_cost(Tier.OBJ_STORE, 100.0, 7 * 24 * 3600.0)
+        hour = prices.storage_holding_cost(Tier.OBJ_STORE, 100.0, 3600.0)
+        assert week == pytest.approx(hour * 168)

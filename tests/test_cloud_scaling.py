@@ -1,0 +1,76 @@
+"""Capacity→performance scaling curves."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.scaling import ScalingCurve, flat_curve
+
+
+@pytest.fixture()
+def pers_ssd_curve() -> ScalingCurve:
+    """The Table 1 persSSD anchors with the 240 MB/s per-VM cap."""
+    return ScalingCurve(
+        points=((100.0, 48.0), (250.0, 118.0), (500.0, 234.0)), cap=240.0
+    )
+
+
+class TestAnchors:
+    def test_exact_at_anchors(self, pers_ssd_curve):
+        assert pers_ssd_curve(100.0) == pytest.approx(48.0)
+        assert pers_ssd_curve(250.0) == pytest.approx(118.0)
+        assert pers_ssd_curve(500.0) == pytest.approx(234.0)
+
+    def test_interpolation_between_anchors_is_bounded(self, pers_ssd_curve):
+        mid = pers_ssd_curve(175.0)
+        assert 48.0 < mid < 118.0
+
+    def test_below_first_anchor_scales_through_origin(self, pers_ssd_curve):
+        assert pers_ssd_curve(50.0) == pytest.approx(24.0)
+
+    def test_above_last_anchor_continues_then_caps(self, pers_ssd_curve):
+        assert pers_ssd_curve(510.0) > 234.0
+        assert pers_ssd_curve(5000.0) == 240.0
+
+
+class TestMonotonicity:
+    def test_non_decreasing_over_range(self, pers_ssd_curve):
+        caps = np.linspace(10.0, 2000.0, 300)
+        vals = pers_ssd_curve.evaluate(caps)
+        assert np.all(np.diff(vals) >= -1e-9)
+
+    def test_saturation_capacity(self, pers_ssd_curve):
+        sat = pers_ssd_curve.saturation_capacity_gb
+        assert pers_ssd_curve(sat) == pytest.approx(240.0, rel=1e-6)
+        assert pers_ssd_curve(sat - 50.0) < 240.0
+
+
+class TestValidation:
+    def test_empty_points_rejected(self):
+        with pytest.raises(ValueError):
+            ScalingCurve(points=(), cap=1.0)
+
+    def test_non_increasing_capacities_rejected(self):
+        with pytest.raises(ValueError, match="increasing"):
+            ScalingCurve(points=((100.0, 10.0), (100.0, 20.0)), cap=30.0)
+
+    def test_decreasing_values_rejected(self):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            ScalingCurve(points=((100.0, 20.0), (200.0, 10.0)), cap=30.0)
+
+    def test_cap_below_anchor_rejected(self):
+        with pytest.raises(ValueError, match="cap"):
+            ScalingCurve(points=((100.0, 50.0),), cap=10.0)
+
+    def test_non_positive_capacity_query_rejected(self, pers_ssd_curve):
+        with pytest.raises(ValueError, match="capacity"):
+            pers_ssd_curve(0.0)
+
+
+class TestFlatCurve:
+    def test_constant_everywhere(self):
+        curve = flat_curve(733.0)
+        for cap in (1.0, 375.0, 10_000.0):
+            assert curve(cap) == 733.0
+
+    def test_saturates_immediately(self):
+        assert flat_curve(10.0).saturation_capacity_gb == 1.0

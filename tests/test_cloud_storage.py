@@ -1,0 +1,107 @@
+"""Storage catalog (Table 1) and provisioning rules."""
+
+import pytest
+
+from repro.cloud.storage import GOOGLE_CLOUD_2015_SERVICES, Tier
+from repro.errors import CapacityError
+
+
+@pytest.fixture(params=list(Tier), ids=[t.value for t in Tier])
+def service(request):
+    return GOOGLE_CLOUD_2015_SERVICES[request.param]
+
+
+class TestTable1Numbers:
+    """The catalog must encode Table 1 verbatim."""
+
+    def test_eph_ssd_row(self):
+        svc = GOOGLE_CLOUD_2015_SERVICES[Tier.EPH_SSD]
+        assert svc.throughput_mb_s(375.0) == 733.0
+        assert svc.iops_4k(375.0) == 100_000.0
+        assert svc.price_gb_month == 0.218
+        assert svc.fixed_volume_gb == 375.0
+        assert svc.max_volumes_per_vm == 4
+        assert not svc.persistent
+        assert svc.requires_backing is Tier.OBJ_STORE
+
+    @pytest.mark.parametrize(
+        "cap,mb_s,iops",
+        [(100.0, 48.0, 3000.0), (250.0, 118.0, 7500.0), (500.0, 234.0, 15000.0)],
+    )
+    def test_pers_ssd_rows(self, cap, mb_s, iops):
+        svc = GOOGLE_CLOUD_2015_SERVICES[Tier.PERS_SSD]
+        assert svc.throughput_mb_s(cap) == pytest.approx(mb_s)
+        assert svc.iops_4k(cap) == pytest.approx(iops)
+        assert svc.price_gb_month == 0.17
+
+    @pytest.mark.parametrize(
+        "cap,mb_s,iops",
+        [(100.0, 20.0, 150.0), (250.0, 45.0, 375.0), (500.0, 97.0, 750.0)],
+    )
+    def test_pers_hdd_rows(self, cap, mb_s, iops):
+        svc = GOOGLE_CLOUD_2015_SERVICES[Tier.PERS_HDD]
+        assert svc.throughput_mb_s(cap) == pytest.approx(mb_s)
+        assert svc.iops_4k(cap) == pytest.approx(iops)
+        assert svc.price_gb_month == 0.04
+
+    def test_obj_store_row(self):
+        svc = GOOGLE_CLOUD_2015_SERVICES[Tier.OBJ_STORE]
+        assert svc.throughput_mb_s(1.0) == 265.0
+        assert svc.iops_4k(1.0) == 550.0
+        assert svc.price_gb_month == 0.026
+        assert svc.max_volume_gb is None
+        assert svc.request_overhead_s > 0
+        assert svc.requires_intermediate is Tier.PERS_SSD
+
+    def test_persistent_volume_limit(self):
+        for tier in (Tier.PERS_SSD, Tier.PERS_HDD):
+            assert GOOGLE_CLOUD_2015_SERVICES[tier].max_volume_gb == 10_240.0
+
+    def test_table1_persssd_vs_ephssd_claim(self):
+        """§1: a 500 GB persSSD has ~2x lower throughput and ~6x lower
+        IOPS than a 375 GB ephSSD volume."""
+        eph = GOOGLE_CLOUD_2015_SERVICES[Tier.EPH_SSD]
+        ssd = GOOGLE_CLOUD_2015_SERVICES[Tier.PERS_SSD]
+        assert eph.throughput_mb_s(375.0) / ssd.throughput_mb_s(500.0) == pytest.approx(
+            733 / 234, rel=1e-6
+        )
+        assert eph.iops_4k(375.0) / ssd.iops_4k(500.0) == pytest.approx(100000 / 15000)
+
+
+class TestProvisioning:
+    def test_eph_rounds_to_whole_volumes(self):
+        svc = GOOGLE_CLOUD_2015_SERVICES[Tier.EPH_SSD]
+        assert svc.provisionable_capacity_gb(1.0) == 375.0
+        assert svc.provisionable_capacity_gb(375.0) == 375.0
+        assert svc.provisionable_capacity_gb(376.0) == 750.0
+        assert svc.provisionable_capacity_gb(1500.0) == 1500.0
+
+    def test_eph_rejects_more_than_four_volumes(self):
+        svc = GOOGLE_CLOUD_2015_SERVICES[Tier.EPH_SSD]
+        with pytest.raises(CapacityError, match="volumes"):
+            svc.provisionable_capacity_gb(1501.0)
+
+    def test_block_volume_floor(self):
+        svc = GOOGLE_CLOUD_2015_SERVICES[Tier.PERS_SSD]
+        assert svc.provisionable_capacity_gb(3.0) == 10.0
+
+    def test_block_volume_ceiling(self):
+        svc = GOOGLE_CLOUD_2015_SERVICES[Tier.PERS_HDD]
+        with pytest.raises(CapacityError, match="per-volume"):
+            svc.provisionable_capacity_gb(10_241.0)
+
+    def test_obj_store_bills_exact(self):
+        svc = GOOGLE_CLOUD_2015_SERVICES[Tier.OBJ_STORE]
+        assert svc.provisionable_capacity_gb(0.5) == 0.5
+
+    def test_zero_request_is_zero(self, service):
+        assert service.provisionable_capacity_gb(0.0) == 0.0
+
+    def test_negative_request_rejected(self, service):
+        with pytest.raises(CapacityError):
+            service.provisionable_capacity_gb(-1.0)
+
+    def test_max_capacity_per_vm(self):
+        assert GOOGLE_CLOUD_2015_SERVICES[Tier.EPH_SSD].max_capacity_per_vm_gb() == 1500.0
+        assert GOOGLE_CLOUD_2015_SERVICES[Tier.PERS_SSD].max_capacity_per_vm_gb() == 10_240.0
+        assert GOOGLE_CLOUD_2015_SERVICES[Tier.OBJ_STORE].max_capacity_per_vm_gb() == float("inf")

@@ -1,0 +1,70 @@
+"""VM shapes and cluster wave arithmetic."""
+
+import pytest
+
+from repro.cloud.vm import (
+    CHARACTERIZATION_CLUSTER,
+    EVALUATION_CLUSTER,
+    N1_STANDARD_4,
+    N1_STANDARD_16,
+    ClusterSpec,
+    VMType,
+)
+
+
+class TestVMTypes:
+    def test_paper_testbed_shapes(self):
+        assert N1_STANDARD_16.vcpus == 16
+        assert N1_STANDARD_16.memory_gb == 60.0
+        assert N1_STANDARD_4.vcpus == 4
+        assert N1_STANDARD_4.memory_gb == 15.0
+
+    def test_slots_positive(self):
+        assert N1_STANDARD_16.map_slots > 0
+        assert N1_STANDARD_16.reduce_slots > 0
+
+    def test_invalid_shape_rejected(self):
+        with pytest.raises(ValueError):
+            VMType(name="bad", vcpus=0, memory_gb=1.0, map_slots=1, reduce_slots=1)
+        with pytest.raises(ValueError):
+            VMType(name="bad", vcpus=4, memory_gb=1.0, map_slots=0, reduce_slots=1)
+
+
+class TestClusterSpec:
+    def test_paper_clusters_core_counts(self):
+        assert CHARACTERIZATION_CLUSTER.total_cores == 160
+        assert EVALUATION_CLUSTER.total_cores == 400
+
+    def test_slot_totals(self):
+        cluster = ClusterSpec(n_vms=10)
+        assert cluster.total_map_slots == 10 * N1_STANDARD_16.map_slots
+        assert cluster.total_reduce_slots == 10 * N1_STANDARD_16.reduce_slots
+
+    def test_empty_cluster_rejected(self):
+        with pytest.raises(ValueError):
+            ClusterSpec(n_vms=0)
+
+
+class TestWaves:
+    @pytest.fixture()
+    def cluster(self):
+        return ClusterSpec(n_vms=10)  # 100 map slots, 60 reduce slots
+
+    def test_exact_fill_is_one_wave(self, cluster):
+        assert cluster.map_waves(100) == 1
+
+    def test_one_task_over_is_two_waves(self, cluster):
+        assert cluster.map_waves(101) == 2
+
+    def test_zero_tasks_zero_waves(self, cluster):
+        assert cluster.map_waves(0) == 0
+        assert cluster.reduce_waves(0) == 0
+
+    def test_reduce_waves_use_reduce_slots(self, cluster):
+        assert cluster.reduce_waves(60) == 1
+        assert cluster.reduce_waves(61) == 2
+
+    def test_eq1_ceil_semantics(self, cluster):
+        # ceil(m / (nvm * mc)) from Eq. 1
+        for m in (1, 99, 100, 150, 250, 1000):
+            assert cluster.map_waves(m) == -(-m // cluster.total_map_slots)

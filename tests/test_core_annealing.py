@@ -1,0 +1,117 @@
+"""The generic simulated-annealing engine (Algorithm 2 skeleton)."""
+
+import numpy as np
+import pytest
+
+from repro.core.annealing import AnnealingResult, AnnealingSchedule, simulated_annealing
+from repro.errors import CastError, SolverError
+
+
+def quadratic_utility(x: float) -> float:
+    """Maximum at x = 3."""
+    return -((x - 3.0) ** 2)
+
+
+def step_neighbor(x: float, rng: np.random.Generator) -> float:
+    return x + rng.normal(0.0, 0.5)
+
+
+class TestSchedule:
+    def test_defaults_valid(self):
+        AnnealingSchedule()
+
+    def test_bad_cooling_rejected(self):
+        with pytest.raises(SolverError):
+            AnnealingSchedule(cooling_rate=0.0)
+        with pytest.raises(SolverError):
+            AnnealingSchedule(cooling_rate=1.5)
+
+    def test_bad_temperature_rejected(self):
+        with pytest.raises(SolverError):
+            AnnealingSchedule(temp_init=-1.0)
+
+    def test_zero_iterations_rejected(self):
+        with pytest.raises(SolverError):
+            AnnealingSchedule(iter_max=0)
+
+
+class TestSearch:
+    def test_finds_quadratic_maximum(self):
+        result = simulated_annealing(
+            initial_state=-10.0,
+            utility_fn=quadratic_utility,
+            neighbor_fn=step_neighbor,
+            schedule=AnnealingSchedule(iter_max=3000),
+            rng=np.random.default_rng(7),
+        )
+        assert result.best_state == pytest.approx(3.0, abs=0.2)
+
+    def test_best_never_worse_than_initial(self):
+        for seed in range(5):
+            result = simulated_annealing(
+                initial_state=2.9,  # already near-optimal
+                utility_fn=quadratic_utility,
+                neighbor_fn=step_neighbor,
+                schedule=AnnealingSchedule(iter_max=50),
+                rng=np.random.default_rng(seed),
+            )
+            assert result.best_utility >= quadratic_utility(2.9)
+
+    def test_deterministic_for_fixed_seed(self):
+        def run():
+            return simulated_annealing(
+                -5.0, quadratic_utility, step_neighbor,
+                AnnealingSchedule(iter_max=200), np.random.default_rng(3),
+            )
+
+        assert run().best_state == run().best_state
+
+    def test_infeasible_neighbors_never_accepted(self):
+        def utility(x):
+            if x < 0:
+                raise CastError("infeasible region")
+            return -x
+
+        result = simulated_annealing(
+            5.0, utility, step_neighbor,
+            AnnealingSchedule(iter_max=500), np.random.default_rng(0),
+        )
+        assert result.best_state >= 0.0
+
+    def test_infeasible_initial_state_rejected(self):
+        def utility(x):
+            raise CastError("nothing is feasible")
+
+        with pytest.raises(SolverError, match="initial"):
+            simulated_annealing(
+                0.0, utility, step_neighbor,
+                AnnealingSchedule(iter_max=10), np.random.default_rng(0),
+            )
+
+    def test_trajectory_recorded_and_monotone(self):
+        result = simulated_annealing(
+            -10.0, quadratic_utility, step_neighbor,
+            AnnealingSchedule(iter_max=300), np.random.default_rng(1),
+            record_trajectory=True,
+        )
+        traj = np.asarray(result.trajectory)
+        assert traj.size == 300
+        assert np.all(np.diff(traj) >= 0)  # best-so-far never regresses
+
+    def test_iteration_and_acceptance_counters(self):
+        result = simulated_annealing(
+            -10.0, quadratic_utility, step_neighbor,
+            AnnealingSchedule(iter_max=100), np.random.default_rng(2),
+        )
+        assert result.iterations == 100
+        assert 0 < result.accepted <= 100
+
+    def test_high_temperature_accepts_more(self):
+        def count_accepts(temp):
+            return simulated_annealing(
+                3.0, quadratic_utility, step_neighbor,
+                AnnealingSchedule(iter_max=500, temp_init=temp, cooling_rate=1.0),
+                np.random.default_rng(11),
+            ).accepted
+
+        assert count_accepts(10.0) > count_accepts(0.001)

@@ -1,0 +1,120 @@
+"""Reactive dynamic-tiering prototype (§6 comparison point)."""
+
+import pytest
+
+from repro.cloud.storage import Tier
+from repro.core.dynamic import DynamicRunResult, ReactivePolicy, run_dynamic
+from repro.errors import SolverError
+from repro.workloads.apps import GREP, SORT
+from repro.workloads.spec import JobSpec, ReuseLifetime, ReuseSet, WorkloadSpec
+
+
+@pytest.fixture()
+def reuse_workload():
+    jobs = (
+        JobSpec(job_id="a", app=GREP, input_gb=100.0, n_maps=100),
+        JobSpec(job_id="b", app=GREP, input_gb=100.0, n_maps=100),
+        JobSpec(job_id="c", app=SORT, input_gb=80.0, n_maps=80),
+    )
+    return WorkloadSpec(
+        jobs=jobs,
+        reuse_sets=(ReuseSet(job_ids=frozenset({"a", "b"}),
+                             lifetime=ReuseLifetime.SHORT),),
+    )
+
+
+class TestPolicy:
+    def test_defaults_valid(self):
+        ReactivePolicy()
+
+    def test_same_tiers_rejected(self):
+        with pytest.raises(SolverError, match="differ"):
+            ReactivePolicy(base_tier=Tier.OBJ_STORE, fast_tier=Tier.OBJ_STORE)
+
+    def test_non_positive_window_rejected(self):
+        with pytest.raises(SolverError, match="window"):
+            ReactivePolicy(hot_window_s=0.0)
+
+
+class TestRunDynamic:
+    def test_reaccessed_dataset_gets_promoted(self, reuse_workload, provider,
+                                              char_cluster):
+        result = run_dynamic(reuse_workload, char_cluster, provider)
+        assert result.promotions == 1
+        # First access of the shared dataset runs cold, second runs hot.
+        assert result.tier_of_run["a"] is Tier.OBJ_STORE
+        assert result.tier_of_run["b"] is Tier.EPH_SSD
+
+    def test_unshared_jobs_stay_on_base_tier(self, reuse_workload, provider,
+                                             char_cluster):
+        result = run_dynamic(reuse_workload, char_cluster, provider)
+        assert result.tier_of_run["c"] is Tier.OBJ_STORE
+
+    def test_no_reuse_means_no_promotions(self, provider, char_cluster):
+        wl = WorkloadSpec(jobs=(
+            JobSpec(job_id="x", app=GREP, input_gb=50.0),
+            JobSpec(job_id="y", app=SORT, input_gb=50.0),
+        ))
+        result = run_dynamic(wl, char_cluster, provider)
+        assert result.promotions == 0
+        assert all(t is Tier.OBJ_STORE for t in result.tier_of_run.values())
+
+    def test_promotion_pays_migration_time(self, reuse_workload, provider,
+                                           char_cluster):
+        dynamic = run_dynamic(reuse_workload, char_cluster, provider)
+        # The hot re-access must be faster than the cold first access
+        # (that's the whole point of promoting).
+        assert dynamic.makespan_s > 0
+        assert dynamic.utility > 0
+
+    def test_cold_window_prevents_promotion(self, provider, char_cluster):
+        # A tiny hot window: by the time job b starts, a's access is stale.
+        wl = WorkloadSpec(
+            jobs=(
+                JobSpec(job_id="a", app=GREP, input_gb=100.0, n_maps=100),
+                JobSpec(job_id="b", app=GREP, input_gb=100.0, n_maps=100),
+            ),
+            reuse_sets=(ReuseSet(job_ids=frozenset({"a", "b"})),),
+        )
+        policy = ReactivePolicy(hot_window_s=1.0)
+        result = run_dynamic(wl, char_cluster, provider, policy)
+        assert result.promotions == 0
+
+    def test_fast_tier_bills_peak_footprint(self, reuse_workload, provider,
+                                            char_cluster):
+        with_promo = run_dynamic(reuse_workload, char_cluster, provider)
+        no_promo = run_dynamic(
+            reuse_workload, char_cluster, provider,
+            ReactivePolicy(hot_window_s=1e-3),
+        )
+        # Promotion buys runtime but pays ephSSD dollars; the bills differ.
+        assert with_promo.cost.total_usd != pytest.approx(
+            no_promo.cost.total_usd, rel=1e-3
+        )
+
+    def test_deterministic(self, reuse_workload, provider, char_cluster):
+        a = run_dynamic(reuse_workload, char_cluster, provider)
+        b = run_dynamic(reuse_workload, char_cluster, provider)
+        assert a.makespan_s == b.makespan_s
+        assert a.cost.total_usd == b.cost.total_usd
+
+
+class TestStaticBeatsDynamic:
+    def test_castpp_beats_reactive_on_fig7_workload(
+        self, provider, eval_cluster, eval_matrix, facebook_workload
+    ):
+        """§6 quantified: the recency-only tierer loses to the static
+        application-aware plan."""
+        from repro.core.annealing import AnnealingSchedule
+        from repro.core.castpp import CastPlusPlus
+        from repro.experiments.measure import measure_plan
+
+        dynamic = run_dynamic(facebook_workload, eval_cluster, provider)
+        solver = CastPlusPlus(
+            cluster_spec=eval_cluster, matrix=eval_matrix, provider=provider,
+            schedule=AnnealingSchedule(iter_max=3000), seed=42,
+        )
+        plan = solver.solve(facebook_workload).best_state
+        static = measure_plan(facebook_workload, plan, eval_cluster, provider,
+                              reuse_engineered=True)
+        assert static.utility > dynamic.utility

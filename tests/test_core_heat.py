@@ -1,0 +1,120 @@
+"""Heat-based tiering straw man (§3.2)."""
+
+import pytest
+
+from repro.cloud.storage import Tier
+from repro.core.heat import (
+    DEFAULT_HEAT_LADDER,
+    heat_based_plan,
+    heat_scores,
+)
+from repro.errors import SolverError
+from repro.workloads.apps import GREP, SORT
+from repro.workloads.spec import JobSpec, ReuseLifetime, ReuseSet, WorkloadSpec
+
+
+@pytest.fixture()
+def workload():
+    jobs = tuple(
+        JobSpec(job_id=f"j{i}", app=SORT if i % 2 else GREP, input_gb=100.0 + i)
+        for i in range(8)
+    )
+    return WorkloadSpec(
+        jobs=jobs,
+        reuse_sets=(
+            ReuseSet(job_ids=frozenset({"j0", "j1"}),
+                     lifetime=ReuseLifetime.SHORT, n_accesses=7),
+            ReuseSet(job_ids=frozenset({"j2", "j3"}),
+                     lifetime=ReuseLifetime.LONG, n_accesses=7),
+        ),
+    )
+
+
+class TestHeatScores:
+    def test_shared_short_lifetime_is_hottest(self, workload):
+        scores = {s.job_id: s.heat for s in heat_scores(workload)}
+        # j0/j1: 14 accesses every ~8.5 min -> very hot.
+        # j2/j3: 14 accesses daily -> warm.
+        # j4..j7: single access -> cold.
+        assert scores["j0"] > scores["j2"] > scores["j4"]
+
+    def test_unshared_jobs_are_cold_and_equal(self, workload):
+        scores = {s.job_id: s.heat for s in heat_scores(workload)}
+        assert scores["j4"] == scores["j7"]
+
+    def test_every_job_scored(self, workload):
+        assert {s.job_id for s in heat_scores(workload)} == {
+            j.job_id for j in workload.jobs
+        }
+
+
+class TestHeatBasedPlan:
+    def test_ladder_assignment_follows_heat(self, workload, provider):
+        plan = heat_based_plan(workload, provider)
+        # The hottest pair lands on the fastest rung...
+        assert plan.tier_of("j0") is Tier.EPH_SSD
+        assert plan.tier_of("j1") is Tier.EPH_SSD
+        # ...and some cold job lands on the cheapest rung.
+        cold_tiers = {plan.tier_of(f"j{i}") for i in range(4, 8)}
+        assert Tier.OBJ_STORE in cold_tiers
+
+    def test_plan_is_valid_exact_fit(self, workload, provider):
+        plan = heat_based_plan(workload, provider)
+        plan.validate(workload, provider)
+        for job in workload.jobs:
+            assert plan.placement(job.job_id).capacity_gb == pytest.approx(
+                job.footprint_gb
+            )
+
+    def test_all_rungs_used_on_large_workloads(self, facebook_workload, provider):
+        plan = heat_based_plan(facebook_workload, provider)
+        used = {p.tier for p in plan.placements.values()}
+        assert used == set(DEFAULT_HEAT_LADDER)
+
+    def test_deterministic(self, workload, provider):
+        a = heat_based_plan(workload, provider)
+        b = heat_based_plan(workload, provider)
+        assert a.placements == b.placements
+
+    def test_ladder_quantile_mismatch_rejected(self, workload, provider):
+        with pytest.raises(SolverError, match="rungs"):
+            heat_based_plan(workload, provider,
+                            ladder=(Tier.EPH_SSD, Tier.OBJ_STORE),
+                            quantiles=(0.25, 0.5, 0.75))
+
+    def test_bad_quantiles_rejected(self, workload, provider):
+        with pytest.raises(SolverError, match="quantiles"):
+            heat_based_plan(workload, provider,
+                            ladder=(Tier.EPH_SSD, Tier.OBJ_STORE),
+                            quantiles=(1.5,))
+
+    def test_custom_two_rung_ladder(self, workload, provider):
+        plan = heat_based_plan(
+            workload, provider,
+            ladder=(Tier.PERS_SSD, Tier.PERS_HDD), quantiles=(0.5,),
+        )
+        tiers = {p.tier for p in plan.placements.values()}
+        assert tiers == {Tier.PERS_SSD, Tier.PERS_HDD}
+
+
+class TestHeatVsCast:
+    def test_cast_measures_better_than_heat(self, provider, eval_cluster,
+                                            eval_matrix, facebook_workload):
+        """§3.2 quantified: even with perfect future-access knowledge,
+        the hot/cold ladder loses to application-aware tiering."""
+        from repro.core.annealing import AnnealingSchedule
+        from repro.core.solver import CastSolver
+        from repro.experiments.measure import measure_plan
+
+        heat = measure_plan(
+            facebook_workload, heat_based_plan(facebook_workload, provider),
+            eval_cluster, provider,
+        )
+        solver = CastSolver(cluster_spec=eval_cluster, matrix=eval_matrix,
+                            provider=provider,
+                            schedule=AnnealingSchedule(iter_max=1500), seed=42)
+        cast = measure_plan(
+            facebook_workload, solver.solve(facebook_workload).best_state,
+            eval_cluster, provider,
+        )
+        assert cast.utility > heat.utility * 2

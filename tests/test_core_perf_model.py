@@ -1,0 +1,108 @@
+"""The Eq. 1 estimator and its staging / wave refinements."""
+
+import pytest
+
+from repro.cloud.storage import Tier
+from repro.core.perf_model import _effective_waves, estimate_job, staging_seconds
+from repro.simulator.engine import simulate_job
+from repro.workloads.apps import GREP, JOIN, KMEANS, SORT
+from repro.workloads.spec import JobSpec
+
+
+class TestEffectiveWaves:
+    def test_full_waves_exact(self):
+        assert _effective_waves(200, 100, cpu_bound=False) == 2.0
+        assert _effective_waves(200, 100, cpu_bound=True) == 2.0
+
+    def test_cpu_bound_remainder_is_a_full_wave(self):
+        assert _effective_waves(201, 100, cpu_bound=True) == 3.0
+
+    def test_io_bound_remainder_is_sublinear_fraction(self):
+        waves = _effective_waves(150, 100, cpu_bound=False)
+        assert 1.5 < waves < 2.0
+
+    def test_zero_tasks(self):
+        assert _effective_waves(0, 100, cpu_bound=False) == 0.0
+
+    def test_monotone_in_tasks(self):
+        prev = 0.0
+        for n in range(1, 300, 7):
+            w = _effective_waves(n, 100, cpu_bound=False)
+            assert w >= prev
+            prev = w
+
+
+class TestStaging:
+    def test_zero_size_free(self, provider, char_cluster):
+        assert staging_seconds(0.0, 10, char_cluster, provider) == 0.0
+
+    def test_scales_with_size(self, provider, char_cluster):
+        t1 = staging_seconds(100.0, 100, char_cluster, provider)
+        t2 = staging_seconds(200.0, 100, char_cluster, provider)
+        assert t2 > t1
+
+    def test_many_objects_add_request_overhead(self, provider, char_cluster):
+        few = staging_seconds(100.0, 10, char_cluster, provider)
+        many = staging_seconds(100.0, 100_000, char_cluster, provider)
+        assert many > few
+
+    def test_uses_bulk_rate_not_streaming_rate(self, provider, char_cluster):
+        svc = provider.service(Tier.OBJ_STORE)
+        t = staging_seconds(100.0, 1, char_cluster, provider)
+        expected = (100.0 / 10) * 1000.0 / svc.bulk_staging_mb_s + svc.request_overhead_s
+        assert t == pytest.approx(expected)
+
+
+class TestEstimateJob:
+    def test_eph_estimates_include_staging(self, provider, char_cluster, matrix):
+        job = JobSpec(job_id="s", app=SORT, input_gb=100.0)
+        est = estimate_job(job, Tier.EPH_SSD, 375.0, char_cluster, matrix, provider)
+        assert est.download_s > 0
+        assert est.upload_s > 0
+        assert est.total_s == pytest.approx(
+            est.download_s + est.processing_s + est.upload_s
+        )
+
+    def test_staging_can_be_disabled(self, provider, char_cluster, matrix):
+        job = JobSpec(job_id="s", app=SORT, input_gb=100.0)
+        est = estimate_job(job, Tier.EPH_SSD, 375.0, char_cluster, matrix, provider,
+                           include_staging=False)
+        assert est.download_s == 0.0
+        assert est.upload_s == 0.0
+
+    def test_persistent_tiers_never_stage(self, provider, char_cluster, matrix):
+        job = JobSpec(job_id="s", app=SORT, input_gb=100.0)
+        for tier in (Tier.PERS_SSD, Tier.PERS_HDD, Tier.OBJ_STORE):
+            est = estimate_job(job, tier, 500.0, char_cluster, matrix, provider)
+            assert est.download_s == 0.0
+            assert est.upload_s == 0.0
+
+    def test_capacity_scaling_flows_through(self, provider, char_cluster, matrix):
+        job = JobSpec(job_id="s", app=SORT, input_gb=100.0)
+        slow = estimate_job(job, Tier.PERS_SSD, 100.0, char_cluster, matrix, provider)
+        fast = estimate_job(job, Tier.PERS_SSD, 500.0, char_cluster, matrix, provider)
+        assert slow.total_s > fast.total_s * 2
+
+    @pytest.mark.parametrize("app", [SORT, JOIN, GREP, KMEANS], ids=lambda a: a.name)
+    def test_prediction_matches_simulation_at_calibration_shape(
+        self, provider, char_cluster, matrix, app
+    ):
+        """On wave-aligned jobs at profiled capacities the Eq. 1 model
+        should track the simulator within a few percent."""
+        from repro.profiler.profiler import Profiler
+
+        profiler = Profiler(provider=provider, cluster_spec=char_cluster)
+        job = profiler.calibration_job(app)
+        obs = simulate_job(job, Tier.PERS_SSD, char_cluster, provider,
+                           per_vm_capacity_gb={Tier.PERS_SSD: 500.0}).total_s
+        pred = estimate_job(job, Tier.PERS_SSD, 500.0, char_cluster, matrix, provider).total_s
+        assert pred == pytest.approx(obs, rel=0.05)
+
+    def test_prediction_reasonable_off_calibration(self, provider, char_cluster, matrix):
+        """Odd-shaped jobs must still predict within a Fig.-8-like
+        error band (paper: 7.9 %; we allow 25 %)."""
+        job = JobSpec(job_id="x", app=SORT, input_gb=137.0, n_maps=137)
+        obs = simulate_job(job, Tier.PERS_SSD, char_cluster, provider,
+                           per_vm_capacity_gb={Tier.PERS_SSD: 300.0}).total_s
+        pred = estimate_job(job, Tier.PERS_SSD, 300.0, char_cluster, matrix, provider).total_s
+        assert abs(pred - obs) / obs < 0.25

@@ -1,0 +1,90 @@
+"""The REG capacity-scaling regression (PCHIP spline)."""
+
+import numpy as np
+import pytest
+
+from repro.core.regression import CapacitySpline, LinearCapacityModel, fit_runtime_model
+
+
+class TestCapacitySpline:
+    def test_passes_through_anchors(self):
+        spline = CapacitySpline(points=((100.0, 950.0), (200.0, 460.0), (500.0, 200.0)))
+        assert spline(100.0) == pytest.approx(950.0)
+        assert spline(200.0) == pytest.approx(460.0)
+        assert spline(500.0) == pytest.approx(200.0)
+
+    def test_monotone_data_gives_monotone_interpolant(self):
+        # PCHIP's defining property: no overshoot between anchors.
+        spline = CapacitySpline(
+            points=((100.0, 1000.0), (200.0, 500.0), (300.0, 400.0), (1000.0, 390.0))
+        )
+        xs = np.linspace(100.0, 1000.0, 200)
+        ys = spline.evaluate(xs)
+        assert np.all(np.diff(ys) <= 1e-9)
+
+    def test_constant_extension_outside_range(self):
+        spline = CapacitySpline(points=((100.0, 10.0), (200.0, 20.0)))
+        assert spline(50.0) == 10.0
+        assert spline(500.0) == 20.0
+
+    def test_single_point_is_constant(self):
+        spline = CapacitySpline(points=((100.0, 42.0),))
+        assert spline(1.0) == 42.0
+        assert spline(1e6) == 42.0
+
+    def test_unsorted_points_rejected(self):
+        with pytest.raises(ValueError, match="increasing"):
+            CapacitySpline(points=((200.0, 1.0), (100.0, 2.0)))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            CapacitySpline(points=())
+
+
+class TestLinearModel:
+    def test_linear_between_anchors(self):
+        model = LinearCapacityModel(points=((0.0, 0.0), (10.0, 100.0)))
+        assert model(5.0) == pytest.approx(50.0)
+
+    def test_vectorized_evaluation(self):
+        model = LinearCapacityModel(points=((0.0, 0.0), (10.0, 100.0)))
+        out = model.evaluate([2.0, 4.0])
+        assert out == pytest.approx([20.0, 40.0])
+
+
+class TestFitRuntimeModel:
+    def test_fit_sorts_observations(self):
+        model = fit_runtime_model([300.0, 100.0, 200.0], [30.0, 10.0, 20.0])
+        assert model(100.0) == pytest.approx(10.0)
+        assert model(300.0) == pytest.approx(30.0)
+
+    def test_kind_selection(self):
+        pchip = fit_runtime_model([1.0, 2.0], [1.0, 2.0], kind="pchip")
+        linear = fit_runtime_model([1.0, 2.0], [1.0, 2.0], kind="linear")
+        assert isinstance(pchip, CapacitySpline)
+        assert isinstance(linear, LinearCapacityModel)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            fit_runtime_model([1.0], [1.0], kind="quartic")
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            fit_runtime_model([1.0, 2.0], [1.0])
+
+    def test_pchip_tracks_fig2_style_curve(self):
+        """Fit on alternate points of a 1/x-like runtime curve and
+        check held-out interpolation error stays small (the Fig. 2
+        regression-quality claim)."""
+        caps = np.arange(100.0, 1001.0, 100.0)
+        runtimes = 80_000.0 / caps + 60.0
+        model = fit_runtime_model(caps[::2], runtimes[::2], kind="pchip")
+        held = caps[1::2]
+        truth = 80_000.0 / held + 60.0
+        pred = model.evaluate(held)
+        err = np.abs(pred - truth) / truth
+        assert err.max() < 0.15
+        # ...and it should not be worse than plain linear interpolation.
+        linear = fit_runtime_model(caps[::2], runtimes[::2], kind="linear")
+        lin_err = np.abs(linear.evaluate(held) - truth) / truth
+        assert err.mean() <= lin_err.mean() + 1e-9

@@ -1,0 +1,70 @@
+"""Elastic cluster sizing."""
+
+import pytest
+
+from repro.core.sizing import best_cluster_size, sweep_cluster_sizes
+from repro.errors import SolverError
+from repro.workloads.apps import GREP, SORT
+from repro.workloads.spec import JobSpec, WorkloadSpec
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return WorkloadSpec(
+        jobs=tuple(
+            JobSpec(job_id=f"s{i}", app=SORT if i % 2 else GREP,
+                    input_gb=200.0, n_maps=200)
+            for i in range(4)
+        ),
+        name="sizing-wl",
+    )
+
+
+@pytest.fixture(scope="module")
+def points(workload, provider):
+    return sweep_cluster_sizes(
+        workload, (5, 10, 20), provider, iterations=300, seed=2
+    )
+
+
+class TestSweep:
+    def test_one_point_per_size_in_order(self, points):
+        assert [p.n_vms for p in points] == [5, 10, 20]
+
+    def test_every_point_has_valid_plan(self, points, workload, provider):
+        for p in points:
+            p.plan.validate(workload, provider)
+            assert p.utility > 0
+
+    def test_bigger_clusters_run_faster(self, points):
+        makespans = [p.evaluation.makespan_s for p in points]
+        assert makespans[0] > makespans[-1]
+
+    def test_utility_tradeoff_is_nontrivial(self, points):
+        """More VMs cut runtime but raise $/min; the utility curve must
+        not be constant."""
+        utilities = [p.utility for p in points]
+        assert max(utilities) / min(utilities) > 1.02
+
+    def test_empty_sizes_rejected(self, workload, provider):
+        with pytest.raises(SolverError):
+            sweep_cluster_sizes(workload, (), provider)
+
+    def test_non_positive_size_rejected(self, workload, provider):
+        with pytest.raises(SolverError):
+            sweep_cluster_sizes(workload, (0, 5), provider)
+
+
+class TestBest:
+    def test_best_is_argmax_utility(self, points):
+        best = best_cluster_size(points)
+        assert best.utility == max(p.utility for p in points)
+
+    def test_tie_breaks_toward_fewer_vms(self, points):
+        twice = list(points) + [points[0]]
+        best = best_cluster_size(twice)
+        assert best.utility == max(p.utility for p in twice)
+
+    def test_empty_rejected(self):
+        with pytest.raises(SolverError):
+            best_cluster_size([])

@@ -1,0 +1,49 @@
+"""Every example script must run end-to-end (deliverable integrity)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[1] / "examples"
+
+
+def run_example(name: str, timeout: int = 240) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True, text=True, timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "predicted makespan" in out
+        assert "tenant utility" in out
+        assert "sjob-00" in out
+
+    def test_deadline_workflows(self):
+        out = run_example("deadline_workflows.py")
+        assert "CAST++ placement" in out
+        assert "deadline MET" in out
+        # The slowest naive deployment must miss the deadline.
+        assert "MISSED" in out
+
+    def test_capacity_whatif(self):
+        out = run_example("capacity_whatif.py")
+        assert "sweet spot" in out
+        assert "persSSD" in out
+
+    def test_multicloud(self):
+        out = run_example("multicloud.py")
+        assert "google-cloud-2015" in out
+        assert "aws-2015" in out
+
+    @pytest.mark.slow
+    def test_facebook_evaluation(self):
+        out = run_example("facebook_evaluation.py", timeout=420)
+        assert "CAST++" in out
+        assert "headline comparisons" in out

@@ -1,0 +1,63 @@
+"""Price-sensitivity study mechanics."""
+
+import pytest
+
+from repro.cloud.storage import Tier
+from repro.experiments.sensitivity import (
+    format_price_sensitivity,
+    reprice,
+    run_price_sensitivity,
+)
+
+
+class TestReprice:
+    def test_scales_only_the_target_tier(self, provider):
+        doubled = reprice(provider, Tier.OBJ_STORE, 2.0)
+        assert doubled.storage_price_gb_hr(Tier.OBJ_STORE) == pytest.approx(
+            2 * provider.storage_price_gb_hr(Tier.OBJ_STORE)
+        )
+        for tier in (Tier.EPH_SSD, Tier.PERS_SSD, Tier.PERS_HDD):
+            assert doubled.storage_price_gb_hr(tier) == pytest.approx(
+                provider.storage_price_gb_hr(tier)
+            )
+
+    def test_vm_rate_untouched(self, provider):
+        halved = reprice(provider, Tier.PERS_SSD, 0.5)
+        assert halved.prices.vm_price_per_min == provider.prices.vm_price_per_min
+
+    def test_original_provider_unchanged(self, provider):
+        before = provider.storage_price_gb_hr(Tier.PERS_SSD)
+        reprice(provider, Tier.PERS_SSD, 10.0)
+        assert provider.storage_price_gb_hr(Tier.PERS_SSD) == before
+
+    def test_name_records_the_perturbation(self, provider):
+        assert "persSSD" in reprice(provider, Tier.PERS_SSD, 2.0).name
+
+    def test_non_positive_factor_rejected(self, provider):
+        with pytest.raises(ValueError):
+            reprice(provider, Tier.PERS_SSD, 0.0)
+
+
+class TestSensitivityStudy:
+    @pytest.fixture(scope="class")
+    def rows(self, provider, char_cluster, matrix, small_workload):
+        return run_price_sensitivity(
+            prov=provider, cluster=char_cluster, workload=small_workload,
+            matrix=matrix, factors=(0.5, 2.0),
+            tiers=(Tier.PERS_SSD, Tier.OBJ_STORE),
+            iterations=300,
+        )
+
+    def test_one_row_per_scenario(self, rows):
+        assert len(rows) == 4
+
+    def test_regret_is_never_negative(self, rows):
+        assert all(r.regret_pct >= 0.0 for r in rows)
+
+    def test_churn_is_a_fraction(self, rows):
+        assert all(0.0 <= r.placement_churn_pct <= 100.0 for r in rows)
+
+    def test_formatting_lists_every_row(self, rows):
+        text = format_price_sensitivity(rows)
+        assert text.count("\n") == len(rows)
+        assert "plan churn" in text

@@ -1,0 +1,149 @@
+"""Unit-level behaviour of the experiments layer (result APIs, costing)."""
+
+import pytest
+
+from repro.cloud.storage import Tier
+from repro.experiments.common import (
+    fig1_capacity,
+    single_config_billed_gb,
+    single_config_cost,
+)
+from repro.experiments.measure import measure_plan
+from repro.workloads.apps import GREP, SORT
+from repro.workloads.spec import JobSpec, ReuseLifetime, ReuseSet, WorkloadSpec
+
+
+class TestFig1Capacity:
+    def test_block_tiers_get_500gb_volumes(self):
+        assert fig1_capacity(Tier.PERS_SSD) == {Tier.PERS_SSD: 500.0}
+        assert fig1_capacity(Tier.PERS_HDD) == {Tier.PERS_HDD: 500.0}
+
+    def test_eph_gets_one_volume(self):
+        assert fig1_capacity(Tier.EPH_SSD) == {Tier.EPH_SSD: 375.0}
+
+    def test_objstore_gets_helper(self):
+        caps = fig1_capacity(Tier.OBJ_STORE)
+        assert list(caps) == [Tier.PERS_SSD]
+
+
+class TestSingleConfigCost:
+    @pytest.fixture()
+    def job(self):
+        return JobSpec(job_id="j", app=SORT, input_gb=100.0)
+
+    def test_eph_bills_backing_objstore(self, job, provider, char_cluster):
+        billed = single_config_billed_gb(
+            job, Tier.EPH_SSD, fig1_capacity(Tier.EPH_SSD), char_cluster, provider
+        )
+        assert billed[Tier.OBJ_STORE] == pytest.approx(
+            job.input_gb + job.output_gb
+        )
+        assert billed[Tier.EPH_SSD] == pytest.approx(375.0 * 10)
+
+    def test_objstore_bills_dataset_plus_helper(self, job, provider, char_cluster):
+        billed = single_config_billed_gb(
+            job, Tier.OBJ_STORE, fig1_capacity(Tier.OBJ_STORE), char_cluster, provider
+        )
+        assert billed[Tier.OBJ_STORE] == pytest.approx(job.footprint_gb)
+        assert billed[Tier.PERS_SSD] > 0
+
+    def test_cost_grows_with_runtime(self, job, provider, char_cluster):
+        short = single_config_cost(job, Tier.PERS_SSD, 60.0, char_cluster, provider)
+        long = single_config_cost(job, Tier.PERS_SSD, 7200.0, char_cluster, provider)
+        assert long.total_usd > short.total_usd
+
+
+class TestMeasurePlan:
+    @pytest.fixture()
+    def workload(self):
+        jobs = (
+            JobSpec(job_id="a", app=SORT, input_gb=100.0, n_maps=100),
+            JobSpec(job_id="b", app=SORT, input_gb=100.0, n_maps=100),
+            JobSpec(job_id="c", app=GREP, input_gb=60.0, n_maps=60),
+        )
+        return WorkloadSpec(
+            jobs=jobs,
+            reuse_sets=(ReuseSet(job_ids=frozenset({"a", "b"}),
+                                 lifetime=ReuseLifetime.SHORT),),
+        )
+
+    def test_measures_every_job(self, workload, provider, char_cluster):
+        from repro.core.plan import TieringPlan
+
+        plan = TieringPlan.uniform(workload, Tier.PERS_SSD)
+        m = measure_plan(workload, plan, char_cluster, provider)
+        assert set(m.per_job) == {"a", "b", "c"}
+        assert m.makespan_s > 0
+        assert m.utility > 0
+
+    def test_engineered_reuse_amortizes_eph_downloads(self, workload, provider,
+                                                      char_cluster):
+        from repro.core.plan import TieringPlan
+
+        plan = TieringPlan.uniform(workload, Tier.EPH_SSD)
+        lucky = measure_plan(workload, plan, char_cluster, provider,
+                             reuse_engineered=False)
+        engineered = measure_plan(workload, plan, char_cluster, provider,
+                                  reuse_engineered=True)
+        assert engineered.makespan_s < lucky.makespan_s
+        assert engineered.cost.total_usd < lucky.cost.total_usd
+
+    def test_objstore_jobs_get_helper_volume(self, workload, provider,
+                                             char_cluster):
+        """The measured objStore jobs must shuffle at helper speed, not
+        the unsized 48 MB/s floor (regression guard)."""
+        from repro.core.plan import TieringPlan
+
+        plan = TieringPlan.uniform(workload, Tier.OBJ_STORE)
+        m = measure_plan(workload, plan, char_cluster, provider)
+        # Sort-100 on objStore with a 250 GB helper lands near 290 s; the
+        # starved-helper bug put it near 570 s.
+        assert m.per_job["a"].total_s < 400.0
+
+    def test_invalid_plan_rejected(self, workload, provider, char_cluster):
+        from repro.core.plan import Placement, TieringPlan
+        from repro.errors import PlanError
+
+        bad = TieringPlan(placements={
+            j.job_id: Placement(tier=Tier.PERS_SSD, capacity_gb=1.0)
+            for j in workload.jobs
+        })
+        with pytest.raises(PlanError):
+            measure_plan(workload, bad, char_cluster, provider)
+
+
+class TestResultAccessors:
+    def test_fig1_cell_lookup_raises_on_unknown(self):
+        from repro.experiments.fig1 import Fig1Result
+
+        empty = Fig1Result(cells=())
+        with pytest.raises(KeyError):
+            empty.cell("sort", Tier.EPH_SSD)
+
+    def test_fig3_cell_lookup_raises_on_unknown(self):
+        from repro.experiments.fig3 import Fig3Result
+
+        empty = Fig3Result(cells=())
+        with pytest.raises(KeyError):
+            empty.cell("sort", Tier.EPH_SSD, ReuseLifetime.NONE)
+
+    def test_fig5_sweep_lookup_raises_on_unknown(self):
+        from repro.experiments.fig5 import Fig5Result
+
+        empty = Fig5Result(hybrids_50_50=(), hdd_sweep=())
+        with pytest.raises(KeyError):
+            empty.sweep_point(0.5)
+
+    def test_fig7_config_lookup_raises_on_unknown(self):
+        from repro.experiments.fig7 import Fig7Result
+
+        empty = Fig7Result(configs=())
+        with pytest.raises(KeyError):
+            empty.config("CAST")
+
+    def test_fig9_config_lookup_raises_on_unknown(self):
+        from repro.experiments.fig9 import Fig9Result
+
+        empty = Fig9Result(configs=())
+        with pytest.raises(KeyError):
+            empty.config("CAST")

@@ -1,0 +1,73 @@
+"""End-to-end pipeline: profile → solve → evaluate → measure."""
+
+import pytest
+
+from repro import PlanningOutcome, plan_workload
+from repro.cloud.storage import Tier
+from repro.experiments.measure import measure_plan
+from repro.workloads.swim import synthesize_small_workload
+
+
+@pytest.fixture(scope="module")
+def outcome():
+    return plan_workload(
+        synthesize_small_workload(),
+        n_vms=10,
+        iterations=600,
+        seed=3,
+    )
+
+
+class TestPlanWorkload:
+    def test_returns_complete_outcome(self, outcome):
+        assert isinstance(outcome, PlanningOutcome)
+        assert outcome.evaluation.utility > 0
+        assert outcome.evaluation.cost.total_usd > 0
+
+    def test_plan_covers_every_job(self, outcome):
+        assert len(outcome.plan.job_ids) == 16
+
+    def test_plan_satisfies_eq3(self, outcome):
+        wl = synthesize_small_workload()
+        outcome.plan.validate(wl, outcome.solver.provider)
+
+    def test_prediction_tracks_measurement(self, outcome):
+        """Deploying the plan on the simulator should land within the
+        Fig.-8 error band of the solver's prediction."""
+        wl = synthesize_small_workload()
+        measured = measure_plan(
+            wl, outcome.plan, outcome.solver.cluster_spec, outcome.solver.provider
+        )
+        predicted = outcome.evaluation.makespan_s
+        assert measured.makespan_s == pytest.approx(predicted, rel=0.25)
+
+    def test_basic_cast_also_works(self):
+        outcome = plan_workload(
+            synthesize_small_workload(), n_vms=10, use_castpp=False,
+            iterations=300, seed=3,
+        )
+        assert outcome.evaluation.utility > 0
+
+    def test_determinism_across_runs(self):
+        a = plan_workload(synthesize_small_workload(), n_vms=10, iterations=200, seed=9)
+        b = plan_workload(synthesize_small_workload(), n_vms=10, iterations=200, seed=9)
+        assert a.plan.placements == b.plan.placements
+        assert a.evaluation.utility == b.evaluation.utility
+
+
+class TestPlannedVsNaive:
+    def test_plan_beats_the_worst_uniform_choice(self, outcome):
+        from repro.core.plan import TieringPlan
+        from repro.core.utility import evaluate_plan
+
+        wl = synthesize_small_workload()
+        solver = outcome.solver
+        worst = min(
+            evaluate_plan(
+                wl, TieringPlan.uniform(wl, t),
+                solver.cluster_spec, solver.matrix, solver.provider,
+                reuse_aware=True,
+            ).utility
+            for t in Tier
+        )
+        assert outcome.evaluation.utility > worst * 1.2

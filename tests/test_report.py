@@ -1,0 +1,38 @@
+"""The reproduction-report generator."""
+
+import pytest
+
+from repro.experiments.report import generate_report
+
+
+@pytest.fixture(scope="module")
+def quick_report():
+    return generate_report(quick=True)
+
+
+class TestReport:
+    def test_contains_every_section(self, quick_report):
+        for title in (
+            "Table 1", "Table 2", "Table 4",
+            "Fig. 1", "Fig. 2", "Fig. 3", "Fig. 4", "Fig. 5",
+            "Fig. 7", "Fig. 8", "Fig. 9",
+            "annealing budget", "PCHIP vs linear",
+            "heat-based", "reactive dynamic",
+        ):
+            assert title in quick_report, title
+
+    def test_quick_mode_is_flagged(self, quick_report):
+        assert "quick mode" in quick_report
+
+    def test_is_markdown_with_code_fences(self, quick_report):
+        assert quick_report.startswith("# CAST reproduction report")
+        assert quick_report.count("```") % 2 == 0
+        assert quick_report.count("## ") == 15
+
+    def test_cli_report_writes_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "report.md"
+        assert main(["report", "--quick", "--out", str(out)]) == 0
+        assert out.exists()
+        assert "CAST reproduction report" in out.read_text()

@@ -1,0 +1,121 @@
+"""Processor-sharing storage channel (the fluid model)."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulator.events import EventQueue
+from repro.simulator.storage_backend import SharedChannel
+
+
+def run_transfers(bandwidth, transfers, overhead=0.0):
+    """Run (start_time, size_mb) transfers; return completion times."""
+    q = EventQueue()
+    ch = SharedChannel(q, bandwidth, request_overhead_s=overhead)
+    done = {}
+    for i, (start, size) in enumerate(transfers):
+        def submit(i=i, size=size):
+            ch.start_transfer(size, lambda i=i: done.__setitem__(i, q.now))
+        q.schedule_at(start, submit)
+    q.run()
+    return done, ch
+
+
+class TestSingleTransfer:
+    def test_full_bandwidth_when_alone(self):
+        done, _ = run_transfers(100.0, [(0.0, 1000.0)])
+        assert done[0] == pytest.approx(10.0)
+
+    def test_zero_size_completes_immediately(self):
+        done, ch = run_transfers(100.0, [(0.0, 0.0)])
+        assert done[0] == 0.0
+        assert ch.n_transfers == 1
+
+    def test_negative_size_rejected(self):
+        q = EventQueue()
+        ch = SharedChannel(q, 100.0)
+        with pytest.raises(SimulationError, match="negative"):
+            ch.start_transfer(-1.0, lambda: None)
+
+    def test_zero_bandwidth_rejected(self):
+        with pytest.raises(SimulationError, match="bandwidth"):
+            SharedChannel(EventQueue(), 0.0)
+
+
+class TestFairSharing:
+    def test_two_equal_transfers_halve_the_rate(self):
+        done, _ = run_transfers(100.0, [(0.0, 1000.0), (0.0, 1000.0)])
+        # Both share 50 MB/s throughout: 20 s each.
+        assert done[0] == pytest.approx(20.0)
+        assert done[1] == pytest.approx(20.0)
+
+    def test_short_transfer_finishes_first_then_rate_recovers(self):
+        done, _ = run_transfers(100.0, [(0.0, 1000.0), (0.0, 200.0)])
+        # Shared at 50 MB/s until the short one finishes at t=4 (200/50);
+        # the long one then has 800 MB left at 100 MB/s -> t = 4 + 8.
+        assert done[1] == pytest.approx(4.0)
+        assert done[0] == pytest.approx(12.0)
+
+    def test_late_arrival_slows_inflight_transfer(self):
+        done, _ = run_transfers(100.0, [(0.0, 1000.0), (5.0, 500.0)])
+        # First runs alone for 5 s (500 MB left), then both at 50 MB/s.
+        # Both have 500 MB left -> both finish at t = 5 + 10 = 15.
+        assert done[0] == pytest.approx(15.0)
+        assert done[1] == pytest.approx(15.0)
+
+    def test_work_conservation(self):
+        """Total completion time equals total bytes / bandwidth when the
+        channel is never idle."""
+        done, ch = run_transfers(
+            100.0, [(0.0, 300.0), (0.0, 500.0), (0.0, 200.0)]
+        )
+        assert max(done.values()) == pytest.approx(10.0)
+        assert ch.busy_mb == pytest.approx(1000.0)
+
+    def test_transfer_counter(self):
+        _, ch = run_transfers(100.0, [(0.0, 10.0), (1.0, 10.0), (2.0, 10.0)])
+        assert ch.n_transfers == 3
+
+
+class TestRequestOverhead:
+    def test_overhead_delays_entry(self):
+        done, _ = run_transfers(100.0, [(0.0, 1000.0)], overhead=2.0)
+        assert done[0] == pytest.approx(12.0)
+
+    def test_multiple_requests_serialize_overhead(self):
+        q = EventQueue()
+        ch = SharedChannel(q, 100.0, request_overhead_s=0.5)
+        done = []
+        ch.start_transfer(100.0, lambda: done.append(q.now), n_requests=4)
+        q.run()
+        assert done[0] == pytest.approx(4 * 0.5 + 1.0)
+
+    def test_overhead_does_not_consume_bandwidth(self):
+        # A transfer in its setup phase must not slow an active one.
+        q = EventQueue()
+        ch = SharedChannel(q, 100.0, request_overhead_s=5.0)
+        done = {}
+        ch.start_transfer(0.0, lambda: None)  # trivial
+        q.schedule_at(0.0, lambda: ch.start_transfer(300.0, lambda: done.__setitem__("a", q.now)))
+
+        def late():
+            ch.start_transfer(100.0, lambda: done.__setitem__("b", q.now))
+
+        q.schedule_at(0.0, late)
+        q.run()
+        # "a" enters at t=5, "b" enters at t=5: both share from t=5.
+        assert done["b"] == pytest.approx(5.0 + 2.0, abs=0.01)
+
+    def test_negative_overhead_rejected(self):
+        with pytest.raises(SimulationError, match="overhead"):
+            SharedChannel(EventQueue(), 100.0, request_overhead_s=-1.0)
+
+
+class TestRates:
+    def test_current_rate_reflects_membership(self):
+        q = EventQueue()
+        ch = SharedChannel(q, 100.0)
+        assert ch.current_rate_mb_s() == 100.0
+        ch.start_transfer(1000.0, lambda: None)
+        ch.start_transfer(1000.0, lambda: None)
+        assert ch.active_transfers == 2
+        assert ch.current_rate_mb_s() == 50.0

@@ -1,0 +1,68 @@
+"""Simulated cluster: channel sizing from the catalog."""
+
+import pytest
+
+from repro.cloud.storage import Tier
+from repro.cloud.vm import ClusterSpec
+from repro.errors import SimulationError
+from repro.simulator.cluster import SimCluster
+
+
+@pytest.fixture()
+def cluster(provider):
+    return SimCluster(
+        ClusterSpec(n_vms=4),
+        provider,
+        {Tier.PERS_SSD: 500.0, Tier.PERS_HDD: 250.0, Tier.EPH_SSD: 750.0},
+    )
+
+
+class TestChannelSizing:
+    def test_pers_ssd_follows_volume_curve(self, cluster):
+        assert cluster.tier_bandwidth_per_node(Tier.PERS_SSD) == pytest.approx(234.0)
+
+    def test_pers_hdd_follows_volume_curve(self, cluster):
+        assert cluster.tier_bandwidth_per_node(Tier.PERS_HDD) == pytest.approx(45.0)
+
+    def test_eph_ssd_single_device_speed_regardless_of_volumes(self, cluster):
+        # Two volumes provisioned, but Hadoop local dirs don't stripe.
+        assert cluster.tier_bandwidth_per_node(Tier.EPH_SSD) == pytest.approx(733.0)
+
+    def test_obj_store_per_node_connector_rate(self, cluster):
+        assert cluster.tier_bandwidth_per_node(Tier.OBJ_STORE) == pytest.approx(265.0)
+
+    def test_obj_store_channel_has_request_overhead(self, cluster, provider):
+        ch = cluster.node(0).channel(Tier.OBJ_STORE)
+        assert ch.request_overhead_s == provider.service(Tier.OBJ_STORE).request_overhead_s
+
+    def test_unsized_block_tier_falls_back_to_smallest_volume(self, provider):
+        cluster = SimCluster(ClusterSpec(n_vms=2), provider, {})
+        assert cluster.tier_bandwidth_per_node(Tier.PERS_SSD) == pytest.approx(48.0)
+
+    def test_staging_channel_slower_than_streaming(self, cluster, provider):
+        staging = cluster.node(0).staging_channel()
+        svc = provider.service(Tier.OBJ_STORE)
+        assert staging.bandwidth_mb_s == svc.bulk_staging_mb_s
+        assert staging.bandwidth_mb_s < svc.throughput_mb_s(1.0)
+
+
+class TestNodeStructure:
+    def test_channels_are_per_node(self, cluster):
+        a = cluster.node(0).channel(Tier.PERS_SSD)
+        b = cluster.node(1).channel(Tier.PERS_SSD)
+        assert a is not b
+
+    def test_channel_is_cached_per_node(self, cluster):
+        assert cluster.node(2).channel(Tier.PERS_SSD) is cluster.node(2).channel(Tier.PERS_SSD)
+
+    def test_slot_counters_initialized(self, cluster):
+        node = cluster.node(0)
+        assert node.map_slots_free == cluster.spec.vm.map_slots
+        assert node.reduce_slots_free == cluster.spec.vm.reduce_slots
+
+    def test_node_lookup_bounds(self, cluster):
+        with pytest.raises(SimulationError, match="no node"):
+            cluster.node(99)
+
+    def test_n_nodes(self, cluster):
+        assert cluster.n_nodes == 4

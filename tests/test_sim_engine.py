@@ -1,0 +1,201 @@
+"""End-to-end job/workload/workflow simulation behaviours."""
+
+import pytest
+
+from repro.cloud.storage import Tier
+from repro.cloud.vm import ClusterSpec
+from repro.errors import SimulationError
+from repro.simulator.engine import (
+    cross_tier_transfer_seconds,
+    default_per_vm_capacity,
+    intermediate_tier_for,
+    simulate_job,
+    simulate_workflow,
+    simulate_workload,
+)
+from repro.simulator.hdfs import BlockPlacement
+from repro.workloads.apps import GREP, JOIN, KMEANS, SORT
+from repro.workloads.spec import JobSpec, WorkloadSpec
+from repro.workloads.workflow import Workflow, search_engine_workflow
+
+CAPS = {
+    Tier.EPH_SSD: {Tier.EPH_SSD: 375.0},
+    Tier.PERS_SSD: {Tier.PERS_SSD: 500.0},
+    Tier.PERS_HDD: {Tier.PERS_HDD: 500.0},
+    Tier.OBJ_STORE: {Tier.PERS_SSD: 250.0},
+}
+
+
+def sort_job(gb=50.0):
+    return JobSpec(job_id="sort", app=SORT, input_gb=gb)
+
+
+class TestIntermediateTier:
+    def test_block_tiers_keep_their_own_intermediate(self, provider):
+        for tier in (Tier.EPH_SSD, Tier.PERS_SSD, Tier.PERS_HDD):
+            assert intermediate_tier_for(provider, tier) is tier
+
+    def test_objstore_shuffles_through_persssd(self, provider):
+        assert intermediate_tier_for(provider, Tier.OBJ_STORE) is Tier.PERS_SSD
+
+
+class TestDefaultCapacity:
+    def test_objstore_gets_helper_volume(self, provider, char_cluster):
+        caps = default_per_vm_capacity(sort_job(), Tier.OBJ_STORE, char_cluster, provider)
+        assert caps[Tier.PERS_SSD] > 0
+
+    def test_eph_rounds_to_volumes(self, provider, char_cluster):
+        caps = default_per_vm_capacity(sort_job(2000.0), Tier.EPH_SSD, char_cluster, provider)
+        assert caps[Tier.EPH_SSD] % 375.0 == 0.0
+
+    def test_block_tier_gets_footprint_share(self, provider, char_cluster):
+        job = sort_job(5000.0)
+        caps = default_per_vm_capacity(job, Tier.PERS_SSD, char_cluster, provider)
+        assert caps[Tier.PERS_SSD] == pytest.approx(job.footprint_gb / 10)
+
+
+class TestSimulateJob:
+    def test_phases_ordered_and_positive(self, provider, char_cluster):
+        res = simulate_job(sort_job(), Tier.PERS_SSD, char_cluster, provider,
+                           per_vm_capacity_gb=CAPS[Tier.PERS_SSD])
+        assert res.map_s > 0
+        assert res.reduce_s > 0
+        assert res.download_s == 0.0
+        assert res.upload_s == 0.0
+        assert res.total_s == pytest.approx(res.map_s + res.reduce_s)
+
+    def test_eph_jobs_pay_staging(self, provider, char_cluster):
+        res = simulate_job(sort_job(), Tier.EPH_SSD, char_cluster, provider,
+                           per_vm_capacity_gb=CAPS[Tier.EPH_SSD])
+        assert res.download_s > 0
+        assert res.upload_s > 0
+
+    def test_staging_flags_disable_transfers(self, provider, char_cluster):
+        res = simulate_job(sort_job(), Tier.EPH_SSD, char_cluster, provider,
+                           per_vm_capacity_gb=CAPS[Tier.EPH_SSD],
+                           stage_in=False, stage_out=False)
+        assert res.download_s == 0.0
+        assert res.upload_s == 0.0
+
+    def test_faster_tier_finishes_sooner(self, provider, char_cluster):
+        ssd = simulate_job(sort_job(), Tier.PERS_SSD, char_cluster, provider,
+                           per_vm_capacity_gb=CAPS[Tier.PERS_SSD])
+        hdd = simulate_job(sort_job(), Tier.PERS_HDD, char_cluster, provider,
+                           per_vm_capacity_gb=CAPS[Tier.PERS_HDD])
+        assert hdd.total_s > ssd.total_s * 1.5
+
+    def test_capacity_scaling_speeds_io_jobs(self, provider, char_cluster):
+        small = simulate_job(sort_job(), Tier.PERS_SSD, char_cluster, provider,
+                             per_vm_capacity_gb={Tier.PERS_SSD: 100.0})
+        large = simulate_job(sort_job(), Tier.PERS_SSD, char_cluster, provider,
+                             per_vm_capacity_gb={Tier.PERS_SSD: 500.0})
+        assert small.total_s > large.total_s * 2
+
+    def test_cpu_bound_job_is_tier_insensitive(self, provider, char_cluster):
+        job = JobSpec(job_id="km", app=KMEANS, input_gb=50.0)
+        times = [
+            simulate_job(job, tier, char_cluster, provider,
+                         per_vm_capacity_gb=CAPS[tier]).processing_s
+            for tier in (Tier.PERS_SSD, Tier.PERS_HDD, Tier.OBJ_STORE)
+        ]
+        assert max(times) / min(times) < 1.1
+
+    def test_determinism(self, provider, char_cluster):
+        a = simulate_job(sort_job(), Tier.PERS_SSD, char_cluster, provider,
+                         per_vm_capacity_gb=CAPS[Tier.PERS_SSD])
+        b = simulate_job(sort_job(), Tier.PERS_SSD, char_cluster, provider,
+                         per_vm_capacity_gb=CAPS[Tier.PERS_SSD])
+        assert a.total_s == b.total_s
+        assert a.events == b.events
+
+    def test_block_placement_must_match_map_count(self, provider, char_cluster):
+        job = sort_job()
+        bp = BlockPlacement.uniform(job.map_tasks + 1, Tier.PERS_SSD)
+        with pytest.raises(SimulationError, match="placement"):
+            simulate_job(job, Tier.PERS_SSD, char_cluster, provider,
+                         block_placement=bp)
+
+    def test_output_tier_override(self, provider, char_cluster):
+        res = simulate_job(sort_job(), Tier.PERS_SSD, char_cluster, provider,
+                           per_vm_capacity_gb=CAPS[Tier.PERS_SSD],
+                           output_tier=Tier.EPH_SSD)
+        assert res.output_tier is Tier.EPH_SSD
+        assert res.upload_s > 0  # ephSSD output needs persistence
+
+
+class TestStragglers:
+    """The Fig. 5 mechanism at unit scale."""
+
+    def test_half_slow_blocks_dominate_runtime(self, provider):
+        cluster = ClusterSpec(n_vms=4)
+        job = JobSpec(job_id="g", app=GREP, input_gb=3.0, n_maps=12)
+        caps = {Tier.EPH_SSD: 375.0, Tier.PERS_HDD: 250.0}
+        pure_slow = simulate_job(job, Tier.EPH_SSD, cluster, provider,
+                                 per_vm_capacity_gb=caps,
+                                 block_placement=BlockPlacement.uniform(12, Tier.PERS_HDD))
+        hybrid = simulate_job(job, Tier.EPH_SSD, cluster, provider,
+                              per_vm_capacity_gb=caps,
+                              block_placement=BlockPlacement.fractional(
+                                  12, Tier.EPH_SSD, Tier.PERS_HDD, 0.5))
+        assert hybrid.map_s == pytest.approx(pure_slow.map_s, rel=0.02)
+
+
+class TestWorkload:
+    def test_sequential_makespan_is_sum(self, provider, char_cluster):
+        jobs = (sort_job(), JobSpec(job_id="g", app=GREP, input_gb=30.0))
+        wl = WorkloadSpec(jobs=jobs)
+        tiers = {"sort": Tier.PERS_SSD, "g": Tier.PERS_SSD}
+        res = simulate_workload(wl, tiers, char_cluster, provider,
+                                per_vm_capacity_gb=CAPS[Tier.PERS_SSD])
+        assert res.n_jobs == 2
+        assert res.makespan_s == pytest.approx(
+            sum(r.total_s for r in res.job_results)
+        )
+
+    def test_by_job_lookup(self, provider, char_cluster):
+        wl = WorkloadSpec(jobs=(sort_job(),))
+        res = simulate_workload(wl, {"sort": Tier.PERS_SSD}, char_cluster, provider,
+                                per_vm_capacity_gb=CAPS[Tier.PERS_SSD])
+        assert res.by_job()["sort"].job_id == "sort"
+
+
+class TestWorkflow:
+    def test_same_tier_workflow_has_no_transfers(self, provider, char_cluster):
+        wf = search_engine_workflow()
+        tiers = {j.job_id: Tier.PERS_SSD for j in wf.jobs}
+        res = simulate_workflow(wf, tiers, char_cluster, provider,
+                                per_vm_capacity_gb=CAPS[Tier.PERS_SSD])
+        assert res.transfer_s == 0.0
+
+    def test_cross_tier_edges_add_transfer_time(self, provider, char_cluster):
+        wf = search_engine_workflow()
+        tiers = {j.job_id: Tier.PERS_SSD for j in wf.jobs}
+        tiers["join-120g"] = Tier.PERS_HDD
+        res = simulate_workflow(wf, tiers, char_cluster, provider,
+                                per_vm_capacity_gb={Tier.PERS_SSD: 500.0,
+                                                    Tier.PERS_HDD: 500.0})
+        assert res.transfer_s > 0
+
+    def test_mid_dag_eph_jobs_skip_staging(self, provider, char_cluster):
+        wf = search_engine_workflow()
+        tiers = {j.job_id: Tier.EPH_SSD for j in wf.jobs}
+        res = simulate_workflow(wf, tiers, char_cluster, provider,
+                                per_vm_capacity_gb={Tier.EPH_SSD: 375.0})
+        by_job = res.by_job()
+        assert by_job["grep-250g"].download_s > 0      # root stages in
+        assert by_job["sort-120g"].download_s == 0.0   # mid-DAG warm
+        assert by_job["sort-120g"].upload_s == 0.0
+        assert by_job["join-120g"].upload_s > 0        # leaf persists
+
+    def test_transfer_seconds_zero_for_same_tier(self, provider, char_cluster):
+        assert cross_tier_transfer_seconds(
+            100.0, Tier.PERS_SSD, Tier.PERS_SSD, char_cluster, provider
+        ) == 0.0
+
+    def test_transfer_seconds_bottlenecked_by_slower_side(self, provider, char_cluster):
+        caps = {Tier.PERS_SSD: 500.0, Tier.PERS_HDD: 500.0}
+        t = cross_tier_transfer_seconds(
+            100.0, Tier.PERS_SSD, Tier.PERS_HDD, char_cluster, provider, caps
+        )
+        # 10 GB per node at the HDD's 97 MB/s.
+        assert t == pytest.approx(10_000.0 / 97.0, rel=0.01)

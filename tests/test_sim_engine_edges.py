@@ -1,0 +1,139 @@
+"""Simulator edge cases: tiny jobs, cross-tier outputs, phase clocks."""
+
+import pytest
+
+from repro.cloud.storage import Tier
+from repro.cloud.vm import ClusterSpec
+from repro.simulator.engine import simulate_job, simulate_workflow
+from repro.simulator.tasks import TASK_STARTUP_S
+from repro.workloads.apps import GREP, KMEANS, SORT
+from repro.workloads.spec import JobSpec
+from repro.workloads.workflow import Workflow
+
+
+class TestTinyJobs:
+    def test_single_map_job_completes(self, provider, char_cluster):
+        job = JobSpec(job_id="tiny", app=GREP, input_gb=0.25, n_maps=1)
+        res = simulate_job(job, Tier.PERS_SSD, char_cluster, provider,
+                           per_vm_capacity_gb={Tier.PERS_SSD: 100.0})
+        assert res.total_s > 2 * TASK_STARTUP_S  # map + reduce startups
+
+    def test_small_jobs_are_tier_insensitive(self, provider, char_cluster):
+        """§5.1.1: 'the runtime for small jobs is not sensitive to the
+        choice of storage tier'."""
+        job = JobSpec(job_id="bin1", app=GREP, input_gb=1.0, n_maps=1)
+        times = []
+        for tier, caps in [
+            (Tier.PERS_SSD, {Tier.PERS_SSD: 500.0}),
+            (Tier.PERS_HDD, {Tier.PERS_HDD: 500.0}),
+        ]:
+            times.append(
+                simulate_job(job, tier, char_cluster, provider,
+                             per_vm_capacity_gb=caps).processing_s
+            )
+        assert max(times) / min(times) < 2.0
+
+    def test_more_nodes_than_tasks_is_fine(self, provider):
+        big_cluster = ClusterSpec(n_vms=50)
+        job = JobSpec(job_id="wide", app=SORT, input_gb=2.0, n_maps=8)
+        res = simulate_job(job, Tier.PERS_SSD, big_cluster, provider,
+                           per_vm_capacity_gb={Tier.PERS_SSD: 100.0})
+        assert res.total_s > 0
+
+
+class TestCrossTierOutputs:
+    def test_output_to_block_tier_skips_upload(self, provider, char_cluster):
+        job = JobSpec(job_id="x", app=SORT, input_gb=20.0)
+        res = simulate_job(
+            job, Tier.EPH_SSD, char_cluster, provider,
+            per_vm_capacity_gb={Tier.EPH_SSD: 375.0, Tier.PERS_SSD: 500.0},
+            output_tier=Tier.PERS_SSD,
+        )
+        # Input staged in, but the persistent output needs no upload.
+        assert res.download_s > 0
+        assert res.upload_s == 0.0
+
+    def test_small_file_outputs_pay_connector_overheads(self, provider,
+                                                        char_cluster):
+        """A many-small-files app (Join, 150 objects per reduce task)
+        slows markedly when its output lands on objStore; a one-file
+        app (Sort) does not — per-request setup, not bandwidth, is the
+        object store's write penalty."""
+        from repro.workloads.apps import JOIN
+
+        def slowdown(app):
+            job = JobSpec(job_id="x", app=app, input_gb=20.0)
+            local = simulate_job(
+                job, Tier.PERS_SSD, char_cluster, provider,
+                per_vm_capacity_gb={Tier.PERS_SSD: 500.0},
+            )
+            remote = simulate_job(
+                job, Tier.PERS_SSD, char_cluster, provider,
+                per_vm_capacity_gb={Tier.PERS_SSD: 500.0},
+                output_tier=Tier.OBJ_STORE,
+            )
+            return remote.reduce_s / local.reduce_s
+
+        assert slowdown(JOIN) > 1.5
+        assert slowdown(SORT) < 1.2
+
+
+class TestWorkflowShapes:
+    def test_multi_root_workflow(self, provider, char_cluster):
+        a = JobSpec(job_id="rootA", app=GREP, input_gb=20.0)
+        b = JobSpec(job_id="rootB", app=GREP, input_gb=20.0)
+        c = JobSpec(job_id="joinC", app=SORT, input_gb=10.0)
+        wf = Workflow(name="two-roots", jobs=(a, b, c),
+                      edges=(("rootA", "joinC"), ("rootB", "joinC")),
+                      deadline_s=10_000.0)
+        res = simulate_workflow(
+            wf, {j.job_id: Tier.PERS_SSD for j in wf.jobs},
+            char_cluster, provider,
+            per_vm_capacity_gb={Tier.PERS_SSD: 500.0},
+        )
+        assert res.n_jobs == 3
+
+    def test_single_job_workflow_equals_plain_job(self, provider, char_cluster):
+        job = JobSpec(job_id="solo", app=KMEANS, input_gb=30.0)
+        wf = Workflow(name="solo-wf", jobs=(job,), edges=(), deadline_s=1e6)
+        caps = {Tier.PERS_HDD: 500.0}
+        wf_res = simulate_workflow(wf, {"solo": Tier.PERS_HDD},
+                                   char_cluster, provider,
+                                   per_vm_capacity_gb=caps)
+        job_res = simulate_job(job, Tier.PERS_HDD, char_cluster, provider,
+                               per_vm_capacity_gb=caps)
+        assert wf_res.makespan_s == pytest.approx(job_res.total_s)
+
+    def test_transfer_counted_once_per_edge(self, provider, char_cluster):
+        a = JobSpec(job_id="p", app=GREP, input_gb=40.0)
+        b = JobSpec(job_id="c1", app=SORT, input_gb=10.0)
+        c = JobSpec(job_id="c2", app=SORT, input_gb=10.0)
+        wf = Workflow(name="fanout", jobs=(a, b, c),
+                      edges=(("p", "c1"), ("p", "c2")), deadline_s=1e6)
+        caps = {Tier.PERS_SSD: 500.0, Tier.PERS_HDD: 500.0}
+        one_edge = simulate_workflow(
+            wf, {"p": Tier.PERS_SSD, "c1": Tier.PERS_HDD, "c2": Tier.PERS_SSD},
+            char_cluster, provider, per_vm_capacity_gb=caps,
+        )
+        two_edges = simulate_workflow(
+            wf, {"p": Tier.PERS_SSD, "c1": Tier.PERS_HDD, "c2": Tier.PERS_HDD},
+            char_cluster, provider, per_vm_capacity_gb=caps,
+        )
+        assert two_edges.transfer_s == pytest.approx(2 * one_edge.transfer_s)
+
+
+class TestPhaseClockConsistency:
+    def test_phase_durations_sum_to_total(self, provider, char_cluster):
+        job = JobSpec(job_id="sum", app=SORT, input_gb=50.0)
+        res = simulate_job(job, Tier.EPH_SSD, char_cluster, provider,
+                           per_vm_capacity_gb={Tier.EPH_SSD: 375.0})
+        assert res.total_s == pytest.approx(
+            res.download_s + res.map_s + res.reduce_s + res.upload_s
+        )
+
+    def test_events_counted(self, provider, char_cluster):
+        job = JobSpec(job_id="ev", app=GREP, input_gb=10.0)
+        res = simulate_job(job, Tier.PERS_SSD, char_cluster, provider,
+                           per_vm_capacity_gb={Tier.PERS_SSD: 500.0})
+        # At least read+compute+write legs per map task.
+        assert res.events >= job.map_tasks * 3

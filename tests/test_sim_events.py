@@ -1,0 +1,115 @@
+"""Discrete-event queue semantics."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulator.events import EventQueue
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        q = EventQueue()
+        log = []
+        q.schedule_at(5.0, lambda: log.append("late"))
+        q.schedule_at(1.0, lambda: log.append("early"))
+        q.schedule_at(3.0, lambda: log.append("mid"))
+        q.run()
+        assert log == ["early", "mid", "late"]
+
+    def test_simultaneous_events_fifo(self):
+        q = EventQueue()
+        log = []
+        for i in range(5):
+            q.schedule_at(1.0, lambda i=i: log.append(i))
+        q.run()
+        assert log == [0, 1, 2, 3, 4]
+
+    def test_now_advances_with_events(self):
+        q = EventQueue()
+        seen = []
+        q.schedule_at(2.5, lambda: seen.append(q.now))
+        q.run()
+        assert seen == [2.5]
+
+    def test_schedule_after_is_relative(self):
+        q = EventQueue()
+        seen = []
+
+        def first():
+            q.schedule_after(3.0, lambda: seen.append(q.now))
+
+        q.schedule_at(2.0, first)
+        q.run()
+        assert seen == [5.0]
+
+    def test_scheduling_into_the_past_rejected(self):
+        q = EventQueue()
+
+        def bad():
+            q.schedule_at(0.5, lambda: None)
+
+        q.schedule_at(1.0, bad)
+        with pytest.raises(SimulationError, match="past"):
+            q.run()
+
+    def test_negative_delay_rejected(self):
+        q = EventQueue()
+        with pytest.raises(SimulationError, match="negative"):
+            q.schedule_after(-1.0, lambda: None)
+
+
+class TestRun:
+    def test_run_returns_final_time(self):
+        q = EventQueue()
+        q.schedule_at(7.0, lambda: None)
+        assert q.run() == 7.0
+
+    def test_run_until_stops_early(self):
+        q = EventQueue()
+        log = []
+        q.schedule_at(1.0, lambda: log.append(1))
+        q.schedule_at(10.0, lambda: log.append(10))
+        assert q.run(until=5.0) == 5.0
+        assert log == [1]
+        assert len(q) == 1  # the late event is still pending
+
+    def test_events_can_schedule_events(self):
+        q = EventQueue()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 10:
+                q.schedule_after(1.0, tick)
+
+        q.schedule_at(0.0, tick)
+        q.run()
+        assert count[0] == 10
+        assert q.now == 9.0
+
+    def test_runaway_loop_detected(self):
+        q = EventQueue()
+
+        def forever():
+            q.schedule_after(0.0, forever)
+
+        q.schedule_at(0.0, forever)
+        with pytest.raises(SimulationError, match="events"):
+            q.run(max_events=1000)
+
+    def test_not_reentrant(self):
+        q = EventQueue()
+
+        def nested():
+            q.run()
+
+        q.schedule_at(0.0, nested)
+        with pytest.raises(SimulationError, match="reentrant"):
+            q.run()
+
+    def test_dispatch_counter(self):
+        q = EventQueue()
+        for i in range(4):
+            q.schedule_at(float(i), lambda: None)
+        q.run()
+        assert q.events_dispatched == 4

@@ -1,0 +1,72 @@
+"""Block placement (all-or-nothing vs fractional)."""
+
+import pytest
+
+from repro.cloud.storage import Tier
+from repro.errors import SimulationError
+from repro.simulator.hdfs import BlockPlacement
+
+
+class TestUniform:
+    def test_all_blocks_on_one_tier(self):
+        bp = BlockPlacement.uniform(8, Tier.EPH_SSD)
+        assert bp.n_blocks == 8
+        assert bp.distinct_tiers() == (Tier.EPH_SSD,)
+
+    def test_zero_blocks_rejected(self):
+        with pytest.raises(SimulationError):
+            BlockPlacement.uniform(0, Tier.EPH_SSD)
+
+
+class TestFractional:
+    def test_counts_match_fraction(self):
+        bp = BlockPlacement.fractional(24, Tier.EPH_SSD, Tier.PERS_HDD, 0.5)
+        counts = bp.tier_counts()
+        assert counts[Tier.EPH_SSD] == 12
+        assert counts[Tier.PERS_HDD] == 12
+
+    def test_clustered_layout_is_contiguous(self):
+        bp = BlockPlacement.fractional(10, Tier.EPH_SSD, Tier.PERS_HDD, 0.3)
+        assert bp.tiers[:3] == (Tier.EPH_SSD,) * 3
+        assert bp.tiers[3:] == (Tier.PERS_HDD,) * 7
+
+    def test_interleaved_layout_spreads_fast_blocks(self):
+        bp = BlockPlacement.fractional(
+            10, Tier.EPH_SSD, Tier.PERS_HDD, 0.5, layout="interleaved"
+        )
+        counts = bp.tier_counts()
+        assert counts[Tier.EPH_SSD] == 5
+        # Fast blocks must not all be contiguous.
+        fast_idx = [i for i, t in enumerate(bp.tiers) if t is Tier.EPH_SSD]
+        assert max(fast_idx) - min(fast_idx) > 4
+
+    def test_extreme_fractions_degenerate_to_uniform(self):
+        all_fast = BlockPlacement.fractional(6, Tier.EPH_SSD, Tier.PERS_HDD, 1.0)
+        all_slow = BlockPlacement.fractional(6, Tier.EPH_SSD, Tier.PERS_HDD, 0.0)
+        assert all_fast.distinct_tiers() == (Tier.EPH_SSD,)
+        assert all_slow.distinct_tiers() == (Tier.PERS_HDD,)
+
+    def test_fraction_out_of_range_rejected(self):
+        with pytest.raises(SimulationError):
+            BlockPlacement.fractional(4, Tier.EPH_SSD, Tier.PERS_HDD, 1.5)
+
+    def test_unknown_layout_rejected(self):
+        with pytest.raises(SimulationError, match="layout"):
+            BlockPlacement.fractional(4, Tier.EPH_SSD, Tier.PERS_HDD, 0.5, layout="zigzag")
+
+    def test_interleaved_counts_every_fraction(self):
+        for frac in (0.1, 0.3, 0.7, 0.9):
+            bp = BlockPlacement.fractional(
+                20, Tier.EPH_SSD, Tier.PERS_HDD, frac, layout="interleaved"
+            )
+            assert bp.tier_counts().get(Tier.EPH_SSD, 0) == round(20 * frac)
+
+
+class TestIntrospection:
+    def test_empty_placement_rejected(self):
+        with pytest.raises(SimulationError):
+            BlockPlacement(tiers=())
+
+    def test_distinct_tiers_first_appearance_order(self):
+        bp = BlockPlacement(tiers=(Tier.PERS_HDD, Tier.EPH_SSD, Tier.PERS_HDD))
+        assert bp.distinct_tiers() == (Tier.PERS_HDD, Tier.EPH_SSD)

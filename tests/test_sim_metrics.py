@@ -1,0 +1,62 @@
+"""Simulation result records and error hierarchy."""
+
+import pytest
+
+from repro.cloud.storage import Tier
+from repro.errors import (
+    CapacityError,
+    CastError,
+    CatalogError,
+    PlanError,
+    SimulationError,
+    SolverError,
+    WorkloadError,
+)
+from repro.simulator.metrics import JobSimResult, WorkloadSimResult
+
+
+def result(jid="j", dl=1.0, mp=2.0, rd=3.0, up=4.0):
+    return JobSimResult(
+        job_id=jid, input_tier=Tier.EPH_SSD, output_tier=Tier.EPH_SSD,
+        download_s=dl, map_s=mp, reduce_s=rd, upload_s=up,
+    )
+
+
+class TestJobSimResult:
+    def test_processing_excludes_staging(self):
+        assert result().processing_s == 5.0
+
+    def test_total_includes_everything(self):
+        assert result().total_s == 10.0
+
+
+class TestWorkloadSimResult:
+    def test_makespan_sums_jobs_and_transfers(self):
+        res = WorkloadSimResult(
+            job_results=(result("a"), result("b")), transfer_s=7.0
+        )
+        assert res.makespan_s == 27.0
+        assert res.n_jobs == 2
+
+    def test_by_job_index(self):
+        res = WorkloadSimResult(job_results=(result("a"), result("b")))
+        assert res.by_job()["b"].job_id == "b"
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [CatalogError, CapacityError, PlanError, SimulationError,
+         WorkloadError, SolverError],
+    )
+    def test_all_domain_errors_are_cast_errors(self, exc):
+        assert issubclass(exc, CastError)
+        with pytest.raises(CastError):
+            raise exc("boom")
+
+    def test_cast_error_not_caught_by_value_error(self):
+        with pytest.raises(CastError):
+            try:
+                raise PlanError("x")
+            except ValueError:  # pragma: no cover - must not match
+                pytest.fail("PlanError should not be a ValueError")

@@ -1,0 +1,139 @@
+"""Slot-based phase scheduler: waves, pins, completion."""
+
+import pytest
+
+from repro.cloud.vm import ClusterSpec, VMType
+from repro.errors import SimulationError
+from repro.simulator.cluster import SimCluster
+from repro.simulator.scheduler import PhaseRun
+
+
+def tiny_cluster(provider, n_vms=2, map_slots=2, reduce_slots=1):
+    vm = VMType(name="t", vcpus=4, memory_gb=8.0,
+                map_slots=map_slots, reduce_slots=reduce_slots)
+    return SimCluster(ClusterSpec(n_vms=n_vms, vm=vm), provider, {})
+
+
+def timed_task(duration):
+    """A task body that just sleeps on the event queue."""
+
+    def body(node, done):
+        node.cluster.queue.schedule_after(duration, done)
+
+    return body
+
+
+class TestWaves:
+    def test_tasks_beyond_slots_wait(self, provider):
+        cluster = tiny_cluster(provider)  # 4 map slots total
+        finished = []
+
+        def track(duration, label):
+            def body(node, done):
+                def complete():
+                    finished.append((label, node.cluster.queue.now))
+                    done()
+                node.cluster.queue.schedule_after(duration, complete)
+            return body
+
+        tasks = [track(10.0, i) for i in range(6)]
+        PhaseRun(cluster, "map", tasks, lambda: None).start()
+        cluster.queue.run()
+        times = dict(finished)
+        # First wave of 4 finishes at t=10, the remaining 2 at t=20.
+        assert sorted(times.values()) == [10.0] * 4 + [20.0] * 2
+
+    def test_phase_done_fires_once_after_last_task(self, provider):
+        cluster = tiny_cluster(provider)
+        done_at = []
+        tasks = [timed_task(float(i + 1)) for i in range(3)]
+        PhaseRun(cluster, "map", tasks, lambda: done_at.append(cluster.queue.now)).start()
+        cluster.queue.run()
+        assert done_at == [3.0]
+
+    def test_empty_phase_completes_immediately(self, provider):
+        cluster = tiny_cluster(provider)
+        done = []
+        PhaseRun(cluster, "map", [], lambda: done.append(True)).start()
+        cluster.queue.run()
+        assert done == [True]
+
+    def test_slots_released_after_phase(self, provider):
+        cluster = tiny_cluster(provider)
+        PhaseRun(cluster, "map", [timed_task(1.0) for _ in range(8)], lambda: None).start()
+        cluster.queue.run()
+        for node in cluster.nodes:
+            assert node.map_slots_free == cluster.spec.vm.map_slots
+
+    def test_reduce_phase_uses_reduce_slots(self, provider):
+        cluster = tiny_cluster(provider)  # 2 reduce slots total
+        done_at = []
+        tasks = [timed_task(10.0) for _ in range(4)]
+        PhaseRun(cluster, "reduce", tasks, lambda: done_at.append(cluster.queue.now)).start()
+        cluster.queue.run()
+        assert done_at == [20.0]  # two waves of two
+
+    def test_unknown_kind_rejected(self, provider):
+        cluster = tiny_cluster(provider)
+        with pytest.raises(SimulationError, match="kind"):
+            PhaseRun(cluster, "merge", [], lambda: None)
+
+    def test_double_start_rejected(self, provider):
+        cluster = tiny_cluster(provider)
+        run = PhaseRun(cluster, "map", [timed_task(1.0)], lambda: None)
+        run.start()
+        with pytest.raises(SimulationError, match="twice"):
+            run.start()
+
+
+class TestPins:
+    def test_pinned_tasks_run_on_their_node(self, provider):
+        cluster = tiny_cluster(provider, n_vms=3)
+        ran_on = []
+
+        def body(node, done):
+            ran_on.append(node.node_id)
+            node.cluster.queue.schedule_after(1.0, done)
+
+        pins = [2, 2, 0]
+        PhaseRun(cluster, "map", [body] * 3, lambda: None, pins=pins).start()
+        cluster.queue.run()
+        assert sorted(ran_on) == [0, 2, 2]
+
+    def test_pinned_tasks_queue_behind_local_slots(self, provider):
+        cluster = tiny_cluster(provider, n_vms=2, map_slots=1)
+        done_at = {}
+
+        def body(label):
+            def run(node, done):
+                def fin():
+                    done_at[label] = node.cluster.queue.now
+                    done()
+                node.cluster.queue.schedule_after(5.0, fin)
+            return run
+
+        # Three tasks all pinned to node 0 with one slot: serialized.
+        PhaseRun(
+            cluster, "map", [body(i) for i in range(3)], lambda: None, pins=[0, 0, 0]
+        ).start()
+        cluster.queue.run()
+        assert sorted(done_at.values()) == [5.0, 10.0, 15.0]
+
+    def test_mixed_pinned_and_free_tasks(self, provider):
+        cluster = tiny_cluster(provider, n_vms=2, map_slots=1)
+        count = []
+        tasks = [timed_task(1.0) for _ in range(4)]
+        PhaseRun(cluster, "map", tasks, lambda: count.append(True),
+                 pins=[0, None, 1, None]).start()
+        cluster.queue.run()
+        assert count == [True]
+
+    def test_pin_out_of_range_rejected(self, provider):
+        cluster = tiny_cluster(provider)
+        with pytest.raises(SimulationError, match="pin"):
+            PhaseRun(cluster, "map", [timed_task(1.0)], lambda: None, pins=[9])
+
+    def test_pin_count_mismatch_rejected(self, provider):
+        cluster = tiny_cluster(provider)
+        with pytest.raises(SimulationError, match="pins"):
+            PhaseRun(cluster, "map", [timed_task(1.0)], lambda: None, pins=[0, 1])

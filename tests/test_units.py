@@ -1,0 +1,67 @@
+"""Unit-conversion helpers: exactness and edge cases."""
+
+import math
+
+import pytest
+
+from repro.units import (
+    HOURS_PER_MONTH,
+    gb_to_mb,
+    mb_to_gb,
+    monthly_to_hourly_price,
+    seconds_to_hours_ceil,
+    seconds_to_minutes,
+    transfer_seconds,
+)
+
+
+class TestConversions:
+    def test_gb_to_mb_decimal(self):
+        assert gb_to_mb(1.0) == 1000.0
+
+    def test_mb_to_gb_roundtrip(self):
+        assert mb_to_gb(gb_to_mb(123.456)) == pytest.approx(123.456)
+
+    def test_seconds_to_minutes(self):
+        assert seconds_to_minutes(90.0) == 1.5
+
+    def test_monthly_price_uses_730_hours(self):
+        assert monthly_to_hourly_price(HOURS_PER_MONTH) == pytest.approx(1.0)
+
+
+class TestHoursCeil:
+    def test_zero_bills_zero_hours(self):
+        assert seconds_to_hours_ceil(0.0) == 0
+
+    def test_negative_bills_zero_hours(self):
+        assert seconds_to_hours_ceil(-5.0) == 0
+
+    def test_one_second_bills_one_hour(self):
+        assert seconds_to_hours_ceil(1.0) == 1
+
+    def test_exact_hour_bills_one_hour(self):
+        assert seconds_to_hours_ceil(3600.0) == 1
+
+    def test_hour_plus_epsilon_bills_two(self):
+        assert seconds_to_hours_ceil(3600.5) == 2
+
+    def test_paper_eq6_minutes_example(self):
+        # 263 minutes (the paper's persSSD-100% runtime) bills 5 hours.
+        assert seconds_to_hours_ceil(263 * 60.0) == 5
+
+
+class TestTransferSeconds:
+    def test_basic(self):
+        # 1 GB at 100 MB/s = 10 s.
+        assert transfer_seconds(1.0, 100.0) == pytest.approx(10.0)
+
+    def test_zero_size_is_instant(self):
+        assert transfer_seconds(0.0, 100.0) == 0.0
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            transfer_seconds(-1.0, 100.0)
+
+    def test_zero_bandwidth_rejected(self):
+        with pytest.raises(ValueError, match="bandwidth"):
+            transfer_seconds(1.0, 0.0)

@@ -1,0 +1,117 @@
+"""Application profiles (Table 2)."""
+
+import pytest
+
+from repro.workloads.apps import (
+    APP_CATALOG,
+    GREP,
+    JOIN,
+    KMEANS,
+    PAGERANK,
+    SORT,
+    SPLIT_GB,
+    AppProfile,
+    characterization_table,
+)
+
+
+class TestTable2Flags:
+    def test_sort_is_shuffle_intensive_only(self):
+        assert SORT.io_intensive_shuffle
+        assert not SORT.io_intensive_map
+        assert not SORT.io_intensive_reduce
+        assert not SORT.cpu_intensive
+
+    def test_join_is_shuffle_and_reduce_intensive(self):
+        assert JOIN.io_intensive_shuffle
+        assert JOIN.io_intensive_reduce
+        assert not JOIN.cpu_intensive
+
+    def test_grep_is_map_intensive_only(self):
+        assert GREP.io_intensive_map
+        assert not GREP.io_intensive_shuffle
+        assert not GREP.cpu_intensive
+
+    def test_kmeans_is_cpu_intensive_only(self):
+        assert KMEANS.cpu_intensive
+        assert not any(
+            (KMEANS.io_intensive_map, KMEANS.io_intensive_shuffle, KMEANS.io_intensive_reduce)
+        )
+
+    def test_pagerank_mirrors_kmeans(self):
+        # §3.1.3: Pagerank "exhibits the same behavior as KMeans".
+        assert PAGERANK.cpu_intensive
+        assert PAGERANK.cpu_map_mb_s < 20.0
+
+    def test_characterization_table_matches_paper_rows(self):
+        rows = characterization_table()
+        assert [r[0] for r in rows] == ["sort", "join", "grep", "kmeans"]
+        by_name = {r[0]: r[1:] for r in rows}
+        assert by_name["sort"] == (False, True, False, False)
+        assert by_name["join"] == (False, True, True, False)
+        assert by_name["grep"] == (True, False, False, False)
+        assert by_name["kmeans"] == (False, False, False, True)
+
+
+class TestDataDerivation:
+    def test_sort_selectivity_one(self):
+        # §4.2.1: Sort has a selectivity factor of one.
+        assert SORT.intermediate_gb(100.0) == pytest.approx(100.0)
+        assert SORT.output_gb(100.0) == pytest.approx(100.0)
+
+    def test_footprint_is_eq3_sum(self):
+        for app in APP_CATALOG.values():
+            fp = app.footprint_gb(50.0)
+            assert fp == pytest.approx(
+                50.0 + app.intermediate_gb(50.0) + app.output_gb(50.0)
+            )
+
+    def test_grep_reduces_data_massively(self):
+        assert GREP.intermediate_gb(100.0) < 1.0
+
+    def test_join_output_smaller_than_intermediate(self):
+        assert JOIN.output_gb(100.0) < JOIN.intermediate_gb(100.0)
+
+
+class TestTaskCounts:
+    def test_one_map_per_split(self):
+        assert SORT.map_tasks(10 * SPLIT_GB) == 10
+
+    def test_partial_split_rounds_up(self):
+        assert SORT.map_tasks(10 * SPLIT_GB + 0.01) == 11
+
+    def test_minimum_one_map(self):
+        assert SORT.map_tasks(0.001) == 1
+
+    def test_reduce_tasks_follow_fraction(self):
+        assert SORT.reduce_tasks(100) == round(SORT.reduce_fraction * 100)
+        assert GREP.reduce_tasks(100) >= 1
+
+    def test_minimum_one_reduce(self):
+        assert KMEANS.reduce_tasks(1) == 1
+
+
+class TestValidation:
+    def test_negative_selectivity_rejected(self):
+        with pytest.raises(ValueError):
+            AppProfile(
+                name="bad", map_selectivity=-1.0, reduce_selectivity=1.0,
+                cpu_map_mb_s=1.0, cpu_shuffle_mb_s=1.0, cpu_reduce_mb_s=1.0,
+                files_per_reduce_task=1, reduce_fraction=0.1,
+                io_intensive_map=False, io_intensive_shuffle=False,
+                io_intensive_reduce=False, cpu_intensive=False,
+            )
+
+    def test_zero_cpu_rate_rejected(self):
+        with pytest.raises(ValueError):
+            AppProfile(
+                name="bad", map_selectivity=1.0, reduce_selectivity=1.0,
+                cpu_map_mb_s=0.0, cpu_shuffle_mb_s=1.0, cpu_reduce_mb_s=1.0,
+                files_per_reduce_task=1, reduce_fraction=0.1,
+                io_intensive_map=False, io_intensive_shuffle=False,
+                io_intensive_reduce=False, cpu_intensive=False,
+            )
+
+    def test_catalog_keys_match_names(self):
+        for name, app in APP_CATALOG.items():
+            assert app.name == name

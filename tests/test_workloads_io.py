@@ -1,0 +1,143 @@
+"""Workload / workflow JSON serialization."""
+
+import json
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.io import (
+    load_json,
+    save_json,
+    workflow_from_dict,
+    workflow_to_dict,
+    workload_from_dict,
+    workload_to_dict,
+)
+from repro.workloads.spec import JobSpec, ReuseLifetime, ReuseSet, WorkloadSpec
+from repro.workloads.swim import synthesize_facebook_workload
+from repro.workloads.workflow import search_engine_workflow
+
+
+@pytest.fixture()
+def workload():
+    return WorkloadSpec(
+        jobs=(
+            JobSpec.make("a", "sort", 100.0, n_maps=100),
+            JobSpec.make("b", "grep", 50.0),
+        ),
+        reuse_sets=(
+            ReuseSet(job_ids=frozenset({"a", "b"}),
+                     lifetime=ReuseLifetime.LONG, n_accesses=3),
+        ),
+        name="io-test",
+    )
+
+
+class TestWorkloadRoundTrip:
+    def test_dict_round_trip_preserves_everything(self, workload):
+        back = workload_from_dict(workload_to_dict(workload))
+        assert back.name == workload.name
+        assert [j.job_id for j in back.jobs] == ["a", "b"]
+        assert back.job("a").n_maps == 100
+        assert back.job("b").n_maps is None
+        assert back.job("a").app.name == "sort"
+        rs = back.reuse_sets[0]
+        assert rs.job_ids == frozenset({"a", "b"})
+        assert rs.lifetime is ReuseLifetime.LONG
+        assert rs.n_accesses == 3
+
+    def test_file_round_trip(self, workload, tmp_path):
+        path = tmp_path / "wl.json"
+        save_json(workload, path)
+        back = load_json(path)
+        assert isinstance(back, WorkloadSpec)
+        assert back.job("a").input_gb == 100.0
+
+    def test_synthesized_workload_survives_round_trip(self, tmp_path):
+        wl = synthesize_facebook_workload()
+        path = tmp_path / "fb.json"
+        save_json(wl, path)
+        back = load_json(path)
+        assert back.n_jobs == 100
+        assert sorted(j.map_tasks for j in back.jobs) == sorted(
+            j.map_tasks for j in wl.jobs
+        )
+        assert len(back.reuse_sets) == len(wl.reuse_sets)
+
+    def test_json_is_stable_and_sorted(self, workload, tmp_path):
+        path = tmp_path / "wl.json"
+        save_json(workload, path)
+        a = path.read_text()
+        save_json(workload, path)
+        assert path.read_text() == a
+
+
+class TestWorkflowRoundTrip:
+    def test_dict_round_trip(self):
+        wf = search_engine_workflow(deadline_s=777.0)
+        back = workflow_from_dict(workflow_to_dict(wf))
+        assert back.name == wf.name
+        assert back.deadline_s == 777.0
+        assert set(back.edges) == set(wf.edges)
+        assert back.topological_order() == wf.topological_order()
+
+    def test_file_round_trip_dispatches_on_kind(self, tmp_path):
+        wf = search_engine_workflow()
+        path = tmp_path / "wf.json"
+        save_json(wf, path)
+        back = load_json(path)
+        assert back.n_jobs == 4
+
+
+class TestValidation:
+    def test_bad_version_rejected(self, workload):
+        data = workload_to_dict(workload)
+        data["version"] = 99
+        with pytest.raises(WorkloadError, match="version"):
+            workload_from_dict(data)
+
+    def test_kind_mismatch_rejected(self, workload):
+        data = workload_to_dict(workload)
+        data["kind"] = "workflow"
+        with pytest.raises(WorkloadError, match="kind"):
+            workload_from_dict(data)
+
+    def test_unknown_app_rejected(self, workload):
+        data = workload_to_dict(workload)
+        data["jobs"][0]["app"] = "teragen"
+        with pytest.raises(WorkloadError, match="unknown application"):
+            workload_from_dict(data)
+
+    def test_missing_job_field_rejected(self, workload):
+        data = workload_to_dict(workload)
+        del data["jobs"][0]["input_gb"]
+        with pytest.raises(WorkloadError, match="missing field"):
+            workload_from_dict(data)
+
+    def test_bad_lifetime_rejected(self, workload):
+        data = workload_to_dict(workload)
+        data["reuse_sets"][0]["lifetime"] = "fortnight"
+        with pytest.raises(WorkloadError, match="lifetime"):
+            workload_from_dict(data)
+
+    def test_workflow_missing_deadline_rejected(self):
+        data = workflow_to_dict(search_engine_workflow())
+        del data["deadline_s"]
+        with pytest.raises(WorkloadError, match="deadline"):
+            workflow_from_dict(data)
+
+    def test_invalid_json_file(self, tmp_path):
+        path = tmp_path / "garbage.json"
+        path.write_text("{not json")
+        with pytest.raises(WorkloadError, match="JSON"):
+            load_json(path)
+
+    def test_unknown_kind_file(self, tmp_path):
+        path = tmp_path / "odd.json"
+        path.write_text(json.dumps({"version": 1, "kind": "cluster"}))
+        with pytest.raises(WorkloadError, match="kind"):
+            load_json(path)
+
+    def test_unserializable_object_rejected(self, tmp_path):
+        with pytest.raises(WorkloadError, match="serialize"):
+            save_json(object(), tmp_path / "x.json")  # type: ignore[arg-type]

@@ -1,0 +1,124 @@
+"""SWIM / Facebook workload synthesis (Table 4)."""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.apps import GREP, JOIN, KMEANS, SORT
+from repro.workloads.spec import ReuseLifetime
+from repro.workloads.swim import (
+    FACEBOOK_BINS,
+    facebook_bin_table,
+    synthesize_facebook_workload,
+    synthesize_small_workload,
+)
+
+
+class TestBins:
+    def test_seven_bins(self):
+        assert len(FACEBOOK_BINS) == 7
+
+    def test_bin_job_counts_sum_to_100(self):
+        assert sum(b.jobs_in_workload for b in FACEBOOK_BINS) == 100
+
+    def test_paper_map_counts(self):
+        assert [b.maps_in_workload for b in FACEBOOK_BINS] == [1, 5, 10, 50, 500, 1500, 3000]
+
+    def test_paper_job_counts(self):
+        assert [b.jobs_in_workload for b in FACEBOOK_BINS] == [35, 22, 16, 13, 7, 4, 3]
+
+    def test_fb_percentages_on_merged_rows(self):
+        pct = [b.fb_jobs_pct for b in FACEBOOK_BINS]
+        assert pct[:2] == [None, None]
+        assert pct[2:] == [73.0, 13.0, 7.0, 4.0, 3.0]
+
+    def test_bin_table_rows(self):
+        rows = facebook_bin_table()
+        assert len(rows) == 7
+        assert rows[6]["maps_in_workload"] == 3000
+
+
+class TestFacebookWorkload:
+    def test_exactly_100_jobs(self, facebook_workload):
+        assert facebook_workload.n_jobs == 100
+
+    def test_map_histogram_matches_table4(self, facebook_workload):
+        counts = Counter(j.map_tasks for j in facebook_workload.jobs)
+        expected = {b.maps_in_workload: b.jobs_in_workload for b in FACEBOOK_BINS}
+        assert counts == expected
+
+    def test_apps_rotate_round_robin(self, facebook_workload):
+        apps = Counter(j.app.name for j in facebook_workload.jobs)
+        assert apps == {"sort": 25, "join": 25, "grep": 25, "kmeans": 25}
+
+    def test_fifteen_percent_share_input(self, facebook_workload):
+        sharing = sum(len(rs.job_ids) for rs in facebook_workload.reuse_sets)
+        assert 13 <= sharing <= 17  # ~15 of 100 jobs
+
+    def test_reuse_groups_are_same_size_jobs(self, facebook_workload):
+        for rs in facebook_workload.reuse_sets:
+            sizes = {facebook_workload.job(j).map_tasks for j in rs.job_ids}
+            assert len(sizes) == 1
+
+    def test_large_bins_carry_most_data(self, facebook_workload):
+        total = sum(j.input_gb for j in facebook_workload.jobs)
+        large = sum(j.input_gb for j in facebook_workload.jobs if j.map_tasks >= 500)
+        assert large / total > 0.90
+
+    def test_deterministic_default_seed(self):
+        a = synthesize_facebook_workload()
+        b = synthesize_facebook_workload()
+        assert [j.job_id for j in a.jobs] == [j.job_id for j in b.jobs]
+        assert [j.app.name for j in a.jobs] == [j.app.name for j in b.jobs]
+
+    def test_different_seeds_shuffle_assignment(self):
+        a = synthesize_facebook_workload(rng=np.random.default_rng(1))
+        b = synthesize_facebook_workload(rng=np.random.default_rng(2))
+        assert [j.map_tasks for j in a.jobs] != [j.map_tasks for j in b.jobs]
+
+    def test_gb_per_map_scales_inputs(self):
+        wl = synthesize_facebook_workload(gb_per_map=2.0)
+        for job in wl.jobs:
+            assert job.input_gb == pytest.approx(job.map_tasks * 2.0)
+
+    def test_reuse_lifetime_propagates(self):
+        wl = synthesize_facebook_workload(reuse_lifetime=ReuseLifetime.LONG)
+        assert all(rs.lifetime is ReuseLifetime.LONG for rs in wl.reuse_sets)
+
+    def test_zero_reuse_fraction(self):
+        wl = synthesize_facebook_workload(reuse_fraction=0.0)
+        assert wl.reuse_sets == ()
+
+    def test_bad_reuse_fraction_rejected(self):
+        with pytest.raises(WorkloadError):
+            synthesize_facebook_workload(reuse_fraction=1.5)
+
+    def test_bad_gb_per_map_rejected(self):
+        with pytest.raises(WorkloadError):
+            synthesize_facebook_workload(gb_per_map=0.0)
+
+    def test_empty_app_list_rejected(self):
+        with pytest.raises(WorkloadError):
+            synthesize_facebook_workload(apps=())
+
+
+class TestSmallWorkload:
+    def test_sixteen_jobs(self, small_workload):
+        assert small_workload.n_jobs == 16
+
+    def test_footprint_near_two_tb(self, small_workload):
+        assert small_workload.total_footprint_gb == pytest.approx(2000.0, rel=0.05)
+
+    def test_splits_are_production_sized(self, small_workload):
+        for job in small_workload.jobs:
+            assert job.input_gb / job.map_tasks == pytest.approx(1.0)
+
+    def test_mixed_apps(self, small_workload):
+        names = {j.app.name for j in small_workload.jobs}
+        assert names == {"sort", "join", "grep", "kmeans"}
+
+    def test_zero_jobs_rejected(self):
+        with pytest.raises(WorkloadError):
+            synthesize_small_workload(n_jobs=0)

@@ -1,0 +1,124 @@
+"""Workflow DAGs: structure, validation, the paper's instances."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.apps import GREP, SORT
+from repro.workloads.spec import JobSpec
+from repro.workloads.workflow import (
+    Workflow,
+    evaluation_workflow_suite,
+    search_engine_workflow,
+)
+
+
+def job(jid, gb=10.0, app=SORT):
+    return JobSpec(job_id=jid, app=app, input_gb=gb)
+
+
+class TestValidation:
+    def test_cycle_rejected(self):
+        with pytest.raises(WorkloadError, match="cycle"):
+            Workflow(
+                name="w", jobs=(job("a"), job("b")),
+                edges=(("a", "b"), ("b", "a")), deadline_s=60.0,
+            )
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(WorkloadError, match="self-loop"):
+            Workflow(name="w", jobs=(job("a"),), edges=(("a", "a"),), deadline_s=60.0)
+
+    def test_edge_to_unknown_job_rejected(self):
+        with pytest.raises(WorkloadError, match="unknown job"):
+            Workflow(name="w", jobs=(job("a"),), edges=(("a", "b"),), deadline_s=60.0)
+
+    def test_non_positive_deadline_rejected(self):
+        with pytest.raises(WorkloadError, match="deadline"):
+            Workflow(name="w", jobs=(job("a"),), edges=(), deadline_s=0.0)
+
+    def test_duplicate_jobs_rejected(self):
+        with pytest.raises(WorkloadError, match="duplicate"):
+            Workflow(name="w", jobs=(job("a"), job("a")), edges=(), deadline_s=60.0)
+
+
+class TestGraphViews:
+    @pytest.fixture()
+    def diamond(self):
+        return Workflow(
+            name="d",
+            jobs=(job("a"), job("b"), job("c"), job("d")),
+            edges=(("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")),
+            deadline_s=100.0,
+        )
+
+    def test_topological_order_respects_edges(self, diamond):
+        order = diamond.topological_order()
+        assert order.index("a") < order.index("b") < order.index("d")
+        assert order.index("a") < order.index("c") < order.index("d")
+
+    def test_roots_and_neighbors(self, diamond):
+        assert diamond.roots() == ["a"]
+        assert diamond.successors("a") == ["b", "c"]
+        assert diamond.predecessors("d") == ["b", "c"]
+
+    def test_critical_path(self, diamond):
+        durations = {"a": 10.0, "b": 5.0, "c": 20.0, "d": 1.0}
+        path, length = diamond.critical_path(durations)
+        assert path == ["a", "c", "d"]
+        assert length == pytest.approx(31.0)
+
+    def test_as_workload(self, diamond):
+        wl = diamond.as_workload()
+        assert wl.n_jobs == 4
+        assert wl.reuse_sets == ()
+
+    def test_job_lookup_missing(self, diamond):
+        with pytest.raises(WorkloadError):
+            diamond.job("zz")
+
+
+class TestSearchEngineWorkflow:
+    def test_fig4_structure(self):
+        wf = search_engine_workflow()
+        assert wf.n_jobs == 4
+        assert wf.roots() == ["grep-250g"]
+        assert set(wf.successors("grep-250g")) == {"pagerank-20g", "sort-120g"}
+        assert set(wf.predecessors("join-120g")) == {"pagerank-20g", "sort-120g"}
+
+    def test_fig4_job_sizes(self):
+        wf = search_engine_workflow()
+        assert wf.job("grep-250g").input_gb == 250.0
+        assert wf.job("pagerank-20g").input_gb == 20.0
+        assert wf.job("sort-120g").input_gb == 120.0
+        assert wf.job("join-120g").input_gb == 120.0
+
+    def test_custom_deadline(self):
+        assert search_engine_workflow(deadline_s=123.0).deadline_s == 123.0
+
+
+class TestEvaluationSuite:
+    def test_five_workflows_31_jobs(self):
+        suite = evaluation_workflow_suite()
+        assert len(suite) == 5
+        assert sum(w.n_jobs for w in suite) == 31
+
+    def test_longest_workflow_has_nine_jobs(self):
+        suite = evaluation_workflow_suite()
+        assert max(w.n_jobs for w in suite) == 9
+
+    def test_all_dags_valid_and_connected(self):
+        import networkx as nx
+
+        for wf in evaluation_workflow_suite():
+            g = wf.graph()
+            assert nx.is_directed_acyclic_graph(g)
+            assert nx.is_weakly_connected(g)
+
+    def test_unique_job_ids_across_suite(self):
+        ids = [j.job_id for wf in evaluation_workflow_suite() for j in wf.jobs]
+        assert len(ids) == len(set(ids))
+
+    def test_deadlines_positive_and_distinct_scales(self):
+        deadlines = [wf.deadline_s for wf in evaluation_workflow_suite()]
+        assert all(d > 0 for d in deadlines)
+        assert max(deadlines) / min(deadlines) > 2  # spans tight to loose
