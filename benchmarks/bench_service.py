@@ -1,0 +1,107 @@
+"""Planner-service throughput: mixed repeated/unique request stream.
+
+Pushes M requests through an in-process daemon — a mix of repeated
+workloads (cache + single-flight territory) and unique ones (real
+solves) — and reports requests/sec, the cache hit rate, and p50/p95
+latency.  This is the service-layer perf baseline later PRs compare
+against; run with ``-s`` to see the numbers.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+from repro.service import PlannerClient, PlannerServer, SolverPool
+from repro.workloads.io import workload_to_dict
+from repro.workloads.swim import synthesize_small_workload
+
+N_REQUESTS = 24
+UNIQUE_SEEDS = 4          # every 6th request is a fresh solve
+ITERATIONS = 60           # small budget: the *service* is under test
+CONCURRENCY = 6
+
+
+def _percentile(values, q):
+    ordered = sorted(values)
+    idx = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[idx]
+
+
+async def _drive(server):
+    spec = workload_to_dict(synthesize_small_workload(n_jobs=6))
+    host, port = server.address
+    latencies = []
+    sem = asyncio.Semaphore(CONCURRENCY)
+
+    async def one(i):
+        seed = i % UNIQUE_SEEDS  # repeats hammer the cache/dedup paths
+        async with sem:
+            async with PlannerClient(host, port) as client:
+                t0 = time.perf_counter()
+                result = await client.plan(
+                    spec, n_vms=5, iterations=ITERATIONS, seed=seed
+                )
+                latencies.append(time.perf_counter() - t0)
+                return result["cached"]
+
+    t0 = time.perf_counter()
+    cached_flags = await asyncio.gather(*(one(i) for i in range(N_REQUESTS)))
+    elapsed = time.perf_counter() - t0
+    return latencies, elapsed, sum(cached_flags)
+
+
+def run_service_benchmark():
+    """Returns (throughput_rps, hit_rate, p50_s, p95_s, stats)."""
+
+    async def scenario():
+        server = PlannerServer(
+            pool=SolverPool(processes=0, restarts=2), max_inflight=CONCURRENCY
+        )
+        await server.start()
+        serve_task = asyncio.create_task(server.serve_forever())
+        try:
+            latencies, elapsed, _ = await _drive(server)
+            stats = server.stats()
+        finally:
+            serve_task.cancel()
+            try:
+                await serve_task
+            except asyncio.CancelledError:
+                pass
+            await server.stop()
+        return latencies, elapsed, stats
+
+    latencies, elapsed, stats = asyncio.run(scenario())
+    cache = stats["cache"]
+    lookups = cache["hits"] + cache["misses"]
+    hit_rate = cache["hits"] / lookups if lookups else 0.0
+    return (
+        N_REQUESTS / elapsed,
+        hit_rate,
+        _percentile(latencies, 0.50),
+        _percentile(latencies, 0.95),
+        stats,
+    )
+
+
+def test_bench_service_throughput(once):
+    rps, hit_rate, p50, p95, stats = once(run_service_benchmark)
+    print(
+        f"\nservice: {N_REQUESTS} requests ({UNIQUE_SEEDS} unique) -> "
+        f"{rps:.1f} req/s  cache-hit {hit_rate:.0%}  "
+        f"p50 {p50 * 1e3:.0f} ms  p95 {p95 * 1e3:.0f} ms"
+    )
+    print(
+        f"solves {stats['counters']['solves_ok']}, "
+        f"dedup joins {stats['counters']['dedup_joined']}, "
+        f"restart tasks {stats['pool']['tasks_completed']}"
+    )
+    # The stream repeats each unique request 6x: exactly one solve per
+    # unique request, and every repeat is served by the cache or by
+    # joining an inflight solve (the hit/join split is timing-dependent).
+    assert stats["counters"]["solves_ok"] == UNIQUE_SEEDS
+    hits = stats["cache"]["hits"]
+    joins = stats["counters"]["dedup_joined"]
+    assert hits + joins == N_REQUESTS - UNIQUE_SEEDS
+    assert rps > 0

@@ -1,0 +1,110 @@
+#!/usr/bin/env python
+"""Quickstart for the planner service: serve, submit, hit the cache.
+
+Spins the planner daemon up *in-process* (a background thread running
+its asyncio loop — no sockets to pre-arrange, the OS picks a port),
+then drives it like a tenant would:
+
+1. submit the small synthetic workload → a multi-start solve on the pool;
+2. submit it again → answered from the plan cache, no solver work;
+3. submit two identical requests concurrently → single-flight dedup
+   collapses them into one solve;
+4. read the ``stats`` op and show the cache/dedup counters.
+
+Run:
+    python examples/service_quickstart.py
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+from repro.service import PlannerClient, PlannerServer, SolverPool, SyncPlannerClient
+from repro.workloads import synthesize_small_workload
+from repro.workloads.io import workload_to_dict
+
+
+def start_server_in_thread():
+    """Run a PlannerServer on a daemon thread; return (server, stopper)."""
+    started = threading.Event()
+    box = {}
+
+    def body() -> None:
+        async def serve() -> None:
+            # Thread-mode pool: no fork needed for a demo this small.
+            server = PlannerServer(pool=SolverPool(processes=0, restarts=2))
+            await server.start()
+            box["server"] = server
+            box["loop"] = asyncio.get_running_loop()
+            box["stop"] = asyncio.Event()
+            started.set()
+            await box["stop"].wait()
+            await server.stop()
+
+        asyncio.run(serve())
+
+    thread = threading.Thread(target=body, daemon=True)
+    thread.start()
+    started.wait(timeout=30)
+
+    def stopper() -> None:
+        box["loop"].call_soon_threadsafe(box["stop"].set)
+        thread.join(timeout=30)
+
+    return box["server"], stopper
+
+
+def main() -> None:
+    server, stop_server = start_server_in_thread()
+    host, port = server.address
+    print(f"planner daemon up on {host}:{port} "
+          f"(equivalent CLI: cast-plan serve)\n")
+
+    workload = synthesize_small_workload()
+    spec = workload_to_dict(workload)
+    client = SyncPlannerClient(host, port)
+    knobs = dict(n_vms=10, iterations=600, seed=42)
+
+    result = client.plan(spec, **knobs)
+    print(f"submit #1: solved in {result['solve_seconds']:.2f}s — "
+          f"{result['restarts']} restarts, best was #{result['best_restart']}, "
+          f"utility {result['utility']:.3e}")
+
+    result2 = client.plan(spec, **knobs)
+    print(f"submit #2: cached={result2['cached']} — identical plan, "
+          f"zero solver work")
+    assert result2["plan"] == result["plan"]
+
+    async def concurrent_pair() -> None:
+        async with PlannerClient(host, port) as c1, PlannerClient(host, port) as c2:
+            await asyncio.gather(
+                c1.plan(spec, seed=7, **{k: v for k, v in knobs.items() if k != "seed"}),
+                c2.plan(spec, seed=7, **{k: v for k, v in knobs.items() if k != "seed"}),
+            )
+
+    asyncio.run(concurrent_pair())
+    print("submit #3+#4: concurrent identical requests "
+          "(single-flight: one solve, both answered)")
+
+    stats = client.stats()
+    cache, counters = stats["cache"], stats["counters"]
+    print(f"\nserver stats after 4 submissions:")
+    print(f"  solves run        : {counters['solves_ok']}")
+    print(f"  cache hits/misses : {cache['hits']}/{cache['misses']}")
+    print(f"  single-flight join: {counters['dedup_joined']}")
+    print(f"  pool              : {stats['pool']['processes']} workers, "
+          f"{stats['pool']['tasks_completed']} restart tasks")
+
+    tiers = sorted(
+        {p["tier"] for p in result["plan"]["placements"].values()}
+    )
+    print(f"\nplan places {len(result['plan']['placements'])} jobs "
+          f"across tiers: {', '.join(tiers)}")
+
+    stop_server()
+    print("daemon drained and stopped")
+
+
+if __name__ == "__main__":
+    main()

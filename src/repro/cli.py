@@ -6,6 +6,14 @@ Subcommands
 ``plan``
     Synthesize (or read) a workload, run CAST/CAST++ and print the
     tiering plan with its predicted utility/cost.
+``serve``
+    Run the planner daemon: an asyncio TCP service with a plan cache,
+    single-flight dedup and a multi-start solver pool
+    (:mod:`repro.service`).  Stop with Ctrl-C.
+``submit``
+    Send a workload to a running daemon and print the plan exactly as
+    ``plan`` would; repeated submissions of the same workload are
+    answered from the server's cache.
 ``experiment``
     Regenerate one of the paper's tables/figures or an ablation
     (``table1 table2 table4 fig1 fig2 fig3 fig4 fig5 fig7 fig8 fig9
@@ -31,18 +39,15 @@ import sys
 from typing import Callable, Dict, List, Optional, Sequence
 
 from . import plan_workload
-from .cloud.aws import aws_2015
-from .cloud.provider import google_cloud_2015
+from .cloud import PROVIDER_FACTORIES as _PROVIDERS
+from .cloud import resolve_provider as _resolve_provider
 from .errors import CastError
 from .workloads.io import load_json
 from .workloads.spec import WorkloadSpec
 from .workloads.swim import synthesize_facebook_workload, synthesize_small_workload
 
-_PROVIDERS = {"google": google_cloud_2015, "aws": aws_2015}
-
-
-def _resolve_provider(name: str):
-    return _PROVIDERS[name]()
+#: Default TCP port of the planner daemon (``serve``/``submit``).
+DEFAULT_SERVICE_PORT = 4815
 
 
 def _resolve_workload(args: argparse.Namespace):
@@ -77,6 +82,52 @@ def _cmd_catalog(args: argparse.Namespace) -> int:
     return 0
 
 
+def _render_plan(
+    solver_name: str,
+    workload: WorkloadSpec,
+    n_vms: int,
+    plan,
+    *,
+    utility: float,
+    makespan_min: float,
+    cost_total: float,
+    cost_vm: float,
+    cost_storage: float,
+    verbose: bool,
+    out: Optional[str],
+) -> None:
+    """The shared plan rendering used by both ``plan`` and ``submit``."""
+    print(f"{solver_name} plan for {workload.name} ({workload.n_jobs} jobs, {n_vms} VMs)")
+    print(
+        f"predicted: T={makespan_min:.1f} min  cost=${cost_total:.2f} "
+        f"(vm ${cost_vm:.2f} + storage ${cost_storage:.2f})  "
+        f"utility={utility:.3e}"
+    )
+    if verbose:
+        print(f"{'job':12s} {'app':8s} {'input(GB)':>10s} {'tier':>9s} {'cap(GB)':>9s}")
+        for job in workload.jobs:
+            p = plan.placement(job.job_id)
+            print(
+                f"{job.job_id:12s} {job.app.name:8s} {job.input_gb:10.1f} "
+                f"{p.tier.value:>9s} {p.capacity_gb:9.1f}"
+            )
+    else:
+        mix: Dict[str, float] = {}
+        for tier, gb in plan.aggregate_capacity_gb().items():
+            mix[tier.value] = gb
+        total = sum(mix.values())
+        shares = ", ".join(f"{k}: {v / total:.0%}" for k, v in sorted(mix.items()))
+        print(f"capacity mix: {shares}  (use --verbose for per-job placements)")
+    if out:
+        import json
+        from pathlib import Path
+
+        Path(out).write_text(
+            json.dumps(plan.to_dict(), indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote plan to {out}")
+
+
 def _cmd_plan(args: argparse.Namespace) -> int:
     try:
         workload = _resolve_workload(args)
@@ -92,36 +143,114 @@ def _cmd_plan(args: argparse.Namespace) -> int:
         seed=args.seed,
     )
     ev = outcome.evaluation
-    solver_name = "CAST" if args.basic else "CAST++"
-    print(f"{solver_name} plan for {workload.name} ({workload.n_jobs} jobs, {args.vms} VMs)")
-    print(
-        f"predicted: T={ev.makespan_min:.1f} min  cost=${ev.cost.total_usd:.2f} "
-        f"(vm ${ev.cost.vm_usd:.2f} + storage ${ev.cost.storage_usd:.2f})  "
-        f"utility={ev.utility:.3e}"
+    _render_plan(
+        "CAST" if args.basic else "CAST++",
+        workload,
+        args.vms,
+        outcome.plan,
+        utility=ev.utility,
+        makespan_min=ev.makespan_min,
+        cost_total=ev.cost.total_usd,
+        cost_vm=ev.cost.vm_usd,
+        cost_storage=ev.cost.storage_usd,
+        verbose=args.verbose,
+        out=args.out,
     )
-    if args.verbose:
-        print(f"{'job':12s} {'app':8s} {'input(GB)':>10s} {'tier':>9s} {'cap(GB)':>9s}")
-        for job in workload.jobs:
-            p = outcome.plan.placement(job.job_id)
-            print(
-                f"{job.job_id:12s} {job.app.name:8s} {job.input_gb:10.1f} "
-                f"{p.tier.value:>9s} {p.capacity_gb:9.1f}"
-            )
-    else:
-        mix: Dict[str, float] = {}
-        for tier, gb in outcome.plan.aggregate_capacity_gb().items():
-            mix[tier.value] = gb
-        total = sum(mix.values())
-        shares = ", ".join(f"{k}: {v / total:.0%}" for k, v in sorted(mix.items()))
-        print(f"capacity mix: {shares}  (use --verbose for per-job placements)")
-    if args.out:
-        import json
-        from pathlib import Path
+    return 0
 
-        Path(args.out).write_text(
-            json.dumps(outcome.plan.to_dict(), indent=2, sort_keys=True) + "\n"
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .service import PlannerServer, SolverPool
+
+    async def run() -> None:
+        server = PlannerServer(
+            host=args.host,
+            port=args.port,
+            pool=SolverPool(processes=args.pool_processes, restarts=args.restarts),
+            cache_size=args.cache_size,
+            max_inflight=args.max_inflight,
+            max_queue=args.max_queue,
+            request_timeout_s=args.request_timeout,
         )
-        print(f"wrote plan to {args.out}")
+        await server.start()
+        host, port = server.address
+        print(
+            f"cast-plan planner listening on {host}:{port} "
+            f"(pool={server.pool.processes} procs, restarts={server.pool.restarts}, "
+            f"cache={server.cache.capacity}) — Ctrl-C to stop",
+            flush=True,
+        )
+        try:
+            # Ctrl-C cancels this task (asyncio.run's SIGINT handler);
+            # the cancellation must propagate after the drain so
+            # asyncio.run re-raises KeyboardInterrupt and main() can
+            # exit 130.
+            await server.serve_forever()
+        finally:
+            await server.stop()
+
+    asyncio.run(run())
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from .core.plan import TieringPlan
+    from .service.client import SyncPlannerClient
+    from .workloads.io import workload_to_dict
+
+    try:
+        workload = _resolve_workload(args)
+    except CastError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    client = SyncPlannerClient(host=args.host, port=args.port)
+    try:
+        result = client.plan(
+            workload_to_dict(workload),
+            provider=args.provider,
+            n_vms=args.vms,
+            iterations=args.iterations,
+            seed=args.seed,
+            use_castpp=not args.basic,
+            restarts=args.restarts,
+        )
+    except ConnectionRefusedError:
+        print(
+            f"no planner at {args.host}:{args.port} — start one with "
+            f"'cast-plan serve'",
+            file=sys.stderr,
+        )
+        return 2
+    _render_plan(
+        result.get("solver", "CAST++"),
+        workload,
+        args.vms,
+        TieringPlan.from_dict(result["plan"]),
+        utility=result["utility"],
+        makespan_min=result["makespan_min"],
+        cost_total=result["cost_total_usd"],
+        cost_vm=result["cost_vm_usd"],
+        cost_storage=result["cost_storage_usd"],
+        verbose=args.verbose,
+        out=args.out,
+    )
+    origin = "cache" if result.get("cached") else (
+        f"solved in {result.get('solve_seconds', 0.0):.2f}s, "
+        f"{result.get('restarts', 1)} restarts (best: #{result.get('best_restart', 0)})"
+    )
+    print(f"served from {origin}  [{result.get('fingerprint', '')[:12]}]")
+    if args.show_stats:
+        stats = client.stats()
+        cache = stats["cache"]
+        counters = stats["counters"]
+        print(
+            f"server stats: cache hits={cache['hits']} misses={cache['misses']} "
+            f"evictions={cache['evictions']} size={cache['size']}/{cache['capacity']}  "
+            f"singleflight joins={counters['dedup_joined']}  "
+            f"solves={counters['solves_ok']}"
+        )
     return 0
 
 
@@ -261,6 +390,43 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write the plan as JSON to this file")
     p_plan.set_defaults(func=_cmd_plan)
 
+    p_serve = sub.add_parser("serve", help="run the planner daemon")
+    p_serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    p_serve.add_argument("--port", type=int, default=DEFAULT_SERVICE_PORT,
+                         help="TCP port (0 picks a free one)")
+    p_serve.add_argument("--pool-processes", type=int, default=None,
+                         help="solver worker processes (0 = threads)")
+    p_serve.add_argument("--restarts", type=int, default=4,
+                         help="annealing restarts per solve")
+    p_serve.add_argument("--cache-size", type=int, default=128,
+                         help="plan-cache capacity (entries)")
+    p_serve.add_argument("--max-inflight", type=int, default=4,
+                         help="concurrent solves before queueing")
+    p_serve.add_argument("--max-queue", type=int, default=64,
+                         help="queued solves before shedding requests")
+    p_serve.add_argument("--request-timeout", type=float, default=600.0,
+                         help="per-solve deadline in seconds")
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_submit = sub.add_parser("submit",
+                              help="submit a workload to a running daemon")
+    _add_workload_args(p_submit)
+    p_submit.add_argument("--vms", type=int, default=25, help="cluster size")
+    p_submit.add_argument("--basic", action="store_true",
+                          help="use basic CAST instead of CAST++")
+    p_submit.add_argument("--verbose", action="store_true",
+                          help="print per-job placements")
+    p_submit.add_argument("--out", default=None,
+                          help="write the plan as JSON to this file")
+    p_submit.add_argument("--host", default="127.0.0.1", help="daemon address")
+    p_submit.add_argument("--port", type=int, default=DEFAULT_SERVICE_PORT,
+                          help="daemon TCP port")
+    p_submit.add_argument("--restarts", type=int, default=None,
+                          help="annealing restarts (default: server's)")
+    p_submit.add_argument("--show-stats", action="store_true",
+                          help="also print server cache/dedup counters")
+    p_submit.set_defaults(func=_cmd_submit)
+
     p_size = sub.add_parser("size", help="sweep cluster sizes for a workload")
     _add_workload_args(p_size)
     p_size.add_argument("--sizes", default="5,10,25",
@@ -281,10 +447,24 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point."""
+    """CLI entry point.
+
+    Ctrl-C is the normal way to stop ``serve``, so ``KeyboardInterrupt``
+    exits cleanly with the conventional 130 instead of a traceback, and
+    any :class:`CastError` (unknown provider, malformed workload file,
+    service-side failures relayed by ``submit``) prints one line and
+    exits 2.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return 130
+    except CastError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

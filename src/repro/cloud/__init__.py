@@ -5,6 +5,9 @@ catalog, Jan 2015), the Eq. 5/6 pricing model, and the capacity→
 performance scaling behaviour of network-attached block volumes.
 """
 
+from typing import Callable, Dict
+
+from ..errors import CatalogError
 from .aws import C3_4XLARGE, aws_2015
 from .pricing import PriceBook, google_cloud_2015_pricebook
 from .provider import CloudProvider, google_cloud_2015
@@ -19,9 +22,32 @@ from .vm import (
     VMType,
 )
 
+#: Provider catalogs addressable by name (CLI ``--provider``, service
+#: requests).  Factories, not instances: providers are cheap to build
+#: and callers may mutate prices in what-if sweeps.
+PROVIDER_FACTORIES: Dict[str, Callable[[], CloudProvider]] = {
+    "google": google_cloud_2015,
+    "aws": aws_2015,
+}
+
+
+def resolve_provider(name: str) -> CloudProvider:
+    """Instantiate the named catalog, raising :class:`CatalogError`
+    (not ``KeyError``) for unknown names."""
+    try:
+        factory = PROVIDER_FACTORIES[name]
+    except KeyError:
+        raise CatalogError(
+            f"unknown provider {name!r}; known: {sorted(PROVIDER_FACTORIES)}"
+        ) from None
+    return factory()
+
+
 __all__ = [
     "CloudProvider",
     "google_cloud_2015",
+    "PROVIDER_FACTORIES",
+    "resolve_provider",
     "aws_2015",
     "C3_4XLARGE",
     "PriceBook",

@@ -41,7 +41,12 @@ from .plan import Placement, TieringPlan
 from .solver import CAPACITY_MULTIPLIERS, CastSolver
 from .utility import PlanEvaluation, evaluate_plan, per_vm_capacity
 
-__all__ = ["WorkflowEvaluation", "evaluate_workflow_plan", "CastPlusPlus"]
+__all__ = [
+    "WorkflowEvaluation",
+    "evaluate_workflow_plan",
+    "CastPlusPlus",
+    "solve_workflow_request",
+]
 
 
 # ---------------------------------------------------------------------------
@@ -309,3 +314,63 @@ class CastPlusPlus(CastSolver):
     ) -> Dict[str, AnnealingResult[TieringPlan]]:
         """Optimize every workflow in a suite independently."""
         return {wf.name: self.solve_workflow(wf) for wf in workflows}
+
+
+# ---------------------------------------------------------------------------
+# Pure solve entry point (planner-service workers)
+# ---------------------------------------------------------------------------
+
+
+def solve_workflow_request(
+    workflow: Mapping[str, object],
+    provider: str = "google",
+    n_vms: int = 25,
+    iterations: int = 3000,
+    seed: int = 42,
+) -> Dict[str, object]:
+    """Deadline-optimize one workflow request, primitives in/out.
+
+    The workflow-shaped twin of
+    :func:`~repro.core.solver.solve_workload_request`: module-level and
+    JSON-typed at both ends so it pickles into process-pool workers.
+    ``utility`` is the Eq. 8 objective value (``-cost`` when the
+    deadline is met, the penalty-shaped value otherwise) so multi-start
+    selection can compare restarts uniformly across request kinds.
+    """
+    from ..cloud import resolve_provider
+    from ..cloud.vm import ClusterSpec
+    from ..profiler import build_model_matrix
+    from ..workloads.io import workflow_from_dict
+
+    wf = workflow_from_dict(dict(workflow))
+    prov = resolve_provider(provider)
+    cluster = ClusterSpec(n_vms=int(n_vms), vm=prov.default_vm)
+    matrix = build_model_matrix(provider=prov, cluster_spec=cluster)
+    solver = CastPlusPlus(
+        cluster_spec=cluster,
+        matrix=matrix,
+        provider=prov,
+        schedule=AnnealingSchedule(iter_max=int(iterations)),
+        seed=int(seed),
+    )
+    result = solver.solve_workflow(wf)
+    ev = evaluate_workflow_plan(wf, result.best_state, cluster, matrix, prov)
+    return {
+        "kind": "workflow-plan",
+        "workflow_name": wf.name,
+        "n_jobs": wf.n_jobs,
+        "n_vms": int(n_vms),
+        "provider": provider,
+        "solver": "CAST++",
+        "seed": int(seed),
+        "iterations": int(iterations),
+        "utility": result.best_utility,
+        "makespan_s": ev.makespan_s,
+        "transfer_s": ev.transfer_s,
+        "deadline_s": ev.deadline_s,
+        "meets_deadline": ev.meets_deadline,
+        "cost_total_usd": ev.cost.total_usd,
+        "cost_vm_usd": ev.cost.vm_usd,
+        "cost_storage_usd": ev.cost.storage_usd,
+        "plan": result.best_state.to_dict(),
+    }

@@ -12,7 +12,7 @@ payoff justifies the bill (§3.1.2's "careful over-provisioning").
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -26,7 +26,7 @@ from .greedy import greedy_exact_fit
 from .plan import Placement, TieringPlan
 from .utility import PlanEvaluation, evaluate_plan
 
-__all__ = ["CastSolver", "CAPACITY_MULTIPLIERS"]
+__all__ = ["CastSolver", "CAPACITY_MULTIPLIERS", "solve_workload_request"]
 
 #: Capacity over-provisioning levels the solver may try per job.
 CAPACITY_MULTIPLIERS: Tuple[float, ...] = (1.0, 1.25, 1.5, 2.0, 3.0, 4.0)
@@ -174,3 +174,59 @@ class CastSolver:
             workload, plan, self.cluster_spec, self.matrix, self.provider,
             reuse_aware=reuse_aware,
         )
+
+
+# ---------------------------------------------------------------------------
+# Pure solve entry point (planner-service workers)
+# ---------------------------------------------------------------------------
+
+
+def solve_workload_request(
+    workload: Mapping[str, Any],
+    provider: str = "google",
+    n_vms: int = 25,
+    iterations: int = 3000,
+    seed: int = 42,
+    use_castpp: bool = True,
+) -> Dict[str, Any]:
+    """Solve one workload request end to end, primitives in, primitives out.
+
+    Every argument and the whole return value are plain JSON-compatible
+    types, and the function is module-level, so it pickles cleanly into
+    a ``ProcessPoolExecutor`` worker (the planner service's multi-start
+    pool) and needs no shared state with the parent process.
+
+    Raises :class:`~repro.errors.CastError` subclasses for malformed
+    workloads, unknown providers, or infeasible solves — callers map
+    these to typed error payloads.
+    """
+    from .. import plan_workload  # late: repro/__init__ imports this module
+    from ..cloud import resolve_provider
+    from ..workloads.io import workload_from_dict
+
+    spec = workload_from_dict(dict(workload))
+    outcome = plan_workload(
+        spec,
+        n_vms=int(n_vms),
+        provider=resolve_provider(provider),
+        use_castpp=bool(use_castpp),
+        iterations=int(iterations),
+        seed=int(seed),
+    )
+    ev = outcome.evaluation
+    return {
+        "kind": "plan",
+        "workload_name": spec.name,
+        "n_jobs": spec.n_jobs,
+        "n_vms": int(n_vms),
+        "provider": provider,
+        "solver": "CAST++" if use_castpp else "CAST",
+        "seed": int(seed),
+        "iterations": int(iterations),
+        "utility": ev.utility,
+        "makespan_min": ev.makespan_min,
+        "cost_total_usd": ev.cost.total_usd,
+        "cost_vm_usd": ev.cost.vm_usd,
+        "cost_storage_usd": ev.cost.storage_usd,
+        "plan": outcome.plan.to_dict(),
+    }

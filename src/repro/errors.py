@@ -15,6 +15,10 @@ __all__ = [
     "SimulationError",
     "WorkloadError",
     "SolverError",
+    "ServiceError",
+    "ProtocolError",
+    "ServiceBusyError",
+    "ServiceTimeoutError",
 ]
 
 
@@ -49,3 +53,19 @@ class WorkloadError(CastError):
 
 class SolverError(CastError):
     """The tiering solver could not produce a feasible plan."""
+
+
+class ServiceError(CastError):
+    """The planner service failed to process a request."""
+
+
+class ProtocolError(ServiceError):
+    """A service message violated the JSON-lines wire protocol."""
+
+
+class ServiceBusyError(ServiceError):
+    """The server shed the request: its inflight + queue limit is full."""
+
+
+class ServiceTimeoutError(ServiceError):
+    """A solve exceeded the server's per-request deadline."""

@@ -1,0 +1,70 @@
+"""Bounded LRU plan cache.
+
+Solved plans are pure functions of their request fingerprint (the
+solver is deterministic per seed), so caching them is semantically
+free: a hit returns byte-identical results to a re-solve.  The cache
+is a plain ``OrderedDict`` LRU — the server is single-threaded
+asyncio, so no locking — with hit/miss/eviction counters surfaced
+through the ``stats`` op.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Dict, Optional
+
+from ..errors import ServiceError
+
+__all__ = ["PlanCache"]
+
+
+class PlanCache:
+    """Least-recently-used mapping of fingerprint → solved result dict."""
+
+    def __init__(self, capacity: int = 128) -> None:
+        if capacity < 1:
+            raise ServiceError(f"cache capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self._entries: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The cached result, refreshed to most-recently-used; ``None`` on miss."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: str, value: Dict[str, Any]) -> None:
+        """Insert (or refresh) an entry, evicting the LRU when full."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def clear(self) -> None:
+        """Drop all entries (counters keep accumulating)."""
+        self._entries.clear()
+
+    def stats(self) -> Dict[str, int]:
+        """Counters for the ``stats`` op and the benchmarks."""
+        return {
+            "capacity": self.capacity,
+            "size": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }

@@ -1,0 +1,200 @@
+"""Clients for the planner daemon.
+
+:class:`PlannerClient` is the native asyncio client — one connection,
+sequential request/response over it.  :class:`SyncPlannerClient` wraps
+it for synchronous callers (the CLI's ``submit``, benchmarks, REPL
+use): each call opens a connection, runs a private event loop, and
+tears both down, trading a little latency for zero lifecycle
+bookkeeping.
+
+Error handling mirrors in-process semantics: an ``ok: false`` response
+re-raises the server's typed exception (``WorkloadError``,
+``ServiceBusyError``...) via
+:func:`repro.service.protocol.exception_from_payload`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Dict, Mapping, Optional
+
+from ..errors import ProtocolError
+from .protocol import (
+    exception_from_payload,
+    make_request,
+    parse_response,
+    read_message,
+    send_message,
+)
+
+__all__ = ["PlannerClient", "SyncPlannerClient"]
+
+
+def _solve_params(
+    spec: Mapping[str, Any],
+    provider: str,
+    n_vms: int,
+    iterations: int,
+    seed: int,
+    use_castpp: bool,
+    restarts: Optional[int],
+) -> Dict[str, Any]:
+    params: Dict[str, Any] = {
+        "spec": dict(spec),
+        "provider": provider,
+        "n_vms": n_vms,
+        "iterations": iterations,
+        "seed": seed,
+        "use_castpp": use_castpp,
+    }
+    if restarts is not None:
+        params["restarts"] = restarts
+    return params
+
+
+class PlannerClient:
+    """Async client: ``async with PlannerClient(host, port) as c: ...``."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 4815) -> None:
+        self.host = host
+        self.port = port
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._next_id = 0
+
+    async def connect(self) -> "PlannerClient":
+        """Open the connection (idempotent)."""
+        if self._writer is None:
+            self._reader, self._writer = await asyncio.open_connection(
+                self.host, self.port
+            )
+        return self
+
+    async def close(self) -> None:
+        """Close the connection (idempotent)."""
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                pass
+            self._reader = None
+            self._writer = None
+
+    async def __aenter__(self) -> "PlannerClient":
+        return await self.connect()
+
+    async def __aexit__(self, *exc_info: Any) -> None:
+        await self.close()
+
+    # -- raw request/response ------------------------------------------------
+
+    async def request(
+        self, op: str, params: Optional[Mapping[str, Any]] = None
+    ) -> Dict[str, Any]:
+        """Send one request, return the full validated response envelope.
+
+        Raises the server's typed exception on an error response.
+        """
+        await self.connect()
+        assert self._reader is not None and self._writer is not None
+        self._next_id += 1
+        req = make_request(op, params, req_id=f"c{self._next_id}")
+        await send_message(self._writer, req)
+        line = await read_message(self._reader)
+        if line is None:
+            raise ProtocolError("server closed the connection mid-request")
+        response = parse_response(line)
+        if not response["ok"]:
+            raise exception_from_payload(response["error"])
+        return response
+
+    async def _solve_result(self, op: str, params: Dict[str, Any]) -> Dict[str, Any]:
+        response = await self.request(op, params)
+        result = dict(response["result"])
+        result["cached"] = bool(response.get("cached", False))
+        return result
+
+    # -- typed ops -----------------------------------------------------------
+
+    async def ping(self) -> Dict[str, Any]:
+        """Liveness probe."""
+        return dict((await self.request("ping"))["result"])
+
+    async def stats(self) -> Dict[str, Any]:
+        """Server counters (cache, pool, single-flight, limits)."""
+        return dict((await self.request("stats"))["result"])
+
+    async def catalog(self, provider: str = "google") -> Dict[str, Any]:
+        """The provider's storage catalog and prices."""
+        return dict(
+            (await self.request("catalog", {"provider": provider}))["result"]
+        )
+
+    async def plan(
+        self,
+        workload: Mapping[str, Any],
+        provider: str = "google",
+        n_vms: int = 25,
+        iterations: int = 3000,
+        seed: int = 42,
+        use_castpp: bool = True,
+        restarts: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        """Solve a workload; result carries ``cached`` and ``fingerprint``."""
+        return await self._solve_result(
+            "plan",
+            _solve_params(
+                workload, provider, n_vms, iterations, seed, use_castpp, restarts
+            ),
+        )
+
+    async def plan_workflow(
+        self,
+        workflow: Mapping[str, Any],
+        provider: str = "google",
+        n_vms: int = 25,
+        iterations: int = 3000,
+        seed: int = 42,
+        restarts: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        """Deadline-optimize a workflow DAG."""
+        return await self._solve_result(
+            "plan_workflow",
+            _solve_params(workflow, provider, n_vms, iterations, seed, True, restarts),
+        )
+
+
+class SyncPlannerClient:
+    """Blocking facade over :class:`PlannerClient` (one connection per call)."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 4815) -> None:
+        self.host = host
+        self.port = port
+
+    def _run(self, method: str, *args: Any, **kwargs: Any) -> Dict[str, Any]:
+        async def call() -> Dict[str, Any]:
+            async with PlannerClient(self.host, self.port) as client:
+                return await getattr(client, method)(*args, **kwargs)
+
+        return asyncio.run(call())
+
+    def ping(self) -> Dict[str, Any]:
+        """Liveness probe."""
+        return self._run("ping")
+
+    def stats(self) -> Dict[str, Any]:
+        """Server counters."""
+        return self._run("stats")
+
+    def catalog(self, provider: str = "google") -> Dict[str, Any]:
+        """Provider catalog."""
+        return self._run("catalog", provider=provider)
+
+    def plan(self, workload: Mapping[str, Any], **kwargs: Any) -> Dict[str, Any]:
+        """Solve a workload."""
+        return self._run("plan", workload, **kwargs)
+
+    def plan_workflow(self, workflow: Mapping[str, Any], **kwargs: Any) -> Dict[str, Any]:
+        """Deadline-optimize a workflow."""
+        return self._run("plan_workflow", workflow, **kwargs)

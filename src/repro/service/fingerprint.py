@@ -1,0 +1,76 @@
+"""Canonical request fingerprinting — the cache and dedup key.
+
+Two requests get one fingerprint exactly when the solver would be run
+with identical inputs: same canonical workload/workflow, same provider
+catalog, same cluster size, and same solver knobs (iterations, seed,
+CAST vs CAST++, restart count).
+
+Canonicalization leans on :mod:`repro.workloads.io`: the spec dict is
+round-tripped through the model objects (``workload_from_dict`` →
+``workload_to_dict``), which validates it and normalizes every
+degree of freedom JSON allows — omitted optional fields, reuse-set
+member order, numeric types — onto the schema-v1 canonical form.  The
+normalized payload is serialized as sorted, compact JSON and hashed
+with SHA-256.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Dict, Mapping
+
+from ..errors import WorkloadError
+from ..workloads.io import (
+    workflow_from_dict,
+    workflow_to_dict,
+    workload_from_dict,
+    workload_to_dict,
+)
+
+__all__ = ["canonical_json", "canonical_spec", "request_fingerprint"]
+
+
+def canonical_json(obj: Any) -> str:
+    """Deterministic JSON: sorted keys, no whitespace, no NaN."""
+    return json.dumps(
+        obj, sort_keys=True, separators=(",", ":"), ensure_ascii=True, allow_nan=False
+    )
+
+
+def canonical_spec(spec: Mapping[str, Any]) -> Dict[str, Any]:
+    """Normalize a workload/workflow dict onto its canonical schema form.
+
+    Raises :class:`WorkloadError` for anything that does not validate —
+    a fingerprint of an invalid spec would poison the cache.
+    """
+    kind = spec.get("kind") if isinstance(spec, Mapping) else None
+    if kind == "workload":
+        return workload_to_dict(workload_from_dict(dict(spec)))
+    if kind == "workflow":
+        return workflow_to_dict(workflow_from_dict(dict(spec)))
+    raise WorkloadError(f"spec kind must be 'workload' or 'workflow', got {kind!r}")
+
+
+def request_fingerprint(
+    op: str,
+    spec: Mapping[str, Any],
+    provider: str = "google",
+    n_vms: int = 25,
+    iterations: int = 3000,
+    seed: int = 42,
+    use_castpp: bool = True,
+    restarts: int = 1,
+) -> str:
+    """SHA-256 hex digest identifying one solve request."""
+    payload = {
+        "op": str(op),
+        "spec": canonical_spec(spec),
+        "provider": str(provider),
+        "n_vms": int(n_vms),
+        "iterations": int(iterations),
+        "seed": int(seed),
+        "use_castpp": bool(use_castpp),
+        "restarts": int(restarts),
+    }
+    return hashlib.sha256(canonical_json(payload).encode()).hexdigest()

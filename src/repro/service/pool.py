@@ -1,0 +1,196 @@
+"""Multi-start solver pool on a ``ProcessPoolExecutor``.
+
+Simulated annealing is a stochastic local search: one restart can stall
+in a utility basin.  The pool runs N restarts *in parallel* — same
+request, different RNG seeds — and keeps the best-utility plan, which
+both raises plan quality and cuts wall-clock versus running a bigger
+single-start budget serially.
+
+Determinism: restart seeds derive from the request seed via
+``np.random.SeedSequence(seed).spawn()``, with restart 0 pinned to the
+request seed itself.  Consequences the tests assert:
+
+* the same (request, restarts) pair always yields the identical plan,
+  regardless of pool size or completion order;
+* the multi-start winner's utility is ≥ the single-start result for
+  the same seed (restart 0 *is* that run, and selection only improves).
+
+Workers call the pure module-level entry points
+(:func:`repro.core.solver.solve_workload_request`,
+:func:`repro.core.castpp.solve_workflow_request`), so every task
+pickles as plain dicts and the child processes share no state with the
+server.  ``processes=0`` swaps in threads — no fork, handy for
+in-process servers in tests and examples.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ServiceError
+
+__all__ = ["DEFAULT_RESTARTS", "SolverPool", "restart_seeds", "solve_restart"]
+
+#: Restart count used when a request does not ask for one.
+DEFAULT_RESTARTS = 4
+
+
+def restart_seeds(seed: int, restarts: int) -> List[int]:
+    """Per-restart RNG seeds, deterministic for a given request seed.
+
+    Restart 0 reuses the request seed unchanged (so the multi-start
+    winner can never fall below the single-start plan for that seed);
+    restarts 1..N-1 come from ``SeedSequence(seed).spawn``, giving
+    well-separated independent streams rather than ad-hoc offsets.
+    """
+    if restarts < 1:
+        raise ServiceError(f"restarts must be >= 1, got {restarts}")
+    seeds = [int(seed)]
+    if restarts > 1:
+        children = np.random.SeedSequence(int(seed)).spawn(restarts - 1)
+        seeds.extend(int(child.generate_state(1)[0]) for child in children)
+    return seeds
+
+
+def solve_restart(task: Mapping[str, Any]) -> Dict[str, Any]:
+    """Solve one restart of one request (the picklable worker body).
+
+    ``task`` is ``{"op", "spec", "provider", "n_vms", "iterations",
+    "seed", "use_castpp"}`` — all JSON primitives.
+    """
+    from ..core.castpp import solve_workflow_request
+    from ..core.solver import solve_workload_request
+
+    op = task.get("op")
+    if op == "plan":
+        return solve_workload_request(
+            task["spec"],
+            provider=task.get("provider", "google"),
+            n_vms=task.get("n_vms", 25),
+            iterations=task.get("iterations", 3000),
+            seed=task.get("seed", 42),
+            use_castpp=task.get("use_castpp", True),
+        )
+    if op == "plan_workflow":
+        return solve_workflow_request(
+            task["spec"],
+            provider=task.get("provider", "google"),
+            n_vms=task.get("n_vms", 25),
+            iterations=task.get("iterations", 3000),
+            seed=task.get("seed", 42),
+        )
+    raise ServiceError(f"pool cannot solve op {op!r}")
+
+
+def _select_best(results: List[Dict[str, Any]], seeds: List[int]) -> Dict[str, Any]:
+    """Best-utility restart, first index winning ties (deterministic)."""
+    best_i = 0
+    for i in range(1, len(results)):
+        if results[i]["utility"] > results[best_i]["utility"]:
+            best_i = i
+    best = dict(results[best_i])
+    best["restarts"] = len(results)
+    best["best_restart"] = best_i
+    best["restart_seeds"] = list(seeds)
+    best["restart_utilities"] = [r["utility"] for r in results]
+    best["seed"] = int(seeds[0])
+    return best
+
+
+class SolverPool:
+    """Parallel multi-start solves over a process (or thread) executor.
+
+    Parameters
+    ----------
+    processes:
+        Worker processes.  ``None`` → ``min(DEFAULT, cpu_count)``;
+        ``0`` → a thread executor (no fork; workers share the GIL but
+        tests and small demos don't care).
+    restarts:
+        Default restart count for requests that don't specify one.
+    """
+
+    def __init__(
+        self, processes: Optional[int] = None, restarts: int = DEFAULT_RESTARTS
+    ) -> None:
+        if restarts < 1:
+            raise ServiceError(f"restarts must be >= 1, got {restarts}")
+        self.restarts = int(restarts)
+        if processes is None:
+            processes = max(1, min(self.restarts, os.cpu_count() or 1))
+        self.processes = int(processes)
+        self._executor: Optional[Executor] = None
+        self.tasks_started = 0
+        self.tasks_completed = 0
+        self.solves_completed = 0
+
+    # -- executor lifecycle --------------------------------------------------
+
+    @property
+    def executor(self) -> Executor:
+        """The lazily-created backing executor."""
+        if self._executor is None:
+            if self.processes == 0:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=max(1, min(self.restarts, os.cpu_count() or 1)),
+                    thread_name_prefix="cast-solver",
+                )
+            else:
+                self._executor = ProcessPoolExecutor(max_workers=self.processes)
+        return self._executor
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Drain and release the executor (idempotent)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=wait)
+            self._executor = None
+
+    # -- solving -------------------------------------------------------------
+
+    def _tasks(
+        self, request: Mapping[str, Any], restarts: Optional[int]
+    ) -> Tuple[List[Dict[str, Any]], List[int]]:
+        n = self.restarts if restarts is None else int(restarts)
+        seeds = restart_seeds(int(request.get("seed", 42)), n)
+        return [dict(request, seed=s) for s in seeds], seeds
+
+    def solve_sync(
+        self, request: Mapping[str, Any], restarts: Optional[int] = None
+    ) -> Dict[str, Any]:
+        """Blocking multi-start solve (CLI fallback, benchmarks)."""
+        tasks, seeds = self._tasks(request, restarts)
+        self.tasks_started += len(tasks)
+        futures = [self.executor.submit(solve_restart, t) for t in tasks]
+        results = [f.result() for f in futures]
+        self.tasks_completed += len(results)
+        self.solves_completed += 1
+        return _select_best(results, seeds)
+
+    async def solve(
+        self, request: Mapping[str, Any], restarts: Optional[int] = None
+    ) -> Dict[str, Any]:
+        """Async multi-start solve: restarts fan out across workers."""
+        loop = asyncio.get_running_loop()
+        tasks, seeds = self._tasks(request, restarts)
+        self.tasks_started += len(tasks)
+        results = await asyncio.gather(
+            *(loop.run_in_executor(self.executor, solve_restart, t) for t in tasks)
+        )
+        self.tasks_completed += len(results)
+        self.solves_completed += 1
+        return _select_best(list(results), seeds)
+
+    def stats(self) -> Dict[str, int]:
+        """Counters for the ``stats`` op."""
+        return {
+            "processes": self.processes,
+            "default_restarts": self.restarts,
+            "tasks_started": self.tasks_started,
+            "tasks_completed": self.tasks_completed,
+            "solves_completed": self.solves_completed,
+        }

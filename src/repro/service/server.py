@@ -1,0 +1,371 @@
+"""The planner daemon: an asyncio TCP server over the solver pool.
+
+Request lifecycle for the solve ops (``plan`` / ``plan_workflow``)::
+
+    parse → normalize params → fingerprint
+          → cache hit?            → answer from the LRU, no solver work
+          → identical solve inflight? → await it (single-flight dedup)
+          → admission check       → reject with ServiceBusyError when
+                                    inflight + queued > the limits
+          → multi-start solve on the pool, under a per-request timeout
+          → cache + fan the result out to every waiter
+
+Single-flight dedup means a burst of identical requests — the common
+shape for a planning service, since tenants re-submit recurring
+workloads — costs exactly one solve; everyone else awaits the leader's
+future.  Failures propagate to all waiters but are *not* cached, so a
+transient failure doesn't poison the fingerprint.
+
+The server is one asyncio loop; all heavy work happens in the pool's
+worker processes, so the loop stays responsive for ``ping``/``stats``
+even while solves run.  ``stop()`` drains: no new connections, inflight
+solves finish, then the pool shuts down.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Any, Dict, Mapping, Optional, Set, Tuple
+
+from ..cloud import resolve_provider
+from ..errors import (
+    CastError,
+    ProtocolError,
+    ServiceBusyError,
+    ServiceError,
+    ServiceTimeoutError,
+)
+from .cache import PlanCache
+from .fingerprint import request_fingerprint
+from .pool import SolverPool
+from .protocol import (
+    MAX_LINE_BYTES,
+    error_response,
+    ok_response,
+    parse_request,
+    read_message,
+    send_message,
+)
+
+__all__ = ["PlannerServer"]
+
+
+def _normalize_solve_params(op: str, params: Mapping[str, Any]) -> Dict[str, Any]:
+    """Fill knob defaults and type-check the envelope-level fields.
+
+    Spec-level validation (job records, DAG shape...) happens inside
+    fingerprinting/solving and raises ``WorkloadError`` on its own.
+    """
+    spec = params.get("spec")
+    if not isinstance(spec, Mapping):
+        raise ProtocolError(f"{op} params need a 'spec' object (a workload/workflow dict)")
+    try:
+        return {
+            "op": op,
+            "spec": dict(spec),
+            "provider": str(params.get("provider", "google")),
+            "n_vms": int(params.get("n_vms", 25)),
+            "iterations": int(params.get("iterations", 3000)),
+            "seed": int(params.get("seed", 42)),
+            "use_castpp": bool(params.get("use_castpp", True)),
+            "restarts": (
+                None if params.get("restarts") is None else int(params["restarts"])
+            ),
+        }
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(f"bad solver knob in {op} params: {exc}") from None
+
+
+class PlannerServer:
+    """Long-lived planning daemon with caching and single-flight dedup.
+
+    Parameters
+    ----------
+    host / port:
+        Bind address; port 0 picks a free port (see :attr:`address`).
+    pool:
+        A :class:`SolverPool`; built from ``pool_processes``/``restarts``
+        when omitted.
+    cache_size:
+        LRU plan-cache capacity (entries).
+    max_inflight:
+        Solves running on the pool concurrently; further solves queue.
+    max_queue:
+        Queued solves beyond ``max_inflight`` before new unique requests
+        are shed with :class:`ServiceBusyError` (dedup'd and cached
+        requests are never shed — they cost no solver work).
+    request_timeout_s:
+        Per-solve deadline; breaches answer :class:`ServiceTimeoutError`.
+    solver_fn:
+        Test seam: ``async (request_dict) -> result_dict`` replacing the
+        pool solve.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        pool: Optional[SolverPool] = None,
+        pool_processes: Optional[int] = None,
+        restarts: Optional[int] = None,
+        cache_size: int = 128,
+        max_inflight: int = 4,
+        max_queue: int = 64,
+        request_timeout_s: float = 600.0,
+        solver_fn: Optional[Any] = None,
+    ) -> None:
+        if max_inflight < 1:
+            raise ServiceError(f"max_inflight must be >= 1, got {max_inflight}")
+        self.host = host
+        self.port = port
+        if pool is None:
+            kwargs: Dict[str, Any] = {"processes": pool_processes}
+            if restarts is not None:
+                kwargs["restarts"] = restarts
+            pool = SolverPool(**kwargs)
+        self.pool = pool
+        self.cache = PlanCache(capacity=cache_size)
+        self.max_inflight = int(max_inflight)
+        self.max_queue = int(max_queue)
+        self.request_timeout_s = float(request_timeout_s)
+        self._solver_fn = solver_fn
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._connections: Set[asyncio.StreamWriter] = set()
+        self._inflight: Dict[str, "asyncio.Future[Dict[str, Any]]"] = {}
+        self._solve_sem = asyncio.Semaphore(self.max_inflight)
+        self._admitted = 0  # solves admitted but not yet finished
+        self._started_at = time.monotonic()
+        self.counters: Dict[str, int] = {
+            "requests": 0,
+            "bad_requests": 0,
+            "dedup_joined": 0,
+            "solves_ok": 0,
+            "solve_errors": 0,
+            "timeouts": 0,
+            "rejected": 0,
+        }
+        self.op_counts: Dict[str, int] = {}
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind and start accepting connections."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port, limit=MAX_LINE_BYTES
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._started_at = time.monotonic()
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` — port resolved after :meth:`start`."""
+        return (self.host, self.port)
+
+    async def serve_forever(self) -> None:
+        """Block serving requests until cancelled or :meth:`stop`-ped."""
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        """Graceful shutdown: stop accepting, drain solves, close the pool."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._inflight:
+            await asyncio.gather(
+                *list(self._inflight.values()), return_exceptions=True
+            )
+        for writer in list(self._connections):
+            writer.close()
+        self.pool.shutdown(wait=True)
+
+    # -- connection handling ---------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._connections.add(writer)
+        try:
+            while True:
+                line = await read_message(reader)
+                if line is None:
+                    break
+                if not line.strip():
+                    continue
+                self.counters["requests"] += 1
+                try:
+                    request = parse_request(line)
+                except ProtocolError as exc:
+                    # Malformed input answers a typed error on the same
+                    # connection; the line framing is still intact, so
+                    # the session continues.
+                    self.counters["bad_requests"] += 1
+                    await send_message(writer, error_response(None, exc))
+                    continue
+                response = await self._dispatch(request)
+                await send_message(writer, response)
+        except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+            pass
+        except asyncio.CancelledError:
+            # Server shutdown cancelled this handler mid-read; the
+            # socket closes below — nothing to propagate to the loop.
+            pass
+        finally:
+            self._connections.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+                pass
+
+    async def _dispatch(self, request: Mapping[str, Any]) -> Dict[str, Any]:
+        op = request["op"]
+        req_id = request.get("id")
+        params = request["params"]
+        self.op_counts[op] = self.op_counts.get(op, 0) + 1
+        try:
+            if op == "ping":
+                return ok_response(req_id, {"pong": True, "uptime_s": self.uptime_s})
+            if op == "stats":
+                return ok_response(req_id, self.stats())
+            if op == "catalog":
+                return ok_response(req_id, self._catalog(params))
+            result, cached = await self._solve_op(op, params)
+            return ok_response(req_id, result, cached=cached)
+        except asyncio.CancelledError:
+            raise
+        except CastError as exc:
+            return error_response(req_id, exc)
+        except Exception as exc:  # daemon must outlive any one request
+            self.counters["solve_errors"] += 1
+            return error_response(req_id, ServiceError(f"internal error: {exc!r}"))
+
+    # -- ops -------------------------------------------------------------------
+
+    def _catalog(self, params: Mapping[str, Any]) -> Dict[str, Any]:
+        provider = resolve_provider(str(params.get("provider", "google")))
+        tiers = []
+        for tier in provider.tiers:
+            svc = provider.service(tier)
+            tiers.append(
+                {
+                    "tier": tier.value,
+                    "persistent": bool(svc.persistent),
+                    "price_gb_month": svc.price_gb_month,
+                    "price_gb_hr": provider.storage_price_gb_hr(tier),
+                }
+            )
+        return {
+            "provider": provider.name,
+            "tiers": tiers,
+            "vm": {
+                "name": provider.default_vm.name,
+                "price_per_hour_usd": provider.prices.vm_price_per_min * 60,
+            },
+        }
+
+    async def _solve_op(
+        self, op: str, params: Mapping[str, Any]
+    ) -> Tuple[Dict[str, Any], bool]:
+        normalized = _normalize_solve_params(op, params)
+        restarts = normalized.pop("restarts") or self.pool.restarts
+        fingerprint = request_fingerprint(
+            op,
+            normalized["spec"],
+            provider=normalized["provider"],
+            n_vms=normalized["n_vms"],
+            iterations=normalized["iterations"],
+            seed=normalized["seed"],
+            use_castpp=normalized["use_castpp"],
+            restarts=restarts,
+        )
+
+        cached = self.cache.get(fingerprint)
+        if cached is not None:
+            return dict(cached, fingerprint=fingerprint), True
+
+        leader_future = self._inflight.get(fingerprint)
+        if leader_future is not None:
+            # Single-flight: identical request already solving — await it.
+            self.counters["dedup_joined"] += 1
+            result = await asyncio.shield(leader_future)
+            return dict(result, fingerprint=fingerprint), False
+
+        if self._admitted >= self.max_inflight + self.max_queue:
+            self.counters["rejected"] += 1
+            raise ServiceBusyError(
+                f"server at capacity ({self._admitted} solves admitted, "
+                f"limit {self.max_inflight} inflight + {self.max_queue} queued)"
+            )
+
+        future: "asyncio.Future[Dict[str, Any]]" = (
+            asyncio.get_running_loop().create_future()
+        )
+        self._inflight[fingerprint] = future
+        self._admitted += 1
+        try:
+            async with self._solve_sem:
+                started = time.monotonic()
+                try:
+                    result = await asyncio.wait_for(
+                        self._run_solver(normalized, restarts),
+                        timeout=self.request_timeout_s,
+                    )
+                except asyncio.TimeoutError:
+                    self.counters["timeouts"] += 1
+                    raise ServiceTimeoutError(
+                        f"solve exceeded {self.request_timeout_s:.0f}s deadline"
+                    ) from None
+            result = dict(result)
+            result["solve_seconds"] = time.monotonic() - started
+            self.counters["solves_ok"] += 1
+            self.cache.put(fingerprint, result)
+            future.set_result(result)
+        except BaseException as exc:
+            if isinstance(exc, CastError):
+                self.counters["solve_errors"] += 1
+            future.set_exception(exc)
+            # The dedup waiters consume the exception; don't warn when
+            # nobody else was waiting.
+            future.exception()
+            raise
+        finally:
+            self._admitted -= 1
+            self._inflight.pop(fingerprint, None)
+        return dict(result, fingerprint=fingerprint), False
+
+    async def _run_solver(
+        self, request: Dict[str, Any], restarts: int
+    ) -> Dict[str, Any]:
+        if self._solver_fn is not None:
+            return await self._solver_fn(dict(request, restarts=restarts))
+        return await self.pool.solve(request, restarts=restarts)
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def uptime_s(self) -> float:
+        """Seconds since :meth:`start`."""
+        return time.monotonic() - self._started_at
+
+    def stats(self) -> Dict[str, Any]:
+        """The ``stats`` op payload."""
+        return {
+            "uptime_s": self.uptime_s,
+            "requests": dict(self.op_counts),
+            "counters": dict(self.counters),
+            "cache": self.cache.stats(),
+            "pool": self.pool.stats(),
+            "inflight": len(self._inflight),
+            "limits": {
+                "max_inflight": self.max_inflight,
+                "max_queue": self.max_queue,
+                "request_timeout_s": self.request_timeout_s,
+            },
+        }

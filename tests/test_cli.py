@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import DEFAULT_SERVICE_PORT, build_parser, main
+from repro.errors import CastError, CatalogError
 
 
 class TestParser:
@@ -19,6 +20,21 @@ class TestParser:
     def test_experiment_takes_a_name(self):
         args = build_parser().parse_args(["experiment", "table4"])
         assert args.name == "table4"
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.port == DEFAULT_SERVICE_PORT
+        assert args.restarts == 4
+        assert args.cache_size == 128
+        assert args.max_inflight == 4
+
+    def test_submit_defaults(self):
+        args = build_parser().parse_args(
+            ["submit", "--workload-file", "wl.json"]
+        )
+        assert args.port == DEFAULT_SERVICE_PORT
+        assert args.workload_file == "wl.json"
+        assert args.restarts is None  # server's default wins
 
 
 class TestCommands:
@@ -94,3 +110,98 @@ class TestProvidersAndFiles:
         out = capsys.readouterr().out
         assert "best size:" in out
         assert "VMs" in out
+
+    def test_unknown_provider_raises_cast_error_not_keyerror(self):
+        from repro.cli import _resolve_provider
+
+        with pytest.raises(CatalogError, match="unknown provider"):
+            _resolve_provider("azure")
+
+
+class TestMainErrorHandling:
+    """``main`` turns interrupts and domain errors into clean exits —
+    ``build_parser`` binds the command functions from module globals at
+    call time, so monkeypatching them reaches ``main``'s dispatch."""
+
+    def test_keyboard_interrupt_exits_130(self, capsys, monkeypatch):
+        import repro.cli as cli_mod
+
+        def interrupted(args):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(cli_mod, "_cmd_catalog", interrupted)
+        assert main(["catalog"]) == 130
+        err = capsys.readouterr().err
+        assert "interrupted" in err
+        assert "Traceback" not in err
+
+    def test_cast_error_exits_2(self, capsys, monkeypatch):
+        import repro.cli as cli_mod
+
+        def failing(args):
+            raise CastError("the catalog is on fire")
+
+        monkeypatch.setattr(cli_mod, "_cmd_catalog", failing)
+        assert main(["catalog"]) == 2
+        assert "on fire" in capsys.readouterr().err
+
+
+class TestServiceRoundTrip:
+    """End-to-end: serve in a subprocess, submit via main()."""
+
+    @pytest.fixture()
+    def live_server(self):
+        import os
+        import re
+        import signal
+        import subprocess
+        import sys
+
+        env = dict(os.environ)
+        src = str(__import__("pathlib").Path(__file__).resolve().parents[1] / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0",
+             "--pool-processes", "0", "--restarts", "2"],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True, env=env,
+        )
+        try:
+            banner = proc.stdout.readline()
+            match = re.search(r"listening on [\d.]+:(\d+)", banner)
+            assert match, f"no banner: {banner!r}"
+            yield proc, int(match.group(1))
+        finally:
+            proc.send_signal(signal.SIGINT)
+            try:
+                proc.wait(timeout=30)
+            except subprocess.TimeoutExpired:  # pragma: no cover
+                proc.kill()
+
+    def test_submit_twice_second_is_cached(self, capsys, live_server):
+        proc, port = live_server
+        argv = ["submit", "--workload", "small", "--vms", "5",
+                "--iterations", "40", "--port", str(port), "--show-stats"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "CAST++ plan for small-16" in first
+        assert "cache hits=0" in first
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "served from cache" in second
+        assert "cache hits=1" in second
+        # Identical rendering of the plan itself either way.
+        assert first.splitlines()[0] == second.splitlines()[0]
+        assert first.splitlines()[1] == second.splitlines()[1]
+
+    def test_serve_exits_130_on_sigint(self, live_server):
+        import signal
+
+        proc, _port = live_server
+        proc.send_signal(signal.SIGINT)
+        assert proc.wait(timeout=30) == 130
+
+    def test_submit_without_server_fails_cleanly(self, capsys):
+        rc = main(["submit", "--workload", "small", "--port", "1",
+                   "--iterations", "10"])
+        assert rc == 2
+        assert "no planner" in capsys.readouterr().err

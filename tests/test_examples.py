@@ -37,6 +37,13 @@ class TestExamples:
         assert "sweet spot" in out
         assert "persSSD" in out
 
+    def test_service_quickstart(self):
+        out = run_example("service_quickstart.py")
+        assert "planner daemon up" in out
+        assert "cached=True" in out
+        assert "single-flight join: 1" in out
+        assert "daemon drained and stopped" in out
+
     def test_multicloud(self):
         out = run_example("multicloud.py")
         assert "google-cloud-2015" in out

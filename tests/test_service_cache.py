@@ -1,0 +1,59 @@
+"""Bounded LRU plan cache."""
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service.cache import PlanCache
+
+
+class TestPlanCache:
+    def test_get_put_round_trip(self):
+        cache = PlanCache(capacity=4)
+        cache.put("k", {"utility": 1.0})
+        assert cache.get("k") == {"utility": 1.0}
+        assert cache.stats()["hits"] == 1
+        assert cache.stats()["misses"] == 0
+
+    def test_miss_counts(self):
+        cache = PlanCache(capacity=4)
+        assert cache.get("absent") is None
+        assert cache.stats()["misses"] == 1
+
+    def test_lru_eviction_order(self):
+        cache = PlanCache(capacity=2)
+        cache.put("a", {"n": 1})
+        cache.put("b", {"n": 2})
+        cache.get("a")           # refresh "a" -> "b" is now LRU
+        cache.put("c", {"n": 3})
+        assert "a" in cache
+        assert "b" not in cache
+        assert "c" in cache
+        assert cache.stats()["evictions"] == 1
+
+    def test_put_refresh_does_not_evict(self):
+        cache = PlanCache(capacity=2)
+        cache.put("a", {"n": 1})
+        cache.put("b", {"n": 2})
+        cache.put("a", {"n": 10})  # refresh, not an insert
+        assert len(cache) == 2
+        assert cache.stats()["evictions"] == 0
+        assert cache.get("a") == {"n": 10}
+
+    def test_capacity_one(self):
+        cache = PlanCache(capacity=1)
+        cache.put("a", {"n": 1})
+        cache.put("b", {"n": 2})
+        assert len(cache) == 1
+        assert cache.get("b") == {"n": 2}
+
+    def test_clear_keeps_counters(self):
+        cache = PlanCache(capacity=2)
+        cache.put("a", {"n": 1})
+        cache.get("a")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats()["hits"] == 1
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ServiceError, match="capacity"):
+            PlanCache(capacity=0)

@@ -1,0 +1,120 @@
+"""Canonical request fingerprinting."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.service.fingerprint import (
+    canonical_json,
+    canonical_spec,
+    request_fingerprint,
+)
+from repro.workloads.io import workflow_to_dict, workload_to_dict
+from repro.workloads.spec import JobSpec, ReuseLifetime, ReuseSet, WorkloadSpec
+from repro.workloads.workflow import search_engine_workflow
+
+
+@pytest.fixture()
+def workload_dict():
+    return workload_to_dict(
+        WorkloadSpec(
+            jobs=(
+                JobSpec.make("a", "sort", 100.0, n_maps=64),
+                JobSpec.make("b", "grep", 50.0),
+            ),
+            reuse_sets=(
+                ReuseSet(job_ids=frozenset({"a", "b"}),
+                         lifetime=ReuseLifetime.SHORT),
+            ),
+            name="fp-test",
+        )
+    )
+
+
+class TestCanonicalJson:
+    def test_key_order_is_irrelevant(self):
+        assert canonical_json({"b": 1, "a": 2}) == canonical_json({"a": 2, "b": 1})
+
+    def test_compact_and_sorted(self):
+        assert canonical_json({"b": [1, 2], "a": "x"}) == '{"a":"x","b":[1,2]}'
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            canonical_json({"u": float("nan")})
+
+
+class TestCanonicalSpec:
+    def test_normalizes_omitted_defaults(self, workload_dict):
+        # n_accesses omitted -> the schema default materializes, so the
+        # sparse and explicit forms fingerprint identically.
+        sparse = workload_dict
+        del sparse["reuse_sets"][0]["n_accesses"]
+        explicit = canonical_spec(sparse)
+        assert explicit["reuse_sets"][0]["n_accesses"] == 7
+        assert canonical_spec(explicit) == explicit
+
+    def test_workflow_specs_supported(self):
+        wf = workflow_to_dict(search_engine_workflow())
+        assert canonical_spec(wf)["kind"] == "workflow"
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(WorkloadError, match="kind"):
+            canonical_spec({"version": 1, "kind": "cluster"})
+
+    def test_invalid_spec_rejected(self, workload_dict):
+        workload_dict["jobs"][0]["app"] = "nosuch"
+        with pytest.raises(WorkloadError, match="unknown application"):
+            canonical_spec(workload_dict)
+
+
+class TestRequestFingerprint:
+    def test_deterministic(self, workload_dict):
+        a = request_fingerprint("plan", workload_dict, seed=7)
+        b = request_fingerprint("plan", dict(workload_dict), seed=7)
+        assert a == b
+        assert len(a) == 64  # sha256 hex
+
+    def test_reuse_member_order_is_canonical(self, workload_dict):
+        shuffled = workload_to_dict(
+            WorkloadSpec(
+                jobs=(
+                    JobSpec.make("a", "sort", 100.0, n_maps=64),
+                    JobSpec.make("b", "grep", 50.0),
+                ),
+                reuse_sets=(
+                    ReuseSet(job_ids=frozenset({"b", "a"}),
+                             lifetime=ReuseLifetime.SHORT),
+                ),
+                name="fp-test",
+            )
+        )
+        assert request_fingerprint("plan", shuffled) == request_fingerprint(
+            "plan", workload_dict
+        )
+
+    @pytest.mark.parametrize(
+        "knob,value",
+        [
+            ("provider", "aws"),
+            ("n_vms", 10),
+            ("iterations", 100),
+            ("seed", 43),
+            ("use_castpp", False),
+            ("restarts", 8),
+        ],
+    )
+    def test_every_knob_changes_the_key(self, workload_dict, knob, value):
+        base = request_fingerprint("plan", workload_dict)
+        assert request_fingerprint("plan", workload_dict, **{knob: value}) != base
+
+    def test_op_changes_the_key(self, workload_dict):
+        assert request_fingerprint("plan", workload_dict) != request_fingerprint(
+            "plan_workflow", workload_dict
+        )
+
+    def test_workload_content_changes_the_key(self, workload_dict):
+        other = dict(workload_dict)
+        other["jobs"] = [dict(j) for j in workload_dict["jobs"]]
+        other["jobs"][0]["input_gb"] = 101.0
+        assert request_fingerprint("plan", other) != request_fingerprint(
+            "plan", workload_dict
+        )

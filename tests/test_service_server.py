@@ -1,0 +1,441 @@
+"""The planner daemon: protocol, caching, single-flight, failure paths.
+
+Solver-independent behaviour (dedup, backpressure, timeouts) is tested
+through the ``solver_fn`` seam with a stub that counts invocations;
+the end-to-end paths run the real pool in thread mode (``processes=0``)
+so the tests stay fast and fork-free.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.errors import (
+    CatalogError,
+    ProtocolError,
+    ServiceBusyError,
+    ServiceTimeoutError,
+    WorkloadError,
+)
+from repro.service import PlannerClient, PlannerServer, SolverPool, SyncPlannerClient
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    exception_from_payload,
+    make_request,
+    parse_request,
+    parse_response,
+)
+from repro.workloads.io import workflow_to_dict, workload_to_dict
+from repro.workloads.swim import synthesize_small_workload
+from repro.workloads.workflow import search_engine_workflow
+
+
+def small_spec(n_jobs=4):
+    return workload_to_dict(synthesize_small_workload(n_jobs=n_jobs))
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def serving(server):
+    """Start ``server`` and return a task running its accept loop."""
+    await server.start()
+    return asyncio.create_task(server.serve_forever())
+
+
+async def shutdown(server, serve_task):
+    serve_task.cancel()
+    try:
+        await serve_task
+    except asyncio.CancelledError:
+        pass
+    await server.stop()
+
+
+def fake_result(**overrides):
+    result = {"kind": "plan", "utility": 1.0, "plan": {"placements": {}}}
+    result.update(overrides)
+    return result
+
+
+class TestProtocol:
+    def test_request_round_trip(self):
+        req = make_request("ping", req_id="r1")
+        parsed = parse_request(json.dumps(req))
+        assert parsed["op"] == "ping"
+        assert parsed["id"] == "r1"
+        assert parsed["v"] == PROTOCOL_VERSION
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ProtocolError, match="op"):
+            make_request("explode")
+        with pytest.raises(ProtocolError, match="op"):
+            parse_request('{"v": 1, "op": "explode"}')
+
+    def test_bad_version_rejected(self):
+        with pytest.raises(ProtocolError, match="version"):
+            parse_request('{"v": 99, "op": "ping"}')
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ProtocolError, match="object"):
+            parse_request("[1, 2]")
+
+    def test_response_shape_enforced(self):
+        with pytest.raises(ProtocolError, match="ok"):
+            parse_response('{"v": 1, "id": null}')
+
+    def test_error_payload_round_trips_types(self):
+        exc = exception_from_payload({"type": "WorkloadError", "message": "bad"})
+        assert isinstance(exc, WorkloadError)
+        assert str(exc) == "bad"
+
+    def test_unknown_error_type_degrades_safely(self):
+        from repro.errors import ServiceError
+
+        exc = exception_from_payload({"type": "OSError", "message": "x"})
+        assert type(exc) is ServiceError  # never instantiates non-CastError names
+
+
+class TestBasicOps:
+    def test_ping_stats_catalog(self):
+        async def scenario():
+            server = PlannerServer(pool=SolverPool(processes=0, restarts=1))
+            task = await serving(server)
+            try:
+                async with PlannerClient(*server.address) as client:
+                    pong = await client.ping()
+                    assert pong["pong"] is True
+                    stats = await client.stats()
+                    assert stats["cache"]["size"] == 0
+                    assert stats["limits"]["max_inflight"] == 4
+                    catalog = await client.catalog("aws")
+                    assert catalog["provider"] == "aws-2015"
+                    assert len(catalog["tiers"]) == 4
+            finally:
+                await shutdown(server, task)
+
+        run(scenario())
+
+    def test_catalog_unknown_provider_is_typed_error(self):
+        async def scenario():
+            server = PlannerServer(pool=SolverPool(processes=0, restarts=1))
+            task = await serving(server)
+            try:
+                async with PlannerClient(*server.address) as client:
+                    with pytest.raises(CatalogError, match="azure"):
+                        await client.catalog("azure")
+            finally:
+                await shutdown(server, task)
+
+        run(scenario())
+
+
+class TestSolvePath:
+    def test_plan_solves_and_caches(self):
+        async def scenario():
+            server = PlannerServer(pool=SolverPool(processes=0, restarts=2))
+            task = await serving(server)
+            try:
+                async with PlannerClient(*server.address) as client:
+                    first = await client.plan(small_spec(), n_vms=5, iterations=30)
+                    assert first["cached"] is False
+                    assert first["restarts"] == 2
+                    assert first["solver"] == "CAST++"
+                    second = await client.plan(small_spec(), n_vms=5, iterations=30)
+                    assert second["cached"] is True
+                    assert second["plan"] == first["plan"]
+                    stats = await client.stats()
+                    assert stats["cache"]["hits"] == 1
+                    assert stats["counters"]["solves_ok"] == 1
+            finally:
+                await shutdown(server, task)
+
+        run(scenario())
+
+    def test_plan_workflow_end_to_end(self):
+        async def scenario():
+            server = PlannerServer(pool=SolverPool(processes=0, restarts=1))
+            task = await serving(server)
+            try:
+                async with PlannerClient(*server.address) as client:
+                    result = await client.plan_workflow(
+                        workflow_to_dict(search_engine_workflow()),
+                        n_vms=10, iterations=30,
+                    )
+                    assert result["kind"] == "workflow-plan"
+                    assert result["n_jobs"] == 4
+            finally:
+                await shutdown(server, task)
+
+        run(scenario())
+
+    def test_malformed_workload_is_typed_error_not_crash(self):
+        async def scenario():
+            server = PlannerServer(pool=SolverPool(processes=0, restarts=1))
+            task = await serving(server)
+            try:
+                async with PlannerClient(*server.address) as client:
+                    bad = {"version": 1, "kind": "workload", "name": "x",
+                           "jobs": [{"job_id": "j", "app": "nosuch", "input_gb": 1}]}
+                    with pytest.raises(WorkloadError, match="unknown application"):
+                        await client.plan(bad, iterations=10)
+                    # The daemon survives and still answers.
+                    assert (await client.ping())["pong"] is True
+            finally:
+                await shutdown(server, task)
+
+        run(scenario())
+
+    def test_missing_spec_is_protocol_error(self):
+        async def scenario():
+            server = PlannerServer(pool=SolverPool(processes=0, restarts=1))
+            task = await serving(server)
+            try:
+                async with PlannerClient(*server.address) as client:
+                    with pytest.raises(ProtocolError, match="spec"):
+                        await client.request("plan", {"n_vms": 5})
+            finally:
+                await shutdown(server, task)
+
+        run(scenario())
+
+
+class TestSingleFlight:
+    def test_concurrent_identical_requests_solve_once(self):
+        async def scenario():
+            calls = 0
+
+            async def counting_solver(request):
+                nonlocal calls
+                calls += 1
+                await asyncio.sleep(0.2)  # hold the solve so followers join
+                return fake_result(seed=request["seed"])
+
+            server = PlannerServer(
+                pool=SolverPool(processes=0, restarts=1),
+                solver_fn=counting_solver,
+            )
+            task = await serving(server)
+            try:
+                host, port = server.address
+                async with PlannerClient(host, port) as c1, \
+                        PlannerClient(host, port) as c2:
+                    r1, r2 = await asyncio.gather(
+                        c1.plan(small_spec(), seed=9),
+                        c2.plan(small_spec(), seed=9),
+                    )
+                assert calls == 1
+                assert r1["fingerprint"] == r2["fingerprint"]
+                assert server.counters["dedup_joined"] == 1
+                # Exactly one of them led the solve; neither was cached.
+                assert r1["cached"] is False and r2["cached"] is False
+                assert server.cache.stats()["size"] == 1
+            finally:
+                await shutdown(server, task)
+
+        run(scenario())
+
+    def test_distinct_requests_do_not_dedup(self):
+        async def scenario():
+            calls = 0
+
+            async def counting_solver(request):
+                nonlocal calls
+                calls += 1
+                await asyncio.sleep(0.05)
+                return fake_result(seed=request["seed"])
+
+            server = PlannerServer(
+                pool=SolverPool(processes=0, restarts=1),
+                solver_fn=counting_solver,
+            )
+            task = await serving(server)
+            try:
+                host, port = server.address
+                async with PlannerClient(host, port) as c1, \
+                        PlannerClient(host, port) as c2:
+                    await asyncio.gather(
+                        c1.plan(small_spec(), seed=1),
+                        c2.plan(small_spec(), seed=2),
+                    )
+                assert calls == 2
+                assert server.counters["dedup_joined"] == 0
+            finally:
+                await shutdown(server, task)
+
+        run(scenario())
+
+    def test_failed_solve_not_cached_and_retriable(self):
+        async def scenario():
+            attempts = 0
+
+            async def flaky_solver(request):
+                nonlocal attempts
+                attempts += 1
+                if attempts == 1:
+                    raise WorkloadError("transient")
+                return fake_result()
+
+            server = PlannerServer(
+                pool=SolverPool(processes=0, restarts=1), solver_fn=flaky_solver
+            )
+            task = await serving(server)
+            try:
+                async with PlannerClient(*server.address) as client:
+                    with pytest.raises(WorkloadError, match="transient"):
+                        await client.plan(small_spec(), seed=4)
+                    # Same fingerprint retried -> fresh solve, not a
+                    # poisoned cache entry.
+                    result = await client.plan(small_spec(), seed=4)
+                    assert result["cached"] is False
+                assert attempts == 2
+            finally:
+                await shutdown(server, task)
+
+        run(scenario())
+
+
+class TestBackpressureAndTimeouts:
+    def test_requests_beyond_queue_are_shed(self):
+        async def scenario():
+            release = asyncio.Event()
+
+            async def stalled_solver(request):
+                await release.wait()
+                return fake_result()
+
+            server = PlannerServer(
+                pool=SolverPool(processes=0, restarts=1),
+                solver_fn=stalled_solver,
+                max_inflight=1,
+                max_queue=0,
+            )
+            task = await serving(server)
+            try:
+                host, port = server.address
+                async with PlannerClient(host, port) as c1, \
+                        PlannerClient(host, port) as c2:
+                    first = asyncio.create_task(c1.plan(small_spec(), seed=1))
+                    await asyncio.sleep(0.1)  # let it occupy the only slot
+                    with pytest.raises(ServiceBusyError, match="capacity"):
+                        await c2.plan(small_spec(), seed=2)
+                    release.set()
+                    assert (await first)["utility"] == 1.0
+                assert server.counters["rejected"] == 1
+            finally:
+                await shutdown(server, task)
+
+        run(scenario())
+
+    def test_slow_solve_times_out_typed(self):
+        async def scenario():
+            async def sleepy_solver(request):
+                await asyncio.sleep(5.0)
+                return fake_result()
+
+            server = PlannerServer(
+                pool=SolverPool(processes=0, restarts=1),
+                solver_fn=sleepy_solver,
+                request_timeout_s=0.1,
+            )
+            task = await serving(server)
+            try:
+                async with PlannerClient(*server.address) as client:
+                    with pytest.raises(ServiceTimeoutError, match="deadline"):
+                        await client.plan(small_spec())
+                assert server.counters["timeouts"] == 1
+            finally:
+                await shutdown(server, task)
+
+        run(scenario())
+
+
+class TestWireRobustness:
+    def test_malformed_json_gets_error_response_and_connection_survives(self):
+        async def scenario():
+            server = PlannerServer(pool=SolverPool(processes=0, restarts=1))
+            task = await serving(server)
+            try:
+                host, port = server.address
+                reader, writer = await asyncio.open_connection(host, port)
+                writer.write(b"{this is not json\n")
+                await writer.drain()
+                response = json.loads(await reader.readline())
+                assert response["ok"] is False
+                assert response["error"]["type"] == "ProtocolError"
+                # Same connection keeps working after the bad line.
+                writer.write(
+                    (json.dumps(make_request("ping", req_id="p1")) + "\n").encode()
+                )
+                await writer.drain()
+                response = json.loads(await reader.readline())
+                assert response["ok"] is True
+                assert response["result"]["pong"] is True
+                writer.close()
+                await writer.wait_closed()
+                assert server.counters["bad_requests"] == 1
+            finally:
+                await shutdown(server, task)
+
+        run(scenario())
+
+    def test_blank_lines_ignored(self):
+        async def scenario():
+            server = PlannerServer(pool=SolverPool(processes=0, restarts=1))
+            task = await serving(server)
+            try:
+                host, port = server.address
+                reader, writer = await asyncio.open_connection(host, port)
+                writer.write(b"\n\n")
+                writer.write(
+                    (json.dumps(make_request("ping", req_id="p1")) + "\n").encode()
+                )
+                await writer.drain()
+                response = json.loads(await reader.readline())
+                assert response["ok"] is True
+                writer.close()
+                await writer.wait_closed()
+            finally:
+                await shutdown(server, task)
+
+        run(scenario())
+
+
+class TestSyncClient:
+    def test_sync_client_round_trip(self):
+        # The sync facade drives its own event loops, so the server must
+        # live in a different thread here.
+        import threading
+
+        started = threading.Event()
+        box = {}
+
+        def serve():
+            async def body():
+                server = PlannerServer(pool=SolverPool(processes=0, restarts=1))
+                await server.start()
+                box["server"] = server
+                box["loop"] = asyncio.get_running_loop()
+                box["stopped"] = asyncio.Event()
+                started.set()
+                await box["stopped"].wait()
+                await server.stop()
+
+            asyncio.run(body())
+
+        thread = threading.Thread(target=serve, daemon=True)
+        thread.start()
+        assert started.wait(timeout=10)
+        client = SyncPlannerClient(*box["server"].address)
+        try:
+            assert client.ping()["pong"] is True
+            result = client.plan(small_spec(), n_vms=5, iterations=20, restarts=1)
+            assert result["cached"] is False
+            assert client.plan(small_spec(), n_vms=5, iterations=20,
+                               restarts=1)["cached"] is True
+            assert client.stats()["cache"]["hits"] == 1
+        finally:
+            box["loop"].call_soon_threadsafe(box["stopped"].set)
+            thread.join(timeout=10)

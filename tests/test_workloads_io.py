@@ -89,6 +89,41 @@ class TestWorkflowRoundTrip:
         assert back.n_jobs == 4
 
 
+class TestRoundTripGuarantee:
+    """``load_json(save_json(x)) == x`` — exact equality, not just
+    field spot-checks.  The service fingerprints requests via the
+    canonical dict form, so serialization must be lossless for
+    workloads (including reuse sets) and workflows (including DAG
+    edges and deadlines)."""
+
+    def test_workload_equality(self, workload, tmp_path):
+        path = tmp_path / "wl.json"
+        save_json(workload, path)
+        assert load_json(path) == workload
+
+    def test_workflow_equality(self, tmp_path):
+        wf = search_engine_workflow(deadline_s=1234.5)
+        path = tmp_path / "wf.json"
+        save_json(wf, path)
+        back = load_json(path)
+        assert back == wf
+        assert back.edges == wf.edges  # order preserved, not just set-equal
+
+    def test_synthesized_workload_equality(self, tmp_path):
+        wl = synthesize_facebook_workload()
+        path = tmp_path / "fb.json"
+        save_json(wl, path)
+        assert load_json(path) == wl
+
+    def test_dict_round_trip_is_canonical_fixpoint(self, workload):
+        # to_dict(from_dict(d)) == d for canonical d: fingerprinting
+        # relies on the dict form being a fixpoint.
+        data = workload_to_dict(workload)
+        assert workload_to_dict(workload_from_dict(data)) == data
+        wf_data = workflow_to_dict(search_engine_workflow())
+        assert workflow_to_dict(workflow_from_dict(wf_data)) == wf_data
+
+
 class TestValidation:
     def test_bad_version_rejected(self, workload):
         data = workload_to_dict(workload)
