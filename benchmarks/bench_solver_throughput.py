@@ -1,0 +1,166 @@
+#!/usr/bin/env python
+"""Solver throughput benchmark: incremental evaluator vs naive objective.
+
+Runs the CAST and CAST++ annealers twice on identical seeded inputs —
+once through full :func:`~repro.core.utility.evaluate_plan` calls per
+iteration (the reference path), once through the delta-aware
+:class:`~repro.core.evaluator.PlanEvaluator` — and reports
+iterations/second, the speedup, and the evaluator's cache counters
+(evaluations avoided, hit rate).
+
+Parity is asserted, not just measured: for every configuration the two
+paths must produce the *same* best utility, the *same* best plan and
+the *same* acceptance count, or the script exits non-zero.  Timing
+never fails the run (CI boxes are noisy); parity always does.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_solver_throughput.py
+    PYTHONPATH=src python benchmarks/bench_solver_throughput.py --quick
+
+Writes ``BENCH_solver.json`` (override with ``--out``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Any, Dict, List
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+import numpy as np
+
+from repro.cloud.aws import aws_2015
+from repro.cloud.provider import google_cloud_2015
+from repro.cloud.vm import ClusterSpec
+from repro.core.annealing import AnnealingSchedule
+from repro.core.castpp import CastPlusPlus
+from repro.core.solver import CastSolver
+from repro.profiler.profiler import build_model_matrix
+from repro.workloads.swim import synthesize_small_workload
+
+#: (n_jobs, iter_max) per workload size; --quick keeps only the first.
+SIZES = ((10, 1500), (25, 2000), (50, 3000))
+WORKLOAD_SEED = 11
+SOLVER_SEED = 7
+
+
+def bench_one(
+    solver_cls, provider, n_jobs: int, iter_max: int
+) -> Dict[str, Any]:
+    """Time naive vs incremental on one configuration; assert parity."""
+    cluster = ClusterSpec(n_vms=25)
+    workload = synthesize_small_workload(
+        n_jobs=n_jobs, rng=np.random.default_rng(WORKLOAD_SEED)
+    )
+    matrix = build_model_matrix(provider=provider, cluster_spec=cluster)
+    schedule = AnnealingSchedule(iter_max=iter_max)
+
+    naive = solver_cls(
+        cluster_spec=cluster, matrix=matrix, provider=provider,
+        schedule=schedule, seed=SOLVER_SEED, incremental=False,
+    )
+    fast = solver_cls(
+        cluster_spec=cluster, matrix=matrix, provider=provider,
+        schedule=schedule, seed=SOLVER_SEED, incremental=True,
+    )
+    initial = naive.initial_plan(workload)
+
+    t0 = time.perf_counter()
+    r_naive = naive.solve(workload, initial=initial)
+    t1 = time.perf_counter()
+    r_fast = fast.solve(workload, initial=initial)
+    t2 = time.perf_counter()
+
+    naive_s, fast_s = t1 - t0, t2 - t1
+    parity = (
+        r_naive.best_utility == r_fast.best_utility
+        and r_naive.best_state.to_dict() == r_fast.best_state.to_dict()
+        and r_naive.accepted == r_fast.accepted
+    )
+
+    stats = dict(fast.last_evaluator.stats())
+    lookups = stats["cache_hits"] + stats["cache_misses"]
+    considered = stats["jobs_reestimated"] + stats["jobs_skipped"]
+    return {
+        "solver": solver_cls.__name__,
+        "provider": provider.name,
+        "n_jobs": n_jobs,
+        "iterations": iter_max,
+        "parity": parity,
+        "best_utility": r_fast.best_utility,
+        "naive_seconds": naive_s,
+        "incremental_seconds": fast_s,
+        "naive_iters_per_s": iter_max / naive_s,
+        "incremental_iters_per_s": iter_max / fast_s,
+        "speedup": naive_s / fast_s,
+        "evaluations_avoided": stats["jobs_skipped"],
+        "jobs_considered": considered,
+        "cache_hit_rate": (stats["cache_hits"] / lookups) if lookups else 0.0,
+        "evaluator": stats,
+    }
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="smallest workload and google-only (the CI smoke mode)",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_solver.json", help="output JSON path"
+    )
+    args = parser.parse_args(argv)
+
+    sizes = SIZES[:1] if args.quick else SIZES
+    providers = [google_cloud_2015()] if args.quick else [
+        google_cloud_2015(), aws_2015()
+    ]
+
+    runs: List[Dict[str, Any]] = []
+    failures = 0
+    for provider in providers:
+        for n_jobs, iter_max in sizes:
+            for solver_cls in (CastSolver, CastPlusPlus):
+                run = bench_one(solver_cls, provider, n_jobs, iter_max)
+                runs.append(run)
+                mark = "ok " if run["parity"] else "FAIL"
+                if not run["parity"]:
+                    failures += 1
+                print(
+                    f"[{mark}] {run['provider']:>6} {run['solver']:<12} "
+                    f"jobs={n_jobs:<3} iters={iter_max:<5} "
+                    f"naive={run['naive_seconds']:.3f}s "
+                    f"inc={run['incremental_seconds']:.3f}s "
+                    f"speedup={run['speedup']:.1f}x "
+                    f"hit_rate={run['cache_hit_rate']:.2f} "
+                    f"avoided={run['evaluations_avoided']}"
+                )
+
+    report = {
+        "benchmark": "solver_throughput",
+        "quick": bool(args.quick),
+        "workload_seed": WORKLOAD_SEED,
+        "solver_seed": SOLVER_SEED,
+        "parity_failures": failures,
+        "runs": runs,
+    }
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.out} ({len(runs)} runs)")
+
+    if failures:
+        print(f"PARITY FAILURE in {failures} run(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,9 +14,10 @@ Public entry points:
   baselines.
 """
 
-from .annealing import AnnealingResult, AnnealingSchedule, simulated_annealing
+from .annealing import AnnealingResult, AnnealingSchedule, Neighbor, simulated_annealing
 from .castpp import CastPlusPlus, WorkflowEvaluation, evaluate_workflow_plan
 from .cost import CostBreakdown, deployment_cost, holding_cost
+from .evaluator import PlanEvaluator, PlanMove
 from .goals import GoalOutcome, TenantGoal, solve_for_goal
 from .greedy import greedy_exact_fit, greedy_over_provisioned, greedy_plan
 from .heat import DEFAULT_HEAT_LADDER, HeatScore, heat_based_plan, heat_scores
@@ -30,7 +31,10 @@ from .utility import PlanEvaluation, evaluate_plan, per_vm_capacity, tenant_util
 __all__ = [
     "AnnealingSchedule",
     "AnnealingResult",
+    "Neighbor",
     "simulated_annealing",
+    "PlanEvaluator",
+    "PlanMove",
     "CastSolver",
     "CastPlusPlus",
     "CAPACITY_MULTIPLIERS",

@@ -20,15 +20,38 @@ deadline solver all share one annealer:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Generic, Iterable, List, Optional, Tuple, TypeVar
+from typing import Any, Callable, Generic, Iterable, List, Optional, Tuple, TypeVar
 
 import numpy as np
 
 from ..errors import SolverError
 
-__all__ = ["AnnealingSchedule", "AnnealingResult", "simulated_annealing"]
+__all__ = ["AnnealingSchedule", "AnnealingResult", "Neighbor", "simulated_annealing"]
 
 S = TypeVar("S")
+
+#: Exponent floor for the Metropolis draw: ``exp(-745)`` is the last
+#: subnormal double, so clamping here keeps ``exp`` finite and silent
+#: (no underflow-to-warning churn) while leaving every acceptance
+#: decision unchanged — any probability below ~5e-324 loses to the
+#: uniform draw regardless.
+_MIN_METROPOLIS_EXPONENT = -745.0
+
+
+@dataclass(frozen=True)
+class Neighbor(Generic[S]):
+    """A candidate state plus (optionally) the move that produced it.
+
+    Neighbor functions may return a bare state (the classic protocol)
+    or a ``Neighbor`` carrying the move.  When the objective supports
+    delta evaluation (``reset``/``propose``/``accept``, see
+    :class:`~repro.core.evaluator.PlanEvaluator`), the annealer feeds
+    the move to ``propose`` so only the touched part of the objective
+    is recomputed — Algorithm 2's hot loop without the O(N) rescan.
+    """
+
+    state: S
+    move: Optional[Any] = None
 
 
 @dataclass(frozen=True)
@@ -93,11 +116,25 @@ def simulated_annealing(
         :class:`~repro.errors.CastError` for infeasible states, which
         are treated as utility ``-inf`` (never accepted).
     neighbor_fn:
-        Draws a random neighbor of the given state.
+        Draws a random neighbor of the given state.  May return either
+        a bare state or a :class:`Neighbor` wrapping the state and the
+        move that produced it.
+    utility_fn:
+        Either a plain callable, or a *delta objective* — an object
+        that is callable for full evaluations and additionally exposes
+        ``reset(state)`` (full evaluation establishing the base),
+        ``propose(state, move)`` (utility of base + move, uncommitted)
+        and ``accept()`` (promote the last proposal to base).  The
+        delta path is used whenever the neighbor carries a move.
     """
     from ..errors import CastError
 
     rng = rng if rng is not None else np.random.default_rng(0)
+
+    propose = getattr(utility_fn, "propose", None)
+    reset = getattr(utility_fn, "reset", None)
+    accept_cb = getattr(utility_fn, "accept", None)
+    delta_mode = callable(propose) and callable(reset) and callable(accept_cb)
 
     def safe_utility(state: S) -> float:
         try:
@@ -105,8 +142,20 @@ def simulated_annealing(
         except CastError:
             return float("-inf")
 
+    def safe_propose(state: S, move: Any) -> float:
+        try:
+            return propose(state, move)  # type: ignore[misc]
+        except CastError:
+            return float("-inf")
+
     current = initial_state
-    u_current = safe_utility(current)
+    if delta_mode:
+        try:
+            u_current = reset(current)  # type: ignore[misc]
+        except CastError:
+            u_current = float("-inf")
+    else:
+        u_current = safe_utility(current)
     if u_current == float("-inf"):
         raise SolverError("initial state is infeasible")
     best, u_best = current, u_current
@@ -117,21 +166,39 @@ def simulated_annealing(
 
     for _ in range(schedule.iter_max):
         temp = max(temp * schedule.cooling_rate, schedule.temp_min)
-        neighbor = neighbor_fn(current, rng)
-        u_neighbor = safe_utility(neighbor)
+        candidate = neighbor_fn(current, rng)
+        if isinstance(candidate, Neighbor):
+            neighbor, move = candidate.state, candidate.move
+        else:
+            neighbor, move = candidate, None
+        incremental = delta_mode and move is not None
+        if incremental:
+            u_neighbor = safe_propose(neighbor, move)
+        else:
+            u_neighbor = safe_utility(neighbor)
 
         if u_neighbor > u_best:
             best, u_best = neighbor, u_neighbor
 
-        if u_neighbor >= u_current:
-            current, u_current = neighbor, u_neighbor
-            accepted += 1
-        elif u_neighbor > float("-inf"):
+        take = u_neighbor >= u_current
+        if not take and u_neighbor > float("-inf"):
             scale = abs(u_best) if u_best != 0 else 1.0
             delta = (u_neighbor - u_current) / scale
-            if rng.random() < float(np.exp(delta / temp)):
-                current, u_current = neighbor, u_neighbor
-                accepted += 1
+            if delta >= 0.0:
+                # Normalized gain (unreachable while scale > 0, kept as
+                # an overflow guard): exp would be >= 1, accept outright.
+                take = True
+            else:
+                exponent = max(delta / temp, _MIN_METROPOLIS_EXPONENT)
+                take = rng.random() < float(np.exp(exponent))
+        if take:
+            current, u_current = neighbor, u_neighbor
+            accepted += 1
+            if delta_mode:
+                if incremental:
+                    accept_cb()  # type: ignore[misc]
+                else:
+                    reset(neighbor)  # type: ignore[misc]
         if record_trajectory:
             trajectory.append(u_best)
 

@@ -34,8 +34,9 @@ from ..profiler.models import ModelMatrix
 from ..simulator.engine import cross_tier_transfer_seconds, intermediate_tier_for
 from ..workloads.spec import WorkloadSpec
 from ..workloads.workflow import Workflow
-from .annealing import AnnealingResult, AnnealingSchedule, simulated_annealing
+from .annealing import AnnealingResult, AnnealingSchedule, Neighbor, simulated_annealing
 from .cost import CostBreakdown, deployment_cost
+from .evaluator import PlanMove
 from .perf_model import estimate_job, staging_seconds
 from .plan import Placement, TieringPlan
 from .solver import CAPACITY_MULTIPLIERS, CastSolver
@@ -183,6 +184,10 @@ def evaluate_workflow_plan(
 class CastPlusPlus(CastSolver):
     """CAST++ solver: Constraint 7 + Eq. 8-10 on top of basic CAST."""
 
+    # The delta evaluator built by CastSolver.make_evaluator applies
+    # the §3.1.3 reuse economics, matching the objective below.
+    _reuse_aware: bool = field(default=True, init=False, repr=False)
+
     # -- Enhancement 1: reuse awareness ------------------------------------
 
     def objective(self, workload: WorkloadSpec) -> Callable[[TieringPlan], float]:
@@ -196,20 +201,24 @@ class CastPlusPlus(CastSolver):
 
         return utility
 
-    def neighbor(
+    def neighbor_moves(
         self, workload: WorkloadSpec
-    ) -> Callable[[TieringPlan, np.random.Generator], TieringPlan]:
+    ) -> Callable[[TieringPlan, np.random.Generator], Neighbor[TieringPlan]]:
         """Single-job move that relocates whole reuse sets atomically."""
         tiers = list(self.provider.tiers)
         jobs = list(workload.jobs)
+        # Footprints and reuse groups are per-workload constants —
+        # hoist their property/lookup chains out of the hot closure.
+        fp = {j.job_id: j.footprint_gb for j in jobs}
+        groups = {}
+        for j in jobs:
+            rs = workload.reuse_set_of(j.job_id)
+            groups[j.job_id] = sorted(rs.job_ids) if rs is not None else [j.job_id]
 
-        def move(plan: TieringPlan, rng: np.random.Generator) -> TieringPlan:
+        def move(plan: TieringPlan, rng: np.random.Generator) -> Neighbor[TieringPlan]:
             job = jobs[rng.integers(len(jobs))]
-            group = [job.job_id]
-            rs = workload.reuse_set_of(job.job_id)
-            if rs is not None:
-                group = sorted(rs.job_ids)
-            current = plan.placement(job.job_id)
+            group = groups[job.job_id]
+            current = plan.placements[job.job_id]
             kind = rng.integers(3)
             tier = current.tier
             mult_choice = None
@@ -218,18 +227,18 @@ class CastPlusPlus(CastSolver):
                 tier = others[rng.integers(len(others))]
             if kind in (1, 2):
                 mult_choice = CAPACITY_MULTIPLIERS[rng.integers(len(CAPACITY_MULTIPLIERS))]
-            new_plan = plan
+            changes = []
             for jid in group:
-                member = workload.job(jid)
                 mult = (
                     mult_choice
                     if mult_choice is not None
-                    else max(1.0, plan.placement(jid).capacity_gb / member.footprint_gb)
+                    else max(1.0, plan.placements[jid].capacity_gb / fp[jid])
                 )
-                new_plan = new_plan.with_placement(
-                    jid, Placement(tier=tier, capacity_gb=member.footprint_gb * mult)
+                changes.append(
+                    (jid, Placement(tier=tier, capacity_gb=fp[jid] * mult))
                 )
-            return new_plan
+            changes = tuple(changes)
+            return Neighbor(plan.with_placements(changes), PlanMove(changes))
 
         return move
 

@@ -1,0 +1,716 @@
+"""Incremental plan evaluation for the annealing hot loop.
+
+Algorithm 2 evaluates ``iter_max`` neighbor plans per solve, and the
+naive :func:`~repro.core.utility.evaluate_plan` re-validates the plan
+and re-runs :func:`~repro.core.perf_model.estimate_job` for all N jobs
+even though a neighbor move touches one job (or one app class).
+:class:`PlanEvaluator` removes that O(N·iter) rescan:
+
+* **Tier-level invalidation.**  A move changes the aggregate capacity
+  of at most a handful of services; only jobs on those services can see
+  a different per-VM capacity (capacity coupling, Eq. 4), so only they
+  are candidates for re-estimation.  Everything else keeps its cached
+  :class:`~repro.core.perf_model.JobEstimate`.
+* **Bandwidth-keyed estimate memoization.**  A job estimate depends on
+  capacity only through the 1 GB-quantized bandwidth lookup
+  (:func:`~repro.profiler.models.quantize_capacity` is shared with
+  :class:`~repro.profiler.models.ModelMatrix`), so estimates are
+  memoized on ``(job, phase-bandwidth identity)``: every
+  ``(tier, quantized capacity)`` pair maps to an interned id for the
+  bandwidth *values* it produces.  Capacity-insensitive and saturated
+  profiles collapse to a single id — capacity churn on those tiers
+  invalidates nothing — and the memo stays *exact* by construction.
+* **Static term precomputation.**  The capacity-independent pieces of
+  Eq. 1 (wave counts × per-task MB, ephSSD staging seconds) are
+  computed once per job at construction; a memo miss costs three
+  divisions by the phase bandwidths, not a full ``estimate_job``.
+* **Canonical-order summation.**  Makespan, per-tier aggregates and
+  billed capacities are re-summed from cached per-job components in
+  exactly the order the naive path sums them (workload order for
+  makespan/billed, plan order for aggregates), then finished through
+  the shared :func:`~repro.core.utility.finalize_plan_metrics` tail —
+  so the incremental utility is **bit-identical** to the naive one, not
+  merely close.  The parity test suite and the CI benchmark smoke
+  enforce this.
+
+Protocol (consumed by :func:`~repro.core.annealing.simulated_annealing`
+when the neighbor function supplies moves):
+
+* ``reset(plan)`` — full evaluation; the plan becomes the base state;
+* ``propose(neighbor_plan, move)`` — utility of base + move, computed
+  from deltas, committed to nothing;
+* ``accept()`` — promote the last proposal to the new base;
+* ``evaluator(plan)`` — plain call: stateless full evaluation (used
+  for seeding and by legacy callers expecting a utility function).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..cloud.provider import CloudProvider
+from ..cloud.storage import Tier
+from ..cloud.vm import ClusterSpec
+from ..errors import PlanError
+from ..profiler.models import ModelMatrix, PhaseBandwidths, quantize_capacity
+from ..units import gb_to_mb
+from ..workloads.spec import WorkloadSpec
+from .cost import CostBreakdown
+from .perf_model import JobEstimate, _effective_waves, staging_seconds
+from .plan import Placement, TieringPlan
+from .utility import PlanEvaluation, finalize_plan_metrics
+
+__all__ = ["PlanMove", "PlanEvaluator"]
+
+
+@dataclass(frozen=True)
+class PlanMove:
+    """One neighbor move: the batch of placement changes it applies.
+
+    ``changes`` mirrors the argument of
+    :meth:`~repro.core.plan.TieringPlan.with_placements`; the neighbor
+    plan must equal the evaluator's base plan with these changes
+    applied (the annealer maintains that invariant).
+    """
+
+    changes: Tuple[Tuple[str, Placement], ...]
+
+
+class _BaseState:
+    """Cached full evaluation of one plan (the evaluator's base)."""
+
+    __slots__ = (
+        "plan", "pos", "members", "agg", "pvc", "qpvc",
+        "estimates", "est_key", "totals", "contribs",
+        "utility", "makespan_s", "cost", "billed", "evaluation",
+    )
+
+    def __init__(self) -> None:
+        self.plan: Optional[TieringPlan] = None
+        self.pos: Dict[str, int] = {}
+        self.members: Dict[Tier, List[str]] = {}
+        self.agg: Dict[Tier, float] = {}
+        self.pvc: Dict[Tier, float] = {}
+        self.qpvc: Dict[Tier, float] = {}
+        self.estimates: Dict[str, JobEstimate] = {}
+        self.est_key: Dict[str, int] = {}
+        self.totals: List[float] = []
+        self.contribs: List[Tuple[Tuple[Tier, float], ...]] = []
+        self.utility: float = float("nan")
+        self.makespan_s: float = float("nan")
+        self.cost: Optional[CostBreakdown] = None
+        self.billed: Dict[Tier, float] = {}
+        self.evaluation: Optional[PlanEvaluation] = None
+
+
+class _Pending:
+    """An uncommitted proposal: overlays over the base state."""
+
+    __slots__ = (
+        "plan", "members", "agg", "pvc", "qpvc",
+        "key_overlay", "totals", "contrib_overlay",
+        "utility", "makespan_s", "cost", "billed",
+    )
+
+
+class _StagingView:
+    """Minimal ``est_of`` view for the reuse pass of finalize.
+
+    The reuse economics read exactly one estimate field —
+    ``download_s`` — which is capacity-independent (objStore staging),
+    so the incremental path serves it from the static terms instead of
+    materializing whole :class:`JobEstimate` objects.
+    """
+
+    __slots__ = ("download_s",)
+
+    def __init__(self, download_s: float) -> None:
+        self.download_s = download_s
+
+
+class PlanEvaluator:
+    """Delta-aware, memoizing Eq. 2–6 objective for one workload.
+
+    One evaluator serves one solve (one annealing run): it assumes the
+    workload, cluster, model matrix and provider are fixed and that
+    successive proposals are expressed relative to the accepted base
+    plan.  It is deliberately not thread-safe — each solver restart
+    (and each pool worker) builds its own.
+    """
+
+    def __init__(
+        self,
+        workload: WorkloadSpec,
+        cluster_spec: ClusterSpec,
+        matrix: ModelMatrix,
+        provider: CloudProvider,
+        reuse_aware: bool = False,
+    ) -> None:
+        self.workload = workload
+        self.cluster_spec = cluster_spec
+        self.matrix = matrix
+        self.provider = provider
+        self.reuse_aware = reuse_aware
+        self._jobs = list(workload.jobs)
+        self._job_by_id = {j.job_id: j for j in self._jobs}
+        self._job_idx = {j.job_id: i for i, j in enumerate(self._jobs)}
+        self._footprint = {j.job_id: j.footprint_gb for j in self._jobs}
+        # Capacity-independent Eq. 1 terms, once per job: (app name,
+        # waves×MB per phase, ephSSD staging seconds).  ``map_s`` in
+        # estimate_job is ``(waves_m * gb_to_mb(input/m)) / bw`` —
+        # left-to-right — so pre-multiplying here is bit-identical.
+        self._static: Dict[str, Tuple[str, float, float, float, float, float]] = {}
+        for job in self._jobs:
+            m, r = job.map_tasks, job.reduce_tasks
+            waves_m = _effective_waves(
+                m, cluster_spec.total_map_slots, job.app.cpu_intensive
+            )
+            waves_r = _effective_waves(
+                r, cluster_spec.total_reduce_slots, job.app.cpu_intensive
+            )
+            self._static[job.job_id] = (
+                job.app.name,
+                waves_m * gb_to_mb(job.input_gb / m),
+                waves_r * gb_to_mb(job.intermediate_gb / r),
+                waves_r * gb_to_mb(job.output_gb / r),
+                staging_seconds(job.input_gb, m, cluster_spec, provider),
+                staging_seconds(
+                    job.output_gb,
+                    r * job.app.files_per_reduce_task,
+                    cluster_spec,
+                    provider,
+                ),
+            )
+        # Interned bandwidth identities: (app, tier, qpvc) -> id, with
+        # ids shared between lookups that produce equal bandwidth
+        # values on the same tier (flat and saturated profiles).
+        self._bw_ids: Dict[Tuple[str, Tier, float], int] = {}
+        self._bw_vals: Dict[Tuple[Tier, float, float, float], int] = {}
+        self._bw_by_id: List[PhaseBandwidths] = []
+        # Precomputed quantized-capacity bandwidth tables per
+        # (app, tier): quantized capacities are integers, so one
+        # vectorized spline pass covers the whole anchor span and
+        # lookups never touch scipy again.
+        self._bw_tables: Dict[Tuple[str, Tier], Tuple] = {}
+        # Per-tier constants on the hot paths: per-VM capacity clamp
+        # and the billed-contribution tier relations.
+        self._max_pvc: Dict[Tier, float] = {}
+        self._tier_rel: Dict[Tier, Tuple[Optional[Tier], Optional[Tier]]] = {}
+        for tier in provider.tiers:
+            svc = provider.service(tier)
+            self._max_pvc[tier] = svc.max_capacity_per_vm_gb()
+            self._tier_rel[tier] = (svc.requires_intermediate, svc.requires_backing)
+        self._n_vms = cluster_spec.n_vms
+        # Per-job data-size constants for billed contributions, summed
+        # exactly as job_billed_contributions sums them.
+        self._job_gb: Dict[str, Tuple[float, float]] = {
+            j.job_id: (j.intermediate_gb, j.input_gb + j.output_gb)
+            for j in self._jobs
+        }
+        # (job, bandwidth id) -> total runtime seconds: the hot-loop
+        # cache.  Full JobEstimate objects are materialized lazily —
+        # only makespan totals are needed per proposal.
+        self._tot_cache: Dict[Tuple[str, int], float] = {}
+        self._est_objs: Dict[Tuple[str, int], JobEstimate] = {}
+        self._base = _BaseState()
+        self._pending: Optional[_Pending] = None
+        self.counters: Dict[str, int] = {
+            "full_evaluations": 0,
+            "incremental_evaluations": 0,
+            "cache_hits": 0,
+            "cache_misses": 0,
+            "jobs_reestimated": 0,
+            "jobs_skipped": 0,
+        }
+
+    # -- memoized job estimation ------------------------------------------------
+
+    def _bw_table(self, app_name: str, tier: Tier) -> Tuple:
+        """Quantized-capacity bandwidth table for one (app, tier).
+
+        Quantized per-VM capacities are whole GB, so the profile's
+        whole anchor span is covered by one vectorized spline pass
+        over the integer grid; below/above the span the spline clamps
+        to its boundary anchors, matching the scalar lookup exactly.
+        """
+        profile = self.matrix.get(app_name, tier)
+        caps = profile.capacities
+        if len(caps) == 1:
+            bw = profile.at(caps[0])
+            return (0, 0, (bw.map_mb_s,), (bw.shuffle_mb_s,), (bw.reduce_mb_s,))
+        lo_i, hi_i = math.floor(caps[0]), math.ceil(caps[-1])
+        grid = np.arange(lo_i, hi_i + 1, dtype=float)
+        m_arr, s_arr, r_arr = profile.at_array(grid)
+        return (lo_i, hi_i, m_arr, s_arr, r_arr)
+
+    def _bw_id(self, app_name: str, tier: Tier, qpvc: float) -> int:
+        """Interned id of the bandwidths ``(app, tier, qpvc)`` sees."""
+        key = (app_name, tier, qpvc)
+        bid = self._bw_ids.get(key)
+        if bid is None:
+            table = self._bw_tables.get((app_name, tier))
+            if table is None:
+                table = self._bw_table(app_name, tier)
+                self._bw_tables[(app_name, tier)] = table
+            lo_i, hi_i, m_arr, s_arr, r_arr = table
+            i = min(max(int(qpvc), lo_i), hi_i) - lo_i
+            # The max(1e-9, ...) clamp CapacityProfile.at applies.
+            bw = PhaseBandwidths(
+                map_mb_s=max(1e-9, float(m_arr[i])),
+                shuffle_mb_s=max(1e-9, float(s_arr[i])),
+                reduce_mb_s=max(1e-9, float(r_arr[i])),
+            )
+            vkey = (tier, bw.map_mb_s, bw.shuffle_mb_s, bw.reduce_mb_s)
+            bid = self._bw_vals.get(vkey)
+            if bid is None:
+                bid = len(self._bw_by_id)
+                self._bw_vals[vkey] = bid
+                self._bw_by_id.append(bw)
+            self._bw_ids[key] = bid
+        return bid
+
+    def _tot(self, jid: str, tier: Tier, bid: int) -> float:
+        """Total runtime seconds, memoized on the bandwidth identity.
+
+        Identical bandwidth values and tier imply an identical
+        estimate, so the memo is exact; misses replay the float ops of
+        ``estimate_job`` + ``JobEstimate.total_s`` from the precomputed
+        static terms — same values, same order, no object construction.
+        """
+        key = (jid, bid)
+        tot = self._tot_cache.get(key)
+        if tot is not None:
+            self.counters["cache_hits"] += 1
+            return tot
+        self.counters["cache_misses"] += 1
+        _, pre_map, pre_shuffle, pre_reduce, download_s, upload_s = self._static[jid]
+        bw = self._bw_by_id[bid]
+        if tier is not Tier.EPH_SSD:
+            download_s = upload_s = 0.0
+        map_s = pre_map / bw.map_mb_s
+        shuffle_s = pre_shuffle / bw.shuffle_mb_s
+        reduce_s = pre_reduce / bw.reduce_mb_s
+        # total_s = download + (map + shuffle + reduce) + upload,
+        # parenthesized as the property chain evaluates it.
+        tot = download_s + (map_s + shuffle_s + reduce_s) + upload_s
+        self._tot_cache[key] = tot
+        return tot
+
+    def _est_obj(self, jid: str, tier: Tier, bid: int) -> JobEstimate:
+        """Materialize the :class:`JobEstimate` behind a memo entry."""
+        key = (jid, bid)
+        est = self._est_objs.get(key)
+        if est is None:
+            _, pre_map, pre_shuffle, pre_reduce, download_s, upload_s = self._static[jid]
+            bw = self._bw_by_id[bid]
+            if tier is not Tier.EPH_SSD:
+                download_s = upload_s = 0.0
+            est = JobEstimate(
+                job_id=jid,
+                tier=tier,
+                download_s=download_s,
+                map_s=pre_map / bw.map_mb_s,
+                shuffle_s=pre_shuffle / bw.shuffle_mb_s,
+                reduce_s=pre_reduce / bw.reduce_mb_s,
+                upload_s=upload_s,
+            )
+            self._est_objs[key] = est
+        return est
+
+    def _per_vm(self, tier: Tier, aggregate_gb: float) -> float:
+        # Exactly the ops of utility.per_vm_capacity, per tier, with
+        # the service's capacity ceiling cached at construction.
+        per_vm = aggregate_gb / self._n_vms
+        mx = self._max_pvc[tier]
+        if per_vm > mx:
+            per_vm = mx
+        return per_vm if per_vm > 10.0 else 10.0
+
+    def _contribs(self, jid: str, placement: Placement) -> Tuple[Tuple[Tier, float], ...]:
+        # job_billed_contributions from cached per-job/per-tier parts —
+        # same pairs, same order, same float ops.
+        tier = placement.tier
+        ri, rb = self._tier_rel[tier]
+        inter, io = self._job_gb[jid]
+        if ri is not None:
+            cap = placement.capacity_gb - inter
+            pairs = ((ri, inter), (tier, cap if cap > io else io))
+        else:
+            pairs = ((tier, placement.capacity_gb),)
+        if rb is not None:
+            pairs = pairs + ((rb, io),)
+        return pairs
+
+    # -- full evaluation (reference-parity path) --------------------------------
+
+    def _full_state(self, plan: TieringPlan) -> _BaseState:
+        """Evaluate ``plan`` from scratch into a fresh base state.
+
+        Mirrors :func:`~repro.core.utility.evaluate_plan` operation for
+        operation (same summation orders, shared finalize tail), with
+        job estimates routed through the memo cache.
+        """
+        plan.validate(self.workload, self.provider)
+        state = _BaseState()
+        state.plan = plan
+        state.pos = {jid: i for i, jid in enumerate(plan.placements)}
+
+        # Per-tier membership in plan order; aggregates summed in that
+        # order — the order aggregate_capacity_gb() accumulates in.
+        for jid in plan.placements:
+            state.members.setdefault(plan.placements[jid].tier, []).append(jid)
+        for tier, ids in state.members.items():
+            agg = 0.0
+            for jid in ids:
+                agg += plan.placements[jid].capacity_gb
+            state.agg[tier] = agg
+            state.pvc[tier] = self._per_vm(tier, agg)
+            state.qpvc[tier] = quantize_capacity(state.pvc[tier])
+
+        static = self._static
+        makespan_s = 0.0
+        for job in self._jobs:
+            jid = job.job_id
+            placement = plan.placements[jid]
+            tier = placement.tier
+            bid = self._bw_id(static[jid][0], tier, state.qpvc[tier])
+            tot = self._tot(jid, tier, bid)
+            state.estimates[jid] = self._est_obj(jid, tier, bid)
+            state.est_key[jid] = bid
+            state.totals.append(tot)
+            state.contribs.append(self._contribs(jid, placement))
+            makespan_s += tot
+
+        billed: Dict[Tier, float] = {}
+        for pairs in state.contribs:
+            for tier, gb in pairs:
+                billed[tier] = billed.get(tier, 0.0) + gb
+
+        makespan_s, cost, utility = finalize_plan_metrics(
+            self.workload, plan, state.estimates.__getitem__, makespan_s,
+            billed, self.cluster_spec, self.provider, reuse_aware=self.reuse_aware,
+        )
+        state.utility = utility
+        state.makespan_s = makespan_s
+        state.cost = cost
+        state.billed = billed
+        state.evaluation = PlanEvaluation(
+            makespan_s=makespan_s,
+            cost=cost,
+            utility=utility,
+            per_job=dict(state.estimates),
+            capacity_gb=dict(billed),
+        )
+        self.counters["full_evaluations"] += 1
+        return state
+
+    def evaluate(self, plan: TieringPlan) -> PlanEvaluation:
+        """Stateless full evaluation (does not move the base)."""
+        return self._full_state(plan).evaluation  # type: ignore[return-value]
+
+    def __call__(self, plan: TieringPlan) -> float:
+        """Utility of a plan, full evaluation (legacy objective shape)."""
+        return self.evaluate(plan).utility
+
+    # -- the delta protocol -----------------------------------------------------
+
+    def reset(self, plan: TieringPlan) -> float:
+        """Full evaluation; ``plan`` becomes the base state."""
+        self._pending = None
+        self._base = self._full_state(plan)
+        return self._base.utility
+
+    def propose(self, neighbor_plan: TieringPlan, move: PlanMove) -> float:
+        """Utility of base + ``move``, recomputing only what it touched.
+
+        Raises :class:`~repro.errors.PlanError` (or
+        :class:`~repro.errors.CatalogError`) for infeasible moves, like
+        the naive path; the base state is untouched either way.
+        """
+        self._pending = None
+        base = self._base
+        if base.plan is None:
+            raise PlanError("propose() before reset(): no base plan")
+        self.counters["incremental_evaluations"] += 1
+
+        # Effective per-job changes (last write wins), delta-validated
+        # exactly as plan.validate would judge the changed jobs.
+        new_placements: Dict[str, Placement] = {}
+        for jid, placement in move.changes:
+            job = self._job_by_id.get(jid)
+            if job is None:
+                raise PlanError(f"job {jid!r} not in workload")
+            if placement.tier not in self._max_pvc:
+                self.provider.service(placement.tier)  # raises CatalogError
+            if placement.capacity_gb + 1e-9 < self._footprint[jid]:
+                raise PlanError(
+                    f"{jid}: Eq. 3 violated — provisioned "
+                    f"{placement.capacity_gb:.1f} GB < footprint "
+                    f"{job.footprint_gb:.1f} GB"
+                )
+            new_placements[jid] = placement
+
+        base_placements = base.plan.placements
+        real_changes: Dict[str, Placement] = {}
+        affected: set = set()
+        for jid, placement in new_placements.items():
+            old = base_placements[jid]
+            if old.tier is placement.tier and old.capacity_gb == placement.capacity_gb:
+                continue
+            real_changes[jid] = placement
+            affected.add(old.tier)
+            affected.add(placement.tier)
+
+        if not real_changes:
+            # Pure no-op: the neighbor is the base plan; reuse its eval.
+            pending = _Pending()
+            pending.plan = neighbor_plan
+            pending.members = {}
+            pending.agg = {}
+            pending.pvc = {}
+            pending.qpvc = {}
+            pending.key_overlay = {}
+            pending.totals = base.totals
+            pending.contrib_overlay = {}
+            pending.utility = base.utility
+            pending.makespan_s = base.makespan_s
+            pending.cost = base.cost
+            pending.billed = dict(base.billed)
+            self._pending = pending
+            self.counters["jobs_skipped"] += len(self._jobs)
+            return pending.utility
+
+        # Scratch membership/aggregates for affected tiers only, summed
+        # in plan order (pos) to match aggregate_capacity_gb bit-wise.
+        pos = base.pos
+        scratch_members: Dict[Tier, List[str]] = {}
+        scratch_agg: Dict[Tier, float] = {}
+        scratch_pvc: Dict[Tier, float] = {}
+        scratch_qpvc: Dict[Tier, float] = {}
+        leavers: Dict[Tier, List[str]] = {}
+        joiners: Dict[Tier, List[str]] = {}
+        for jid, p in real_changes.items():
+            old_tier = base_placements[jid].tier
+            if old_tier is not p.tier:
+                leavers.setdefault(old_tier, []).append(jid)
+                joiners.setdefault(p.tier, []).append(jid)
+        for tier in affected:
+            base_list = base.members.get(tier)
+            left = leavers.get(tier)
+            joined = joiners.get(tier)
+            if left is None and joined is None:
+                # Resize-only: membership (and its plan order) unchanged.
+                ids = base_list if base_list is not None else []
+            else:
+                if base_list is None:
+                    ids = []
+                elif left:
+                    gone = set(left)
+                    ids = [jid for jid in base_list if jid not in gone]
+                else:
+                    ids = base_list.copy()
+                if joined:
+                    ids.extend(joined)
+                    ids.sort(key=pos.__getitem__)
+            scratch_members[tier] = ids
+            if ids:
+                agg = 0.0
+                for jid in ids:
+                    p = real_changes.get(jid)
+                    agg += p.capacity_gb if p is not None else base_placements[jid].capacity_gb
+                scratch_agg[tier] = agg
+                scratch_pvc[tier] = self._per_vm(tier, agg)
+                scratch_qpvc[tier] = quantize_capacity(scratch_pvc[tier])
+
+        # Re-key only candidate jobs — those the move relocated plus
+        # members of tiers whose quantized per-VM capacity changed —
+        # and re-estimate only where the bandwidth identity differs.
+        tot_overlay: Dict[str, float] = {}
+        key_overlay: Dict[str, int] = {}
+        static = self._static
+        base_est_key = base.est_key
+        bw_ids = self._bw_ids
+        tot_cache = self._tot_cache
+        hits = 0
+        # Pass 1: members of tiers whose quantized per-VM capacity
+        # changed.  All members sharing an app share the (app, tier,
+        # qpvc) -> bandwidth-id lookup, so hoist it to once per app.
+        for tier in affected:
+            qp = scratch_qpvc.get(tier)
+            if qp == base.qpvc.get(tier):
+                continue
+            app_bid: Dict[str, int] = {}
+            for jid in scratch_members[tier]:
+                app = static[jid][0]
+                bid = app_bid.get(app)
+                if bid is None:
+                    bid = bw_ids.get((app, tier, qp))
+                    if bid is None:
+                        bid = self._bw_id(app, tier, qp)
+                    app_bid[app] = bid
+                if base_est_key.get(jid) == bid:
+                    continue
+                tot = tot_cache.get((jid, bid))
+                if tot is None:
+                    tot = self._tot(jid, tier, bid)
+                else:
+                    hits += 1
+                tot_overlay[jid] = tot
+                key_overlay[jid] = bid
+        # Pass 2: relocated/resized jobs whose destination tier kept its
+        # quantized capacity (pass 1 skipped that tier entirely).
+        for jid, p in real_changes.items():
+            if jid in key_overlay:
+                continue
+            tier = p.tier
+            bid = bw_ids.get((static[jid][0], tier, scratch_qpvc[tier]))
+            if bid is None:
+                bid = self._bw_id(static[jid][0], tier, scratch_qpvc[tier])
+            if base_est_key.get(jid) == bid:
+                continue
+            tot = tot_cache.get((jid, bid))
+            if tot is None:
+                tot = self._tot(jid, tier, bid)
+            else:
+                hits += 1
+            tot_overlay[jid] = tot
+            key_overlay[jid] = bid
+        counters = self.counters
+        counters["cache_hits"] += hits
+        counters["jobs_reestimated"] += len(tot_overlay)
+        counters["jobs_skipped"] += len(self._jobs) - len(tot_overlay)
+
+        # Makespan: cached per-job totals, summed in workload order —
+        # the exact accumulation evaluate_plan performs.
+        totals = base.totals
+        if tot_overlay:
+            totals = totals.copy()
+            job_idx = self._job_idx
+            for jid, tot in tot_overlay.items():
+                totals[job_idx[jid]] = tot
+        makespan_s = sum(totals)
+
+        # Billed capacities: cached per-job contribution pairs,
+        # accumulated in workload order (naive loop over cached parts).
+        contrib_overlay: Dict[int, Tuple[Tuple[Tier, float], ...]] = {
+            self._job_idx[jid]: self._contribs(jid, p)
+            for jid, p in real_changes.items()
+        }
+        billed: Dict[Tier, float] = {}
+        base_contribs = base.contribs
+        for i in range(len(base_contribs)):
+            pairs = contrib_overlay.get(i)
+            if pairs is None:
+                pairs = base_contribs[i]
+            for tier, gb in pairs:
+                billed[tier] = billed.get(tier, 0.0) + gb
+
+        if self.reuse_aware:
+            # finalize reads only .download_s (the capacity-independent
+            # objStore staging term) — serve it from static terms.
+            def est_of(jid: str) -> _StagingView:
+                p = real_changes.get(jid)
+                tier = p.tier if p is not None else base_placements[jid].tier
+                return _StagingView(
+                    static[jid][4] if tier is Tier.EPH_SSD else 0.0
+                )
+        else:
+            est_of = None  # type: ignore[assignment]  # never called
+
+        makespan_s, cost, utility = finalize_plan_metrics(
+            self.workload, neighbor_plan, est_of, makespan_s, billed,
+            self.cluster_spec, self.provider, reuse_aware=self.reuse_aware,
+        )
+
+        pending = _Pending()
+        pending.plan = neighbor_plan
+        pending.members = scratch_members
+        pending.agg = scratch_agg
+        pending.pvc = scratch_pvc
+        pending.qpvc = scratch_qpvc
+        pending.key_overlay = key_overlay
+        pending.totals = totals
+        pending.contrib_overlay = contrib_overlay
+        pending.utility = utility
+        pending.makespan_s = makespan_s
+        pending.cost = cost
+        pending.billed = billed
+        self._pending = pending
+        return utility
+
+    def accept(self) -> None:
+        """Promote the last proposal to the new base state."""
+        pending = self._pending
+        if pending is None:
+            raise PlanError("accept() without a pending proposal")
+        base = self._base
+        base.plan = pending.plan
+        for tier, ids in pending.members.items():
+            if ids:
+                base.members[tier] = ids
+            else:
+                base.members.pop(tier, None)
+            agg = pending.agg.get(tier)
+            if agg is None:
+                base.agg.pop(tier, None)
+                base.pvc.pop(tier, None)
+                base.qpvc.pop(tier, None)
+            else:
+                base.agg[tier] = agg
+                base.pvc[tier] = pending.pvc[tier]
+                base.qpvc[tier] = pending.qpvc[tier]
+        base.est_key.update(pending.key_overlay)
+        base.totals = pending.totals
+        if pending.contrib_overlay:
+            for i, pairs in pending.contrib_overlay.items():
+                base.contribs[i] = pairs
+        base.utility = pending.utility
+        base.makespan_s = pending.makespan_s
+        base.cost = pending.cost
+        base.billed = pending.billed
+        base.evaluation = None  # rebuilt lazily by last_evaluation
+        self._pending = None
+
+    # -- introspection ----------------------------------------------------------
+
+    @property
+    def base_plan(self) -> Optional[TieringPlan]:
+        """The current base plan (None before the first ``reset``)."""
+        return self._base.plan
+
+    @property
+    def last_evaluation(self) -> Optional[PlanEvaluation]:
+        """Full evaluation of the current base plan."""
+        base = self._base
+        if base.plan is None:
+            return None
+        if base.evaluation is None:
+            # Estimates are materialized here, not in the hot loop:
+            # accept() only promotes memo keys, so rebuild per_job from
+            # (job, bandwidth id) in workload order like the naive path.
+            placements = base.plan.placements
+            per_job = {
+                job.job_id: self._est_obj(
+                    job.job_id,
+                    placements[job.job_id].tier,
+                    base.est_key[job.job_id],
+                )
+                for job in self._jobs
+            }
+            base.estimates = per_job
+            base.evaluation = PlanEvaluation(
+                makespan_s=base.makespan_s,
+                cost=base.cost,  # type: ignore[arg-type]
+                utility=base.utility,
+                per_job=dict(per_job),
+                capacity_gb=dict(base.billed),
+            )
+        return base.evaluation
+
+    def stats(self) -> Dict[str, int]:
+        """Counters for benchmarks and the planner-service ``stats`` op."""
+        return {**self.counters, "cache_entries": len(self._tot_cache)}

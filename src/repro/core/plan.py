@@ -19,7 +19,42 @@ from ..errors import PlanError
 from ..simulator.engine import intermediate_tier_for
 from ..workloads.spec import JobSpec, WorkloadSpec
 
-__all__ = ["Placement", "TieringPlan"]
+__all__ = ["Placement", "TieringPlan", "job_billed_contributions"]
+
+
+def job_billed_contributions(
+    job: JobSpec, placement: Placement, provider: CloudProvider
+) -> Tuple[Tuple[Tier, float], ...]:
+    """One job's billed-capacity contributions as ordered ``(tier, GB)`` pairs.
+
+    The single source of truth for how a placement turns into Eq. 6
+    billable capacity — :meth:`TieringPlan.billed_capacity_gb` and the
+    incremental :class:`~repro.core.evaluator.PlanEvaluator` both
+    accumulate these pairs in workload-job order, so the two paths add
+    the same floats in the same sequence and agree bit for bit.
+
+    * objStore jobs shuffle through the ``requires_intermediate``
+      service — that capacity is billed at the helper's rate;
+    * ephSSD jobs keep persistent copies of input and output on the
+      ``requires_backing`` service (objStore), billed there.
+    """
+    svc = provider.service(placement.tier)
+    pairs: list = []
+    if svc.requires_intermediate is not None:
+        # Shuffle data cannot live on the service itself.
+        inter = job.intermediate_gb
+        pairs.append((svc.requires_intermediate, inter))
+        pairs.append(
+            (
+                placement.tier,
+                max(placement.capacity_gb - inter, job.input_gb + job.output_gb),
+            )
+        )
+    else:
+        pairs.append((placement.tier, placement.capacity_gb))
+    if svc.requires_backing is not None:
+        pairs.append((svc.requires_backing, job.input_gb + job.output_gb))
+    return tuple(pairs)
 
 
 @dataclass(frozen=True)
@@ -74,10 +109,24 @@ class TieringPlan:
 
     def with_placement(self, job_id: str, placement: Placement) -> "TieringPlan":
         """A copy of this plan with one job reassigned."""
-        if job_id not in self.placements:
-            raise PlanError(f"job {job_id!r} not in plan")
+        return self.with_placements(((job_id, placement),))
+
+    def with_placements(
+        self, changes: Iterable[Tuple[str, Placement]]
+    ) -> "TieringPlan":
+        """A copy of this plan with a batch of jobs reassigned.
+
+        One dict copy regardless of batch size — the solver's app-level
+        bulk moves reassign many jobs per neighbor draw, and copying the
+        whole placement map once per job made bulk moves O(N²).
+        Updating an existing key preserves its position, so plan
+        iteration order is invariant across any move sequence.
+        """
         new = dict(self.placements)
-        new[job_id] = placement
+        for job_id, placement in changes:
+            if job_id not in new:
+                raise PlanError(f"job {job_id!r} not in plan")
+            new[job_id] = placement
         return TieringPlan(placements=new)
 
     # -- lookups -----------------------------------------------------------
@@ -124,21 +173,10 @@ class TieringPlan:
         """
         out: Dict[Tier, float] = {}
         for job in workload.jobs:
-            p = self.placement(job.job_id)
-            svc = provider.service(p.tier)
-            if svc.requires_intermediate is not None:
-                # Shuffle data cannot live on the service itself.
-                inter = job.intermediate_gb
-                helper = svc.requires_intermediate
-                out[helper] = out.get(helper, 0.0) + inter
-                out[p.tier] = out.get(p.tier, 0.0) + max(
-                    p.capacity_gb - inter, job.input_gb + job.output_gb
-                )
-            else:
-                out[p.tier] = out.get(p.tier, 0.0) + p.capacity_gb
-            if svc.requires_backing is not None:
-                backing = svc.requires_backing
-                out[backing] = out.get(backing, 0.0) + job.input_gb + job.output_gb
+            for tier, gb in job_billed_contributions(
+                job, self.placement(job.job_id), provider
+            ):
+                out[tier] = out.get(tier, 0.0) + gb
         return out
 
     # -- serialization ----------------------------------------------------------

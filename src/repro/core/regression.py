@@ -35,6 +35,10 @@ class CapacitySpline:
 
     points: Tuple[Tuple[float, float], ...]
     _interp: object = field(init=False, repr=False, compare=False)
+    _x_lo: float = field(init=False, repr=False, compare=False)
+    _x_hi: float = field(init=False, repr=False, compare=False)
+    _y_lo: float = field(init=False, repr=False, compare=False)
+    _y_hi: float = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if not self.points:
@@ -44,21 +48,40 @@ class CapacitySpline:
         if xs.size > 1 and np.any(np.diff(xs) <= 0):
             raise ValueError("capacities must be strictly increasing")
         interp = PchipInterpolator(xs, ys, extrapolate=False) if xs.size > 1 else None
+        # Anchor endpoints cached once: __call__ sits in the solver's
+        # innermost loop and must not rebuild per-point lists per call.
         object.__setattr__(self, "_interp", interp)
+        object.__setattr__(self, "_x_lo", float(xs[0]))
+        object.__setattr__(self, "_x_hi", float(xs[-1]))
+        object.__setattr__(self, "_y_lo", float(ys[0]))
+        object.__setattr__(self, "_y_hi", float(ys[-1]))
 
     def __call__(self, capacity: float) -> float:
         """Evaluate with constant extension outside the anchor range."""
-        xs = [p[0] for p in self.points]
-        ys = [p[1] for p in self.points]
-        if capacity <= xs[0]:
-            return float(ys[0])
-        if capacity >= xs[-1]:
-            return float(ys[-1])
+        if capacity <= self._x_lo:
+            return self._y_lo
+        if capacity >= self._x_hi:
+            return self._y_hi
         return float(self._interp(capacity))  # type: ignore[operator]
 
     def evaluate(self, capacities: Sequence[float]) -> np.ndarray:
-        """Vectorized evaluation."""
-        return np.asarray([self(c) for c in capacities], dtype=float)
+        """Vectorized evaluation, constant-extended outside the anchors.
+
+        Interior points go through the PchipInterpolator in a single
+        vectorized call; boundary points take the cached anchor values
+        exactly (bit-identical to the scalar path, which never evaluates
+        the polynomial at the breakpoints).
+        """
+        caps = np.asarray(capacities, dtype=float)
+        out = np.empty(caps.shape, dtype=float)
+        lo = caps <= self._x_lo
+        hi = caps >= self._x_hi
+        out[lo] = self._y_lo
+        out[hi] = self._y_hi
+        mid = ~(lo | hi)
+        if np.any(mid):
+            out[mid] = self._interp(caps[mid])  # type: ignore[operator]
+        return out
 
 
 @dataclass(frozen=True)
@@ -66,6 +89,8 @@ class LinearCapacityModel:
     """Piecewise-linear interpolation baseline (ablation comparator)."""
 
     points: Tuple[Tuple[float, float], ...]
+    _xs: np.ndarray = field(init=False, repr=False, compare=False)
+    _ys: np.ndarray = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if not self.points:
@@ -73,17 +98,17 @@ class LinearCapacityModel:
         xs = [p[0] for p in self.points]
         if sorted(xs) != xs or len(set(xs)) != len(xs):
             raise ValueError("capacities must be strictly increasing")
+        object.__setattr__(self, "_xs", np.asarray(xs, dtype=float))
+        object.__setattr__(
+            self, "_ys", np.asarray([p[1] for p in self.points], dtype=float)
+        )
 
     def __call__(self, capacity: float) -> float:
-        xs = np.asarray([p[0] for p in self.points], dtype=float)
-        ys = np.asarray([p[1] for p in self.points], dtype=float)
-        return float(np.interp(capacity, xs, ys))
+        return float(np.interp(capacity, self._xs, self._ys))
 
     def evaluate(self, capacities: Sequence[float]) -> np.ndarray:
         """Vectorized evaluation."""
-        xs = np.asarray([p[0] for p in self.points], dtype=float)
-        ys = np.asarray([p[1] for p in self.points], dtype=float)
-        return np.interp(np.asarray(capacities, dtype=float), xs, ys)
+        return np.interp(np.asarray(capacities, dtype=float), self._xs, self._ys)
 
 
 def fit_runtime_model(

@@ -11,7 +11,7 @@ payoff justifies the bill (§3.1.2's "careful over-provisioning").
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
@@ -21,7 +21,8 @@ from ..cloud.storage import Tier
 from ..cloud.vm import ClusterSpec
 from ..profiler.models import ModelMatrix
 from ..workloads.spec import WorkloadSpec
-from .annealing import AnnealingResult, AnnealingSchedule, simulated_annealing
+from .annealing import AnnealingResult, AnnealingSchedule, Neighbor, simulated_annealing
+from .evaluator import PlanEvaluator, PlanMove
 from .greedy import greedy_exact_fit
 from .plan import Placement, TieringPlan
 from .utility import PlanEvaluation, evaluate_plan
@@ -44,6 +45,12 @@ class CastSolver:
         Annealing hyperparameters.
     seed:
         RNG seed — identical seeds reproduce identical plans.
+    incremental:
+        Use the delta-aware :class:`~repro.core.evaluator.PlanEvaluator`
+        in the annealing loop (bit-identical to the naive objective,
+        several times faster).  ``False`` falls back to full
+        :func:`evaluate_plan` calls — the reference path benchmarks and
+        parity tests compare against.
     """
 
     cluster_spec: ClusterSpec
@@ -51,8 +58,16 @@ class CastSolver:
     provider: CloudProvider
     schedule: AnnealingSchedule = AnnealingSchedule()
     seed: int = 42
+    incremental: bool = True
+    #: The evaluator used by the most recent :meth:`solve` (None when
+    #: the naive path ran) — exposes cache hit/miss counters.
+    last_evaluator: Optional[PlanEvaluator] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     # -- objective ------------------------------------------------------------
+
+    _reuse_aware: bool = field(default=False, init=False, repr=False)
 
     def objective(self, workload: WorkloadSpec) -> Callable[[TieringPlan], float]:
         """Eq. 2 utility of a plan (reuse-oblivious, basic CAST)."""
@@ -65,11 +80,18 @@ class CastSolver:
 
         return utility
 
+    def make_evaluator(self, workload: WorkloadSpec) -> PlanEvaluator:
+        """A delta-aware objective matching this solver's world view."""
+        return PlanEvaluator(
+            workload, self.cluster_spec, self.matrix, self.provider,
+            reuse_aware=self._reuse_aware,
+        )
+
     # -- neighborhood ---------------------------------------------------------
 
-    def neighbor(
+    def neighbor_moves(
         self, workload: WorkloadSpec
-    ) -> Callable[[TieringPlan, np.random.Generator], TieringPlan]:
+    ) -> Callable[[TieringPlan, np.random.Generator], Neighbor[TieringPlan]]:
         """Random move: retier/resize one job, or bulk-retier one app.
 
         Single-job moves alone cannot cross the capacity-coupling
@@ -78,39 +100,54 @@ class CastSolver:
         whole application class would win.  Since analytics workloads
         consist of a handful of application types (§6), the
         neighborhood also includes *application-level* bulk moves.
+
+        Returns :class:`~repro.core.annealing.Neighbor` values carrying
+        the move, enabling the annealer's delta-evaluation fast path.
         """
         tiers = list(self.provider.tiers)
         jobs = list(workload.jobs)
         by_app = workload.jobs_by_app()
         app_names = sorted(by_app)
+        # Footprints resolve through a property chain — hoist them out
+        # of the per-iteration closure.
+        fp = {j.job_id: j.footprint_gb for j in jobs}
+        app_ids = {app: [j.job_id for j in members] for app, members in by_app.items()}
 
-        def move(plan: TieringPlan, rng: np.random.Generator) -> TieringPlan:
+        def move(plan: TieringPlan, rng: np.random.Generator) -> Neighbor[TieringPlan]:
             kind = rng.integers(4)
             if kind == 3:
                 # Bulk move: all jobs of one application to one tier.
                 app = app_names[rng.integers(len(app_names))]
                 tier = tiers[rng.integers(len(tiers))]
                 mult = CAPACITY_MULTIPLIERS[rng.integers(len(CAPACITY_MULTIPLIERS))]
-                new_plan = plan
-                for job in by_app[app]:
-                    new_plan = new_plan.with_placement(
-                        job.job_id,
-                        Placement(tier=tier, capacity_gb=job.footprint_gb * mult),
-                    )
-                return new_plan
+                changes = tuple(
+                    (jid, Placement(tier=tier, capacity_gb=fp[jid] * mult))
+                    for jid in app_ids[app]
+                )
+                return Neighbor(plan.with_placements(changes), PlanMove(changes))
             job = jobs[rng.integers(len(jobs))]
-            current = plan.placement(job.job_id)
+            jid = job.job_id
+            current = plan.placements[jid]
             tier = current.tier
-            mult = max(1.0, current.capacity_gb / job.footprint_gb)
+            mult = max(1.0, current.capacity_gb / fp[jid])
             if kind in (0, 2):
                 others = [t for t in tiers if t is not tier]
                 tier = others[rng.integers(len(others))]
             if kind in (1, 2):
                 mult = CAPACITY_MULTIPLIERS[rng.integers(len(CAPACITY_MULTIPLIERS))]
-            return plan.with_placement(
-                job.job_id,
-                Placement(tier=tier, capacity_gb=job.footprint_gb * mult),
-            )
+            changes = ((jid, Placement(tier=tier, capacity_gb=fp[jid] * mult)),)
+            return Neighbor(plan.with_placements(changes), PlanMove(changes))
+
+        return move
+
+    def neighbor(
+        self, workload: WorkloadSpec
+    ) -> Callable[[TieringPlan, np.random.Generator], TieringPlan]:
+        """Plain-plan view of :meth:`neighbor_moves` (legacy protocol)."""
+        moves = self.neighbor_moves(workload)
+
+        def move(plan: TieringPlan, rng: np.random.Generator) -> TieringPlan:
+            return moves(plan, rng).state
 
         return move
 
@@ -155,12 +192,26 @@ class CastSolver:
         initial: Optional[TieringPlan] = None,
         record_trajectory: bool = False,
     ) -> AnnealingResult[TieringPlan]:
-        """Run Algorithm 2 and return the best plan found."""
+        """Run Algorithm 2 and return the best plan found.
+
+        With ``incremental`` (the default) the annealer evaluates
+        neighbors through the delta-aware
+        :class:`~repro.core.evaluator.PlanEvaluator` — same utilities,
+        same plans, a fraction of the work per iteration.
+        """
         init = initial if initial is not None else self.initial_plan(workload)
+        if self.incremental:
+            objective: Any = self.make_evaluator(workload)
+            neighbor_fn: Any = self.neighbor_moves(workload)
+            self.last_evaluator = objective
+        else:
+            objective = self.objective(workload)
+            neighbor_fn = self.neighbor(workload)
+            self.last_evaluator = None
         return simulated_annealing(
             initial_state=init,
-            utility_fn=self.objective(workload),
-            neighbor_fn=self.neighbor(workload),
+            utility_fn=objective,
+            neighbor_fn=neighbor_fn,
             schedule=self.schedule,
             rng=np.random.default_rng(self.seed),
             record_trajectory=record_trajectory,
@@ -214,6 +265,7 @@ def solve_workload_request(
         seed=int(seed),
     )
     ev = outcome.evaluation
+    evaluator = outcome.solver.last_evaluator
     return {
         "kind": "plan",
         "workload_name": spec.name,
@@ -228,5 +280,6 @@ def solve_workload_request(
         "cost_total_usd": ev.cost.total_usd,
         "cost_vm_usd": ev.cost.vm_usd,
         "cost_storage_usd": ev.cost.storage_usd,
+        "evaluator": dict(evaluator.stats()) if evaluator is not None else None,
         "plan": outcome.plan.to_dict(),
     }

@@ -26,7 +26,7 @@ happens — in the reuse-aware mode.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Mapping, Optional, Tuple
+from typing import Callable, Dict, Mapping, Optional, Tuple
 
 from ..cloud.provider import CloudProvider
 from ..cloud.storage import Tier
@@ -39,7 +39,13 @@ from .cost import CostBreakdown, deployment_cost, holding_cost
 from .perf_model import JobEstimate, estimate_job
 from .plan import TieringPlan
 
-__all__ = ["tenant_utility", "PlanEvaluation", "evaluate_plan", "per_vm_capacity"]
+__all__ = [
+    "tenant_utility",
+    "PlanEvaluation",
+    "evaluate_plan",
+    "finalize_plan_metrics",
+    "per_vm_capacity",
+]
 
 
 def tenant_utility(makespan_s: float, cost_usd: float) -> float:
@@ -88,6 +94,61 @@ def per_vm_capacity(
     return out
 
 
+def finalize_plan_metrics(
+    workload: WorkloadSpec,
+    plan: TieringPlan,
+    est_of: Callable[[str], JobEstimate],
+    makespan_s: float,
+    billed: Dict[Tier, float],
+    cluster_spec: ClusterSpec,
+    provider: CloudProvider,
+    reuse_aware: bool = False,
+) -> Tuple[float, CostBreakdown, float]:
+    """The shared tail of plan evaluation: reuse economics, Eq. 5/6, Eq. 2.
+
+    Both :func:`evaluate_plan` and the incremental
+    :class:`~repro.core.evaluator.PlanEvaluator` run this exact code on
+    their (identical) per-job estimates, raw makespan and billed
+    capacities, which is what guarantees the two paths return
+    bit-identical utilities.  ``billed`` is adjusted in place (reuse
+    dedup); callers pass a dict they own.  Returns
+    ``(makespan_s, cost, utility)``.
+    """
+    extra_holding_usd = 0.0
+
+    if reuse_aware:
+        for rs in workload.reuse_sets:
+            tiers = {plan.tier_of(j) for j in rs.job_ids}
+            members = sorted(rs.job_ids)
+            shared_gb = max(workload.job(j).input_gb for j in members)
+            if len(tiers) == 1:
+                tier = next(iter(tiers))
+                # One staged copy serves every member: later ephSSD
+                # accesses skip the objStore download...
+                if tier is Tier.EPH_SSD:
+                    by_dl = sorted(members, key=lambda j: est_of(j).download_s)
+                    for j in by_dl[:-1]:
+                        makespan_s -= est_of(j).download_s
+                # ...and the shared input occupies capacity once.
+                dup = (len(members) - 1) * shared_gb
+                billed[tier] = max(0.0, billed.get(tier, 0.0) - dup)
+                backing = provider.service(tier).requires_backing
+                if backing is not None:
+                    billed[backing] = max(0.0, billed.get(backing, 0.0) - dup)
+            # Holding beyond the workload run, on every tier hosting a copy.
+            extra_s = max(0.0, rs.lifetime.window_seconds - makespan_s)
+            if extra_s > 0:
+                for tier in tiers:
+                    extra_holding_usd += holding_cost(provider, tier, shared_gb, extra_s)
+
+    if makespan_s <= 0:
+        raise PlanError("plan evaluates to a non-positive makespan")
+
+    cost = deployment_cost(provider, cluster_spec, makespan_s, billed)
+    cost = CostBreakdown(vm_usd=cost.vm_usd, storage_usd=cost.storage_usd + extra_holding_usd)
+    return makespan_s, cost, tenant_utility(makespan_s, cost.total_usd)
+
+
 def evaluate_plan(
     workload: WorkloadSpec,
     plan: TieringPlan,
@@ -97,6 +158,11 @@ def evaluate_plan(
     reuse_aware: bool = False,
 ) -> PlanEvaluation:
     """Estimate utility, makespan and cost of a plan (Eq. 2–6).
+
+    This is the reference (naive) implementation: it re-validates the
+    plan and re-estimates every job from scratch.  The solvers' hot
+    loop uses :class:`~repro.core.evaluator.PlanEvaluator`, which is
+    proven bit-identical to this function by the parity test suite.
 
     Parameters
     ----------
@@ -120,42 +186,14 @@ def evaluate_plan(
         makespan_s += est.total_s
 
     billed = plan.billed_capacity_gb(workload, provider)
-    extra_holding_usd = 0.0
-
-    if reuse_aware:
-        for rs in workload.reuse_sets:
-            tiers = {plan.tier_of(j) for j in rs.job_ids}
-            members = sorted(rs.job_ids)
-            shared_gb = max(workload.job(j).input_gb for j in members)
-            if len(tiers) == 1:
-                tier = next(iter(tiers))
-                # One staged copy serves every member: later ephSSD
-                # accesses skip the objStore download...
-                if tier is Tier.EPH_SSD:
-                    by_dl = sorted(members, key=lambda j: estimates[j].download_s)
-                    for j in by_dl[:-1]:
-                        makespan_s -= estimates[j].download_s
-                # ...and the shared input occupies capacity once.
-                dup = (len(members) - 1) * shared_gb
-                billed[tier] = max(0.0, billed.get(tier, 0.0) - dup)
-                backing = provider.service(tier).requires_backing
-                if backing is not None:
-                    billed[backing] = max(0.0, billed.get(backing, 0.0) - dup)
-            # Holding beyond the workload run, on every tier hosting a copy.
-            extra_s = max(0.0, rs.lifetime.window_seconds - makespan_s)
-            if extra_s > 0:
-                for tier in tiers:
-                    extra_holding_usd += holding_cost(provider, tier, shared_gb, extra_s)
-
-    if makespan_s <= 0:
-        raise PlanError("plan evaluates to a non-positive makespan")
-
-    cost = deployment_cost(provider, cluster_spec, makespan_s, billed)
-    cost = CostBreakdown(vm_usd=cost.vm_usd, storage_usd=cost.storage_usd + extra_holding_usd)
+    makespan_s, cost, utility = finalize_plan_metrics(
+        workload, plan, estimates.__getitem__, makespan_s, billed,
+        cluster_spec, provider, reuse_aware=reuse_aware,
+    )
     return PlanEvaluation(
         makespan_s=makespan_s,
         cost=cost,
-        utility=tenant_utility(makespan_s, cost.total_usd),
+        utility=utility,
         per_job=estimates,
         capacity_gb=billed,
     )

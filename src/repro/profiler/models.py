@@ -17,7 +17,25 @@ from ..cloud.storage import Tier
 from ..core.regression import CapacitySpline
 from ..errors import CatalogError
 
-__all__ = ["PhaseBandwidths", "CapacityProfile", "ModelMatrix"]
+__all__ = [
+    "PhaseBandwidths",
+    "CapacityProfile",
+    "ModelMatrix",
+    "quantize_capacity",
+]
+
+
+def quantize_capacity(capacity_gb_per_vm: float) -> float:
+    """Snap a per-VM capacity to the 1 GB profile-lookup grid.
+
+    The single quantization used by both :meth:`ModelMatrix.bandwidths`
+    and the incremental evaluator's estimate-memoization key.  Sharing
+    one function is what makes the memoization *exact*: a job estimate
+    depends on capacity only through the bandwidth lookup, and that
+    lookup sees only the quantized value — so two capacities that
+    quantize alike yield bit-identical estimates.
+    """
+    return round(capacity_gb_per_vm, 0)
 
 
 @dataclass(frozen=True)
@@ -78,6 +96,28 @@ class CapacityProfile:
             reduce_mb_s=max(1e-9, s_red(capacity_gb_per_vm)),
         )
 
+    def at_array(self, caps) -> Tuple:
+        """Raw per-phase bandwidths at many capacities (one spline pass).
+
+        Returns ``(map, shuffle, reduce)`` float arrays, element-wise
+        bit-identical to the scalar spline lookups inside :meth:`at`
+        (before its ``max(1e-9, ...)`` clamp) — the incremental
+        evaluator precomputes whole quantized-capacity tables from
+        this instead of paying a scalar spline call per lookup.
+        """
+        import numpy as np
+
+        caps = np.asarray(caps, dtype=float)
+        if len(self.anchors) == 1:
+            bw = self.anchors[0][1]
+            return (
+                np.full(caps.shape, bw.map_mb_s),
+                np.full(caps.shape, bw.shuffle_mb_s),
+                np.full(caps.shape, bw.reduce_mb_s),
+            )
+        s_map, s_shuf, s_red = self._splines  # type: ignore[attr-defined]
+        return (s_map.evaluate(caps), s_shuf.evaluate(caps), s_red.evaluate(caps))
+
     @property
     def capacities(self) -> Tuple[float, ...]:
         """Anchor capacities (GB per VM)."""
@@ -124,7 +164,7 @@ class ModelMatrix:
         Memoized on capacity rounded to 1 GB — solver neighbor moves
         re-query the same handful of capacities thousands of times.
         """
-        key = (app_name, tier, round(capacity_gb_per_vm, 0))
+        key = (app_name, tier, quantize_capacity(capacity_gb_per_vm))
         hit = self._bw_cache.get(key)
         if hit is None:
             hit = self.get(app_name, tier).at(key[2])

@@ -99,6 +99,16 @@ def _select_best(results: List[Dict[str, Any]], seeds: List[int]) -> Dict[str, A
     best["restart_seeds"] = list(seeds)
     best["restart_utilities"] = [r["utility"] for r in results]
     best["seed"] = int(seeds[0])
+    # Evaluator cache counters, summed across restarts (each restart
+    # runs its own incremental PlanEvaluator in its own worker).
+    totals: Dict[str, int] = {}
+    for r in results:
+        ev = r.get("evaluator")
+        if isinstance(ev, dict):
+            for key, value in ev.items():
+                totals[key] = totals.get(key, 0) + int(value)
+    if totals:
+        best["evaluator"] = totals
     return best
 
 

@@ -147,6 +147,9 @@ class PlannerServer:
             "rejected": 0,
         }
         self.op_counts: Dict[str, int] = {}
+        #: Incremental-evaluator cache counters, summed over every solve
+        #: this server completed (cache hits/misses, jobs skipped, ...).
+        self.evaluator_totals: Dict[str, int] = {}
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -325,6 +328,11 @@ class PlannerServer:
             result = dict(result)
             result["solve_seconds"] = time.monotonic() - started
             self.counters["solves_ok"] += 1
+            ev = result.get("evaluator")
+            if isinstance(ev, dict):
+                totals = self.evaluator_totals
+                for key, value in ev.items():
+                    totals[key] = totals.get(key, 0) + int(value)
             self.cache.put(fingerprint, result)
             future.set_result(result)
         except BaseException as exc:
@@ -360,6 +368,7 @@ class PlannerServer:
             "uptime_s": self.uptime_s,
             "requests": dict(self.op_counts),
             "counters": dict(self.counters),
+            "evaluator": dict(self.evaluator_totals),
             "cache": self.cache.stats(),
             "pool": self.pool.stats(),
             "inflight": len(self._inflight),

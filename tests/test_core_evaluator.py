@@ -1,0 +1,357 @@
+"""Incremental :class:`PlanEvaluator`: bit-exact parity with the naive path.
+
+Every assertion here uses ``==`` on floats deliberately — the evaluator
+promises *bit-identical* utilities, makespans and billed capacities, not
+approximate ones, and the solvers rely on that to produce identical
+plans from identical seeds.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cloud.aws import aws_2015
+from repro.cloud.provider import google_cloud_2015
+from repro.cloud.storage import Tier
+from repro.cloud.vm import ClusterSpec
+from repro.core.annealing import AnnealingSchedule
+from repro.core.castpp import CastPlusPlus
+from repro.core.evaluator import PlanEvaluator, PlanMove
+from repro.core.plan import Placement, TieringPlan
+from repro.core.solver import CAPACITY_MULTIPLIERS, CastSolver
+from repro.core.utility import evaluate_plan
+from repro.errors import PlanError
+from repro.profiler.profiler import build_model_matrix
+from repro.workloads.swim import synthesize_small_workload
+
+# ---------------------------------------------------------------------------
+# Deployments under test: both provider catalogs, one shared cluster.
+# ---------------------------------------------------------------------------
+
+CLUSTER = ClusterSpec(n_vms=25)
+DEPLOYMENTS = {
+    name: (prov, build_model_matrix(provider=prov, cluster_spec=CLUSTER))
+    for name, prov in (("google", google_cloud_2015()), ("aws", aws_2015()))
+}
+
+
+def make_workload(n_jobs=12, seed=11):
+    return synthesize_small_workload(n_jobs=n_jobs, rng=np.random.default_rng(seed))
+
+
+def seed_plan(workload, provider, seed=3):
+    """A random feasible plan: every job on a random tier, exact fit."""
+    rng = np.random.default_rng(seed)
+    tiers = list(provider.tiers)
+    return TieringPlan.exact_fit(
+        workload, {j.job_id: tiers[rng.integers(len(tiers))] for j in workload.jobs}
+    )
+
+
+def random_changes(workload, provider, plan, rng):
+    """A solver-shaped move: retier/resize one job, or bulk-move an app."""
+    tiers = list(provider.tiers)
+    jobs = list(workload.jobs)
+    if rng.integers(4) == 3:
+        by_app = workload.jobs_by_app()
+        app = sorted(by_app)[rng.integers(len(by_app))]
+        tier = tiers[rng.integers(len(tiers))]
+        mult = CAPACITY_MULTIPLIERS[rng.integers(len(CAPACITY_MULTIPLIERS))]
+        return tuple(
+            (j.job_id, Placement(tier=tier, capacity_gb=j.footprint_gb * mult))
+            for j in by_app[app]
+        )
+    job = jobs[rng.integers(len(jobs))]
+    tier = tiers[rng.integers(len(tiers))]
+    mult = CAPACITY_MULTIPLIERS[rng.integers(len(CAPACITY_MULTIPLIERS))]
+    return ((job.job_id, Placement(tier=tier, capacity_gb=job.footprint_gb * mult)),)
+
+
+def assert_matches_naive(evaluation, workload, plan, matrix, provider, reuse_aware):
+    ref = evaluate_plan(
+        workload, plan, CLUSTER, matrix, provider, reuse_aware=reuse_aware
+    )
+    assert evaluation.utility == ref.utility
+    assert evaluation.makespan_s == ref.makespan_s
+    assert dict(evaluation.capacity_gb) == dict(ref.capacity_gb)
+    assert evaluation.cost == ref.cost
+    assert dict(evaluation.per_job) == dict(ref.per_job)
+
+
+# ---------------------------------------------------------------------------
+# Full-evaluation parity
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("deployment", sorted(DEPLOYMENTS))
+@pytest.mark.parametrize("reuse_aware", [False, True])
+class TestFullEvaluationParity:
+    def test_exact_fit_plan(self, deployment, reuse_aware):
+        provider, matrix = DEPLOYMENTS[deployment]
+        workload = make_workload()
+        plan = seed_plan(workload, provider)
+        ev = PlanEvaluator(workload, CLUSTER, matrix, provider, reuse_aware=reuse_aware)
+        assert_matches_naive(
+            ev.evaluate(plan), workload, plan, matrix, provider, reuse_aware
+        )
+
+    def test_overprovisioned_plan(self, deployment, reuse_aware):
+        provider, matrix = DEPLOYMENTS[deployment]
+        workload = make_workload()
+        tiers = list(provider.tiers)
+        plan = TieringPlan(
+            placements={
+                j.job_id: Placement(
+                    tier=tiers[i % len(tiers)], capacity_gb=j.footprint_gb * 2.0
+                )
+                for i, j in enumerate(workload.jobs)
+            }
+        )
+        ev = PlanEvaluator(workload, CLUSTER, matrix, provider, reuse_aware=reuse_aware)
+        assert_matches_naive(
+            ev.evaluate(plan), workload, plan, matrix, provider, reuse_aware
+        )
+
+    def test_call_protocol_returns_utility(self, deployment, reuse_aware):
+        provider, matrix = DEPLOYMENTS[deployment]
+        workload = make_workload(n_jobs=6)
+        plan = seed_plan(workload, provider)
+        ev = PlanEvaluator(workload, CLUSTER, matrix, provider, reuse_aware=reuse_aware)
+        ref = evaluate_plan(
+            workload, plan, CLUSTER, matrix, provider, reuse_aware=reuse_aware
+        )
+        assert ev(plan) == ref.utility
+
+
+# ---------------------------------------------------------------------------
+# Propose/accept random-walk parity (the delta path)
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("deployment", sorted(DEPLOYMENTS))
+@pytest.mark.parametrize("reuse_aware", [False, True])
+class TestMoveSequenceParity:
+    def test_random_walk(self, deployment, reuse_aware):
+        provider, matrix = DEPLOYMENTS[deployment]
+        workload = make_workload()
+        plan = seed_plan(workload, provider)
+        ev = PlanEvaluator(workload, CLUSTER, matrix, provider, reuse_aware=reuse_aware)
+        ev.reset(plan)
+        rng = np.random.default_rng(29)
+        for step in range(60):
+            changes = random_changes(workload, provider, plan, rng)
+            neighbor = plan.with_placements(changes)
+            u_inc = ev.propose(neighbor, PlanMove(changes))
+            ref = evaluate_plan(
+                workload, neighbor, CLUSTER, matrix, provider, reuse_aware=reuse_aware
+            )
+            assert u_inc == ref.utility, f"step {step}: delta != naive"
+            if rng.random() < 0.6:
+                ev.accept()
+                plan = neighbor
+                assert_matches_naive(
+                    ev.last_evaluation, workload, plan, matrix, provider, reuse_aware
+                )
+
+    def test_noop_move_returns_base_utility(self, deployment, reuse_aware):
+        provider, matrix = DEPLOYMENTS[deployment]
+        workload = make_workload(n_jobs=6)
+        plan = seed_plan(workload, provider)
+        ev = PlanEvaluator(workload, CLUSTER, matrix, provider, reuse_aware=reuse_aware)
+        base_u = ev.reset(plan)
+        jid = workload.jobs[0].job_id
+        changes = ((jid, plan.placements[jid]),)
+        assert ev.propose(plan.with_placements(changes), PlanMove(changes)) == base_u
+        ev.accept()
+        assert_matches_naive(
+            ev.last_evaluation, workload, plan, matrix, provider, reuse_aware
+        )
+
+
+class TestProposalSafety:
+    """Rejected or failed proposals must never corrupt the base state."""
+
+    def setup_method(self):
+        self.provider, self.matrix = DEPLOYMENTS["google"]
+        self.workload = make_workload(n_jobs=8)
+        self.plan = seed_plan(self.workload, self.provider)
+        self.ev = PlanEvaluator(self.workload, CLUSTER, self.matrix, self.provider)
+        self.base_u = self.ev.reset(self.plan)
+
+    def _one_change(self, mult=1.5, tier=Tier.PERS_SSD):
+        job = self.workload.jobs[0]
+        return (
+            (job.job_id, Placement(tier=tier, capacity_gb=job.footprint_gb * mult)),
+        )
+
+    def test_unaccepted_proposals_do_not_move_the_base(self):
+        for mult in (1.25, 2.0, 3.0):
+            changes = self._one_change(mult=mult)
+            self.ev.propose(self.plan.with_placements(changes), PlanMove(changes))
+        # Base unchanged: a no-op proposal still reports the base utility.
+        jid = self.workload.jobs[1].job_id
+        noop = ((jid, self.plan.placements[jid]),)
+        assert (
+            self.ev.propose(self.plan.with_placements(noop), PlanMove(noop))
+            == self.base_u
+        )
+
+    def test_eq3_violation_raises_and_preserves_base(self):
+        job = self.workload.jobs[0]
+        bad = ((job.job_id, Placement(tier=Tier.PERS_SSD, capacity_gb=0.5)),)
+        with pytest.raises(PlanError, match="Eq. 3"):
+            self.ev.propose(self.plan.with_placements(bad), PlanMove(bad))
+        changes = self._one_change()
+        ref = evaluate_plan(
+            self.workload,
+            self.plan.with_placements(changes),
+            CLUSTER,
+            self.matrix,
+            self.provider,
+            reuse_aware=False,
+        )
+        assert (
+            self.ev.propose(self.plan.with_placements(changes), PlanMove(changes))
+            == ref.utility
+        )
+
+    def test_unknown_job_rejected(self):
+        bad = (("no-such-job", Placement(tier=Tier.PERS_SSD, capacity_gb=10.0)),)
+        with pytest.raises(PlanError, match="no-such-job"):
+            self.ev.propose(self.plan, PlanMove(bad))
+
+    def test_accept_without_proposal_rejected(self):
+        ev = PlanEvaluator(self.workload, CLUSTER, self.matrix, self.provider)
+        ev.reset(self.plan)
+        changes = self._one_change()
+        ev.propose(self.plan.with_placements(changes), PlanMove(changes))
+        ev.accept()
+        with pytest.raises(PlanError, match="accept"):
+            ev.accept()
+
+
+# ---------------------------------------------------------------------------
+# Property-based parity: random seeded move sequences
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    deployment=st.sampled_from(sorted(DEPLOYMENTS)),
+    reuse_aware=st.booleans(),
+    walk_seed=st.integers(min_value=0, max_value=2**31 - 1),
+    n_moves=st.integers(min_value=1, max_value=12),
+)
+def test_property_random_move_sequences_agree(
+    deployment, reuse_aware, walk_seed, n_moves
+):
+    provider, matrix = DEPLOYMENTS[deployment]
+    workload = make_workload(n_jobs=8)
+    plan = seed_plan(workload, provider)
+    ev = PlanEvaluator(workload, CLUSTER, matrix, provider, reuse_aware=reuse_aware)
+    ev.reset(plan)
+    rng = np.random.default_rng(walk_seed)
+    for _ in range(n_moves):
+        changes = random_changes(workload, provider, plan, rng)
+        neighbor = plan.with_placements(changes)
+        u_inc = ev.propose(neighbor, PlanMove(changes))
+        ref = evaluate_plan(
+            workload, neighbor, CLUSTER, matrix, provider, reuse_aware=reuse_aware
+        )
+        assert u_inc == ref.utility
+        ev.accept()
+        plan = neighbor
+        final = ev.last_evaluation
+        assert final.makespan_s == ref.makespan_s
+        assert dict(final.capacity_gb) == dict(ref.capacity_gb)
+
+
+# ---------------------------------------------------------------------------
+# Solver-level parity: the acceptance criterion
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("deployment", sorted(DEPLOYMENTS))
+@pytest.mark.parametrize("solver_cls", [CastSolver, CastPlusPlus])
+class TestSolverParity:
+    def test_incremental_solve_is_bit_identical(self, deployment, solver_cls):
+        provider, matrix = DEPLOYMENTS[deployment]
+        workload = make_workload(n_jobs=16)
+        schedule = AnnealingSchedule(iter_max=400)
+        kwargs = dict(
+            cluster_spec=CLUSTER,
+            matrix=matrix,
+            provider=provider,
+            schedule=schedule,
+            seed=7,
+        )
+        naive = solver_cls(incremental=False, **kwargs)
+        fast = solver_cls(incremental=True, **kwargs)
+        initial = naive.initial_plan(workload)
+        r_naive = naive.solve(workload, initial=initial)
+        r_fast = fast.solve(workload, initial=initial)
+        assert r_fast.best_utility == r_naive.best_utility
+        assert r_fast.best_state.to_dict() == r_naive.best_state.to_dict()
+        assert r_fast.accepted == r_naive.accepted
+        assert naive.last_evaluator is None
+        assert fast.last_evaluator is not None
+
+
+# ---------------------------------------------------------------------------
+# Cache counters
+# ---------------------------------------------------------------------------
+
+
+class TestCounters:
+    def test_counter_lifecycle(self):
+        provider, matrix = DEPLOYMENTS["google"]
+        workload = make_workload(n_jobs=8)
+        plan = seed_plan(workload, provider)
+        ev = PlanEvaluator(workload, CLUSTER, matrix, provider)
+
+        ev.reset(plan)
+        stats = ev.stats()
+        assert stats["full_evaluations"] == 1
+        assert stats["incremental_evaluations"] == 0
+        assert stats["cache_misses"] == len(workload.jobs)
+        assert stats["cache_entries"] == stats["cache_misses"]
+
+        job = workload.jobs[0]
+        changes = (
+            (job.job_id, Placement(tier=Tier.PERS_SSD, capacity_gb=job.footprint_gb * 2)),
+        )
+        neighbor = plan.with_placements(changes)
+        ev.propose(neighbor, PlanMove(changes))
+        stats = ev.stats()
+        assert stats["incremental_evaluations"] == 1
+        assert stats["jobs_reestimated"] + stats["jobs_skipped"] == len(workload.jobs)
+
+        # Proposing the identical move again must hit the memo: the
+        # number of distinct cached estimates stays put.
+        entries = stats["cache_entries"]
+        misses = stats["cache_misses"]
+        ev.propose(neighbor, PlanMove(changes))
+        stats = ev.stats()
+        assert stats["cache_entries"] == entries
+        assert stats["cache_misses"] == misses
+
+    def test_saturated_tiers_invalidate_nothing(self):
+        # ephSSD/objStore bandwidths are capacity-flat: resizing a job
+        # there re-keys to the same bandwidth identity, so no member of
+        # the tier is re-estimated.
+        provider, matrix = DEPLOYMENTS["google"]
+        workload = make_workload(n_jobs=8)
+        plan = TieringPlan.exact_fit(
+            workload, {j.job_id: Tier.OBJ_STORE for j in workload.jobs}
+        )
+        ev = PlanEvaluator(workload, CLUSTER, matrix, provider)
+        ev.reset(plan)
+        job = workload.jobs[0]
+        changes = (
+            (job.job_id, Placement(tier=Tier.OBJ_STORE, capacity_gb=job.footprint_gb * 4)),
+        )
+        ev.propose(plan.with_placements(changes), PlanMove(changes))
+        stats = ev.stats()
+        assert stats["jobs_reestimated"] == 0
+        assert stats["jobs_skipped"] == len(workload.jobs)

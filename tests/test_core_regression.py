@@ -88,3 +88,51 @@ class TestFitRuntimeModel:
         linear = fit_runtime_model(caps[::2], runtimes[::2], kind="linear")
         lin_err = np.abs(linear.evaluate(held) - truth) / truth
         assert err.mean() <= lin_err.mean() + 1e-9
+
+
+class TestVectorizedEvaluation:
+    """The array paths must bit-match their scalar twins — the
+    incremental evaluator precomputes bandwidth tables through them and
+    promises exact parity with scalar lookups."""
+
+    POINTS = ((100.0, 950.0), (200.0, 460.0), (500.0, 200.0), (1000.0, 120.0))
+
+    def test_evaluate_bit_matches_scalar_everywhere(self):
+        spline = CapacitySpline(points=self.POINTS)
+        # Interior grid points, the anchors themselves, and both
+        # constant-extension sides.
+        xs = np.concatenate([
+            np.arange(50.0, 1200.0, 7.0),
+            np.asarray([p[0] for p in self.POINTS]),
+        ])
+        vectorized = spline.evaluate(xs)
+        for x, y in zip(xs, vectorized):
+            assert spline(float(x)) == y
+
+    def test_evaluate_single_point_spline(self):
+        spline = CapacitySpline(points=((100.0, 42.0),))
+        xs = np.asarray([1.0, 100.0, 1e6])
+        assert np.all(spline.evaluate(xs) == 42.0)
+
+    def test_capacity_profile_at_array_bit_matches_at(self):
+        from repro.profiler.models import CapacityProfile, PhaseBandwidths
+
+        profile = CapacityProfile(anchors=(
+            (100.0, PhaseBandwidths(10.0, 5.0, 8.0)),
+            (500.0, PhaseBandwidths(40.0, 22.0, 30.0)),
+            (1000.0, PhaseBandwidths(55.0, 31.0, 44.0)),
+        ))
+        caps = np.arange(50.0, 1100.0, 13.0)
+        m_arr, s_arr, r_arr = profile.at_array(caps)
+        for i, c in enumerate(caps):
+            bw = profile.at(float(c))
+            assert bw.map_mb_s == max(1e-9, m_arr[i])
+            assert bw.shuffle_mb_s == max(1e-9, s_arr[i])
+            assert bw.reduce_mb_s == max(1e-9, r_arr[i])
+
+    def test_capacity_profile_at_array_single_anchor(self):
+        from repro.profiler.models import CapacityProfile, PhaseBandwidths
+
+        profile = CapacityProfile(anchors=((375.0, PhaseBandwidths(9.0, 4.0, 6.0)),))
+        m_arr, s_arr, r_arr = profile.at_array(np.asarray([1.0, 375.0, 9999.0]))
+        assert np.all(m_arr == 9.0) and np.all(s_arr == 4.0) and np.all(r_arr == 6.0)

@@ -169,3 +169,25 @@ class TestMultiStart:
     def test_bad_restarts_rejected(self):
         with pytest.raises(ServiceError, match="restarts"):
             SolverPool(restarts=0)
+
+
+class TestEvaluatorCounters:
+    def test_single_restart_carries_evaluator_stats(self):
+        result = solve_restart(_plan_request())
+        ev = result["evaluator"]
+        assert ev["full_evaluations"] >= 1
+        assert ev["incremental_evaluations"] == 40  # one per iteration
+        assert ev["cache_hits"] + ev["cache_misses"] > 0
+
+    def test_multistart_sums_counters_across_restarts(self):
+        singles = [
+            solve_restart(dict(_plan_request(), seed=s))
+            for s in restart_seeds(7, 3)
+        ]
+        pool = SolverPool(processes=0, restarts=3)
+        try:
+            multi = pool.solve_sync(_plan_request(seed=7))
+        finally:
+            pool.shutdown()
+        for key in ("incremental_evaluations", "cache_hits", "jobs_skipped"):
+            assert multi["evaluator"][key] == sum(r["evaluator"][key] for r in singles)

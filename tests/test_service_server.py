@@ -439,3 +439,28 @@ class TestSyncClient:
         finally:
             box["loop"].call_soon_threadsafe(box["stopped"].set)
             thread.join(timeout=10)
+
+
+class TestEvaluatorStats:
+    def test_stats_expose_summed_evaluator_counters(self):
+        async def scenario():
+            server = PlannerServer(pool=SolverPool(processes=0, restarts=2))
+            task = await serving(server)
+            try:
+                async with PlannerClient(*server.address) as client:
+                    before = await client.stats()
+                    assert before["evaluator"] == {}
+                    result = await client.plan(small_spec(), n_vms=5, iterations=30)
+                    after = await client.stats()
+                    # Two restarts of 30 iterations each, summed.
+                    ev = after["evaluator"]
+                    assert ev["incremental_evaluations"] == 60
+                    assert ev == result["evaluator"]
+                    # A cache hit adds nothing: no solver ran.
+                    await client.plan(small_spec(), n_vms=5, iterations=30)
+                    again = await client.stats()
+                    assert again["evaluator"] == ev
+            finally:
+                await shutdown(server, task)
+
+        run(scenario())
