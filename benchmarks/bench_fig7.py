@@ -3,8 +3,8 @@
 from repro.experiments.fig7 import format_fig7, run_fig7
 
 
-def test_bench_fig7(once):
-    result = once(run_fig7)
+def test_bench_fig7(once, bench_workers):
+    result = once(run_fig7, workers=bench_workers)
     print("\n" + format_fig7(result))
     for tier in ("ephSSD", "persSSD", "persHDD", "objStore"):
         assert result.utility_improvement_pct("CAST", f"{tier} 100%") > 0

@@ -3,8 +3,8 @@
 from repro.experiments.fig9 import format_fig9, run_fig9
 
 
-def test_bench_fig9(once):
-    result = once(run_fig9)
+def test_bench_fig9(once, bench_workers):
+    result = once(run_fig9, workers=bench_workers)
     print("\n" + format_fig9(result))
     assert result.config("CAST++").misses == 0
     costs = {c.name: c.total_cost_usd for c in result.configs}

@@ -6,8 +6,8 @@ from repro.experiments.sensitivity import (
 )
 
 
-def test_bench_sensitivity(once):
-    rows = once(run_price_sensitivity)
+def test_bench_sensitivity(once, bench_workers):
+    rows = once(run_price_sensitivity, workers=bench_workers)
     print("\n" + format_price_sensitivity(rows))
     # Re-planning can only help under the new prices (regret >= 0 by
     # construction); at least one repricing must actually move the plan.

@@ -9,6 +9,8 @@ in the simulator/solver hot paths are visible.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 
@@ -21,6 +23,19 @@ def once(benchmark):
                                   rounds=1, iterations=1, warmup_rounds=0)
 
     return run
+
+
+@pytest.fixture()
+def bench_workers() -> int:
+    """Simulation worker count for experiments that accept ``workers=``.
+
+    ``REPRO_BENCH_WORKERS`` overrides; the default scales with the
+    machine (capped at 4) and degrades to serial on single-core boxes.
+    """
+    env = os.environ.get("REPRO_BENCH_WORKERS", "").strip()
+    if env:
+        return int(env)
+    return min(4, os.cpu_count() or 1)
 
 
 def pytest_collection_modifyitems(items):

@@ -273,9 +273,9 @@ def _register_experiments() -> None:
             "fig3": lambda: ex.format_fig3(ex.run_fig3()),
             "fig4": lambda: ex.format_fig4(ex.run_fig4()),
             "fig5": lambda: ex.format_fig5(ex.run_fig5()),
-            "fig7": lambda: ex.format_fig7(ex.run_fig7()),
+            "fig7": lambda workers=None: ex.format_fig7(ex.run_fig7(workers=workers)),
             "fig8": lambda: ex.format_fig8(ex.run_fig8()),
-            "fig9": lambda: ex.format_fig9(ex.run_fig9()),
+            "fig9": lambda workers=None: ex.format_fig9(ex.run_fig9(workers=workers)),
             "ablation-sa": lambda: ex.format_sa_ablation(ex.run_sa_ablation()),
             "ablation-reg": lambda: ex.format_regression_ablation(
                 ex.run_regression_ablation()
@@ -286,8 +286,8 @@ def _register_experiments() -> None:
             "ablation-dynamic": lambda: ex.format_dynamic_ablation(
                 ex.run_dynamic_ablation()
             ),
-            "sensitivity": lambda: ex.format_price_sensitivity(
-                ex.run_price_sensitivity()
+            "sensitivity": lambda workers=None: ex.format_price_sensitivity(
+                ex.run_price_sensitivity(workers=workers)
             ),
         }
     )
@@ -307,9 +307,18 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    import inspect
+
+    workers = getattr(args, "workers", None)
     for name in names:
         print(f"=== {name} ===")
-        print(_EXPERIMENTS[name]())
+        fn = _EXPERIMENTS[name]
+        # Simulation-heavy experiments accept a worker count; the rest
+        # are solver-bound and run as before.
+        if "workers" in inspect.signature(fn).parameters:
+            print(fn(workers=workers))
+        else:
+            print(fn())
         print()
     return 0
 
@@ -435,6 +444,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
     p_exp.add_argument("name", help="experiment id (or 'all')")
+    p_exp.add_argument("--workers", type=int, default=None,
+                       help="parallel simulation workers for the "
+                            "measurement-heavy experiments (fig7, fig9, "
+                            "sensitivity); default serial")
     p_exp.set_defaults(func=_cmd_experiment)
 
     p_rep = sub.add_parser("report", help="generate the full reproduction report")

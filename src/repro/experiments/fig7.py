@@ -36,6 +36,7 @@ from ..workloads.spec import WorkloadSpec
 from ..workloads.swim import synthesize_facebook_workload
 from .common import evaluation_cluster, model_matrix, provider
 from .measure import PlanMeasurement, measure_plan
+from .runner import ExperimentRunner
 
 __all__ = ["Fig7Config", "Fig7Result", "run_fig7", "format_fig7", "FIG7_CONFIG_ORDER"]
 
@@ -95,8 +96,14 @@ def run_fig7(
     matrix: Optional[ModelMatrix] = None,
     iterations: int = 6000,
     seed: int = 42,
+    workers: Optional[int] = None,
 ) -> Fig7Result:
-    """Solve and measure all eight configurations."""
+    """Solve and measure all eight configurations.
+
+    ``workers`` > 1 fans the measurement simulations out over an
+    :class:`~repro.experiments.runner.ExperimentRunner`; the reported
+    numbers are identical to the serial run.
+    """
     prov = prov or provider()
     cluster = cluster or evaluation_cluster()
     workload = workload or synthesize_facebook_workload()
@@ -116,13 +123,15 @@ def run_fig7(
                           schedule=schedule, seed=seed)
     plans["CAST++"] = castpp.solve(workload).best_state
 
-    measured = {
-        name: measure_plan(
-            workload, plan, cluster, prov,
-            reuse_engineered=(name == "CAST++"),
-        )
-        for name, plan in plans.items()
-    }
+    with ExperimentRunner(workers) as runner:
+        measured = {
+            name: measure_plan(
+                workload, plan, cluster, prov,
+                reuse_engineered=(name == "CAST++"),
+                runner=runner if runner.parallel else None,
+            )
+            for name, plan in plans.items()
+        }
     cast_u = measured["CAST"].utility
     configs = tuple(
         Fig7Config(

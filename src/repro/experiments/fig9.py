@@ -28,10 +28,11 @@ from ..core.cost import deployment_cost
 from ..core.plan import Placement, TieringPlan
 from ..core.solver import CastSolver
 from ..profiler.models import ModelMatrix
-from ..simulator.engine import simulate_workflow
 from ..workloads.spec import WorkloadSpec
 from ..workloads.workflow import Workflow, evaluation_workflow_suite
+from ..simulator.metrics import WorkloadSimResult
 from .common import evaluation_cluster, model_matrix, provider
+from .runner import ExperimentRunner
 
 __all__ = ["Fig9Config", "Fig9Result", "run_fig9", "format_fig9", "FIG9_CONFIG_ORDER"]
 
@@ -76,24 +77,28 @@ class Fig9Result:
         raise KeyError(name)
 
 
-def _measure_config(
+#: Per-VM working volumes every Fig. 9 deployment provisions (§3
+#: sizing): one ephSSD stack and 500 GB block volumes per VM.
+FIG9_CAPS: Mapping[Tier, float] = {
+    Tier.EPH_SSD: 375.0, Tier.PERS_SSD: 500.0, Tier.PERS_HDD: 500.0,
+}
+
+
+def _config_from_sims(
     name: str,
     workflows: Sequence[Workflow],
     tier_of_all: Mapping[str, Tier],
+    sims: Sequence[WorkloadSimResult],
     cluster: ClusterSpec,
     prov: CloudProvider,
 ) -> Fig9Config:
-    """Simulate every workflow under a per-job tier map and price it."""
-    # Deployments provision working volumes (§3 sizing): one ephSSD
-    # stack and 500 GB block volumes per VM.
-    caps = {Tier.EPH_SSD: 375.0, Tier.PERS_SSD: 500.0, Tier.PERS_HDD: 500.0}
+    """Price one configuration from its per-workflow simulations."""
     total_cost = 0.0
     misses = 0
     makespans: Dict[str, float] = {}
     deadlines: Dict[str, float] = {}
-    for wf in workflows:
+    for wf, sim in zip(workflows, sims):
         tier_of = {j.job_id: tier_of_all[j.job_id] for j in wf.jobs}
-        sim = simulate_workflow(wf, tier_of, cluster, prov, per_vm_capacity_gb=caps)
         makespans[wf.name] = sim.makespan_s
         deadlines[wf.name] = wf.deadline_s
         if sim.makespan_s > wf.deadline_s:
@@ -123,8 +128,14 @@ def run_fig9(
     matrix: Optional[ModelMatrix] = None,
     iterations: int = 3000,
     seed: int = 42,
+    workers: Optional[int] = None,
 ) -> Fig9Result:
-    """Plan and measure all six configurations over the suite."""
+    """Plan and measure all six configurations over the suite.
+
+    ``workers`` > 1 simulates the 6 × 5 (configuration, workflow)
+    pairs in parallel; per-config sums replay the serial order, so the
+    reported numbers are unchanged.
+    """
     prov = prov or provider()
     cluster = cluster or evaluation_cluster()
     workflows = list(workflows) if workflows is not None else evaluation_workflow_suite()
@@ -155,11 +166,21 @@ def run_fig9(
             castpp_map[j.job_id] = result.best_state.tier_of(j.job_id)
     tier_maps["CAST++"] = castpp_map
 
-    configs = tuple(
-        _measure_config(name, workflows, tier_maps[name], cluster, prov)
+    items = [
+        (wf, {j.job_id: tier_maps[name][j.job_id] for j in wf.jobs}, FIG9_CAPS)
         for name in FIG9_CONFIG_ORDER
-    )
-    return Fig9Result(configs=configs)
+        for wf in workflows
+    ]
+    with ExperimentRunner(workers) as runner:
+        sims = runner.simulate_workflows(items, cluster, prov)
+
+    configs = []
+    for i, name in enumerate(FIG9_CONFIG_ORDER):
+        cfg_sims = sims[i * len(workflows):(i + 1) * len(workflows)]
+        configs.append(
+            _config_from_sims(name, workflows, tier_maps[name], cfg_sims, cluster, prov)
+        )
+    return Fig9Result(configs=tuple(configs))
 
 
 def format_fig9(result: Fig9Result) -> str:

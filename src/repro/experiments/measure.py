@@ -15,7 +15,7 @@ measurement exactly as they would on a real cluster:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Mapping, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from ..cloud.provider import CloudProvider
 from ..cloud.storage import Tier
@@ -26,6 +26,7 @@ from ..core.utility import per_vm_capacity, tenant_utility
 from ..simulator.engine import HELPER_INTERMEDIATE_GB_PER_VM, simulate_job
 from ..simulator.metrics import JobSimResult
 from ..workloads.spec import WorkloadSpec
+from .runner import ExperimentRunner, JobSim
 
 __all__ = ["PlanMeasurement", "measure_plan"]
 
@@ -52,11 +53,17 @@ def measure_plan(
     cluster_spec: ClusterSpec,
     prov: CloudProvider,
     reuse_engineered: bool = False,
+    runner: Optional[ExperimentRunner] = None,
 ) -> PlanMeasurement:
     """Deploy a plan on the simulator and price the observed execution.
 
     Parameters
     ----------
+    runner:
+        Optional :class:`~repro.experiments.runner.ExperimentRunner`
+        to fan the per-job simulations out over worker processes.  The
+        makespan is still accumulated in workload order, so the
+        reported numbers are identical to a serial run.
     reuse_engineered:
         ``True`` when the plan was produced by a reuse-aware planner
         (CAST++): shared datasets are provisioned once and staged once,
@@ -70,8 +77,7 @@ def measure_plan(
     plan.validate(workload, prov)
     pvc = per_vm_capacity(plan, cluster_spec, prov)
 
-    results: Dict[str, JobSimResult] = {}
-    makespan = 0.0
+    sims: List[JobSim] = []
     for job in workload.jobs:
         tier = plan.tier_of(job.job_id)
         caps = dict(pvc)
@@ -80,7 +86,19 @@ def measure_plan(
         helper = prov.service(tier).requires_intermediate
         if helper is not None:
             caps[helper] = max(caps.get(helper, 0.0), HELPER_INTERMEDIATE_GB_PER_VM)
-        res = simulate_job(job, tier, cluster_spec, prov, per_vm_capacity_gb=caps)
+        sims.append((job, tier, caps))
+
+    if runner is not None:
+        sim_results = runner.simulate_jobs(sims, cluster_spec, prov)
+    else:
+        sim_results = [
+            simulate_job(job, tier, cluster_spec, prov, per_vm_capacity_gb=caps)
+            for job, tier, caps in sims
+        ]
+
+    results: Dict[str, JobSimResult] = {}
+    makespan = 0.0
+    for job, res in zip(workload.jobs, sim_results):
         results[job.job_id] = res
         makespan += res.total_s
 

@@ -1,0 +1,288 @@
+"""Parallel experiment runner: process fan-out over independent sims.
+
+Every ground-truth number in the Fig. 1–9 experiments comes from
+simulating independent (configuration, job) or (configuration,
+workflow) pairs — an embarrassingly parallel workload the evaluation
+previously ran strictly serially.  :class:`ExperimentRunner` fans these
+out over a ``ProcessPoolExecutor`` while keeping the reported numbers
+*identical* to a serial run:
+
+* results come back in submission order, so every downstream sum
+  replays the serial accumulation order (bit-exactness rule from
+  ``docs/PERFORMANCE.md``);
+* job batches are deduplicated through the content-addressed
+  :mod:`simulator cache <repro.simulator.cache>` *before* dispatch —
+  shape-duplicate SWIM jobs are simulated once, in one process, and
+  the parent cache learns every fresh result;
+* workers inherit the parent's channel/cache environment through the
+  task payload, so ``REPRO_SIM_REFERENCE`` flips made *after* the pool
+  spawned still apply;
+* seeds for randomized studies derive via :func:`spawn_seeds` — the
+  same ``SeedSequence`` discipline as the planning service's
+  multi-start pool (:func:`repro.service.pool.restart_seeds`), with
+  slot 0 pinned to the request seed.
+
+``workers=None`` (or 0/1) is the serial mode: no pool, no pickling,
+just the plain loop — the default everywhere, so nothing changes for
+callers that don't opt in.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..cloud.provider import CloudProvider
+from ..cloud.storage import Tier
+from ..cloud.vm import ClusterSpec
+from ..simulator.cache import (
+    CACHE_ENV,
+    cache_enabled,
+    job_sim_fingerprint,
+    simulation_cache,
+)
+from ..simulator.engine import resolve_sim_inputs, simulate_job, simulate_workflow
+from ..simulator.metrics import JobSimResult, WorkloadSimResult
+from ..simulator.storage_backend import REFERENCE_ENV, channel_impl_name
+from ..workloads.spec import JobSpec
+from ..workloads.workflow import Workflow
+
+__all__ = [
+    "ExperimentRunner",
+    "SimReport",
+    "sim_report",
+    "spawn_seeds",
+    "simulate_job_task",
+    "simulate_workflow_task",
+]
+
+#: A job-simulation request: (job, input tier, per-VM caps or None).
+JobSim = Tuple[JobSpec, Tier, Optional[Mapping[Tier, float]]]
+
+
+def spawn_seeds(seed: int, n: int) -> List[int]:
+    """``n`` deterministic, well-separated seeds for parallel studies.
+
+    Slot 0 reuses ``seed`` unchanged; slots 1..n-1 come from
+    ``SeedSequence(seed).spawn`` — the exact discipline of the service
+    pool's :func:`~repro.service.pool.restart_seeds`, so a fan-out's
+    first worker always reproduces the corresponding serial run.
+    """
+    if n < 1:
+        raise ValueError(f"need at least one seed, got n={n}")
+    seeds = [int(seed)]
+    if n > 1:
+        children = np.random.SeedSequence(int(seed)).spawn(n - 1)
+        seeds.extend(int(child.generate_state(1)[0]) for child in children)
+    return seeds
+
+
+def _sim_env() -> Dict[str, str]:
+    """The simulation-relevant environment to replay inside workers."""
+    return {
+        k: os.environ[k]
+        for k in (REFERENCE_ENV, CACHE_ENV)
+        if k in os.environ
+    }
+
+
+def _apply_env(env: Mapping[str, str]) -> None:
+    for k in (REFERENCE_ENV, CACHE_ENV):
+        if k in env:
+            os.environ[k] = env[k]
+        else:
+            os.environ.pop(k, None)
+
+
+def simulate_job_task(payload: Tuple[Any, ...]) -> JobSimResult:
+    """Picklable worker body for one job simulation."""
+    job, tier, caps, cluster_spec, provider, env = payload
+    _apply_env(env)
+    return simulate_job(job, tier, cluster_spec, provider, per_vm_capacity_gb=caps)
+
+
+def simulate_workflow_task(payload: Tuple[Any, ...]) -> WorkloadSimResult:
+    """Picklable worker body for one end-to-end workflow simulation."""
+    workflow, tier_of, caps, cluster_spec, provider, env = payload
+    _apply_env(env)
+    return simulate_workflow(
+        workflow, tier_of, cluster_spec, provider, per_vm_capacity_gb=caps
+    )
+
+
+class ExperimentRunner:
+    """Ordered fan-out of independent simulations over worker processes.
+
+    Parameters
+    ----------
+    workers:
+        Process count.  ``None``/``0``/``1`` run serially in-process
+        (no executor is ever created).  Use as a context manager or
+        call :meth:`close` to release the pool.
+    """
+
+    def __init__(self, workers: Optional[int] = None) -> None:
+        self.workers = int(workers or 0)
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self.tasks_run = 0
+        self.tasks_deduped = 0
+        self.batches = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def parallel(self) -> bool:
+        """Whether this runner dispatches to worker processes."""
+        return self.workers > 1
+
+    def _executor(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "ExperimentRunner":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    # -- generic ordered map ----------------------------------------------
+
+    def map(self, fn: Callable[[Any], Any], payloads: Sequence[Any]) -> List[Any]:
+        """Apply ``fn`` to every payload, results in submission order.
+
+        ``fn`` must be a module-level (picklable) callable when the
+        runner is parallel.
+        """
+        payloads = list(payloads)
+        self.batches += 1
+        self.tasks_run += len(payloads)
+        if not self.parallel or len(payloads) <= 1:
+            return [fn(p) for p in payloads]
+        return list(self._executor().map(fn, payloads))
+
+    # -- simulation fan-out ------------------------------------------------
+
+    def simulate_jobs(
+        self,
+        items: Sequence[JobSim],
+        cluster_spec: ClusterSpec,
+        provider: CloudProvider,
+    ) -> List[JobSimResult]:
+        """Simulate a batch of jobs; results align with ``items``.
+
+        Parallel mode deduplicates by simulation fingerprint before
+        dispatch (the cache key excludes the job id, so shape-duplicate
+        jobs collapse to one task) and consults/feeds the parent-side
+        cache, making a warm batch free.  Serial mode defers to
+        :func:`simulate_job`, whose internal cache does the same —
+        either way the numbers are bit-identical.
+        """
+        env = _sim_env()
+        if not self.parallel or not cache_enabled():
+            return self.map(
+                simulate_job_task,
+                [(job, tier, caps, cluster_spec, provider, env) for job, tier, caps in items],
+            )
+
+        cache = simulation_cache()
+        known: Dict[str, Optional[JobSimResult]] = {}
+        item_keys: List[str] = []
+        payloads: List[Tuple[Any, ...]] = []
+        pending: Dict[str, int] = {}
+        for job, tier, caps in items:
+            rcaps, placement, out_tier = resolve_sim_inputs(
+                job, tier, cluster_spec, provider, per_vm_capacity_gb=caps
+            )
+            key = job_sim_fingerprint(
+                job, tier, cluster_spec, provider, rcaps, out_tier,
+                stage_in=True, stage_out=True,
+                placement_tiers=None if placement is None else tuple(placement.tiers),
+            )
+            item_keys.append(key)
+            if key in known or key in pending:
+                continue
+            hit = cache.get(key)
+            if hit is not None:
+                known[key] = hit
+                continue
+            pending[key] = len(payloads)
+            payloads.append((job, tier, caps, cluster_spec, provider, env))
+
+        self.tasks_deduped += len(items) - len(payloads)
+        fresh = self.map(simulate_job_task, payloads)
+        for key, idx in pending.items():
+            cache.put(key, fresh[idx])
+            known[key] = fresh[idx]
+
+        results: List[JobSimResult] = []
+        for (job, _tier, _caps), key in zip(items, item_keys):
+            res = known[key]
+            assert res is not None
+            results.append(
+                res if res.job_id == job.job_id else replace(res, job_id=job.job_id)
+            )
+        return results
+
+    def simulate_workflows(
+        self,
+        items: Sequence[Tuple[Workflow, Mapping[str, Tier], Optional[Mapping[Tier, float]]]],
+        cluster_spec: ClusterSpec,
+        provider: CloudProvider,
+    ) -> List[WorkloadSimResult]:
+        """Simulate (workflow, tier-map, caps) batches in order."""
+        env = _sim_env()
+        return self.map(
+            simulate_workflow_task,
+            [
+                (wf, dict(tier_of), caps, cluster_spec, provider, env)
+                for wf, tier_of, caps in items
+            ],
+        )
+
+    # -- reporting ---------------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        """Runner counters (``workers``/``tasks_run``/``deduped``/...)."""
+        return {
+            "workers": self.workers,
+            "tasks_run": self.tasks_run,
+            "tasks_deduped": self.tasks_deduped,
+            "batches": self.batches,
+        }
+
+
+@dataclass(frozen=True)
+class SimReport:
+    """One snapshot of all three throughput layers' counters."""
+
+    channel: str
+    cache: Mapping[str, int]
+    runner: Mapping[str, int]
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form (``BENCH_sim.json`` embeds these)."""
+        return {
+            "channel": self.channel,
+            "cache": dict(self.cache),
+            "runner": dict(self.runner),
+        }
+
+
+def sim_report(runner: Optional[ExperimentRunner] = None) -> SimReport:
+    """Snapshot the active channel impl, cache and runner counters."""
+    return SimReport(
+        channel=channel_impl_name(),
+        cache=simulation_cache().stats(),
+        runner=runner.stats() if runner is not None else {},
+    )

@@ -34,6 +34,7 @@ from ..profiler.models import ModelMatrix
 from ..workloads.spec import WorkloadSpec
 from ..workloads.swim import synthesize_small_workload
 from .common import characterization_cluster, model_matrix, provider
+from .runner import ExperimentRunner
 
 __all__ = [
     "SensitivityRow",
@@ -41,6 +42,43 @@ __all__ = [
     "run_price_sensitivity",
     "format_price_sensitivity",
 ]
+
+
+def _solve_scenario(payload: dict) -> SensitivityRow:
+    """Re-plan one repricing scenario (picklable worker body).
+
+    Deterministic given the payload (fixed solver seed), so the rows
+    are identical whether scenarios run serially or on a pool.
+    """
+    prov = payload["prov"]
+    tier = payload["tier"]
+    factor = payload["factor"]
+    cluster = payload["cluster"]
+    workload = payload["workload"]
+    matrix = payload["matrix"]
+    baseline_plan = payload["baseline_plan"]
+    schedule = AnnealingSchedule(iter_max=payload["iterations"])
+
+    newprov = reprice(prov, tier, factor)
+    solver = CastPlusPlus(cluster_spec=cluster, matrix=matrix, provider=newprov,
+                          schedule=schedule, seed=payload["seed"])
+    replanned = solver.solve(workload).best_state
+    churn = sum(
+        1 for j in workload.jobs
+        if replanned.tier_of(j.job_id) is not baseline_plan.tier_of(j.job_id)
+    ) / workload.n_jobs * 100.0
+    stale = evaluate_plan(workload, baseline_plan, cluster, matrix,
+                          newprov, reuse_aware=True)
+    fresh = evaluate_plan(workload, replanned, cluster, matrix,
+                          newprov, reuse_aware=True)
+    regret = max(0.0, (fresh.utility / stale.utility - 1.0) * 100.0)
+    return SensitivityRow(
+        tier=tier,
+        factor=factor,
+        placement_churn_pct=churn,
+        regret_pct=regret,
+        new_utility=fresh.utility,
+    )
 
 
 def reprice(prov: CloudProvider, tier: Tier, factor: float) -> CloudProvider:
@@ -85,8 +123,14 @@ def run_price_sensitivity(
     tiers: Sequence[Tier] = (Tier.EPH_SSD, Tier.PERS_SSD, Tier.OBJ_STORE),
     iterations: int = 1500,
     seed: int = 42,
+    workers: Optional[int] = None,
 ) -> List[SensitivityRow]:
-    """Re-plan under perturbed prices and measure churn and regret."""
+    """Re-plan under perturbed prices and measure churn and regret.
+
+    ``workers`` > 1 runs the repricing scenarios on a process pool;
+    every scenario re-solves with the same fixed seed either way, so
+    the rows are identical to a serial run.
+    """
     prov = prov or provider()
     cluster = cluster or characterization_cluster()
     workload = workload or synthesize_small_workload()
@@ -100,30 +144,23 @@ def run_price_sensitivity(
 
     baseline_plan = solve(prov)
 
-    rows: List[SensitivityRow] = []
-    for tier in tiers:
-        for factor in factors:
-            newprov = reprice(prov, tier, factor)
-            replanned = solve(newprov)
-            churn = sum(
-                1 for j in workload.jobs
-                if replanned.tier_of(j.job_id) is not baseline_plan.tier_of(j.job_id)
-            ) / workload.n_jobs * 100.0
-            stale = evaluate_plan(workload, baseline_plan, cluster, matrix,
-                                  newprov, reuse_aware=True)
-            fresh = evaluate_plan(workload, replanned, cluster, matrix,
-                                  newprov, reuse_aware=True)
-            regret = max(0.0, (fresh.utility / stale.utility - 1.0) * 100.0)
-            rows.append(
-                SensitivityRow(
-                    tier=tier,
-                    factor=factor,
-                    placement_churn_pct=churn,
-                    regret_pct=regret,
-                    new_utility=fresh.utility,
-                )
-            )
-    return rows
+    payloads = [
+        {
+            "prov": prov,
+            "tier": tier,
+            "factor": factor,
+            "cluster": cluster,
+            "workload": workload,
+            "matrix": matrix,
+            "baseline_plan": baseline_plan,
+            "iterations": iterations,
+            "seed": seed,
+        }
+        for tier in tiers
+        for factor in factors
+    ]
+    with ExperimentRunner(workers) as runner:
+        return runner.map(_solve_scenario, payloads)
 
 
 def format_price_sensitivity(rows: List[SensitivityRow]) -> str:

@@ -6,11 +6,19 @@ storage channels per node and tier, per-block placement, object-store
 request overheads, and ephSSD persistence staging.
 """
 
-from .cluster import SimCluster, SimNode
+from .cache import (
+    SimulationCache,
+    cache_enabled,
+    catalog_digest,
+    job_sim_fingerprint,
+    simulation_cache,
+)
+from .cluster import SimCluster, SimNode, channel_bandwidth_mb_s
 from .engine import (
     cross_tier_transfer_seconds,
     default_per_vm_capacity,
     intermediate_tier_for,
+    resolve_sim_inputs,
     simulate_job,
     simulate_workflow,
     simulate_workload,
@@ -19,14 +27,30 @@ from .events import EventQueue
 from .hdfs import BlockPlacement
 from .metrics import JobSimResult, WorkloadSimResult
 from .scheduler import PhaseRun
-from .storage_backend import SharedChannel
+from .storage_backend import (
+    ReferenceSharedChannel,
+    SharedChannel,
+    VirtualTimeSharedChannel,
+    channel_impl_name,
+    use_reference_channel,
+)
 from .tasks import make_map_task, make_reduce_task
 
 __all__ = [
     "EventQueue",
     "SharedChannel",
+    "ReferenceSharedChannel",
+    "VirtualTimeSharedChannel",
+    "use_reference_channel",
+    "channel_impl_name",
+    "SimulationCache",
+    "simulation_cache",
+    "cache_enabled",
+    "catalog_digest",
+    "job_sim_fingerprint",
     "SimCluster",
     "SimNode",
+    "channel_bandwidth_mb_s",
     "PhaseRun",
     "BlockPlacement",
     "JobSimResult",
@@ -35,6 +59,7 @@ __all__ = [
     "make_reduce_task",
     "intermediate_tier_for",
     "default_per_vm_capacity",
+    "resolve_sim_inputs",
     "simulate_job",
     "simulate_workload",
     "simulate_workflow",

@@ -27,7 +27,40 @@ from ..errors import SimulationError
 from .events import EventQueue
 from .storage_backend import SharedChannel
 
-__all__ = ["SimNode", "SimCluster"]
+__all__ = ["SimNode", "SimCluster", "channel_bandwidth_mb_s"]
+
+
+def channel_bandwidth_mb_s(
+    provider: CloudProvider,
+    spec: ClusterSpec,
+    tier: Tier,
+    per_vm_capacity_gb: Optional[Mapping[Tier, float]] = None,
+) -> float:
+    """Per-node channel bandwidth for ``tier`` — without building a cluster.
+
+    This is the single source of the sizing arithmetic: `SimCluster`
+    channels and lightweight callers (cross-tier transfer estimates)
+    both read it, so the two can never drift.
+    """
+    svc = provider.service(tier)
+    if tier is Tier.OBJ_STORE:
+        return float(svc.throughput_mb_s(1.0))
+    cap = (per_vm_capacity_gb or {}).get(tier, 0.0)
+    if tier is Tier.EPH_SSD:
+        # Extra volumes add capacity, not throughput: Hadoop-1's
+        # local-dir I/O paths do not stripe across a JBOD of local
+        # SSDs, so a node's effective ephemeral bandwidth plateaus
+        # at one device's speed (the paper's ephSSD-100% config
+        # runs *slower* than persSSD-100% despite 4 volumes/VM).
+        bw = svc.throughput_mb_s(svc.fixed_volume_gb)
+    else:
+        # Block volumes: throughput follows provisioned size; fall
+        # back to the smallest Table 1 volume when unsized.
+        eff_cap = cap if cap > 0 else 100.0
+        bw = svc.throughput_mb_s(eff_cap)
+    if svc.persistent and tier is not Tier.EPH_SSD:
+        bw = min(bw, spec.vm.network_mb_s)
+    return float(bw)
 
 
 class SimNode:
@@ -105,27 +138,16 @@ class SimCluster:
     def _make_channel(self, node_id: int, tier: Tier) -> SharedChannel:
         svc = self.provider.service(tier)
         name = f"node{node_id}/{tier.value}"
+        bw = channel_bandwidth_mb_s(
+            self.provider, self.spec, tier, self.per_vm_capacity_gb
+        )
         if tier is Tier.OBJ_STORE:
             return SharedChannel(
                 self.queue,
-                bandwidth_mb_s=svc.throughput_mb_s(1.0),
+                bandwidth_mb_s=bw,
                 name=name,
                 request_overhead_s=svc.request_overhead_s,
             )
-        cap = self.per_vm_capacity_gb.get(tier, 0.0)
-        if tier is Tier.EPH_SSD:
-            # Extra volumes add capacity, not throughput: Hadoop-1's
-            # local-dir I/O paths do not stripe across a JBOD of local
-            # SSDs, so a node's effective ephemeral bandwidth plateaus
-            # at one device's speed (the paper's ephSSD-100% config
-            # runs *slower* than persSSD-100% despite 4 volumes/VM).
-            bw = svc.throughput_mb_s(svc.fixed_volume_gb)
-        else:
-            # Block volumes: throughput follows provisioned size; fall
-            # back to the smallest Table 1 volume when unsized.
-            eff_cap = cap if cap > 0 else 100.0
-            bw = svc.throughput_mb_s(eff_cap)
-        bw = min(bw, self.spec.vm.network_mb_s) if svc.persistent and tier is not Tier.EPH_SSD else bw
         return SharedChannel(self.queue, bandwidth_mb_s=bw, name=name)
 
     # -- convenience -----------------------------------------------------------

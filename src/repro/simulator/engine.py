@@ -24,7 +24,7 @@ transfers between dependent jobs.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..cloud.provider import CloudProvider
@@ -34,15 +34,17 @@ from ..errors import SimulationError
 from ..units import gb_to_mb
 from ..workloads.spec import JobSpec, WorkloadSpec
 from ..workloads.workflow import Workflow
-from .cluster import SimCluster
+from .cache import cache_enabled, job_sim_fingerprint, simulation_cache
+from .cluster import SimCluster, channel_bandwidth_mb_s
 from .hdfs import BlockPlacement
 from .metrics import JobSimResult, WorkloadSimResult
-from .scheduler import PhaseRun
+from .scheduler import PhaseRun, TaskBody
 from .tasks import make_map_task, make_reduce_task
 
 __all__ = [
     "intermediate_tier_for",
     "default_per_vm_capacity",
+    "resolve_sim_inputs",
     "simulate_job",
     "simulate_workload",
     "simulate_workflow",
@@ -110,21 +112,55 @@ def default_per_vm_capacity(
 class _PhaseClock:
     """Records phase boundary times as the driver advances."""
 
-    marks: List[Tuple[str, float]] = field(default_factory=list)
+    marks: Dict[str, float] = field(default_factory=dict)
 
     def mark(self, label: str, time: float) -> None:
-        self.marks.append((label, time))
+        self.marks[label] = time
 
     def duration(self, label: str) -> float:
-        start = end = None
-        for name, t in self.marks:
-            if name == f"{label}:start":
-                start = t
-            elif name == f"{label}:end":
-                end = t
+        start = self.marks.get(f"{label}:start")
+        end = self.marks.get(f"{label}:end")
         if start is None or end is None:
             return 0.0
         return end - start
+
+
+def resolve_sim_inputs(
+    job: JobSpec,
+    input_tier: Tier,
+    cluster_spec: ClusterSpec,
+    provider: CloudProvider,
+    per_vm_capacity_gb: Optional[Mapping[Tier, float]] = None,
+    block_placement: Optional[BlockPlacement] = None,
+    output_tier: Optional[Tier] = None,
+) -> Tuple[Dict[Tier, float], Optional[BlockPlacement], Tier]:
+    """Normalize a :func:`simulate_job` call onto its canonical inputs.
+
+    Returns the resolved per-VM capacities, the normalized block
+    placement (``None`` when uniform on the input tier — that IS the
+    default placement, so both spellings must share a cache key) and
+    the effective output tier.  Shared by the cache lookup in
+    :func:`simulate_job` and the parallel runner's dedup pass.
+    """
+    out_tier = output_tier or input_tier
+    caps = dict(
+        per_vm_capacity_gb
+        if per_vm_capacity_gb is not None
+        else default_per_vm_capacity(job, input_tier, cluster_spec, provider)
+    )
+    # An ephSSD output from a non-ephSSD job still needs local volumes.
+    if out_tier is Tier.EPH_SSD and Tier.EPH_SSD not in caps:
+        caps[Tier.EPH_SSD] = provider.service(Tier.EPH_SSD).fixed_volume_gb
+
+    if block_placement is not None and block_placement.n_blocks != job.map_tasks:
+        raise SimulationError(
+            f"{job.job_id}: block placement has {block_placement.n_blocks} blocks "
+            f"but the job has {job.map_tasks} map tasks"
+        )
+    placement = block_placement
+    if placement is not None and all(t == input_tier for t in placement.tiers):
+        placement = None
+    return caps, placement, out_tier
 
 
 def simulate_job(
@@ -164,23 +200,58 @@ def simulate_job(
     -------
     JobSimResult
         Phase-level timing breakdown.
-    """
-    out_tier = output_tier or input_tier
-    caps = dict(
-        per_vm_capacity_gb
-        if per_vm_capacity_gb is not None
-        else default_per_vm_capacity(job, input_tier, cluster_spec, provider)
-    )
-    # An ephSSD output from a non-ephSSD job still needs local volumes.
-    if out_tier is Tier.EPH_SSD and Tier.EPH_SSD not in caps:
-        caps[Tier.EPH_SSD] = provider.service(Tier.EPH_SSD).fixed_volume_gb
 
-    if block_placement is not None and block_placement.n_blocks != job.map_tasks:
-        raise SimulationError(
-            f"{job.job_id}: block placement has {block_placement.n_blocks} blocks "
-            f"but the job has {job.map_tasks} map tasks"
+    Notes
+    -----
+    Results are memoized in the process-wide
+    :class:`~repro.simulator.cache.SimulationCache`: the run depends
+    only on the job's *shape* (never its id), so shape-duplicate jobs —
+    the normal case in SWIM workloads — are simulated once.  Hits are
+    the stored result re-stamped with this job's id, bit-exact by
+    construction.  ``REPRO_SIM_CACHE=0`` disables the cache.
+    """
+    caps, placement, out_tier = resolve_sim_inputs(
+        job, input_tier, cluster_spec, provider,
+        per_vm_capacity_gb=per_vm_capacity_gb,
+        block_placement=block_placement,
+        output_tier=output_tier,
+    )
+
+    if not cache_enabled():
+        return _simulate_job_uncached(
+            job, input_tier, cluster_spec, provider, caps, placement,
+            out_tier, stage_in, stage_out,
         )
 
+    key = job_sim_fingerprint(
+        job, input_tier, cluster_spec, provider, caps, out_tier,
+        stage_in, stage_out,
+        placement_tiers=None if placement is None else tuple(placement.tiers),
+    )
+    cache = simulation_cache()
+    hit = cache.get(key)
+    if hit is not None:
+        return hit if hit.job_id == job.job_id else replace(hit, job_id=job.job_id)
+    result = _simulate_job_uncached(
+        job, input_tier, cluster_spec, provider, caps, placement,
+        out_tier, stage_in, stage_out,
+    )
+    cache.put(key, result)
+    return result
+
+
+def _simulate_job_uncached(
+    job: JobSpec,
+    input_tier: Tier,
+    cluster_spec: ClusterSpec,
+    provider: CloudProvider,
+    caps: Dict[Tier, float],
+    block_placement: Optional[BlockPlacement],
+    out_tier: Tier,
+    stage_in: bool,
+    stage_out: bool,
+) -> JobSimResult:
+    """The actual discrete-event run (inputs already resolved)."""
     cluster = SimCluster(cluster_spec, provider, caps)
     queue = cluster.queue
     clock = _PhaseClock()
@@ -221,10 +292,20 @@ def simulate_job(
 
     def start_map() -> None:
         clock.mark("map:start", queue.now)
-        tasks = [
-            make_map_task(job.app, split_gb, blocks.tiers[i], inter_tier)
-            for i in range(m)
-        ]
+        # Task bodies are stateless between invocations (all per-run
+        # state lives in closures the body creates when called), so
+        # same-shape tasks share one body object — one per block tier
+        # instead of one per block.
+        body_for: Dict[Tier, TaskBody] = {}
+        tasks = []
+        for i in range(m):
+            tier = blocks.tiers[i]
+            body = body_for.get(tier)
+            if body is None:
+                body = body_for[tier] = make_map_task(
+                    job.app, split_gb, tier, inter_tier
+                )
+            tasks.append(body)
         # HDFS spreads a file's blocks evenly over the cluster and the
         # scheduler runs map tasks data-locally: block i lives (and its
         # task runs) on node i*n//m.  With a fractional placement this
@@ -240,10 +321,12 @@ def simulate_job(
 
     def start_reduce() -> None:
         clock.mark("reduce:start", queue.now)
-        tasks = [
-            make_reduce_task(job.app, shuffle_gb, output_share_gb, inter_tier, out_tier)
-            for _ in range(r)
-        ]
+        # All reduce tasks of a job are identical in shape; share one
+        # stateless body (see start_map).
+        body = make_reduce_task(
+            job.app, shuffle_gb, output_share_gb, inter_tier, out_tier
+        )
+        tasks = [body] * r
 
         def reduce_done() -> None:
             clock.mark("reduce:end", queue.now)
@@ -329,9 +412,10 @@ def cross_tier_transfer_seconds(
     """
     if src_tier == dst_tier or size_gb <= 0:
         return 0.0
-    cluster = SimCluster(cluster_spec, provider, dict(per_vm_capacity_gb or {}))
-    src_bw = cluster.tier_bandwidth_per_node(src_tier)
-    dst_bw = cluster.tier_bandwidth_per_node(dst_tier)
+    # Only two per-node bandwidths are needed — read them straight from
+    # the sizing arithmetic rather than building a throwaway SimCluster.
+    src_bw = channel_bandwidth_mb_s(provider, cluster_spec, src_tier, per_vm_capacity_gb)
+    dst_bw = channel_bandwidth_mb_s(provider, cluster_spec, dst_tier, per_vm_capacity_gb)
     bw = min(src_bw, dst_bw)
     per_node_gb = size_gb / cluster_spec.n_vms
     overhead = 0.0

@@ -62,7 +62,9 @@ class EventQueue:
         """Run ``callback`` after ``delay`` seconds of simulated time."""
         if delay < 0:
             raise SimulationError(f"negative delay: {delay}")
-        self.schedule_at(self._now + delay, callback)
+        # delay >= 0 makes the causality check redundant; push directly
+        # (this is the simulator's single hottest scheduling path).
+        heapq.heappush(self._heap, (self._now + delay, next(self._seq), callback))
 
     def run(self, until: Optional[float] = None, max_events: int = 50_000_000) -> float:
         """Dispatch events until the calendar drains (or ``until``).
@@ -73,24 +75,38 @@ class EventQueue:
         if self._running:
             raise SimulationError("EventQueue.run() is not reentrant")
         self._running = True
+        heap = self._heap
+        pop = heapq.heappop
+        dispatched = 0
         try:
-            dispatched = 0
-            while self._heap:
-                time, _, callback = self._heap[0]
-                if until is not None and time > until:
-                    self._now = until
-                    break
-                heapq.heappop(self._heap)
-                self._now = time
-                callback()
-                self._n_dispatched += 1
-                dispatched += 1
-                if dispatched > max_events:
-                    raise SimulationError(
-                        f"exceeded {max_events} events; likely a model feedback loop"
-                    )
+            if until is None:
+                # Hot path: drain the calendar, no horizon checks.
+                while heap:
+                    time, _, callback = pop(heap)
+                    self._now = time
+                    callback()
+                    dispatched += 1
+                    if dispatched > max_events:
+                        raise SimulationError(
+                            f"exceeded {max_events} events; likely a model feedback loop"
+                        )
+            else:
+                while heap:
+                    time = heap[0][0]
+                    if time > until:
+                        self._now = until
+                        break
+                    _, _, callback = pop(heap)
+                    self._now = time
+                    callback()
+                    dispatched += 1
+                    if dispatched > max_events:
+                        raise SimulationError(
+                            f"exceeded {max_events} events; likely a model feedback loop"
+                        )
         finally:
             self._running = False
+            self._n_dispatched += dispatched
         return self._now
 
     def __len__(self) -> int:

@@ -16,6 +16,7 @@ from typing import Callable, Deque, Dict, List, Optional, Sequence
 
 from ..errors import SimulationError
 from .cluster import SimCluster, SimNode
+from .storage_backend import use_reference_channel
 
 __all__ = ["PhaseRun", "TaskBody"]
 
@@ -73,6 +74,11 @@ class PhaseRun:
         self._on_phase_done = on_phase_done
         self._rr_next = 0
         self._started = False
+        # REPRO_SIM_REFERENCE restores the seed dispatcher alongside the
+        # reference channels, so the flag reproduces the original
+        # simulator end to end.  Read once: a PhaseRun never changes
+        # implementation mid-flight.
+        self._reference = use_reference_channel()
 
     # -- slot bookkeeping --------------------------------------------------------
 
@@ -110,6 +116,54 @@ class PhaseRun:
 
         Data-local (pinned) tasks only run on their node — Hadoop's
         locality-preferring placement; unpinned tasks take any slot.
+
+        A node that can't take a task right now (slots full, or slots
+        free but nothing dispatchable to it) stays that way for the
+        rest of this pass — task bodies always defer through the event
+        queue, so no slot frees and no task appears mid-dispatch.  Each
+        node is therefore visited on a ring it drops off permanently on
+        failure, one slot filled per visit (breadth-first, matching the
+        wave structure), for O(n_nodes + dispatched) per pass instead
+        of a full rescan after every successful dispatch.
+        """
+        if self._reference:
+            self._dispatch_reference()
+            return
+        nodes = self.cluster.nodes
+        n_nodes = len(nodes)
+        ring: Deque[int] = deque(
+            (self._rr_next + i) % n_nodes for i in range(n_nodes)
+        )
+        last_success = -1
+        while ring and (self._pending or self._pinned):
+            idx = ring.popleft()
+            node = nodes[idx]
+            if self._slots_free(node) <= 0:
+                continue
+            local = self._pinned.get(node.node_id)
+            if local:
+                task = local.popleft()
+                if not local:
+                    del self._pinned[node.node_id]
+            elif self._pending:
+                task = self._pending.popleft()
+            else:
+                continue
+            ring.append(idx)
+            last_success = idx
+            self._take_slot(node)
+            task(node, lambda n=node: self._on_task_done(n))
+        if last_success >= 0:
+            # Reproduce the reference scan's resume point (mod n_nodes):
+            # it always stopped one visit past the last dispatch.
+            self._rr_next = last_success + 1
+
+    def _dispatch_reference(self) -> None:
+        """The seed dispatcher, verbatim: full rescan after each dispatch.
+
+        O(n_nodes × tasks) per phase — kept as the executable spec the
+        ring dispatcher and the completion fast path are checked
+        against under ``REPRO_SIM_REFERENCE=1``.
         """
         n_nodes = self.cluster.n_nodes
         scanned = 0
@@ -138,8 +192,33 @@ class PhaseRun:
         self._n_done += 1
         if self._n_done == self._n_total:
             self._on_phase_done()
-        elif self._pending or self._pinned:
-            self._dispatch()
+            return
+        if self._reference:
+            if self._pending or self._pinned:
+                self._dispatch_reference()
+            return
+        # Node-local fast path.  Every full dispatch pass ends with the
+        # invariant "a node with free slots has nothing dispatchable to
+        # it" (it failed its last ring visit), tasks are never added
+        # after construction, and slots only free right here — so a
+        # completion can unblock work on *this* node alone, and at most
+        # one task (a node holding spare slots had, and therefore still
+        # has, nothing to run).  Dispatching locally preserves the
+        # invariant and skips the O(n_nodes) ring rebuild per
+        # completion.
+        local = self._pinned.get(node.node_id)
+        if local:
+            task = local.popleft()
+            if not local:
+                del self._pinned[node.node_id]
+        elif self._pending:
+            task = self._pending.popleft()
+        else:
+            return
+        # Where the ring pass dispatching this same task would resume.
+        self._rr_next = node.node_id + 1
+        self._take_slot(node)
+        task(node, lambda n=node: self._on_task_done(n))
 
     def _any_runnable(self) -> bool:
         """Whether at least one task is running or dispatchable."""

@@ -1,7 +1,7 @@
 """Simulated storage channels with fair bandwidth sharing.
 
 Each node-attached volume stack (an ephSSD array, a persSSD volume, the
-node's slice of objStore egress) is a :class:`SharedChannel`: a
+node's slice of objStore egress) is a shared channel: a
 processor-sharing bandwidth server.  ``k`` concurrent transfers each
 progress at ``B/k`` MB/s, re-divided instantaneously whenever a
 transfer starts or finishes — the standard fluid model for storage fair
@@ -12,33 +12,77 @@ magnitude).
 
 Object-store transfers additionally pay a fixed per-request setup
 latency before entering the channel (GCS-connector behaviour, §3.1.2).
+
+Two implementations of the same fluid model live here:
+
+* :class:`VirtualTimeSharedChannel` (the default) — a processor-sharing
+  **virtual clock**.  Virtual time advances at ``B/k`` MB per simulated
+  second, a transfer of ``S`` MB entering at virtual time ``V`` gets a
+  service tag ``V + S``, and completions pop from a heap ordered by
+  tag.  Membership changes cost ``O(log k)`` instead of the reference
+  implementation's ``O(k)`` bulk decrement + ``O(k)`` min scan, and an
+  identical-size cohort (a wave of equal map tasks entering together)
+  shares one tag value and completes in a single event.
+* :class:`ReferenceSharedChannel` — the original per-transfer
+  bulk-decrement implementation, kept as the executable specification.
+  Select it globally with ``REPRO_SIM_REFERENCE=1``;
+  ``benchmarks/bench_sim_throughput.py`` gates on the two agreeing to
+  ≤1e-9 relative on every phase timing.
+
+:func:`SharedChannel` is the factory every caller goes through; it
+reads the environment per construction so a single process can compare
+both implementations.
 """
 
 from __future__ import annotations
 
+import heapq
 import itertools
+import os
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, List, Tuple
 
 from ..errors import SimulationError
 from .events import EventQueue
 
-__all__ = ["SharedChannel", "Transfer"]
+__all__ = [
+    "SharedChannel",
+    "ReferenceSharedChannel",
+    "VirtualTimeSharedChannel",
+    "Transfer",
+    "use_reference_channel",
+    "channel_impl_name",
+]
 
 _EPS_MB = 1e-9
+
+#: Environment variable selecting the reference simulator implementation
+#: (the original channels *and* the original phase dispatcher, so the
+#: flag restores the pre-optimization simulator end to end).
+REFERENCE_ENV = "REPRO_SIM_REFERENCE"
+
+
+def use_reference_channel() -> bool:
+    """Whether ``REPRO_SIM_REFERENCE`` selects the reference implementation."""
+    return os.environ.get(REFERENCE_ENV, "").strip().lower() not in ("", "0", "false")
+
+
+def channel_impl_name() -> str:
+    """The active implementation id (also part of the sim-cache key)."""
+    return "reference" if use_reference_channel() else "virtual-time"
 
 
 @dataclass
 class Transfer:
-    """One in-flight transfer on a channel."""
+    """One in-flight transfer on a reference channel."""
 
     transfer_id: int
     remaining_mb: float
     on_complete: Callable[[], None]
 
 
-class SharedChannel:
-    """Processor-sharing bandwidth server.
+class _ChannelBase:
+    """Shared validation, request-overhead handling and counters.
 
     Parameters
     ----------
@@ -58,9 +102,6 @@ class SharedChannel:
         "bandwidth_mb_s",
         "name",
         "request_overhead_s",
-        "_active",
-        "_ids",
-        "_last_update",
         "_epoch",
         "busy_mb",
         "n_transfers",
@@ -81,9 +122,6 @@ class SharedChannel:
         self.bandwidth_mb_s = float(bandwidth_mb_s)
         self.name = name
         self.request_overhead_s = float(request_overhead_s)
-        self._active: Dict[int, Transfer] = {}
-        self._ids = itertools.count()
-        self._last_update = queue.now
         self._epoch = 0
         #: Total MB moved through this channel (metrics).
         self.busy_mb = 0.0
@@ -107,34 +145,72 @@ class SharedChannel:
         """
         if size_mb < 0:
             raise SimulationError(f"{self.name}: negative transfer size {size_mb}")
-        overhead = self.request_overhead_s * max(0, n_requests)
-
-        def _enter() -> None:
-            if size_mb <= _EPS_MB:
-                self.n_transfers += 1
-                on_complete()
-                return
-            self._advance()
-            tid = next(self._ids)
-            self._active[tid] = Transfer(tid, size_mb, on_complete)
-            self._reschedule()
-
+        overhead = self.request_overhead_s * (n_requests if n_requests > 0 else 0)
         if overhead > 0:
-            self._queue.schedule_after(overhead, _enter)
+            self._queue.schedule_after(
+                overhead, lambda: self._enter(size_mb, on_complete)
+            )
         else:
-            _enter()
+            self._enter(size_mb, on_complete)
+
+    def _enter(self, size_mb: float, on_complete: Callable[[], None]) -> None:
+        if size_mb <= _EPS_MB:
+            self.n_transfers += 1
+            on_complete()
+            return
+        self._admit(size_mb, on_complete)
+
+    @property
+    def active_transfers(self) -> int:
+        """Number of transfers currently sharing the channel."""
+        raise NotImplementedError
+
+    def current_rate_mb_s(self) -> float:
+        """Per-transfer rate right now (``B/k``), or ``B`` when idle."""
+        return self.bandwidth_mb_s / max(1, self.active_transfers)
+
+    # -- implementation hook -----------------------------------------------
+
+    def _admit(self, size_mb: float, on_complete: Callable[[], None]) -> None:
+        raise NotImplementedError
+
+
+class ReferenceSharedChannel(_ChannelBase):
+    """Processor-sharing bandwidth server — the reference implementation.
+
+    Progress is advanced lazily on membership changes by bulk-
+    decrementing every active transfer (``O(k)``), the next completion
+    comes from a min scan over remaining sizes (``O(k)``), and stale
+    completion predictions are invalidated by epoch counters.  Correct
+    and simple, but ``O(n²)`` per phase of ``n`` concurrent transfers.
+    """
+
+    __slots__ = ("_active", "_ids", "_last_update")
+
+    def __init__(
+        self,
+        queue: EventQueue,
+        bandwidth_mb_s: float,
+        name: str = "channel",
+        request_overhead_s: float = 0.0,
+    ) -> None:
+        super().__init__(queue, bandwidth_mb_s, name, request_overhead_s)
+        self._active: Dict[int, Transfer] = {}
+        self._ids = itertools.count()
+        self._last_update = queue.now
 
     @property
     def active_transfers(self) -> int:
         """Number of transfers currently sharing the channel."""
         return len(self._active)
 
-    def current_rate_mb_s(self) -> float:
-        """Per-transfer rate right now (``B/k``), or ``B`` when idle."""
-        k = max(1, len(self._active))
-        return self.bandwidth_mb_s / k
-
     # -- fluid-model internals ----------------------------------------------
+
+    def _admit(self, size_mb: float, on_complete: Callable[[], None]) -> None:
+        self._advance()
+        tid = next(self._ids)
+        self._active[tid] = Transfer(tid, size_mb, on_complete)
+        self._reschedule()
 
     def _advance(self) -> None:
         """Progress all active transfers up to the current time."""
@@ -172,3 +248,123 @@ class SharedChannel:
         for t in finished:
             self.n_transfers += 1
             t.on_complete()
+
+
+class VirtualTimeSharedChannel(_ChannelBase):
+    """Processor-sharing bandwidth server on a virtual service clock.
+
+    Invariant: the channel's virtual time ``V`` advances at ``B/k`` MB
+    per simulated second while ``k`` transfers are active, so every
+    active transfer receives exactly ``dV`` MB over any interval.  A
+    transfer of size ``S`` admitted at virtual time ``V₀`` therefore
+    completes when ``V`` reaches its service tag ``V₀ + S`` — and
+    ``tag − V`` *is* its remaining MB at any instant.  Completions pop
+    from a heap keyed by ``(tag, seq)``: membership changes cost
+    ``O(log k)``, equal-size cohorts share a tag and drain in one
+    event, and FIFO order within a cohort comes from the seq counter.
+    """
+
+    __slots__ = ("_heap", "_ids", "_vt", "_n_active", "_last_update", "_wake_at")
+
+    def __init__(
+        self,
+        queue: EventQueue,
+        bandwidth_mb_s: float,
+        name: str = "channel",
+        request_overhead_s: float = 0.0,
+    ) -> None:
+        super().__init__(queue, bandwidth_mb_s, name, request_overhead_s)
+        # (service tag, seq, completion callback), heap-ordered.
+        self._heap: List[Tuple[float, int, Callable[[], None]]] = []
+        self._ids = itertools.count()
+        self._vt = 0.0
+        self._n_active = 0
+        self._last_update = queue.now
+        # Fire time of the single valid outstanding wake event (None
+        # when nothing is scheduled).  See _rearm.
+        self._wake_at: float | None = None
+
+    @property
+    def active_transfers(self) -> int:
+        """Number of transfers currently sharing the channel."""
+        return self._n_active
+
+    @property
+    def virtual_time_mb(self) -> float:
+        """Accumulated per-transfer service (diagnostics / tests)."""
+        return self._vt
+
+    # -- fluid-model internals ----------------------------------------------
+
+    def _admit(self, size_mb: float, on_complete: Callable[[], None]) -> None:
+        self._advance()
+        heapq.heappush(self._heap, (self._vt + size_mb, next(self._ids), on_complete))
+        self._n_active += 1
+        self._rearm()
+
+    def _advance(self) -> None:
+        """Advance the virtual clock up to the current time."""
+        now = self._queue.now
+        elapsed = now - self._last_update
+        self._last_update = now
+        if elapsed <= 0 or not self._n_active:
+            return
+        self._vt += self.bandwidth_mb_s / self._n_active * elapsed
+        self.busy_mb += self.bandwidth_mb_s * elapsed
+
+    def _rearm(self) -> None:
+        """Keep one wake event scheduled at or before the head's finish.
+
+        A wake that fires *early* (the head was pushed back by later
+        admissions) is harmless: it pops nothing and re-arms at the
+        corrected time.  So an outstanding wake only has to be replaced
+        when the head's predicted finish moves *earlier* (a small
+        transfer admitted under a long one).  Admission bursts — a wave
+        of equal map tasks — therefore schedule one wake plus one
+        correction instead of one event per admission; with the old
+        always-invalidate scheme ~85 % of fired events were stale.
+        """
+        if not self._heap:
+            self._wake_at = None
+            return
+        rate = self.bandwidth_mb_s / self._n_active
+        lead = self._heap[0][0] - self._vt
+        target = self._queue.now + (lead if lead > 0.0 else 0.0) / rate
+        wake = self._wake_at
+        if wake is not None and target >= wake:
+            return  # the outstanding wake fires first and corrects
+        self._epoch += 1
+        self._wake_at = target
+        epoch = self._epoch
+        self._queue.schedule_at(target, lambda: self._on_wake(epoch))
+
+    def _on_wake(self, epoch: int) -> None:
+        """Pop every transfer whose service tag the clock has passed."""
+        if epoch != self._epoch:
+            return  # superseded by an earlier re-arm
+        self._wake_at = None
+        self._advance()
+        finished: List[Tuple[float, int, Callable[[], None]]] = []
+        while self._heap and self._heap[0][0] <= self._vt + _EPS_MB:
+            finished.append(heapq.heappop(self._heap))
+        self._n_active -= len(finished)
+        self._rearm()
+        for _tag, _seq, on_complete in finished:
+            self.n_transfers += 1
+            on_complete()
+
+
+def SharedChannel(
+    queue: EventQueue,
+    bandwidth_mb_s: float,
+    name: str = "channel",
+    request_overhead_s: float = 0.0,
+) -> _ChannelBase:
+    """Build a shared channel with the active implementation.
+
+    The virtual-time channel is the default; ``REPRO_SIM_REFERENCE=1``
+    selects :class:`ReferenceSharedChannel` (read per construction, so
+    parity harnesses can flip it inside one process).
+    """
+    cls = ReferenceSharedChannel if use_reference_channel() else VirtualTimeSharedChannel
+    return cls(queue, bandwidth_mb_s, name=name, request_overhead_s=request_overhead_s)

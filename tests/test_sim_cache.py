@@ -1,0 +1,162 @@
+"""Simulation memo cache: key sensitivity, LRU behaviour, bit-exact hits."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.cloud.provider import CloudProvider, google_cloud_2015
+from repro.cloud.storage import Tier
+from repro.cloud.vm import ClusterSpec
+from repro.simulator.cache import (
+    SimulationCache,
+    cache_enabled,
+    catalog_digest,
+    job_sim_fingerprint,
+    simulation_cache,
+)
+from repro.simulator.engine import resolve_sim_inputs, simulate_job
+from repro.workloads.apps import PAGERANK, SORT
+from repro.workloads.spec import JobSpec
+
+
+@pytest.fixture()
+def prov():
+    return google_cloud_2015()
+
+
+@pytest.fixture()
+def cluster():
+    return ClusterSpec(n_vms=5)
+
+
+def make_job(job_id="j0", **overrides):
+    kwargs = dict(job_id=job_id, app=SORT, input_gb=20.0, n_maps=10, n_reduces=4)
+    kwargs.update(overrides)
+    return JobSpec(**kwargs)
+
+
+def fp(job, prov, cluster, input_tier=Tier.PERS_SSD, caps=None,
+       output_tier=Tier.PERS_SSD, stage_in=True, stage_out=True,
+       placement_tiers=None):
+    return job_sim_fingerprint(
+        job, input_tier, cluster, prov,
+        caps if caps is not None else {Tier.PERS_SSD: 100.0},
+        output_tier, stage_in, stage_out, placement_tiers,
+    )
+
+
+class TestKeySensitivity:
+    def test_identical_shape_different_id_share_a_key(self, prov, cluster):
+        assert fp(make_job("a"), prov, cluster) == fp(make_job("b"), prov, cluster)
+
+    @pytest.mark.parametrize("override", [
+        {"n_maps": 11},
+        {"n_reduces": 5},
+        {"input_gb": 21.0},
+        {"app": PAGERANK},
+    ])
+    def test_job_shape_changes_the_key(self, prov, cluster, override):
+        assert fp(make_job(), prov, cluster) != fp(make_job(**override), prov, cluster)
+
+    def test_simulator_inputs_change_the_key(self, prov, cluster):
+        base = fp(make_job(), prov, cluster)
+        assert fp(make_job(), prov, cluster, input_tier=Tier.PERS_HDD) != base
+        assert fp(make_job(), prov, cluster, output_tier=Tier.OBJ_STORE) != base
+        assert fp(make_job(), prov, cluster, stage_in=False) != base
+        assert fp(make_job(), prov, cluster, stage_out=False) != base
+        assert fp(make_job(), prov, cluster, caps={Tier.PERS_SSD: 200.0}) != base
+        assert fp(make_job(), prov, cluster,
+                  placement_tiers=[Tier.PERS_SSD, Tier.PERS_HDD]) != base
+        assert fp(make_job(), prov, ClusterSpec(n_vms=6)) != base
+
+    def test_channel_impl_is_part_of_the_key(self, prov, cluster, monkeypatch):
+        monkeypatch.delenv("REPRO_SIM_REFERENCE", raising=False)
+        virt = fp(make_job(), prov, cluster)
+        monkeypatch.setenv("REPRO_SIM_REFERENCE", "1")
+        assert fp(make_job(), prov, cluster) != virt
+
+
+class TestCatalogDigest:
+    def test_stable_across_equal_catalogs(self, prov):
+        assert catalog_digest(prov) == catalog_digest(google_cloud_2015())
+
+    def test_ignores_prices_and_name(self, prov):
+        repriced = CloudProvider(
+            name="someone-else",
+            services=prov.services,
+            prices=replace(prov.prices, vm_price_per_min=99.0),
+            default_vm=prov.default_vm,
+        )
+        assert catalog_digest(repriced) == catalog_digest(prov)
+
+    def test_sees_throughput_changes(self, prov):
+        ssd = prov.services[Tier.PERS_SSD]
+        faster = replace(
+            ssd, throughput=replace(ssd.throughput, cap=ssd.throughput.cap * 2)
+        )
+        tweaked = CloudProvider(
+            name=prov.name,
+            services={**dict(prov.services), Tier.PERS_SSD: faster},
+            prices=prov.prices,
+            default_vm=prov.default_vm,
+        )
+        assert catalog_digest(tweaked) != catalog_digest(prov)
+
+
+class TestLRU:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SimulationCache(capacity=0)
+
+    def test_eviction_order_and_counters(self):
+        c = SimulationCache(capacity=2)
+        c.put("a", "ra")
+        c.put("b", "rb")
+        assert c.get("a") == "ra"   # refreshes a; b is now LRU
+        c.put("c", "rc")            # evicts b
+        assert c.get("b") is None
+        assert c.get("a") == "ra"
+        assert c.get("c") == "rc"
+        assert c.stats() == {"hits": 3, "misses": 1, "evictions": 1, "size": 2}
+
+    def test_clear_keeps_counters(self):
+        c = SimulationCache(capacity=4)
+        c.put("a", 1)
+        c.get("a")
+        c.clear()
+        assert len(c) == 0
+        assert c.stats()["hits"] == 1
+
+
+class TestSimulateJobIntegration:
+    def test_hit_is_bit_exact_and_restamped(self, prov, cluster, monkeypatch):
+        monkeypatch.delenv("REPRO_SIM_REFERENCE", raising=False)
+        monkeypatch.delenv("REPRO_SIM_CACHE", raising=False)
+        cache = simulation_cache()
+        cache.clear()
+        h0, m0 = cache.hits, cache.misses
+        first = simulate_job(make_job("left"), Tier.PERS_SSD, cluster, prov)
+        second = simulate_job(make_job("right"), Tier.PERS_SSD, cluster, prov)
+        assert cache.misses == m0 + 1 and cache.hits == h0 + 1
+        assert second.job_id == "right"
+        assert second.total_s == first.total_s
+        assert replace(second, job_id=first.job_id) == first
+
+    def test_env_disables_cache(self, prov, cluster, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_CACHE", "0")
+        assert not cache_enabled()
+        cache = simulation_cache()
+        before = cache.stats()
+        uncached = simulate_job(make_job("u"), Tier.PERS_SSD, cluster, prov)
+        assert cache.stats() == before
+        # Same answer either way.
+        monkeypatch.delenv("REPRO_SIM_CACHE", raising=False)
+        cached = simulate_job(make_job("u"), Tier.PERS_SSD, cluster, prov)
+        assert cached == uncached
+
+    def test_resolve_normalizes_uniform_placement(self, prov, cluster):
+        job = make_job()
+        caps, placement, out = resolve_sim_inputs(job, Tier.PERS_SSD, cluster, prov)
+        assert placement is None
+        assert out is Tier.PERS_SSD
+        assert caps[Tier.PERS_SSD] > 0
