@@ -33,14 +33,15 @@ import json
 import os
 import sys
 import time
-from typing import Any, Dict, List, Tuple
+from typing import Dict, List, Tuple
 
-sys.path.insert(
-    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
-)
+_HERE = os.path.dirname(os.path.abspath(__file__))
+sys.path.insert(0, os.path.join(_HERE, "..", "src"))
+sys.path.insert(0, _HERE)
 
 import numpy as np
 
+from conftest import bench_environment
 from repro.cloud.provider import google_cloud_2015
 from repro.cloud.storage import Tier
 from repro.cloud.vm import ClusterSpec
@@ -172,6 +173,7 @@ def main(argv: List[str] | None = None) -> int:
         "parity_errors": failures,
         "channel_parity_rel": rel,
         "parity_rtol": PARITY_RTOL,
+        "environment": bench_environment(),
         "steps": {
             "reference_serial": {"seconds": ref_s, "sims_per_s": n_sims / ref_s},
             "virtual_serial": {"seconds": virt_s, "sims_per_s": n_sims / virt_s},

@@ -30,12 +30,13 @@ import sys
 import time
 from typing import Any, Dict, List
 
-sys.path.insert(
-    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
-)
+_HERE = os.path.dirname(os.path.abspath(__file__))
+sys.path.insert(0, os.path.join(_HERE, "..", "src"))
+sys.path.insert(0, _HERE)
 
 import numpy as np
 
+from conftest import bench_environment
 from repro.cloud.aws import aws_2015
 from repro.cloud.provider import google_cloud_2015
 from repro.cloud.vm import ClusterSpec
@@ -149,6 +150,7 @@ def main(argv: List[str] | None = None) -> int:
         "workload_seed": WORKLOAD_SEED,
         "solver_seed": SOLVER_SEED,
         "parity_failures": failures,
+        "environment": bench_environment(),
         "runs": runs,
     }
     with open(args.out, "w") as fh:

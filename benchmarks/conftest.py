@@ -10,8 +10,38 @@ in the simulator/solver hot paths are visible.
 from __future__ import annotations
 
 import os
+import platform
+import subprocess
+import sys
+from typing import Any, Dict
 
 import pytest
+
+
+def bench_environment() -> Dict[str, Any]:
+    """Environment stamp shared by every ``BENCH_*.json`` writer.
+
+    Timing numbers are meaningless without knowing what produced them;
+    each benchmark report embeds this block so results archived as CI
+    artifacts stay comparable across machines and revisions.
+    """
+    try:
+        rev = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        ).stdout.strip() or None
+    except (OSError, subprocess.SubprocessError):
+        rev = None
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "git_rev": rev,
+        "argv": list(sys.argv),
+    }
 
 
 @pytest.fixture()

@@ -40,7 +40,7 @@ from .core import (
     PlanEvaluation,
     TieringPlan,
 )
-from .profiler import ModelMatrix, build_model_matrix
+from .profiler import build_model_matrix
 from .workloads import WorkloadSpec
 
 __version__ = "1.0.0"
@@ -74,13 +74,19 @@ def plan_workload(
     use_castpp: bool = True,
     iterations: int = 3000,
     seed: int = 42,
+    backend: str = "anneal",
+    replicas: int = 8,
 ) -> PlanningOutcome:
     """Profile, solve and evaluate a workload in one call.
 
     This is the whole paper pipeline: offline profiling on the cluster
     substrate (§4.1), simulated-annealing tiering search (§4.2, with
     the §4.3 reuse enhancement when ``use_castpp``), and a reuse-aware
-    Eq. 2 evaluation of the winning plan.
+    Eq. 2 evaluation of the winning plan.  ``backend="tempering"``
+    swaps the single Metropolis chain for the parallel-tempering
+    annealer (``replicas`` coupled chains on the tensorized objective —
+    see :mod:`repro.core.tempering`), the recommended setting beyond a
+    few hundred jobs.
     """
     provider = provider or google_cloud_2015()
     cluster = ClusterSpec(n_vms=n_vms, vm=provider.default_vm)
@@ -92,6 +98,8 @@ def plan_workload(
         provider=provider,
         schedule=AnnealingSchedule(iter_max=iterations),
         seed=seed,
+        backend=backend,
+        replicas=replicas,
     )
     result = solver.solve(workload)
     evaluation = solver.evaluate(workload, result.best_state, reuse_aware=True)

@@ -141,6 +141,8 @@ def _cmd_plan(args: argparse.Namespace) -> int:
         use_castpp=not args.basic,
         iterations=args.iterations,
         seed=args.seed,
+        backend=args.backend,
+        replicas=args.replicas,
     )
     ev = outcome.evaluation
     _render_plan(
@@ -215,6 +217,8 @@ def _cmd_submit(args: argparse.Namespace) -> int:
             seed=args.seed,
             use_castpp=not args.basic,
             restarts=args.restarts,
+            backend=args.backend,
+            replicas=args.replicas,
         )
     except ConnectionRefusedError:
         print(
@@ -359,6 +363,12 @@ def _add_workload_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--iterations", type=int, default=3000,
                    help="annealer iteration budget")
     p.add_argument("--seed", type=int, default=42, help="solver RNG seed")
+    p.add_argument("--backend", default="anneal",
+                   choices=("anneal", "tempering"),
+                   help="single Metropolis chain, or parallel tempering "
+                        "(the scale backend for large workloads)")
+    p.add_argument("--replicas", type=int, default=8,
+                   help="tempering replica count (tempering backend only)")
 
 
 def _cmd_report(args: argparse.Namespace) -> int:

@@ -19,7 +19,7 @@ cites; the VM rate is the n1-standard-16 on-demand rate of the period.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Mapping
+from typing import Mapping
 
 from ..units import (
     SECONDS_PER_MINUTE,

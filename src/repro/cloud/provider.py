@@ -10,8 +10,8 @@ nothing downstream hard-codes Google numbers.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, Mapping
+from dataclasses import dataclass
+from typing import Iterable, Mapping
 
 from ..errors import CatalogError
 from .pricing import PriceBook, google_cloud_2015_pricebook

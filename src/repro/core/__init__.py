@@ -26,6 +26,8 @@ from .plan import Placement, TieringPlan
 from .regression import CapacitySpline, LinearCapacityModel, fit_runtime_model
 from .sizing import SizingPoint, best_cluster_size, sweep_cluster_sizes
 from .solver import CAPACITY_MULTIPLIERS, CastSolver
+from .tempering import TemperingOutcome, parallel_tempering
+from .tensor_eval import TensorWorkloadModel
 from .utility import PlanEvaluation, evaluate_plan, per_vm_capacity, tenant_utility
 
 __all__ = [
@@ -38,6 +40,9 @@ __all__ = [
     "CastSolver",
     "CastPlusPlus",
     "CAPACITY_MULTIPLIERS",
+    "TensorWorkloadModel",
+    "TemperingOutcome",
+    "parallel_tempering",
     "WorkflowEvaluation",
     "evaluate_workflow_plan",
     "CostBreakdown",

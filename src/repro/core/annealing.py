@@ -19,8 +19,8 @@ deadline solver all share one annealer:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Generic, Iterable, List, Optional, Tuple, TypeVar
+from dataclasses import dataclass
+from typing import Any, Callable, Generic, List, Optional, Tuple, TypeVar
 
 import numpy as np
 

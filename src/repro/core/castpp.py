@@ -21,7 +21,7 @@ DAG (§4.3), mutating jobs in DFS order.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
 import networkx as nx
 import numpy as np
@@ -29,7 +29,6 @@ import numpy as np
 from ..cloud.provider import CloudProvider
 from ..cloud.storage import Tier
 from ..cloud.vm import ClusterSpec
-from ..errors import SolverError
 from ..profiler.models import ModelMatrix
 from ..simulator.engine import cross_tier_transfer_seconds, intermediate_tier_for
 from ..workloads.spec import WorkloadSpec
@@ -40,7 +39,7 @@ from .evaluator import PlanMove
 from .perf_model import estimate_job, staging_seconds
 from .plan import Placement, TieringPlan
 from .solver import CAPACITY_MULTIPLIERS, CastSolver
-from .utility import PlanEvaluation, evaluate_plan, per_vm_capacity
+from .utility import evaluate_plan, per_vm_capacity
 
 __all__ = [
     "WorkflowEvaluation",

@@ -16,7 +16,7 @@ identically:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Mapping
+from typing import Mapping
 
 from ..cloud.provider import CloudProvider
 from ..cloud.storage import Tier

@@ -23,8 +23,8 @@ models as every other evaluation, so the §6 argument becomes a number
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
 
 from ..cloud.provider import CloudProvider
 from ..cloud.storage import Tier

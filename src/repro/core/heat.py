@@ -21,12 +21,12 @@ gets perfect knowledge of future accesses.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from ..cloud.provider import CloudProvider
 from ..cloud.storage import Tier
 from ..errors import SolverError
-from ..workloads.spec import JobSpec, ReuseLifetime, WorkloadSpec
+from ..workloads.spec import WorkloadSpec
 from .plan import Placement, TieringPlan
 
 __all__ = ["HeatScore", "heat_scores", "heat_based_plan", "DEFAULT_HEAT_LADDER"]

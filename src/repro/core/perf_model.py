@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Mapping, Optional
+from typing import Optional
 
 from ..cloud.provider import CloudProvider
 from ..cloud.storage import Tier

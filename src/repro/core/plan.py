@@ -10,13 +10,12 @@ Eq. 6 storage bill and the REG capacity-scaling lookup.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict, Iterable, Mapping, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Tuple
 
 from ..cloud.provider import CloudProvider
 from ..cloud.storage import Tier
 from ..errors import PlanError
-from ..simulator.engine import intermediate_tier_for
 from ..workloads.spec import JobSpec, WorkloadSpec
 
 __all__ = ["Placement", "TieringPlan", "job_billed_contributions"]

@@ -16,7 +16,7 @@ embarrassingly parallel in principle and deterministic in practice.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 from ..cloud.provider import CloudProvider
 from ..cloud.vm import ClusterSpec, VMType

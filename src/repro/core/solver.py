@@ -12,13 +12,14 @@ payoff justifies the bill (§3.1.2's "careful over-provisioning").
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Mapping, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Mapping, Optional, Tuple
 
 import numpy as np
 
 from ..cloud.provider import CloudProvider
 from ..cloud.storage import Tier
 from ..cloud.vm import ClusterSpec
+from ..errors import SolverError
 from ..profiler.models import ModelMatrix
 from ..workloads.spec import WorkloadSpec
 from .annealing import AnnealingResult, AnnealingSchedule, Neighbor, simulated_annealing
@@ -51,6 +52,15 @@ class CastSolver:
         several times faster).  ``False`` falls back to full
         :func:`evaluate_plan` calls — the reference path benchmarks and
         parity tests compare against.
+    backend:
+        ``"anneal"`` (default) runs Algorithm 2's single Metropolis
+        chain; ``"tempering"`` runs the parallel-tempering annealer on
+        the tensorized objective (:mod:`repro.core.tempering`) — the
+        scale backend for large workloads.  Either way the returned
+        best plan's metrics are bit-identical to re-scoring that plan
+        with :func:`evaluate_plan`.
+    replicas:
+        Tempering replica count (ignored by the ``"anneal"`` backend).
     """
 
     cluster_spec: ClusterSpec
@@ -59,9 +69,17 @@ class CastSolver:
     schedule: AnnealingSchedule = AnnealingSchedule()
     seed: int = 42
     incremental: bool = True
+    backend: str = "anneal"
+    replicas: int = 8
     #: The evaluator used by the most recent :meth:`solve` (None when
-    #: the naive path ran) — exposes cache hit/miss counters.
+    #: the naive or tempering path ran) — exposes cache hit/miss
+    #: counters.
     last_evaluator: Optional[PlanEvaluator] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    #: Run statistics of the most recent tempering :meth:`solve`
+    #: (None when another backend ran).
+    last_tempering: Optional[Dict[str, Any]] = field(
         default=None, init=False, repr=False, compare=False
     )
 
@@ -199,6 +217,17 @@ class CastSolver:
         :class:`~repro.core.evaluator.PlanEvaluator` — same utilities,
         same plans, a fraction of the work per iteration.
         """
+        if self.backend == "tempering":
+            from .tempering import solve_tempering  # late: avoids cycle
+
+            self.last_tempering = None
+            return solve_tempering(
+                self, workload, initial=initial,
+                record_trajectory=record_trajectory,
+            )
+        if self.backend != "anneal":
+            raise SolverError(f"unknown solver backend: {self.backend!r}")
+        self.last_tempering = None
         init = initial if initial is not None else self.initial_plan(workload)
         if self.incremental:
             objective: Any = self.make_evaluator(workload)
@@ -239,6 +268,8 @@ def solve_workload_request(
     iterations: int = 3000,
     seed: int = 42,
     use_castpp: bool = True,
+    backend: str = "anneal",
+    replicas: int = 8,
 ) -> Dict[str, Any]:
     """Solve one workload request end to end, primitives in, primitives out.
 
@@ -263,6 +294,8 @@ def solve_workload_request(
         use_castpp=bool(use_castpp),
         iterations=int(iterations),
         seed=int(seed),
+        backend=str(backend),
+        replicas=int(replicas),
     )
     ev = outcome.evaluation
     evaluator = outcome.solver.last_evaluator
@@ -273,6 +306,7 @@ def solve_workload_request(
         "n_vms": int(n_vms),
         "provider": provider,
         "solver": "CAST++" if use_castpp else "CAST",
+        "backend": str(backend),
         "seed": int(seed),
         "iterations": int(iterations),
         "utility": ev.utility,
@@ -281,5 +315,10 @@ def solve_workload_request(
         "cost_vm_usd": ev.cost.vm_usd,
         "cost_storage_usd": ev.cost.storage_usd,
         "evaluator": dict(evaluator.stats()) if evaluator is not None else None,
+        "tempering": (
+            dict(outcome.solver.last_tempering)
+            if outcome.solver.last_tempering is not None
+            else None
+        ),
         "plan": outcome.plan.to_dict(),
     }

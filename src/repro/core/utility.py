@@ -26,7 +26,7 @@ happens — in the reuse-aware mode.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Mapping, Optional, Tuple
+from typing import Callable, Dict, Mapping, Tuple
 
 from ..cloud.provider import CloudProvider
 from ..cloud.storage import Tier
@@ -34,7 +34,7 @@ from ..cloud.vm import ClusterSpec
 from ..errors import PlanError
 from ..profiler.models import ModelMatrix
 from ..units import seconds_to_minutes
-from ..workloads.spec import ReuseLifetime, WorkloadSpec
+from ..workloads.spec import WorkloadSpec
 from .cost import CostBreakdown, deployment_cost, holding_cost
 from .perf_model import JobEstimate, estimate_job
 from .plan import TieringPlan

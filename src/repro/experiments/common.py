@@ -17,10 +17,9 @@ from ..cloud.provider import CloudProvider, google_cloud_2015
 from ..cloud.storage import Tier
 from ..cloud.vm import ClusterSpec
 from ..core.cost import CostBreakdown, deployment_cost
-from ..core.utility import tenant_utility
 from ..profiler.models import ModelMatrix
 from ..profiler.profiler import build_model_matrix
-from ..simulator.engine import HELPER_INTERMEDIATE_GB_PER_VM, intermediate_tier_for
+from ..simulator.engine import HELPER_INTERMEDIATE_GB_PER_VM
 from ..workloads.spec import JobSpec
 
 __all__ = [

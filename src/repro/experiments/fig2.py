@@ -14,7 +14,7 @@ error is an honest interpolation error, not a trivial refit.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -23,7 +23,7 @@ from ..cloud.storage import Tier
 from ..cloud.vm import ClusterSpec
 from ..core.regression import fit_runtime_model
 from ..simulator.engine import simulate_job
-from ..workloads.apps import GREP, SORT, AppProfile
+from ..workloads.apps import GREP, SORT
 from ..workloads.spec import JobSpec
 from .common import characterization_cluster, provider
 

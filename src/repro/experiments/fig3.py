@@ -30,11 +30,9 @@ from ..cloud.vm import ClusterSpec
 from ..core.cost import holding_cost
 from ..core.utility import tenant_utility
 from ..simulator.engine import simulate_job
-from ..units import seconds_to_minutes
-from ..workloads.apps import GREP, JOIN, KMEANS, SORT, AppProfile
+from ..workloads.apps import GREP, JOIN, KMEANS, SORT
 from ..workloads.spec import JobSpec, ReuseLifetime
 from .common import characterization_cluster, fig1_capacity, provider, single_config_billed_gb
-from ..core.cost import deployment_cost
 
 __all__ = ["Fig3Cell", "Fig3Result", "run_fig3", "format_fig3"]
 

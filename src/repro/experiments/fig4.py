@@ -18,7 +18,7 @@ timescale.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Dict, List, Mapping, Optional
 
 from ..cloud.provider import CloudProvider
 from ..cloud.storage import Tier
@@ -27,7 +27,7 @@ from ..core.castpp import _workflow_billed_capacity
 from ..core.cost import deployment_cost
 from ..core.plan import Placement, TieringPlan
 from ..simulator.engine import simulate_workflow
-from ..workloads.workflow import Workflow, search_engine_workflow
+from ..workloads.workflow import search_engine_workflow
 from .common import characterization_cluster, provider
 
 __all__ = ["Fig4Plan", "run_fig4", "format_fig4", "FIG4_DEADLINE_S"]

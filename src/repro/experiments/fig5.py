@@ -18,7 +18,7 @@ all-or-nothing, job-level placement (§3.2).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from ..cloud.provider import CloudProvider
 from ..cloud.storage import Tier

@@ -21,7 +21,7 @@ roughly another 10-15 % over CAST via reuse placement.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from ..cloud.provider import CloudProvider
 from ..cloud.storage import Tier

@@ -17,7 +17,7 @@ persSSD 40 %) and the slow ones miss all.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Mapping, Optional, Sequence, Tuple
 
 from ..cloud.provider import CloudProvider
 from ..cloud.storage import Tier

@@ -15,7 +15,7 @@ measurement exactly as they would on a real cluster:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Dict, List, Mapping, Optional
 
 from ..cloud.provider import CloudProvider
 from ..cloud.storage import Tier

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import io
 import time
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, List, Tuple
 
 __all__ = ["generate_report"]
 

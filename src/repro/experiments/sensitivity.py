@@ -19,8 +19,8 @@ side is untouched, so any plan movement is purely price-driven.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace as dc_replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
 
 from ..cloud.pricing import PriceBook
 from ..cloud.provider import CloudProvider

@@ -9,7 +9,7 @@ map-task counts, the large-job bins carrying >99 % of the bytes, and
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, Tuple
 
 import numpy as np
 

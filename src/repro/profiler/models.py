@@ -11,7 +11,7 @@ Hermite spline the REG model uses (§4.2.1).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Mapping, Sequence, Tuple
+from typing import Dict, Sequence, Tuple
 
 from ..cloud.storage import Tier
 from ..core.regression import CapacitySpline

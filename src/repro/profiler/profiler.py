@@ -19,16 +19,15 @@ the observed total exactly at the calibration point.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
-from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Optional, Tuple
 
 from ..cloud.provider import CloudProvider, google_cloud_2015
 from ..cloud.storage import Tier
 from ..cloud.vm import ClusterSpec
 from ..simulator.engine import intermediate_tier_for, simulate_job
 from ..units import gb_to_mb
-from ..workloads.apps import APP_CATALOG, SPLIT_GB, AppProfile
+from ..workloads.apps import APP_CATALOG, AppProfile
 from ..workloads.spec import JobSpec
 from .models import CapacityProfile, ModelMatrix, PhaseBandwidths
 

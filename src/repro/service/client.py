@@ -38,6 +38,8 @@ def _solve_params(
     seed: int,
     use_castpp: bool,
     restarts: Optional[int],
+    backend: Optional[str] = None,
+    replicas: Optional[int] = None,
 ) -> Dict[str, Any]:
     params: Dict[str, Any] = {
         "spec": dict(spec),
@@ -49,6 +51,10 @@ def _solve_params(
     }
     if restarts is not None:
         params["restarts"] = restarts
+    if backend is not None:
+        params["backend"] = backend
+    if replicas is not None:
+        params["replicas"] = replicas
     return params
 
 
@@ -140,12 +146,21 @@ class PlannerClient:
         seed: int = 42,
         use_castpp: bool = True,
         restarts: Optional[int] = None,
+        backend: Optional[str] = None,
+        replicas: Optional[int] = None,
     ) -> Dict[str, Any]:
-        """Solve a workload; result carries ``cached`` and ``fingerprint``."""
+        """Solve a workload; result carries ``cached`` and ``fingerprint``.
+
+        ``backend="tempering"`` selects the parallel-tempering annealer
+        with ``replicas`` coupled chains (see
+        :mod:`repro.core.tempering`); both default to the server's
+        ``"anneal"`` single-chain when omitted.
+        """
         return await self._solve_result(
             "plan",
             _solve_params(
-                workload, provider, n_vms, iterations, seed, use_castpp, restarts
+                workload, provider, n_vms, iterations, seed, use_castpp, restarts,
+                backend=backend, replicas=replicas,
             ),
         )
 

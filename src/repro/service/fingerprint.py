@@ -61,6 +61,8 @@ def request_fingerprint(
     seed: int = 42,
     use_castpp: bool = True,
     restarts: int = 1,
+    backend: str = "anneal",
+    replicas: int = 8,
 ) -> str:
     """SHA-256 hex digest identifying one solve request."""
     payload = {
@@ -72,5 +74,7 @@ def request_fingerprint(
         "seed": int(seed),
         "use_castpp": bool(use_castpp),
         "restarts": int(restarts),
+        "backend": str(backend),
+        "replicas": int(replicas),
     }
     return hashlib.sha256(canonical_json(payload).encode()).hexdigest()

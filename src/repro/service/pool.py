@@ -61,7 +61,8 @@ def solve_restart(task: Mapping[str, Any]) -> Dict[str, Any]:
     """Solve one restart of one request (the picklable worker body).
 
     ``task`` is ``{"op", "spec", "provider", "n_vms", "iterations",
-    "seed", "use_castpp"}`` — all JSON primitives.
+    "seed", "use_castpp", "backend", "replicas"}`` — all JSON
+    primitives.
     """
     from ..core.castpp import solve_workflow_request
     from ..core.solver import solve_workload_request
@@ -75,6 +76,8 @@ def solve_restart(task: Mapping[str, Any]) -> Dict[str, Any]:
             iterations=task.get("iterations", 3000),
             seed=task.get("seed", 42),
             use_castpp=task.get("use_castpp", True),
+            backend=task.get("backend", "anneal"),
+            replicas=task.get("replicas", 8),
         )
     if op == "plan_workflow":
         return solve_workflow_request(

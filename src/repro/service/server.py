@@ -69,6 +69,8 @@ def _normalize_solve_params(op: str, params: Mapping[str, Any]) -> Dict[str, Any
             "iterations": int(params.get("iterations", 3000)),
             "seed": int(params.get("seed", 42)),
             "use_castpp": bool(params.get("use_castpp", True)),
+            "backend": str(params.get("backend", "anneal")),
+            "replicas": int(params.get("replicas", 8)),
             "restarts": (
                 None if params.get("restarts") is None else int(params["restarts"])
             ),
@@ -287,6 +289,8 @@ class PlannerServer:
             seed=normalized["seed"],
             use_castpp=normalized["use_castpp"],
             restarts=restarts,
+            backend=normalized["backend"],
+            replicas=normalized["replicas"],
         )
 
         cached = self.cache.get(fingerprint)

@@ -17,7 +17,6 @@ persHDD pays nothing for it.
 
 from __future__ import annotations
 
-import math
 from typing import Dict, Mapping, Optional
 
 from ..cloud.provider import CloudProvider

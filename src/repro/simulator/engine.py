@@ -24,8 +24,8 @@ transfers between dependent jobs.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import replace
+from typing import Dict, Mapping, Optional, Tuple
 
 from ..cloud.provider import CloudProvider
 from ..cloud.storage import Tier
@@ -108,11 +108,13 @@ def default_per_vm_capacity(
     return caps
 
 
-@dataclass
 class _PhaseClock:
     """Records phase boundary times as the driver advances."""
 
-    marks: Dict[str, float] = field(default_factory=dict)
+    __slots__ = ("marks",)
+
+    def __init__(self) -> None:
+        self.marks: Dict[str, float] = {}
 
     def mark(self, label: str, time: float) -> None:
         self.marks[label] = time

@@ -10,8 +10,8 @@ comparison always price identically.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Mapping, Tuple
+from dataclasses import dataclass
+from typing import Mapping, Tuple
 
 from ..cloud.storage import Tier
 

@@ -12,7 +12,7 @@ phase open (the Fig. 5 effect).
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, Dict, List, Optional, Sequence
+from typing import Callable, Deque, Dict, Optional, Sequence
 
 from ..errors import SimulationError
 from .cluster import SimCluster, SimNode
@@ -42,6 +42,11 @@ class PhaseRun:
         Optional per-task node pin (data-local map tasks); ``None``
         entries run on any node.
     """
+
+    __slots__ = (
+        "cluster", "kind", "_pending", "_pinned", "_n_total", "_n_done",
+        "_on_phase_done", "_rr_next", "_started", "_reference",
+    )
 
     def __init__(
         self,

@@ -76,6 +76,8 @@ def channel_impl_name() -> str:
 class Transfer:
     """One in-flight transfer on a reference channel."""
 
+    __slots__ = ("transfer_id", "remaining_mb", "on_complete")
+
     transfer_id: int
     remaining_mb: float
     on_complete: Callable[[], None]

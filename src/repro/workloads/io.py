@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any, Dict, List, Union
+from typing import Any, Dict, Union
 
 from ..errors import WorkloadError
 from .spec import JobSpec, ReuseLifetime, ReuseSet, WorkloadSpec

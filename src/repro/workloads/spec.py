@@ -14,9 +14,8 @@ two cross-job structures the paper §3.1.3 shows matter for placement:
 from __future__ import annotations
 
 import enum
-import math
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Mapping, Optional, Tuple
 
 from ..errors import WorkloadError
 from .apps import APP_CATALOG, AppProfile

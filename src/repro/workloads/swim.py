@@ -32,7 +32,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..errors import WorkloadError
-from .apps import APP_CATALOG, SPLIT_GB, AppProfile, GREP, JOIN, KMEANS, SORT
+from .apps import AppProfile, GREP, JOIN, KMEANS, SORT
 from .spec import JobSpec, ReuseLifetime, ReuseSet, WorkloadSpec
 
 __all__ = [

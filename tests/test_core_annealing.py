@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.annealing import AnnealingResult, AnnealingSchedule, simulated_annealing
+from repro.core.annealing import AnnealingSchedule, simulated_annealing
 from repro.errors import CastError, SolverError
 
 

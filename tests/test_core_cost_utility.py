@@ -6,7 +6,7 @@ from repro.cloud.storage import Tier
 from repro.core.cost import CostBreakdown, deployment_cost, holding_cost
 from repro.core.plan import Placement, TieringPlan
 from repro.core.utility import evaluate_plan, per_vm_capacity, tenant_utility
-from repro.workloads.apps import GREP, KMEANS, SORT
+from repro.workloads.apps import GREP, SORT
 from repro.workloads.spec import JobSpec, ReuseLifetime, ReuseSet, WorkloadSpec
 
 
@@ -96,7 +96,6 @@ class TestPerVMCapacity:
         assert pvc[Tier.PERS_SSD] == pytest.approx(agg / 10)
 
     def test_clamps_to_per_vm_limit(self, provider, char_cluster):
-        big = WorkloadSpec(jobs=(JobSpec(job_id="x", app=SORT, input_gb=10_000.0),))
         plan = TieringPlan(
             placements={"x": Placement(tier=Tier.EPH_SSD, capacity_gb=100_000.0)}
         )

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.cloud.storage import Tier
-from repro.core.dynamic import DynamicRunResult, ReactivePolicy, run_dynamic
+from repro.core.dynamic import ReactivePolicy, run_dynamic
 from repro.errors import SolverError
 from repro.workloads.apps import GREP, SORT
 from repro.workloads.spec import JobSpec, ReuseLifetime, ReuseSet, WorkloadSpec

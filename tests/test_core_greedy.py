@@ -37,7 +37,6 @@ class TestGreedyExactFit:
 
         plan = greedy_exact_fit(workload, char_cluster, matrix, provider)
         for job in workload.jobs:
-            chosen = plan.tier_of(job.job_id)
             chosen_u = _single_job_utility(
                 job, plan.placement(job.job_id), char_cluster, matrix, provider
             )

@@ -92,7 +92,6 @@ class TestFig2:
             # Paper: 100->200 GB halves the runtime (51.6% / 60.2%).
             assert series.drop_100_to_200_pct > 40.0
             # Diminishing returns: later doublings gain far less.
-            i2 = series.capacities_gb.index(200.0)
             i4 = series.capacities_gb.index(400.0)
             i8 = series.capacities_gb.index(800.0)
             later_drop = (series.observed_s[i4] - series.observed_s[i8]) / series.observed_s[i4]
@@ -126,7 +125,6 @@ class TestFig3:
 
     def test_long_lifetime_demotes_persssd_for_io_apps(self, fig3):
         # §3.1.3: persSSD's holding bill makes it unattractive long-term.
-        u_none = fig3.cell("grep", Tier.PERS_SSD, ReuseLifetime.NONE).utility_vs_ephssd
         u_long = fig3.cell("grep", Tier.PERS_SSD, ReuseLifetime.LONG).utility_vs_ephssd
         obj_long = fig3.cell("grep", Tier.OBJ_STORE, ReuseLifetime.LONG).utility_vs_ephssd
         assert obj_long > u_long

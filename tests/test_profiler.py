@@ -6,7 +6,7 @@ from repro.cloud.storage import Tier
 from repro.errors import CatalogError
 from repro.profiler.models import CapacityProfile, ModelMatrix, PhaseBandwidths
 from repro.profiler.profiler import Profiler, build_model_matrix
-from repro.workloads.apps import GREP, KMEANS, SORT
+from repro.workloads.apps import GREP, SORT
 
 
 class TestPhaseBandwidths:

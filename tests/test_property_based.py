@@ -4,15 +4,14 @@ import math
 
 import numpy as np
 import pytest
-from hypothesis import assume, given, settings
+from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.cloud.pricing import google_cloud_2015_pricebook
 from repro.cloud.scaling import ScalingCurve
-from repro.cloud.storage import GOOGLE_CLOUD_2015_SERVICES, Tier
-from repro.cloud.vm import ClusterSpec
+from repro.cloud.storage import Tier
 from repro.core.perf_model import _effective_waves
-from repro.core.regression import CapacitySpline, fit_runtime_model
+from repro.core.regression import CapacitySpline
 from repro.simulator.events import EventQueue
 from repro.simulator.storage_backend import SharedChannel
 from repro.units import seconds_to_hours_ceil

@@ -14,7 +14,7 @@ from repro.simulator.engine import (
     simulate_workload,
 )
 from repro.simulator.hdfs import BlockPlacement
-from repro.workloads.apps import GREP, JOIN, KMEANS, SORT
+from repro.workloads.apps import GREP, KMEANS, SORT
 from repro.workloads.spec import JobSpec, WorkloadSpec
 from repro.workloads.workflow import Workflow, search_engine_workflow
 

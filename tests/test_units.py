@@ -1,6 +1,5 @@
 """Unit-conversion helpers: exactness and edge cases."""
 
-import math
 
 import pytest
 

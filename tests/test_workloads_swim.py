@@ -6,7 +6,6 @@ import numpy as np
 import pytest
 
 from repro.errors import WorkloadError
-from repro.workloads.apps import GREP, JOIN, KMEANS, SORT
 from repro.workloads.spec import ReuseLifetime
 from repro.workloads.swim import (
     FACEBOOK_BINS,

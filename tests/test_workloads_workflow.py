@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import WorkloadError
-from repro.workloads.apps import GREP, SORT
+from repro.workloads.apps import SORT
 from repro.workloads.spec import JobSpec
 from repro.workloads.workflow import (
     Workflow,
