@@ -11,12 +11,26 @@ iterations/second, the speedup, and the evaluator's cache counters
 Parity is asserted, not just measured: for every configuration the two
 paths must produce the *same* best utility, the *same* best plan and
 the *same* acceptance count, or the script exits non-zero.  Timing
-never fails the run (CI boxes are noisy); parity always does.
+never fails the run (CI boxes are noisy); parity always does — with
+one deliberate exception: the observability overhead gate.
+
+``--baseline PATH`` compares this run's times against a previous
+``BENCH_solver.json`` and fails when any matching configuration got
+more than ``--gate-pct`` (default 2%) slower.  The gate only arms when
+the baseline was recorded on a matching environment (same python,
+platform, machine, CPU count) — on any other box it prints a skip
+notice and passes, preserving the timing-never-fails-CI rule across
+machines.  Run it with ``REPRO_OBS_TRACE=0`` and ``--repeat 3`` to
+check that *disabled* instrumentation stays within noise of the
+pre-instrumentation solver.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_solver_throughput.py
     PYTHONPATH=src python benchmarks/bench_solver_throughput.py --quick
+    REPRO_OBS_TRACE=0 PYTHONPATH=src python \
+        benchmarks/bench_solver_throughput.py --quick --repeat 3 \
+        --baseline BENCH_solver.json --out /tmp/bench_gate.json
 
 Writes ``BENCH_solver.json`` (override with ``--out``).
 """
@@ -108,6 +122,62 @@ def bench_one(
     }
 
 
+#: Environment fields that must match before timing comparisons mean
+#: anything (git_rev and argv legitimately differ between runs).
+_ENV_MATCH_KEYS = ("python", "implementation", "machine", "cpu_count")
+
+#: Absolute slack added on top of the percentage gate so sub-100ms
+#: configurations aren't failed by scheduler jitter.
+_GATE_ABS_SLACK_S = 0.05
+
+
+def check_overhead_gate(
+    report: Dict[str, Any], baseline: Dict[str, Any], gate_pct: float
+) -> int:
+    """Compare ``report`` against a baseline ``BENCH_solver.json`` dict.
+
+    Returns the number of gate violations.  The gate disarms (returns
+    0 with a notice) when the baseline has no environment stamp or was
+    recorded on a different machine — cross-machine timing comparisons
+    would only produce noise failures.
+    """
+    base_env = baseline.get("environment")
+    if not base_env:
+        print("overhead gate skipped: baseline has no environment stamp")
+        return 0
+    env = report["environment"]
+    mismatched = [
+        k for k in _ENV_MATCH_KEYS if base_env.get(k) != env.get(k)
+    ]
+    if mismatched:
+        print(
+            "overhead gate skipped: environment mismatch on "
+            + ", ".join(mismatched)
+        )
+        return 0
+
+    def key(run: Dict[str, Any]) -> tuple:
+        return (run["solver"], run["provider"], run["n_jobs"], run["iterations"])
+
+    base_runs = {key(r): r for r in baseline.get("runs", [])}
+    violations = 0
+    for run in report["runs"]:
+        base = base_runs.get(key(run))
+        if base is None:
+            continue
+        for field in ("naive_seconds", "incremental_seconds"):
+            limit = base[field] * (1.0 + gate_pct / 100.0) + _GATE_ABS_SLACK_S
+            ok = run[field] <= limit
+            print(
+                f"[{'ok ' if ok else 'SLOW'}] gate {run['solver']:<12} "
+                f"{field}: {run[field]:.3f}s vs baseline "
+                f"{base[field]:.3f}s (limit {limit:.3f}s)"
+            )
+            if not ok:
+                violations += 1
+    return violations
+
+
 def main(argv: List[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -117,7 +187,32 @@ def main(argv: List[str] | None = None) -> int:
     parser.add_argument(
         "--out", default="BENCH_solver.json", help="output JSON path"
     )
+    parser.add_argument(
+        "--repeat", type=int, default=1,
+        help="time each configuration N times and keep the best "
+             "(use >=3 when gating against a baseline)",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="previous BENCH_solver.json to gate against "
+             "(same-environment runs only)",
+    )
+    parser.add_argument(
+        "--gate-pct", type=float, default=2.0,
+        help="allowed slowdown vs --baseline, percent (default 2)",
+    )
     args = parser.parse_args(argv)
+
+    # Read the baseline up front: --baseline and --out may legitimately
+    # name the same file (gate against the committed report, then
+    # refresh it), so it must be in memory before the report is written.
+    baseline: Dict[str, Any] | None = None
+    if args.baseline:
+        try:
+            with open(args.baseline) as fh:
+                baseline = json.load(fh)
+        except (OSError, ValueError) as exc:
+            print(f"overhead gate skipped: cannot read {args.baseline}: {exc}")
 
     sizes = SIZES[:1] if args.quick else SIZES
     providers = [google_cloud_2015()] if args.quick else [
@@ -130,6 +225,19 @@ def main(argv: List[str] | None = None) -> int:
         for n_jobs, iter_max in sizes:
             for solver_cls in (CastSolver, CastPlusPlus):
                 run = bench_one(solver_cls, provider, n_jobs, iter_max)
+                for _ in range(max(1, args.repeat) - 1):
+                    again = bench_one(solver_cls, provider, n_jobs, iter_max)
+                    run["parity"] = run["parity"] and again["parity"]
+                    for field in ("naive_seconds", "incremental_seconds"):
+                        if again[field] < run[field]:
+                            run[field] = again[field]
+                    run["naive_iters_per_s"] = iter_max / run["naive_seconds"]
+                    run["incremental_iters_per_s"] = (
+                        iter_max / run["incremental_seconds"]
+                    )
+                    run["speedup"] = (
+                        run["naive_seconds"] / run["incremental_seconds"]
+                    )
                 runs.append(run)
                 mark = "ok " if run["parity"] else "FAIL"
                 if not run["parity"]:
@@ -149,6 +257,7 @@ def main(argv: List[str] | None = None) -> int:
         "quick": bool(args.quick),
         "workload_seed": WORKLOAD_SEED,
         "solver_seed": SOLVER_SEED,
+        "repeat": max(1, args.repeat),
         "parity_failures": failures,
         "environment": bench_environment(),
         "runs": runs,
@@ -158,8 +267,20 @@ def main(argv: List[str] | None = None) -> int:
         fh.write("\n")
     print(f"wrote {args.out} ({len(runs)} runs)")
 
+    gate_failures = 0
+    if baseline is not None:
+        gate_failures = check_overhead_gate(report, baseline, args.gate_pct)
+
     if failures:
         print(f"PARITY FAILURE in {failures} run(s)", file=sys.stderr)
+        return 1
+    if gate_failures:
+        print(
+            f"OVERHEAD GATE FAILURE in {gate_failures} measurement(s): "
+            f"disabled instrumentation must stay within "
+            f"{args.gate_pct:.1f}% of the baseline",
+            file=sys.stderr,
+        )
         return 1
     return 0
 

@@ -1,0 +1,140 @@
+#!/usr/bin/env python
+"""Observability smoke: one daemon, one solve, one metrics scrape.
+
+Boots an in-process planner daemon, submits a single ``plan`` request
+and then scrapes the ``metrics`` op, asserting the acceptance criteria
+of the observability layer end to end:
+
+* the solve response carries a ``trace_id``;
+* the trace contains the nested span chain
+  ``service.request → service.solve → pool.solve → pool.restart →
+  solver.solve`` (plus ``evaluator.baseline`` under the solver), and a
+  JSONL export of the trace round-trips;
+* the Prometheus exposition is non-empty and includes the unified
+  counter surfaces (service events, solver, plan cache, sim cache,
+  pool);
+* the legacy ``stats`` payload still carries its backward-compatible
+  counter keys.
+
+Exits non-zero on any violation.  Fast (<10 s) — wired into CI next to
+the throughput smokes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import sys
+import tempfile
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+sys.path.insert(0, os.path.join(_HERE, "..", "src"))
+
+from repro.obs.tracing import trace_collector
+from repro.service import PlannerClient, PlannerServer, SolverPool
+from repro.workloads.io import workload_to_dict
+from repro.workloads.swim import synthesize_small_workload
+
+EXPECTED_CHAIN = (
+    "service.request",
+    "service.solve",
+    "pool.solve",
+    "pool.restart",
+    "solver.solve",
+)
+
+EXPECTED_METRICS = (
+    "cast_service_requests_total",
+    "cast_service_events_total",
+    "cast_service_solve_seconds",
+    "cast_solver_solves_total",
+    "cast_solver_solve_seconds",
+    "cast_plan_cache_events_total",
+    "cast_sim_cache_events_total",
+    "cast_pool_tasks_total",
+)
+
+LEGACY_COUNTER_KEYS = {
+    "requests", "bad_requests", "dedup_joined", "solves_ok",
+    "solve_errors", "timeouts", "rejected",
+}
+
+
+async def run_smoke() -> int:
+    server = PlannerServer(pool=SolverPool(processes=0, restarts=2))
+    await server.start()
+    host, port = server.address
+    failures = []
+
+    def check(cond: bool, what: str) -> None:
+        print(f"[{'ok ' if cond else 'FAIL'}] {what}")
+        if not cond:
+            failures.append(what)
+
+    try:
+        async with PlannerClient(host, port) as client:
+            spec = workload_to_dict(synthesize_small_workload(n_jobs=5))
+            result = await client.plan(spec, n_vms=5, iterations=120, seed=3)
+
+            trace_id = result.get("trace_id")
+            check(bool(trace_id), "solve response carries a trace_id")
+
+            spans = trace_collector().records(trace_id=trace_id)
+            names = {s.name for s in spans}
+            for name in EXPECTED_CHAIN:
+                check(name in names, f"trace contains span {name!r}")
+            check("evaluator.baseline" in names,
+                  "trace contains span 'evaluator.baseline'")
+
+            by_id = {s.span_id: s for s in spans}
+            solver_spans = [s for s in spans if s.name == "solver.solve"]
+            chain = []
+            node = solver_spans[0] if solver_spans else None
+            while node is not None:
+                chain.append(node.name)
+                node = by_id.get(node.parent_id)
+            check(tuple(reversed(chain)) == EXPECTED_CHAIN,
+                  f"solver span parent chain is {' -> '.join(EXPECTED_CHAIN)}")
+
+            with tempfile.TemporaryDirectory() as tmp:
+                path = os.path.join(tmp, "trace.jsonl")
+                written = trace_collector().dump_jsonl(path, trace_id=trace_id)
+                with open(path) as fh:
+                    lines = [json.loads(line) for line in fh]
+                check(written == len(spans) and len(lines) == len(spans),
+                      f"JSONL export round-trips {len(spans)} spans")
+                check(all(r["trace_id"] == trace_id for r in lines),
+                      "exported spans all belong to the solve trace")
+
+            metrics = await client.metrics()
+            body = metrics.get("body", "")
+            check(metrics.get("format") == "prometheus" and bool(body.strip()),
+                  "metrics op returns a non-empty Prometheus payload")
+            for name in EXPECTED_METRICS:
+                check(name in body, f"exposition includes {name}")
+            check("# TYPE cast_service_solve_seconds histogram" in body,
+                  "solve-latency histogram is typed in the exposition")
+
+            stats = await client.stats()
+            check(set(stats["counters"]) == LEGACY_COUNTER_KEYS,
+                  "stats op keeps the legacy counter keys")
+            check(stats["counters"]["solves_ok"] == 1,
+                  "stats counts exactly one solve")
+    finally:
+        await server.stop()
+
+    if failures:
+        print(f"{len(failures)} observability smoke failure(s)",
+              file=sys.stderr)
+        return 1
+    print("observability smoke passed")
+    return 0
+
+
+def main() -> int:
+    return asyncio.run(run_smoke())
+
+
+if __name__ == "__main__":
+    sys.exit(main())

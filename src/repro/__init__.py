@@ -29,8 +29,9 @@ Quickstart::
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
-from typing import Optional
+from typing import Any, Optional
 
 from .cloud import ClusterSpec, CloudProvider, Tier, google_cloud_2015
 from .core import (
@@ -42,6 +43,10 @@ from .core import (
 )
 from .profiler import build_model_matrix
 from .workloads import WorkloadSpec
+
+# Library etiquette: no handler, no output, unless the application (or
+# the cast-plan CLI via repro.obs.configure_logging) attaches one.
+logging.getLogger("repro").addHandler(logging.NullHandler())
 
 __version__ = "1.0.0"
 
@@ -76,6 +81,8 @@ def plan_workload(
     seed: int = 42,
     backend: str = "anneal",
     replicas: int = 8,
+    progress: Optional[Any] = None,
+    progress_every: int = 500,
 ) -> PlanningOutcome:
     """Profile, solve and evaluate a workload in one call.
 
@@ -86,7 +93,9 @@ def plan_workload(
     swaps the single Metropolis chain for the parallel-tempering
     annealer (``replicas`` coupled chains on the tensorized objective —
     see :mod:`repro.core.tempering`), the recommended setting beyond a
-    few hundred jobs.
+    few hundred jobs.  ``progress`` receives sampled
+    :class:`repro.obs.SolverProgress` snapshots every
+    ``progress_every`` iterations (``cast-plan plan --trace-solver``).
     """
     provider = provider or google_cloud_2015()
     cluster = ClusterSpec(n_vms=n_vms, vm=provider.default_vm)
@@ -101,6 +110,6 @@ def plan_workload(
         backend=backend,
         replicas=replicas,
     )
-    result = solver.solve(workload)
+    result = solver.solve(workload, progress=progress, progress_every=progress_every)
     evaluation = solver.evaluate(workload, result.best_state, reuse_aware=True)
     return PlanningOutcome(plan=result.best_state, evaluation=evaluation, solver=solver)

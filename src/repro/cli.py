@@ -42,6 +42,7 @@ from . import plan_workload
 from .cloud import PROVIDER_FACTORIES as _PROVIDERS
 from .cloud import resolve_provider as _resolve_provider
 from .errors import CastError
+from .obs.logs import LOG_LEVELS, configure_logging
 from .workloads.io import load_json
 from .workloads.spec import WorkloadSpec
 from .workloads.swim import synthesize_facebook_workload, synthesize_small_workload
@@ -129,21 +130,36 @@ def _render_plan(
 
 
 def _cmd_plan(args: argparse.Namespace) -> int:
+    from .obs.progress import ProgressPrinter
+    from .obs.tracing import span, trace_collector
+
     try:
         workload = _resolve_workload(args)
     except CastError as exc:
         print(str(exc), file=sys.stderr)
         return 2
-    outcome = plan_workload(
-        workload,
-        n_vms=args.vms,
-        provider=_resolve_provider(args.provider),
-        use_castpp=not args.basic,
-        iterations=args.iterations,
-        seed=args.seed,
-        backend=args.backend,
-        replicas=args.replicas,
-    )
+    progress = ProgressPrinter() if args.trace_solver else None
+    with span("cli.plan", attrs={"workload": workload.name}) as sp:
+        outcome = plan_workload(
+            workload,
+            n_vms=args.vms,
+            provider=_resolve_provider(args.provider),
+            use_castpp=not args.basic,
+            iterations=args.iterations,
+            seed=args.seed,
+            backend=args.backend,
+            replicas=args.replicas,
+            progress=progress,
+        )
+    if args.trace_export:
+        written = trace_collector().dump_jsonl(
+            args.trace_export, trace_id=sp.trace_id
+        )
+        print(
+            f"wrote {written} spans (trace {sp.trace_id[:12]}) "
+            f"to {args.trace_export}",
+            file=sys.stderr,
+        )
     ev = outcome.evaluation
     _render_plan(
         "CAST" if args.basic else "CAST++",
@@ -165,6 +181,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
     from .service import PlannerServer, SolverPool
+
+    if args.trace_export:
+        from .obs.tracing import add_jsonl_sink
+
+        add_jsonl_sink(args.trace_export)
+        print(f"streaming spans to {args.trace_export}", file=sys.stderr)
 
     async def run() -> None:
         server = PlannerServer(
@@ -244,7 +266,9 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         f"solved in {result.get('solve_seconds', 0.0):.2f}s, "
         f"{result.get('restarts', 1)} restarts (best: #{result.get('best_restart', 0)})"
     )
-    print(f"served from {origin}  [{result.get('fingerprint', '')[:12]}]")
+    trace = result.get("trace_id") or ""
+    trace_part = f"  trace {trace[:12]}" if trace else ""
+    print(f"served from {origin}  [{result.get('fingerprint', '')[:12]}]{trace_part}")
     if args.show_stats:
         stats = client.stats()
         cache = stats["cache"]
@@ -351,6 +375,13 @@ def _cmd_size(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_logging_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--log-level", default="warning", choices=LOG_LEVELS,
+                   help="stderr logging threshold for the repro package")
+    p.add_argument("--log-json", action="store_true",
+                   help="emit log records as JSON lines (with trace ids)")
+
+
 def _add_workload_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--workload", default="facebook",
                    choices=("facebook", "small"),
@@ -396,10 +427,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_catalog = sub.add_parser("catalog", help="print the storage catalog")
     p_catalog.add_argument("--provider", default="google",
                            choices=sorted(_PROVIDERS))
+    _add_logging_args(p_catalog)
     p_catalog.set_defaults(func=_cmd_catalog)
 
     p_plan = sub.add_parser("plan", help="plan a workload")
     _add_workload_args(p_plan)
+    _add_logging_args(p_plan)
     p_plan.add_argument("--vms", type=int, default=25, help="cluster size")
     p_plan.add_argument("--basic", action="store_true",
                         help="use basic CAST instead of CAST++")
@@ -407,6 +440,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="print per-job placements")
     p_plan.add_argument("--out", default=None,
                         help="write the plan as JSON to this file")
+    p_plan.add_argument("--trace-solver", action="store_true",
+                        help="print sampled annealer progress to stderr")
+    p_plan.add_argument("--trace-export", default=None, metavar="PATH",
+                        help="write this run's spans as JSON lines")
     p_plan.set_defaults(func=_cmd_plan)
 
     p_serve = sub.add_parser("serve", help="run the planner daemon")
@@ -425,11 +462,15 @@ def build_parser() -> argparse.ArgumentParser:
                          help="queued solves before shedding requests")
     p_serve.add_argument("--request-timeout", type=float, default=600.0,
                          help="per-solve deadline in seconds")
+    p_serve.add_argument("--trace-export", default=None, metavar="PATH",
+                         help="stream every finished span to this JSONL file")
+    _add_logging_args(p_serve)
     p_serve.set_defaults(func=_cmd_serve)
 
     p_submit = sub.add_parser("submit",
                               help="submit a workload to a running daemon")
     _add_workload_args(p_submit)
+    _add_logging_args(p_submit)
     p_submit.add_argument("--vms", type=int, default=25, help="cluster size")
     p_submit.add_argument("--basic", action="store_true",
                           help="use basic CAST instead of CAST++")
@@ -448,6 +489,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_size = sub.add_parser("size", help="sweep cluster sizes for a workload")
     _add_workload_args(p_size)
+    _add_logging_args(p_size)
     p_size.add_argument("--sizes", default="5,10,25",
                         help="comma-separated candidate VM counts")
     p_size.set_defaults(func=_cmd_size)
@@ -458,12 +500,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="parallel simulation workers for the "
                             "measurement-heavy experiments (fig7, fig9, "
                             "sensitivity); default serial")
+    _add_logging_args(p_exp)
     p_exp.set_defaults(func=_cmd_experiment)
 
     p_rep = sub.add_parser("report", help="generate the full reproduction report")
     p_rep.add_argument("--out", default=None, help="write markdown to this file")
     p_rep.add_argument("--quick", action="store_true",
                        help="reduced solver budgets (fast smoke run)")
+    _add_logging_args(p_rep)
     p_rep.set_defaults(func=_cmd_report)
 
     return parser
@@ -480,6 +524,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     """
     parser = build_parser()
     args = parser.parse_args(argv)
+    configure_logging(
+        getattr(args, "log_level", "warning"),
+        json_format=getattr(args, "log_json", False),
+    )
     try:
         return args.func(args)
     except KeyboardInterrupt:

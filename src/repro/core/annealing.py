@@ -25,6 +25,8 @@ from typing import Any, Callable, Generic, List, Optional, Tuple, TypeVar
 import numpy as np
 
 from ..errors import SolverError
+from ..obs.progress import SolverProgress
+from ..obs.tracing import span as _span
 
 __all__ = ["AnnealingSchedule", "AnnealingResult", "Neighbor", "simulated_annealing"]
 
@@ -103,6 +105,8 @@ def simulated_annealing(
     schedule: AnnealingSchedule,
     rng: Optional[np.random.Generator] = None,
     record_trajectory: bool = False,
+    progress: Optional[Callable[[SolverProgress], None]] = None,
+    progress_every: int = 500,
 ) -> AnnealingResult[S]:
     """Maximize ``utility_fn`` over states by simulated annealing.
 
@@ -126,6 +130,11 @@ def simulated_annealing(
         ``propose(state, move)`` (utility of base + move, uncommitted)
         and ``accept()`` (promote the last proposal to base).  The
         delta path is used whenever the neighbor carries a move.
+    progress:
+        Optional sampled telemetry callback receiving a
+        :class:`~repro.obs.progress.SolverProgress` every
+        ``progress_every`` iterations.  ``None`` (the default) costs
+        the hot loop exactly one ``is not None`` check per iteration.
     """
     from ..errors import CastError
 
@@ -149,13 +158,17 @@ def simulated_annealing(
             return float("-inf")
 
     current = initial_state
-    if delta_mode:
-        try:
-            u_current = reset(current)  # type: ignore[misc]
-        except CastError:
-            u_current = float("-inf")
-    else:
-        u_current = safe_utility(current)
+    # The baseline evaluation is the annealer's only *full* objective
+    # pass — worth its own span on the solve trace (everything after
+    # runs at delta granularity and is far too hot to instrument).
+    with _span("evaluator.baseline", attrs={"delta_mode": delta_mode}):
+        if delta_mode:
+            try:
+                u_current = reset(current)  # type: ignore[misc]
+            except CastError:
+                u_current = float("-inf")
+        else:
+            u_current = safe_utility(current)
     if u_current == float("-inf"):
         raise SolverError("initial state is infeasible")
     best, u_best = current, u_current
@@ -164,7 +177,7 @@ def simulated_annealing(
     accepted = 0
     trajectory: List[float] = []
 
-    for _ in range(schedule.iter_max):
+    for it in range(schedule.iter_max):
         temp = max(temp * schedule.cooling_rate, schedule.temp_min)
         candidate = neighbor_fn(current, rng)
         if isinstance(candidate, Neighbor):
@@ -201,6 +214,16 @@ def simulated_annealing(
                     reset(neighbor)  # type: ignore[misc]
         if record_trajectory:
             trajectory.append(u_best)
+        if progress is not None and (it + 1) % progress_every == 0:
+            progress(SolverProgress(
+                backend="anneal",
+                iteration=it + 1,
+                iter_max=schedule.iter_max,
+                temperature=temp,
+                best_utility=u_best,
+                accepted=accepted,
+                proposed=it + 1,
+            ))
 
     return AnnealingResult(
         best_state=best,

@@ -20,8 +20,9 @@ DAG (§4.3), mutating jobs in DFS order.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, Sequence
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
 
 import networkx as nx
 import numpy as np
@@ -29,6 +30,7 @@ import numpy as np
 from ..cloud.provider import CloudProvider
 from ..cloud.storage import Tier
 from ..cloud.vm import ClusterSpec
+from ..obs.tracing import span as _span
 from ..profiler.models import ModelMatrix
 from ..simulator.engine import cross_tier_transfer_seconds, intermediate_tier_for
 from ..workloads.spec import WorkloadSpec
@@ -305,17 +307,29 @@ class CastPlusPlus(CastSolver):
         self,
         workflow: Workflow,
         initial: Optional[TieringPlan] = None,
+        progress: Optional[Callable[[Any], None]] = None,
+        progress_every: int = 500,
     ) -> AnnealingResult[TieringPlan]:
         """Optimize one workflow separately (the §4.3 procedure)."""
         if initial is None:
             initial = TieringPlan.uniform(workflow.as_workload(), Tier.PERS_SSD)
-        return simulated_annealing(
-            initial_state=initial,
-            utility_fn=self.workflow_objective(workflow),
-            neighbor_fn=self.workflow_neighbor(workflow),
-            schedule=self.schedule,
-            rng=np.random.default_rng(self.seed),
-        )
+        with _span(
+            "solver.solve_workflow",
+            attrs={"workflow": workflow.name, "jobs": workflow.n_jobs,
+                   "seed": self.seed},
+        ):
+            started = time.perf_counter()
+            result = simulated_annealing(
+                initial_state=initial,
+                utility_fn=self.workflow_objective(workflow),
+                neighbor_fn=self.workflow_neighbor(workflow),
+                schedule=self.schedule,
+                rng=np.random.default_rng(self.seed),
+                progress=progress,
+                progress_every=progress_every,
+            )
+            self._record_solve_metrics(result, time.perf_counter() - started)
+        return result
 
     def solve_workflows(
         self, workflows: Sequence[Workflow]

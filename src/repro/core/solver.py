@@ -11,6 +11,7 @@ payoff justifies the bill (§3.1.2's "careful over-provisioning").
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Mapping, Optional, Tuple
 
@@ -20,6 +21,9 @@ from ..cloud.provider import CloudProvider
 from ..cloud.storage import Tier
 from ..cloud.vm import ClusterSpec
 from ..errors import SolverError
+from ..obs.metrics import get_registry
+from ..obs.progress import SolverProgress
+from ..obs.tracing import span as _span
 from ..profiler.models import ModelMatrix
 from ..workloads.spec import WorkloadSpec
 from .annealing import AnnealingResult, AnnealingSchedule, Neighbor, simulated_annealing
@@ -209,14 +213,39 @@ class CastSolver:
         workload: WorkloadSpec,
         initial: Optional[TieringPlan] = None,
         record_trajectory: bool = False,
+        progress: Optional[Callable[[SolverProgress], None]] = None,
+        progress_every: int = 500,
     ) -> AnnealingResult[TieringPlan]:
         """Run Algorithm 2 and return the best plan found.
 
         With ``incremental`` (the default) the annealer evaluates
         neighbors through the delta-aware
         :class:`~repro.core.evaluator.PlanEvaluator` — same utilities,
-        same plans, a fraction of the work per iteration.
+        same plans, a fraction of the work per iteration.  ``progress``
+        receives sampled :class:`~repro.obs.progress.SolverProgress`
+        snapshots every ``progress_every`` iterations (disabled, the
+        default, costs one pointer check per iteration).
         """
+        with _span(
+            "solver.solve",
+            attrs={"backend": self.backend, "jobs": workload.n_jobs,
+                   "seed": self.seed},
+        ):
+            started = time.perf_counter()
+            result = self._solve_inner(
+                workload, initial, record_trajectory, progress, progress_every
+            )
+            self._record_solve_metrics(result, time.perf_counter() - started)
+        return result
+
+    def _solve_inner(
+        self,
+        workload: WorkloadSpec,
+        initial: Optional[TieringPlan],
+        record_trajectory: bool,
+        progress: Optional[Callable[[SolverProgress], None]],
+        progress_every: int,
+    ) -> AnnealingResult[TieringPlan]:
         if self.backend == "tempering":
             from .tempering import solve_tempering  # late: avoids cycle
 
@@ -224,6 +253,7 @@ class CastSolver:
             return solve_tempering(
                 self, workload, initial=initial,
                 record_trajectory=record_trajectory,
+                progress=progress, progress_every=progress_every,
             )
         if self.backend != "anneal":
             raise SolverError(f"unknown solver backend: {self.backend!r}")
@@ -244,7 +274,39 @@ class CastSolver:
             schedule=self.schedule,
             rng=np.random.default_rng(self.seed),
             record_trajectory=record_trajectory,
+            progress=progress,
+            progress_every=progress_every,
         )
+
+    def _record_solve_metrics(
+        self, result: AnnealingResult[TieringPlan], elapsed_s: float
+    ) -> None:
+        """Publish one solve's totals into the ambient metrics registry.
+
+        Once per solve, never per iteration: inside a thread-mode pool
+        worker the ambient registry is the server's
+        (:func:`repro.obs.metrics.use_registry`); in a process worker
+        it is the process-global one whose delta ships home with the
+        restart result.
+        """
+        reg = get_registry()
+        backend = str(self.backend)
+        reg.counter(
+            "cast_solver_solves_total", "Solver runs completed",
+            labelnames=("backend",),
+        ).inc(backend=backend)
+        reg.counter(
+            "cast_solver_iterations_total", "Annealer iterations executed",
+            labelnames=("backend",),
+        ).inc(result.iterations, backend=backend)
+        reg.counter(
+            "cast_solver_moves_accepted_total", "Moves accepted by the annealer",
+            labelnames=("backend",),
+        ).inc(result.accepted, backend=backend)
+        reg.histogram(
+            "cast_solver_solve_seconds", "Wall time of one solver run",
+            labelnames=("backend",),
+        ).observe(elapsed_s, backend=backend)
 
     def evaluate(
         self, workload: WorkloadSpec, plan: TieringPlan, reuse_aware: bool = True

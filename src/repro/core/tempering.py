@@ -53,11 +53,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..errors import SolverError
+from ..obs.progress import SolverProgress
 from ..workloads.spec import WorkloadSpec
 from .annealing import _MIN_METROPOLIS_EXPONENT, AnnealingResult, AnnealingSchedule
 from .plan import TieringPlan
@@ -121,6 +122,8 @@ def parallel_tempering(
     swap_every: int = DEFAULT_SWAP_EVERY,
     group_moves: bool = False,
     record_trajectory: bool = False,
+    progress: Optional[Callable[[SolverProgress], None]] = None,
+    progress_every: int = 500,
 ) -> TemperingOutcome:
     """Maximize the tensorized utility with M tempered replicas.
 
@@ -132,6 +135,11 @@ def parallel_tempering(
     sufficient statistics are rebuilt exactly to bound incremental
     float drift.  ``group_moves`` switches to the CAST++ kernel
     (atomic reuse-set moves).
+
+    ``progress`` samples a :class:`~repro.obs.progress.SolverProgress`
+    (with per-ladder swap stats) at the first chunk boundary past every
+    ``progress_every`` steps — telemetry never enters the per-step
+    loop, so the disabled cost is zero.
     """
     R = int(replicas)
     if R < 1:
@@ -174,6 +182,7 @@ def parallel_tempering(
     tier_arr, lvl_arr = state.tier, state.lvl
     iter_max = schedule.iter_max
     groups = model.groups
+    next_report = int(progress_every) if progress is not None else 0
 
     step = 0
     while step < iter_max:
@@ -259,6 +268,20 @@ def parallel_tempering(
                 trajectory.append(u_best)
 
         step += chunk
+        if progress is not None and (step >= next_report or step >= iter_max):
+            next_report = step + int(progress_every)
+            progress(SolverProgress(
+                backend="tempering",
+                iteration=step,
+                iter_max=iter_max,
+                temperature=temp,
+                best_utility=u_best,
+                accepted=accepted,
+                proposed=step * R,
+                replicas=R,
+                swaps_attempted=swaps_attempted,
+                swaps_accepted=swaps_accepted,
+            ))
         if step % swap_every == 0:
             rounds = step // swap_every
             if rounds % _REFRESH_ROUNDS == 0:
@@ -303,6 +326,8 @@ def solve_tempering(
     workload: WorkloadSpec,
     initial: Optional[TieringPlan] = None,
     record_trajectory: bool = False,
+    progress: Optional[Callable[[SolverProgress], None]] = None,
+    progress_every: int = 500,
 ) -> AnnealingResult[TieringPlan]:
     """Run the tempering backend for a `CastSolver`/`CastPlusPlus`.
 
@@ -332,6 +357,8 @@ def solve_tempering(
         replicas=solver.replicas,
         group_moves=solver._reuse_aware,
         record_trajectory=record_trajectory,
+        progress=progress,
+        progress_every=progress_every,
     )
     best_plan = model.decode_plan(outcome.best_tier, outcome.best_lvl)
     canonical = evaluate_plan(

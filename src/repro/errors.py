@@ -19,6 +19,7 @@ __all__ = [
     "ProtocolError",
     "ServiceBusyError",
     "ServiceTimeoutError",
+    "ObservabilityError",
 ]
 
 
@@ -69,3 +70,7 @@ class ServiceBusyError(ServiceError):
 
 class ServiceTimeoutError(ServiceError):
     """A solve exceeded the server's per-request deadline."""
+
+
+class ObservabilityError(CastError):
+    """A metrics instrument was registered or used inconsistently."""

@@ -29,6 +29,7 @@ callers that don't opt in.
 
 from __future__ import annotations
 
+import logging
 import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, replace
@@ -59,6 +60,8 @@ __all__ = [
     "simulate_job_task",
     "simulate_workflow_task",
 ]
+
+logger = logging.getLogger(__name__)
 
 #: A job-simulation request: (job, input tier, per-VM caps or None).
 JobSim = Tuple[JobSpec, Tier, Optional[Mapping[Tier, float]]]
@@ -132,6 +135,28 @@ class ExperimentRunner:
         self.tasks_deduped = 0
         self.batches = 0
 
+    def bind_metrics(self, registry: Any, key: str = "experiment_runner") -> None:
+        """Mirror runner counters into ``registry`` via a keyed collector.
+
+        Publishes ``cast_runner_tasks_total{stage=run|deduped}`` and
+        ``cast_runner_batches_total`` from the plain ints above —
+        the dispatch path stays uninstrumented.
+        """
+
+        def _mirror(reg: Any) -> None:
+            tasks = reg.counter(
+                "cast_runner_tasks_total",
+                "Simulation tasks by outcome",
+                labelnames=("stage",),
+            )
+            tasks.set_total(self.tasks_run, stage="run")
+            tasks.set_total(self.tasks_deduped, stage="deduped")
+            reg.counter(
+                "cast_runner_batches_total", "Simulation batches dispatched"
+            ).set_total(self.batches)
+
+        registry.register_collector(key, _mirror)
+
     # -- lifecycle ---------------------------------------------------------
 
     @property
@@ -169,6 +194,10 @@ class ExperimentRunner:
         self.tasks_run += len(payloads)
         if not self.parallel or len(payloads) <= 1:
             return [fn(p) for p in payloads]
+        logger.debug(
+            "dispatching batch of %d tasks to %d workers",
+            len(payloads), self.workers,
+        )
         return list(self._executor().map(fn, payloads))
 
     # -- simulation fan-out ------------------------------------------------

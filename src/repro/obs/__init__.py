@@ -1,0 +1,71 @@
+"""Unified observability layer: metrics, tracing, logging, telemetry.
+
+Three dependency-free pillars threaded through every layer of the
+stack (see ``docs/OBSERVABILITY.md``):
+
+* :mod:`repro.obs.metrics` — a thread-safe registry of
+  ``Counter``/``Gauge``/``Histogram`` instruments with labels, a
+  ``snapshot()``/``merge()`` protocol so counters collected inside
+  ``ProcessPoolExecutor`` workers roll up into the parent process, and
+  Prometheus-text / JSON exposition.
+* :mod:`repro.obs.tracing` — contextvar-propagated trace/span ids with
+  a lightweight :func:`~repro.obs.tracing.span` context manager, an
+  in-memory collector, JSONL export, and explicit context hand-off
+  across process boundaries.
+* :mod:`repro.obs.logs` — stdlib-``logging`` configuration: a
+  ``NullHandler`` on the ``repro`` root (installed by
+  ``repro/__init__``), plus :func:`~repro.obs.logs.configure_logging`
+  with an optional structured-JSON formatter that stamps the active
+  trace id onto every record.
+
+Solver progress telemetry (:mod:`repro.obs.progress`) rides on the
+same registry: the annealing backends accept a sampled progress
+callback that is **off by default** — the hot loops pay one
+``is not None`` check per iteration when disabled.
+"""
+
+from __future__ import annotations
+
+from .logs import configure_logging, json_log_record
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+    snapshot_delta,
+    use_registry,
+)
+from .progress import ProgressPrinter, SolverProgress
+from .tracing import (
+    SpanRecord,
+    add_jsonl_sink,
+    capture_spans,
+    current_context,
+    current_trace_id,
+    span,
+    trace_collector,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "set_registry",
+    "use_registry",
+    "snapshot_delta",
+    "SpanRecord",
+    "span",
+    "capture_spans",
+    "current_context",
+    "current_trace_id",
+    "trace_collector",
+    "add_jsonl_sink",
+    "configure_logging",
+    "json_log_record",
+    "SolverProgress",
+    "ProgressPrinter",
+]

@@ -1,0 +1,97 @@
+"""Stdlib-logging configuration for the ``repro`` package.
+
+The library itself only ever does ``logging.getLogger(__name__)`` and a
+``NullHandler`` on the ``repro`` root (installed by ``repro/__init__``),
+so embedding applications keep full control.  The CLI entry points call
+:func:`configure_logging` to attach a real handler — plain text or a
+structured JSON formatter that stamps the active trace id onto every
+record so log lines can be joined against span exports.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+import time
+from typing import Any, Dict, Optional
+
+from . import tracing
+
+__all__ = ["configure_logging", "json_log_record", "JsonFormatter", "LOG_LEVELS"]
+
+#: Accepted ``--log-level`` choices (case-insensitive).
+LOG_LEVELS = ("debug", "info", "warning", "error", "critical")
+
+_HANDLER_FLAG = "_repro_obs_handler"
+
+
+def json_log_record(record: logging.LogRecord) -> Dict[str, Any]:
+    """A :class:`logging.LogRecord` as a flat JSON-able dict."""
+    payload: Dict[str, Any] = {
+        "ts": round(record.created, 6),
+        "level": record.levelname,
+        "logger": record.name,
+        "message": record.getMessage(),
+    }
+    trace_id = tracing.current_trace_id()
+    if trace_id is not None:
+        payload["trace_id"] = trace_id
+    if record.exc_info and record.exc_info[0] is not None:
+        payload["exc_type"] = record.exc_info[0].__name__
+        payload["exc"] = logging.Formatter().formatException(record.exc_info)
+    return payload
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per log line, trace-id stamped when inside a span."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        return json.dumps(json_log_record(record), sort_keys=True)
+
+
+class _TextFormatter(logging.Formatter):
+    """``HH:MM:SS level logger [trace] message`` — trace part optional."""
+
+    converter = time.localtime
+
+    def format(self, record: logging.LogRecord) -> str:
+        trace_id = tracing.current_trace_id()
+        record.trace = f" [{trace_id[:8]}]" if trace_id else ""
+        return super().format(record)
+
+
+def configure_logging(
+    level: str = "warning",
+    json_format: bool = False,
+    stream: Optional[Any] = None,
+) -> logging.Handler:
+    """Attach (or replace) the CLI handler on the ``repro`` logger.
+
+    Idempotent: re-invoking swaps the previous handler installed by this
+    function instead of stacking duplicates, so tests and long-lived
+    daemons can reconfigure freely.  Returns the installed handler.
+    """
+    level_name = str(level).strip().lower()
+    if level_name not in LOG_LEVELS:
+        raise ValueError(
+            f"unknown log level {level!r}; expected one of {', '.join(LOG_LEVELS)}"
+        )
+    logger = logging.getLogger("repro")
+    for handler in list(logger.handlers):
+        if getattr(handler, _HANDLER_FLAG, False):
+            logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    setattr(handler, _HANDLER_FLAG, True)
+    if json_format:
+        handler.setFormatter(JsonFormatter())
+    else:
+        handler.setFormatter(
+            _TextFormatter(
+                "%(asctime)s %(levelname)-7s %(name)s%(trace)s %(message)s",
+                datefmt="%H:%M:%S",
+            )
+        )
+    logger.addHandler(handler)
+    logger.setLevel(getattr(logging, level_name.upper()))
+    return handler

@@ -1,0 +1,106 @@
+"""Sampled solver-progress telemetry.
+
+The annealing backends accept an optional ``progress`` callback invoked
+every ``progress_every`` iterations with a :class:`SolverProgress`
+snapshot (iteration, temperature, acceptance rate, best utility so far,
+and — for parallel tempering — per-ladder swap statistics).  The hot
+loops pay exactly one ``progress is not None`` check per iteration when
+the callback is absent, which is the default everywhere.
+
+:class:`ProgressPrinter` is the ``cast-plan plan --trace-solver``
+consumer: it prints one line per sample and keeps the rows so the final
+trajectory is inspectable programmatically.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, TextIO
+
+__all__ = ["SolverProgress", "ProgressPrinter"]
+
+
+@dataclass(frozen=True)
+class SolverProgress:
+    """One sampled snapshot of an in-flight annealing run."""
+
+    backend: str  # "annealing" | "tempering"
+    iteration: int
+    iter_max: int
+    temperature: float
+    best_utility: float
+    accepted: int
+    proposed: int
+    replicas: int = 1
+    swaps_attempted: int = 0
+    swaps_accepted: int = 0
+
+    @property
+    def acceptance_rate(self) -> float:
+        """Accepted / proposed moves so far (0.0 before any proposal)."""
+        return self.accepted / self.proposed if self.proposed else 0.0
+
+    @property
+    def swap_rate(self) -> float:
+        """Accepted / attempted replica swaps (tempering only)."""
+        return (
+            self.swaps_accepted / self.swaps_attempted
+            if self.swaps_attempted
+            else 0.0
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-able form (used by ``--trace-solver`` exports)."""
+        return {
+            "backend": self.backend,
+            "iteration": self.iteration,
+            "iter_max": self.iter_max,
+            "temperature": self.temperature,
+            "best_utility": self.best_utility,
+            "accepted": self.accepted,
+            "proposed": self.proposed,
+            "acceptance_rate": self.acceptance_rate,
+            "replicas": self.replicas,
+            "swaps_attempted": self.swaps_attempted,
+            "swaps_accepted": self.swaps_accepted,
+        }
+
+
+@dataclass
+class ProgressPrinter:
+    """Print each progress sample and retain the trajectory."""
+
+    stream: Optional[TextIO] = None
+    quiet: bool = False
+    rows: List[SolverProgress] = field(default_factory=list)
+
+    def __call__(self, progress: SolverProgress) -> None:
+        self.rows.append(progress)
+        if self.quiet:
+            return
+        out = self.stream if self.stream is not None else sys.stderr
+        swaps = (
+            f"  swaps={progress.swaps_accepted}/{progress.swaps_attempted}"
+            if progress.replicas > 1
+            else ""
+        )
+        print(
+            f"[{progress.backend}] iter {progress.iteration:>7d}/{progress.iter_max}"
+            f"  T={progress.temperature:.5f}"
+            f"  best={progress.best_utility:.6f}"
+            f"  acc={progress.acceptance_rate:.1%}{swaps}",
+            file=out,
+        )
+
+    def last(self) -> Optional[SolverProgress]:
+        """The most recent sample, or None before the first callback."""
+        return self.rows[-1] if self.rows else None
+
+    def to_json(self) -> List[dict]:
+        """All retained samples as JSON-able dicts."""
+        return [row.to_dict() for row in self.rows]
+
+
+# Typing alias for the callback parameter threaded through the solvers.
+ProgressCallback = Any

@@ -68,3 +68,30 @@ class PlanCache:
             "misses": self.misses,
             "evictions": self.evictions,
         }
+
+    def bind_metrics(self, registry: Any, key: str = "plan_cache") -> None:
+        """Mirror this cache into ``registry`` via a keyed collector.
+
+        The ints above stay the source of truth (the get/put paths are
+        untouched); the collector republishes them as
+        ``cast_plan_cache_events_total{event=...}`` plus size/capacity
+        gauges whenever the registry is snapshotted or exposed.
+        """
+
+        def _mirror(reg: Any) -> None:
+            events = reg.counter(
+                "cast_plan_cache_events_total",
+                "Plan-cache lookups by outcome",
+                labelnames=("event",),
+            )
+            events.set_total(self.hits, event="hit")
+            events.set_total(self.misses, event="miss")
+            events.set_total(self.evictions, event="eviction")
+            reg.gauge(
+                "cast_plan_cache_size", "Entries in the plan cache"
+            ).set(len(self._entries))
+            reg.gauge(
+                "cast_plan_cache_capacity", "Plan cache capacity"
+            ).set(self.capacity)
+
+        registry.register_collector(key, _mirror)

@@ -131,6 +131,17 @@ class PlannerClient:
         """Server counters (cache, pool, single-flight, limits)."""
         return dict((await self.request("stats"))["result"])
 
+    async def metrics(self, format: str = "prometheus") -> Dict[str, Any]:
+        """The server's metrics registry.
+
+        ``format="prometheus"`` → ``{"format": ..., "body": <text>}``;
+        ``format="json"`` → ``{"format": ..., "metrics": {...}}`` with
+        p50/p95/p99 per histogram series.
+        """
+        return dict(
+            (await self.request("metrics", {"format": format}))["result"]
+        )
+
     async def catalog(self, provider: str = "google") -> Dict[str, Any]:
         """The provider's storage catalog and prices."""
         return dict(
@@ -201,6 +212,10 @@ class SyncPlannerClient:
     def stats(self) -> Dict[str, Any]:
         """Server counters."""
         return self._run("stats")
+
+    def metrics(self, format: str = "prometheus") -> Dict[str, Any]:
+        """The server's metrics registry (Prometheus text or JSON)."""
+        return self._run("metrics", format=format)
 
     def catalog(self, provider: str = "google") -> Dict[str, Any]:
         """Provider catalog."""

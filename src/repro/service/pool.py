@@ -26,6 +26,8 @@ in-process servers in tests and examples.
 from __future__ import annotations
 
 import asyncio
+import logging
+import multiprocessing
 import os
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Any, Dict, List, Mapping, Optional, Tuple
@@ -33,8 +35,12 @@ from typing import Any, Dict, List, Mapping, Optional, Tuple
 import numpy as np
 
 from ..errors import ServiceError
+from ..obs import metrics as obs_metrics
+from ..obs import tracing as obs_tracing
 
 __all__ = ["DEFAULT_RESTARTS", "SolverPool", "restart_seeds", "solve_restart"]
+
+logger = logging.getLogger(__name__)
 
 #: Restart count used when a request does not ask for one.
 DEFAULT_RESTARTS = 4
@@ -57,18 +63,11 @@ def restart_seeds(seed: int, restarts: int) -> List[int]:
     return seeds
 
 
-def solve_restart(task: Mapping[str, Any]) -> Dict[str, Any]:
-    """Solve one restart of one request (the picklable worker body).
-
-    ``task`` is ``{"op", "spec", "provider", "n_vms", "iterations",
-    "seed", "use_castpp", "backend", "replicas"}`` — all JSON
-    primitives.
-    """
-    from ..core.castpp import solve_workflow_request
-    from ..core.solver import solve_workload_request
-
+def _dispatch_restart(task: Mapping[str, Any]) -> Dict[str, Any]:
     op = task.get("op")
     if op == "plan":
+        from ..core.solver import solve_workload_request
+
         return solve_workload_request(
             task["spec"],
             provider=task.get("provider", "google"),
@@ -80,6 +79,8 @@ def solve_restart(task: Mapping[str, Any]) -> Dict[str, Any]:
             replicas=task.get("replicas", 8),
         )
     if op == "plan_workflow":
+        from ..core.castpp import solve_workflow_request
+
         return solve_workflow_request(
             task["spec"],
             provider=task.get("provider", "google"),
@@ -88,6 +89,69 @@ def solve_restart(task: Mapping[str, Any]) -> Dict[str, Any]:
             seed=task.get("seed", 42),
         )
     raise ServiceError(f"pool cannot solve op {op!r}")
+
+
+def solve_restart(task: Mapping[str, Any]) -> Dict[str, Any]:
+    """Solve one restart of one request (the picklable worker body).
+
+    ``task`` is ``{"op", "spec", "provider", "n_vms", "iterations",
+    "seed", "use_castpp", "backend", "replicas"}`` — all JSON
+    primitives — plus two optional observability keys injected by
+    :class:`SolverPool`:
+
+    * ``_trace``: the parent's span context
+      (:func:`repro.obs.tracing.current_context`), so the restart span
+      nests under the pool's ``pool.solve`` even across a process
+      boundary;
+    * ``_metrics``: a live :class:`~repro.obs.metrics.MetricsRegistry`
+      — thread mode only (registries don't pickle, and don't need to:
+      threads share the parent's memory), bound as the ambient
+      registry for the restart.
+
+    In a *process* worker, metrics recorded by the solver land in that
+    worker's process-global registry; this body snapshots around the
+    solve and ships the delta (plus any spans finished inside) home in
+    ``result["obs"]`` for the pool to merge — the cross-process
+    roll-up half of the snapshot/merge protocol.
+    """
+    task = dict(task)
+    ctx = task.pop("_trace", None)
+    registry = task.pop("_metrics", None)
+    op = task.get("op")
+
+    def _run() -> Dict[str, Any]:
+        with obs_tracing.span(
+            "pool.restart",
+            attrs={"op": op, "seed": task.get("seed")},
+            context=ctx,
+        ):
+            return _dispatch_restart(task)
+
+    if registry is not None:
+        # Thread mode: record straight into the server's registry.
+        with obs_metrics.use_registry(registry):
+            return _run()
+    if multiprocessing.parent_process() is None:
+        # Direct call (tests, benchmarks): nothing to ship anywhere.
+        return _run()
+
+    # Process worker: capture what this restart did and send it home.
+    from ..simulator.cache import register_metrics as _register_sim_cache
+
+    reg = obs_metrics.get_registry()
+    _register_sim_cache(reg)
+    before = reg.snapshot()
+    with obs_tracing.capture_spans() as spans:
+        result = _run()
+    delta = obs_metrics.snapshot_delta(before, reg.snapshot())
+    obs: Dict[str, Any] = {}
+    if delta:
+        obs["metrics"] = delta
+    if spans:
+        obs["spans"] = [s.to_dict() for s in spans]
+    if obs:
+        result = dict(result, obs=obs)
+    return result
 
 
 def _select_best(results: List[Dict[str, Any]], seeds: List[int]) -> Dict[str, Any]:
@@ -138,9 +202,37 @@ class SolverPool:
             processes = max(1, min(self.restarts, os.cpu_count() or 1))
         self.processes = int(processes)
         self._executor: Optional[Executor] = None
+        self._metrics: Optional[obs_metrics.MetricsRegistry] = None
         self.tasks_started = 0
         self.tasks_completed = 0
         self.solves_completed = 0
+
+    def bind_metrics(
+        self, registry: obs_metrics.MetricsRegistry, key: str = "solver_pool"
+    ) -> None:
+        """Roll this pool's activity up into ``registry``.
+
+        Two effects: a keyed collector mirrors the pool's own plain-int
+        counters (``cast_pool_tasks_total{stage=...}``,
+        ``cast_pool_solves_total``), and future solves merge worker-side
+        metric deltas and spans into ``registry`` instead of the global
+        one (thread workers record into it directly).
+        """
+        self._metrics = registry
+
+        def _mirror(reg: obs_metrics.MetricsRegistry) -> None:
+            tasks = reg.counter(
+                "cast_pool_tasks_total",
+                "Restart tasks by lifecycle stage",
+                labelnames=("stage",),
+            )
+            tasks.set_total(self.tasks_started, stage="started")
+            tasks.set_total(self.tasks_completed, stage="completed")
+            reg.counter(
+                "cast_pool_solves_total", "Multi-start solves completed"
+            ).set_total(self.solves_completed)
+
+        registry.register_collector(key, _mirror)
 
     # -- executor lifecycle --------------------------------------------------
 
@@ -170,33 +262,72 @@ class SolverPool:
     ) -> Tuple[List[Dict[str, Any]], List[int]]:
         n = self.restarts if restarts is None else int(restarts)
         seeds = restart_seeds(int(request.get("seed", 42)), n)
-        return [dict(request, seed=s) for s in seeds], seeds
+        tasks = [dict(request, seed=s) for s in seeds]
+        ctx = obs_tracing.current_context()
+        thread_metrics = self._metrics if self.processes == 0 else None
+        for task in tasks:
+            task["_trace"] = ctx
+            if thread_metrics is not None:
+                task["_metrics"] = thread_metrics
+        return tasks, seeds
+
+    def _absorb(self, results: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+        """Merge worker-shipped ``result["obs"]`` payloads, stripping them.
+
+        Process workers attach a metrics snapshot-delta and their
+        finished spans (see :func:`solve_restart`); both are folded into
+        the bound registry (or the global one) here, in the parent.
+        Thread workers recorded directly, so they ship nothing.
+        """
+        absorbed: List[Dict[str, Any]] = []
+        for result in results:
+            obs = result.get("obs")
+            if obs is not None:
+                result = dict(result)
+                obs = result.pop("obs")
+                metrics = obs.get("metrics")
+                if metrics:
+                    (self._metrics or obs_metrics.get_registry()).merge(metrics)
+                spans = obs.get("spans")
+                if spans:
+                    obs_tracing.ingest(spans)
+            absorbed.append(result)
+        return absorbed
 
     def solve_sync(
         self, request: Mapping[str, Any], restarts: Optional[int] = None
     ) -> Dict[str, Any]:
         """Blocking multi-start solve (CLI fallback, benchmarks)."""
-        tasks, seeds = self._tasks(request, restarts)
-        self.tasks_started += len(tasks)
-        futures = [self.executor.submit(solve_restart, t) for t in tasks]
-        results = [f.result() for f in futures]
-        self.tasks_completed += len(results)
-        self.solves_completed += 1
-        return _select_best(results, seeds)
+        with obs_tracing.span(
+            "pool.solve", attrs={"op": request.get("op")}
+        ) as sp:
+            tasks, seeds = self._tasks(request, restarts)
+            sp.attrs["restarts"] = len(tasks)
+            self.tasks_started += len(tasks)
+            futures = [self.executor.submit(solve_restart, t) for t in tasks]
+            results = self._absorb([f.result() for f in futures])
+            self.tasks_completed += len(results)
+            self.solves_completed += 1
+            return _select_best(results, seeds)
 
     async def solve(
         self, request: Mapping[str, Any], restarts: Optional[int] = None
     ) -> Dict[str, Any]:
         """Async multi-start solve: restarts fan out across workers."""
         loop = asyncio.get_running_loop()
-        tasks, seeds = self._tasks(request, restarts)
-        self.tasks_started += len(tasks)
-        results = await asyncio.gather(
-            *(loop.run_in_executor(self.executor, solve_restart, t) for t in tasks)
-        )
-        self.tasks_completed += len(results)
-        self.solves_completed += 1
-        return _select_best(list(results), seeds)
+        with obs_tracing.span(
+            "pool.solve", attrs={"op": request.get("op")}
+        ) as sp:
+            tasks, seeds = self._tasks(request, restarts)
+            sp.attrs["restarts"] = len(tasks)
+            self.tasks_started += len(tasks)
+            results = await asyncio.gather(
+                *(loop.run_in_executor(self.executor, solve_restart, t) for t in tasks)
+            )
+            results = self._absorb(list(results))
+            self.tasks_completed += len(results)
+            self.solves_completed += 1
+            return _select_best(results, seeds)
 
     def stats(self) -> Dict[str, int]:
         """Counters for the ``stats`` op."""

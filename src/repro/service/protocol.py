@@ -52,8 +52,10 @@ __all__ = [
 
 PROTOCOL_VERSION = 1
 
-#: Operations the server understands.
-OPS = ("plan", "plan_workflow", "catalog", "stats", "ping")
+#: Operations the server understands.  ``metrics`` exposes the server's
+#: observability registry (Prometheus text or JSON) — see
+#: :mod:`repro.obs.metrics`.
+OPS = ("plan", "plan_workflow", "catalog", "stats", "metrics", "ping")
 
 #: Stream limit for one message — generous headroom over the largest
 #: synthetic workload (~100 jobs ≈ 10 KB) without letting one client

@@ -20,11 +20,22 @@ The server is one asyncio loop; all heavy work happens in the pool's
 worker processes, so the loop stays responsive for ``ping``/``stats``
 even while solves run.  ``stop()`` drains: no new connections, inflight
 solves finish, then the pool shuts down.
+
+Observability: every server owns a :class:`~repro.obs.metrics.MetricsRegistry`
+into which all its moving parts report — service request/event counters,
+a solve-latency histogram, the plan cache, the solver pool (including
+deltas shipped home by process workers), the simulation cache and the
+evaluator totals.  The ``metrics`` op exposes it (Prometheus text or
+JSON); the legacy ``stats`` payload is now *derived* from the registry,
+byte-compatible with the old hand-rolled dicts.  Each request runs
+inside a ``service.request`` span and every response carries its
+``trace_id``.
 """
 
 from __future__ import annotations
 
 import asyncio
+import logging
 import time
 from typing import Any, Dict, Mapping, Optional, Set, Tuple
 
@@ -36,6 +47,9 @@ from ..errors import (
     ServiceError,
     ServiceTimeoutError,
 )
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracing import current_trace_id, span
+from ..simulator.cache import register_metrics as register_sim_cache_metrics
 from .cache import PlanCache
 from .fingerprint import request_fingerprint
 from .pool import SolverPool
@@ -49,6 +63,19 @@ from .protocol import (
 )
 
 __all__ = ["PlannerServer"]
+
+logger = logging.getLogger(__name__)
+
+#: Event-counter keys, in the order the legacy ``stats`` payload listed
+#: them (after ``requests``, which is a separate unlabeled counter).
+_EVENT_KEYS = (
+    "bad_requests",
+    "dedup_joined",
+    "solves_ok",
+    "solve_errors",
+    "timeouts",
+    "rejected",
+)
 
 
 def _normalize_solve_params(op: str, params: Mapping[str, Any]) -> Dict[str, Any]:
@@ -102,6 +129,9 @@ class PlannerServer:
     solver_fn:
         Test seam: ``async (request_dict) -> result_dict`` replacing the
         pool solve.
+    registry:
+        Metrics registry to report into; each server gets its own fresh
+        one when omitted, so per-server counters always start at zero.
     """
 
     def __init__(
@@ -117,6 +147,7 @@ class PlannerServer:
         max_queue: int = 64,
         request_timeout_s: float = 600.0,
         solver_fn: Optional[Any] = None,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         if max_inflight < 1:
             raise ServiceError(f"max_inflight must be >= 1, got {max_inflight}")
@@ -138,20 +169,42 @@ class PlannerServer:
         self._inflight: Dict[str, "asyncio.Future[Dict[str, Any]]"] = {}
         self._solve_sem = asyncio.Semaphore(self.max_inflight)
         self._admitted = 0  # solves admitted but not yet finished
+        self.metrics = registry if registry is not None else MetricsRegistry()
+        self._requests_total = self.metrics.counter(
+            "cast_service_requests_total", "Request lines received"
+        )
+        self._events = self.metrics.counter(
+            "cast_service_events_total",
+            "Service lifecycle events by kind",
+            labelnames=("event",),
+        )
+        self._ops = self.metrics.counter(
+            "cast_service_ops_total", "Requests by op", labelnames=("op",)
+        )
+        self._evaluator_events = self.metrics.counter(
+            "cast_evaluator_events_total",
+            "Incremental-evaluator cache counters, summed over solves",
+            labelnames=("counter",),
+        )
+        self._solve_seconds = self.metrics.histogram(
+            "cast_service_solve_seconds",
+            "End-to-end wall time of non-cached solves",
+        )
+        self.cache.bind_metrics(self.metrics)
+        self.pool.bind_metrics(self.metrics)
+        register_sim_cache_metrics(self.metrics)
+        self._reset_stats()
+
+    def _reset_stats(self) -> None:
+        """Zero the uptime clock and every service counter.
+
+        One reset path shared by ``__init__`` and :meth:`start` (which
+        used to each stamp ``_started_at`` by hand).  Registry reset
+        clears the service-owned series; the mirrored caches/pool keep
+        their own ints and simply re-publish on the next exposition.
+        """
         self._started_at = time.monotonic()
-        self.counters: Dict[str, int] = {
-            "requests": 0,
-            "bad_requests": 0,
-            "dedup_joined": 0,
-            "solves_ok": 0,
-            "solve_errors": 0,
-            "timeouts": 0,
-            "rejected": 0,
-        }
-        self.op_counts: Dict[str, int] = {}
-        #: Incremental-evaluator cache counters, summed over every solve
-        #: this server completed (cache hits/misses, jobs skipped, ...).
-        self.evaluator_totals: Dict[str, int] = {}
+        self.metrics.reset()
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -161,7 +214,8 @@ class PlannerServer:
             self._handle_connection, self.host, self.port, limit=MAX_LINE_BYTES
         )
         self.port = self._server.sockets[0].getsockname()[1]
-        self._started_at = time.monotonic()
+        self._reset_stats()
+        logger.info("planner daemon listening on %s:%d", self.host, self.port)
 
     @property
     def address(self) -> Tuple[str, int]:
@@ -189,6 +243,7 @@ class PlannerServer:
         for writer in list(self._connections):
             writer.close()
         self.pool.shutdown(wait=True)
+        logger.info("planner daemon stopped")
 
     # -- connection handling ---------------------------------------------------
 
@@ -203,14 +258,15 @@ class PlannerServer:
                     break
                 if not line.strip():
                     continue
-                self.counters["requests"] += 1
+                self._requests_total.inc()
                 try:
                     request = parse_request(line)
                 except ProtocolError as exc:
                     # Malformed input answers a typed error on the same
                     # connection; the line framing is still intact, so
                     # the session continues.
-                    self.counters["bad_requests"] += 1
+                    self._events.inc(event="bad_requests")
+                    logger.debug("bad request line: %s", exc)
                     await send_message(writer, error_response(None, exc))
                     continue
                 response = await self._dispatch(request)
@@ -233,23 +289,36 @@ class PlannerServer:
         op = request["op"]
         req_id = request.get("id")
         params = request["params"]
-        self.op_counts[op] = self.op_counts.get(op, 0) + 1
-        try:
-            if op == "ping":
-                return ok_response(req_id, {"pong": True, "uptime_s": self.uptime_s})
-            if op == "stats":
-                return ok_response(req_id, self.stats())
-            if op == "catalog":
-                return ok_response(req_id, self._catalog(params))
-            result, cached = await self._solve_op(op, params)
-            return ok_response(req_id, result, cached=cached)
-        except asyncio.CancelledError:
-            raise
-        except CastError as exc:
-            return error_response(req_id, exc)
-        except Exception as exc:  # daemon must outlive any one request
-            self.counters["solve_errors"] += 1
-            return error_response(req_id, ServiceError(f"internal error: {exc!r}"))
+        self._ops.inc(op=op)
+        with span("service.request", attrs={"op": op}) as sp:
+            try:
+                response = await self._dispatch_inner(op, req_id, params)
+            except asyncio.CancelledError:
+                raise
+            except CastError as exc:
+                response = error_response(req_id, exc)
+            except Exception as exc:  # daemon must outlive any one request
+                self._events.inc(event="solve_errors")
+                logger.exception("internal error handling op %r", op)
+                response = error_response(
+                    req_id, ServiceError(f"internal error: {exc!r}")
+                )
+            response["trace_id"] = sp.trace_id
+            return response
+
+    async def _dispatch_inner(
+        self, op: str, req_id: Any, params: Mapping[str, Any]
+    ) -> Dict[str, Any]:
+        if op == "ping":
+            return ok_response(req_id, {"pong": True, "uptime_s": self.uptime_s})
+        if op == "stats":
+            return ok_response(req_id, self.stats())
+        if op == "metrics":
+            return ok_response(req_id, self._metrics_op(params))
+        if op == "catalog":
+            return ok_response(req_id, self._catalog(params))
+        result, cached = await self._solve_op(op, params)
+        return ok_response(req_id, result, cached=cached)
 
     # -- ops -------------------------------------------------------------------
 
@@ -275,6 +344,17 @@ class PlannerServer:
             },
         }
 
+    def _metrics_op(self, params: Mapping[str, Any]) -> Dict[str, Any]:
+        """The ``metrics`` op: the registry in Prometheus text or JSON."""
+        fmt = str(params.get("format", "prometheus")).lower()
+        if fmt == "prometheus":
+            return {"format": "prometheus", "body": self.metrics.to_prometheus()}
+        if fmt == "json":
+            return {"format": "json", "metrics": self.metrics.to_json()}
+        raise ProtocolError(
+            f"unknown metrics format {fmt!r} (expected 'prometheus' or 'json')"
+        )
+
     async def _solve_op(
         self, op: str, params: Mapping[str, Any]
     ) -> Tuple[Dict[str, Any], bool]:
@@ -295,17 +375,30 @@ class PlannerServer:
 
         cached = self.cache.get(fingerprint)
         if cached is not None:
-            return dict(cached, fingerprint=fingerprint), True
+            # Re-stamp with *this* request's trace id — the cached dict
+            # remembers the trace that originally solved it.
+            return dict(
+                cached,
+                fingerprint=fingerprint,
+                trace_id=current_trace_id(),
+            ), True
 
         leader_future = self._inflight.get(fingerprint)
         if leader_future is not None:
             # Single-flight: identical request already solving — await it.
-            self.counters["dedup_joined"] += 1
+            self._events.inc(event="dedup_joined")
             result = await asyncio.shield(leader_future)
-            return dict(result, fingerprint=fingerprint), False
+            return dict(
+                result, fingerprint=fingerprint, trace_id=current_trace_id()
+            ), False
 
         if self._admitted >= self.max_inflight + self.max_queue:
-            self.counters["rejected"] += 1
+            self._events.inc(event="rejected")
+            logger.warning(
+                "shedding %s request: %d solves admitted "
+                "(limit %d inflight + %d queued)",
+                op, self._admitted, self.max_inflight, self.max_queue,
+            )
             raise ServiceBusyError(
                 f"server at capacity ({self._admitted} solves admitted, "
                 f"limit {self.max_inflight} inflight + {self.max_queue} queued)"
@@ -319,29 +412,39 @@ class PlannerServer:
         try:
             async with self._solve_sem:
                 started = time.monotonic()
-                try:
-                    result = await asyncio.wait_for(
-                        self._run_solver(normalized, restarts),
-                        timeout=self.request_timeout_s,
-                    )
-                except asyncio.TimeoutError:
-                    self.counters["timeouts"] += 1
-                    raise ServiceTimeoutError(
-                        f"solve exceeded {self.request_timeout_s:.0f}s deadline"
-                    ) from None
+                with span(
+                    "service.solve",
+                    attrs={"op": op, "restarts": restarts},
+                ) as solve_span:
+                    try:
+                        result = await asyncio.wait_for(
+                            self._run_solver(normalized, restarts),
+                            timeout=self.request_timeout_s,
+                        )
+                    except asyncio.TimeoutError:
+                        self._events.inc(event="timeouts")
+                        logger.warning(
+                            "%s solve exceeded %.0fs deadline",
+                            op, self.request_timeout_s,
+                        )
+                        raise ServiceTimeoutError(
+                            f"solve exceeded {self.request_timeout_s:.0f}s deadline"
+                        ) from None
+            elapsed = time.monotonic() - started
             result = dict(result)
-            result["solve_seconds"] = time.monotonic() - started
-            self.counters["solves_ok"] += 1
+            result["solve_seconds"] = elapsed
+            result["trace_id"] = solve_span.trace_id
+            self._solve_seconds.observe(elapsed)
+            self._events.inc(event="solves_ok")
             ev = result.get("evaluator")
             if isinstance(ev, dict):
-                totals = self.evaluator_totals
                 for key, value in ev.items():
-                    totals[key] = totals.get(key, 0) + int(value)
+                    self._evaluator_events.inc(int(value), counter=key)
             self.cache.put(fingerprint, result)
             future.set_result(result)
         except BaseException as exc:
             if isinstance(exc, CastError):
-                self.counters["solve_errors"] += 1
+                self._events.inc(event="solve_errors")
             future.set_exception(exc)
             # The dedup waiters consume the exception; don't warn when
             # nobody else was waiting.
@@ -366,13 +469,41 @@ class PlannerServer:
         """Seconds since :meth:`start`."""
         return time.monotonic() - self._started_at
 
+    @property
+    def counters(self) -> Dict[str, int]:
+        """Legacy counters dict, derived from the metrics registry.
+
+        Same keys and ordering as the pre-registry hand-rolled dict;
+        kept as a read-only view for the ``stats`` payload and tests.
+        """
+        out = {"requests": int(self._requests_total.value())}
+        for event in _EVENT_KEYS:
+            out[event] = int(self._events.value(event=event))
+        return out
+
+    @property
+    def op_counts(self) -> Dict[str, int]:
+        """Requests per op, derived from ``cast_service_ops_total``."""
+        return {
+            labels["op"]: int(value) for labels, value in self._ops.samples()
+        }
+
+    @property
+    def evaluator_totals(self) -> Dict[str, int]:
+        """Incremental-evaluator cache counters, summed over every solve
+        this server completed (cache hits/misses, jobs skipped, ...)."""
+        return {
+            labels["counter"]: int(value)
+            for labels, value in self._evaluator_events.samples()
+        }
+
     def stats(self) -> Dict[str, Any]:
         """The ``stats`` op payload."""
         return {
             "uptime_s": self.uptime_s,
-            "requests": dict(self.op_counts),
-            "counters": dict(self.counters),
-            "evaluator": dict(self.evaluator_totals),
+            "requests": self.op_counts,
+            "counters": self.counters,
+            "evaluator": self.evaluator_totals,
             "cache": self.cache.stats(),
             "pool": self.pool.stats(),
             "inflight": len(self._inflight),

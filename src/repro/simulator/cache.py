@@ -52,6 +52,7 @@ __all__ = [
     "SimulationCache",
     "simulation_cache",
     "cache_enabled",
+    "register_metrics",
 ]
 
 #: Environment variable disabling the simulation cache ("0"/"false").
@@ -252,3 +253,30 @@ _GLOBAL_CACHE = SimulationCache()
 def simulation_cache() -> SimulationCache:
     """The process-wide simulation cache."""
     return _GLOBAL_CACHE
+
+
+def register_metrics(registry: Any, key: str = "sim_cache") -> None:
+    """Mirror the global simulation cache into a metrics registry.
+
+    Registers a keyed collector (idempotent — re-registration replaces)
+    that publishes the cache's plain-``int`` counters as
+    ``cast_sim_cache_events_total{event=...}`` plus a size gauge on
+    every snapshot/exposition.  The hot lookup path keeps its raw ints;
+    mirroring costs nothing until somebody actually reads metrics.
+    """
+
+    def _mirror(reg: Any) -> None:
+        cache = _GLOBAL_CACHE
+        events = reg.counter(
+            "cast_sim_cache_events_total",
+            "Simulation-cache lookups by outcome",
+            labelnames=("event",),
+        )
+        events.set_total(cache.hits, event="hit")
+        events.set_total(cache.misses, event="miss")
+        events.set_total(cache.evictions, event="eviction")
+        reg.gauge(
+            "cast_sim_cache_size", "Entries in the simulation cache"
+        ).set(len(cache))
+
+    registry.register_collector(key, _mirror)

@@ -1,0 +1,90 @@
+"""Logging configuration: idempotency, JSON format, trace stamping."""
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.obs.logs import JsonFormatter, configure_logging, json_log_record
+from repro.obs.tracing import span
+
+
+@pytest.fixture(autouse=True)
+def _restore_repro_logger():
+    logger = logging.getLogger("repro")
+    before_handlers = list(logger.handlers)
+    before_level = logger.level
+    yield
+    logger.handlers[:] = before_handlers
+    logger.setLevel(before_level)
+
+
+class TestConfigureLogging:
+    def test_reconfigure_replaces_instead_of_stacking(self):
+        logger = logging.getLogger("repro")
+        first = configure_logging("info")
+        second = configure_logging("debug")
+        installed = [h for h in logger.handlers if h in (first, second)]
+        assert installed == [second]
+        assert logger.level == logging.DEBUG
+
+    def test_unknown_level_raises(self):
+        with pytest.raises(ValueError):
+            configure_logging("loud")
+
+    def test_null_handler_on_package_root(self):
+        # Importing repro must not leave the package chatty: the root
+        # carries a NullHandler so embedding apps stay in control.
+        import repro  # noqa: F401
+
+        logger = logging.getLogger("repro")
+        assert any(
+            isinstance(h, logging.NullHandler) for h in logger.handlers
+        )
+
+    def test_text_format_includes_trace_id(self):
+        stream = io.StringIO()
+        configure_logging("info", stream=stream)
+        with span("traced-op") as sp:
+            logging.getLogger("repro.test").info("inside")
+        logging.getLogger("repro.test").info("outside")
+        lines = stream.getvalue().splitlines()
+        assert sp.trace_id[:8] in lines[0]
+        assert sp.trace_id[:8] not in lines[1]
+
+
+class TestJsonLogging:
+    def test_json_lines_carry_trace_id_inside_span(self):
+        stream = io.StringIO()
+        configure_logging("info", json_format=True, stream=stream)
+        with span("traced") as sp:
+            logging.getLogger("repro.test").info("hello %s", "world")
+        payload = json.loads(stream.getvalue())
+        assert payload["message"] == "hello world"
+        assert payload["level"] == "INFO"
+        assert payload["logger"] == "repro.test"
+        assert payload["trace_id"] == sp.trace_id
+
+    def test_json_record_outside_span_has_no_trace(self):
+        record = logging.LogRecord(
+            "repro.x", logging.WARNING, __file__, 1, "msg", (), None
+        )
+        payload = json_log_record(record)
+        assert "trace_id" not in payload
+        assert payload["level"] == "WARNING"
+
+    def test_exception_info_serialized(self):
+        try:
+            raise RuntimeError("boom")
+        except RuntimeError:
+            import sys
+
+            record = logging.LogRecord(
+                "repro.x", logging.ERROR, __file__, 1, "failed", (),
+                sys.exc_info(),
+            )
+        line = JsonFormatter().format(record)
+        payload = json.loads(line)
+        assert payload["exc_type"] == "RuntimeError"
+        assert "boom" in payload["exc"]

@@ -1,0 +1,126 @@
+"""Tracing: span nesting, contextvar isolation, capture and export."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.obs.tracing import (
+    SpanRecord,
+    capture_spans,
+    current_span_id,
+    current_trace_id,
+    ingest,
+    span,
+    trace_collector,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_collector():
+    trace_collector().clear()
+    yield
+    trace_collector().clear()
+
+
+class TestNesting:
+    def test_child_inherits_trace_and_parent(self):
+        with span("outer") as outer:
+            with span("inner") as inner:
+                assert inner.trace_id == outer.trace_id
+                assert inner.parent_id == outer.span_id
+        records = {s.name: s for s in trace_collector().records()}
+        assert records["inner"].parent_id == records["outer"].span_id
+        assert records["outer"].parent_id is None
+
+    def test_context_restored_after_block(self):
+        assert current_trace_id() is None
+        with span("a") as a:
+            assert current_trace_id() == a.trace_id
+            assert current_span_id() == a.span_id
+        assert current_trace_id() is None
+
+    def test_sibling_spans_share_parent(self):
+        with span("root") as root:
+            with span("s1"):
+                pass
+            with span("s2"):
+                pass
+        by_name = {s.name: s for s in trace_collector().records()}
+        assert by_name["s1"].parent_id == root.span_id
+        assert by_name["s2"].parent_id == root.span_id
+
+    def test_exception_marks_error_status(self):
+        with pytest.raises(ValueError):
+            with span("boom"):
+                raise ValueError("nope")
+        (record,) = trace_collector().records()
+        assert record.status == "error"
+        assert "ValueError" in record.attrs["error"]
+
+    def test_explicit_context_grafts_remote_parent(self):
+        ctx = {"trace_id": "t" * 32, "span_id": "p" * 16}
+        with span("remote-child", context=ctx) as sp:
+            assert sp.trace_id == ctx["trace_id"]
+            assert sp.parent_id == ctx["span_id"]
+
+
+class TestAsyncIsolation:
+    def test_interleaved_tasks_get_distinct_traces(self):
+        """Two concurrent solves must never share a trace."""
+        seen = {}
+
+        async def request(name):
+            with span("service.request", attrs={"who": name}):
+                seen[name] = current_trace_id()
+                await asyncio.sleep(0.01)  # force interleaving
+                with span("service.solve"):
+                    await asyncio.sleep(0.01)
+                    # still the same trace after suspension points
+                    assert current_trace_id() == seen[name]
+
+        async def main():
+            await asyncio.gather(request("a"), request("b"))
+
+        asyncio.run(main())
+        assert seen["a"] != seen["b"]
+        solves = [
+            s for s in trace_collector().records() if s.name == "service.solve"
+        ]
+        assert {s.trace_id for s in solves} == {seen["a"], seen["b"]}
+
+
+class TestCaptureAndIngest:
+    def test_capture_diverts_from_collector(self):
+        with capture_spans() as captured:
+            with span("inside"):
+                pass
+        assert [s.name for s in captured] == ["inside"]
+        assert trace_collector().records() == []
+
+    def test_ingest_adopts_dicts(self):
+        with capture_spans() as captured:
+            with span("worker-side", attrs={"k": 1}):
+                pass
+        ingest([s.to_dict() for s in captured])
+        (record,) = trace_collector().records()
+        assert record.name == "worker-side"
+        assert record.attrs == {"k": 1}
+        assert isinstance(record, SpanRecord)
+
+
+class TestExport:
+    def test_jsonl_round_trip_filtered_by_trace(self, tmp_path):
+        with span("keep") as keep:
+            with span("keep-child"):
+                pass
+        with span("other"):
+            pass
+        path = tmp_path / "trace.jsonl"
+        written = trace_collector().dump_jsonl(str(path), trace_id=keep.trace_id)
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert written == len(lines) == 2
+        assert {r["name"] for r in lines} == {"keep", "keep-child"}
+        assert all(r["trace_id"] == keep.trace_id for r in lines)
+        restored = [SpanRecord.from_dict(r) for r in lines]
+        assert {s.name for s in restored} == {"keep", "keep-child"}
