@@ -1,0 +1,334 @@
+#!/usr/bin/env python
+"""Fleet benchmark: shard scaling, hot-tenant tail latency, failover blip.
+
+This is the repo's first genuinely multi-core benchmark: every earlier
+solver/service number was produced inside one Python process, while
+here each shard is a separate ``cast-plan serve`` subprocess with its
+own GIL and solver pool, fronted by the consistent-hashing
+:class:`~repro.fleet.router.FleetRouter`.
+
+Three experiments:
+
+* **scaling** — a stream of unique solve requests (no cache/dedup
+  shortcuts) pushed through fleets of 1, 2 and 4 shards; reports
+  requests/sec per fleet size.  On a >= 4-core machine the 4-shard
+  fleet must beat the 1-shard fleet by ``MIN_SPEEDUP_4X``; on smaller
+  machines (CI runners included) the ratio is recorded but not gated —
+  shards multiplex the same cores there, so the number is meaningless.
+* **hot tenant** — one saturating tenant floods the router while a
+  light tenant submits occasionally; reports the light tenant's
+  p50/p99 under weighted fair queueing.  Gated on *completion* (the
+  light tenant is never shed or starved), not on timing.
+* **failover** — a request stream with client retries enabled; one of
+  two shards is hard-killed mid-stream.  Gated: every request completes
+  with zero errors (the acceptance criterion), and the blip (max
+  latency around the kill) is reported.
+
+Correctness gates always assert; timing gates never fail on an
+undersized machine.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_fleet.py
+    PYTHONPATH=src python benchmarks/bench_fleet.py --quick
+
+Writes ``BENCH_fleet.json`` (override with ``--out``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import sys
+import time
+from typing import Any, Dict, List
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+sys.path.insert(0, os.path.join(_HERE, "..", "src"))
+sys.path.insert(0, _HERE)
+
+from conftest import bench_environment
+from repro.fleet import FleetRouter, FleetSupervisor
+from repro.service import PlannerClient
+from repro.workloads.io import workload_to_dict
+from repro.workloads.swim import synthesize_small_workload
+
+SHARD_COUNTS = (1, 2, 4)
+MIN_SPEEDUP_4X = 1.8      # gated only when the machine has >= 4 cores
+ITERATIONS = 60           # per-solve budget: the *fleet* is under test
+N_JOBS = 6
+RESTARTS = 2
+
+
+def _spec():
+    return workload_to_dict(synthesize_small_workload(n_jobs=N_JOBS))
+
+
+def _percentile(values: List[float], q: float) -> float:
+    ordered = sorted(values)
+    idx = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[idx]
+
+
+async def _fleet_up(shards: int, **router_kwargs):
+    router = FleetRouter(
+        health_interval_s=0.5, default_restarts=RESTARTS, **router_kwargs
+    )
+    await router.start()
+    serve_task = asyncio.create_task(router.serve_forever())
+    supervisor = FleetSupervisor(
+        router, shards=shards, restarts=RESTARTS,
+        pool_processes=1, max_inflight=4, check_interval_s=0.2,
+    )
+    try:
+        await supervisor.start()
+    except BaseException:
+        serve_task.cancel()
+        await asyncio.gather(serve_task, return_exceptions=True)
+        await router.stop()
+        raise
+    return router, supervisor, serve_task
+
+
+async def _fleet_down(router, supervisor, serve_task) -> None:
+    await supervisor.stop()
+    serve_task.cancel()
+    await asyncio.gather(serve_task, return_exceptions=True)
+    await router.stop()
+
+
+async def _drive_unique(
+    address, n_requests: int, concurrency: int,
+    *, seed_base: int = 0, tenant: str | None = None, retries: int = 0,
+) -> List[float]:
+    """Push ``n_requests`` distinct solves; returns per-request latencies."""
+    spec = _spec()
+    sem = asyncio.Semaphore(concurrency)
+    latencies: List[float] = []
+
+    async def one(i: int) -> None:
+        async with sem:
+            async with PlannerClient(*address, retries=retries) as client:
+                t0 = time.perf_counter()
+                result = await client.plan(
+                    spec, n_vms=5, iterations=ITERATIONS,
+                    seed=seed_base + i, tenant=tenant,
+                )
+                latencies.append(time.perf_counter() - t0)
+                assert result["kind"] == "plan", result
+
+    await asyncio.gather(*(one(i) for i in range(n_requests)))
+    return latencies
+
+
+# -- experiment 1: throughput vs shard count --------------------------------
+
+def run_scaling(n_requests: int) -> Dict[str, Any]:
+    rows = []
+    for shards in SHARD_COUNTS:
+        async def scenario(shards=shards):
+            router, supervisor, serve_task = await _fleet_up(shards)
+            try:
+                # Warm the shard pools so spawn cost stays out of the
+                # measured window.
+                await _drive_unique(
+                    router.address, shards, shards, seed_base=10_000
+                )
+                t0 = time.perf_counter()
+                latencies = await _drive_unique(
+                    router.address, n_requests, concurrency=2 * shards
+                )
+                elapsed = time.perf_counter() - t0
+                routed = router.stats()["routed"]
+            finally:
+                await _fleet_down(router, supervisor, serve_task)
+            return elapsed, latencies, routed
+
+        elapsed, latencies, routed = asyncio.run(scenario())
+        rows.append(
+            {
+                "shards": shards,
+                "requests": n_requests,
+                "elapsed_s": elapsed,
+                "rps": n_requests / elapsed,
+                "p50_s": _percentile(latencies, 0.50),
+                "p95_s": _percentile(latencies, 0.95),
+                "routed": routed,
+            }
+        )
+        print(
+            f"  {shards} shard(s): {rows[-1]['rps']:.1f} req/s  "
+            f"p50 {rows[-1]['p50_s'] * 1e3:.0f} ms  "
+            f"routed {routed}"
+        )
+    by_shards = {row["shards"]: row["rps"] for row in rows}
+    speedup = by_shards[4] / by_shards[1]
+    cores = os.cpu_count() or 1
+    gated = cores >= 4
+    print(
+        f"  4-shard speedup over 1: {speedup:.2f}x "
+        f"({'gated >= %.1fx' % MIN_SPEEDUP_4X if gated else 'not gated: %d core(s)' % cores})"
+    )
+    if gated and speedup < MIN_SPEEDUP_4X:
+        raise SystemExit(
+            f"FAIL: 4-shard fleet only {speedup:.2f}x over 1 shard "
+            f"on a {cores}-core machine (need >= {MIN_SPEEDUP_4X}x)"
+        )
+    return {"rows": rows, "speedup_4x": speedup, "speedup_gated": gated}
+
+
+# -- experiment 2: light tenant under a saturating one ----------------------
+
+def run_hot_tenant(hog_requests: int, light_requests: int) -> Dict[str, Any]:
+    async def scenario():
+        router, supervisor, serve_task = await _fleet_up(
+            2, max_inflight=2, tenant_weights={"light": 1.0, "hog": 1.0}
+        )
+        try:
+            hog = asyncio.create_task(
+                _drive_unique(
+                    router.address, hog_requests, concurrency=8,
+                    seed_base=0, tenant="hog",
+                )
+            )
+            await asyncio.sleep(0.2)  # let the hog saturate first
+            light_latencies = await _drive_unique(
+                router.address, light_requests, concurrency=1,
+                seed_base=50_000, tenant="light",
+            )
+            await hog
+            tenancy = router.stats()["tenancy"]
+        finally:
+            await _fleet_down(router, supervisor, serve_task)
+        return light_latencies, tenancy
+
+    light_latencies, tenancy = asyncio.run(scenario())
+    report = {
+        "hog_requests": hog_requests,
+        "light_requests": light_requests,
+        "light_completed": len(light_latencies),
+        "light_p50_s": _percentile(light_latencies, 0.50),
+        "light_p99_s": _percentile(light_latencies, 0.99),
+        "admitted": tenancy["admitted"],
+        "shed": tenancy["shed"],
+    }
+    print(
+        f"  light tenant under hog: p50 {report['light_p50_s'] * 1e3:.0f} ms  "
+        f"p99 {report['light_p99_s'] * 1e3:.0f} ms  "
+        f"({report['light_completed']}/{light_requests} completed, "
+        f"{report['shed']} shed fleet-wide)"
+    )
+    if report["light_completed"] != light_requests:
+        raise SystemExit("FAIL: the light tenant lost requests under WFQ")
+    return report
+
+
+# -- experiment 3: failover blip --------------------------------------------
+
+def run_failover(n_requests: int) -> Dict[str, Any]:
+    async def scenario():
+        router, supervisor, serve_task = await _fleet_up(2)
+        try:
+            spec = _spec()
+            latencies: List[float] = []
+            errors: List[str] = []
+            kill_at = n_requests // 3
+
+            async def crash_silently(shard_id: str) -> None:
+                # Kill the shard's process group *without* telling the
+                # router (unlike kill_shard, which marks it down
+                # proactively): the router discovers the death the hard
+                # way — a transport failure on the next forward, or a
+                # failed health probe, whichever wins the race.  That
+                # discovery cost is the blip this experiment measures.
+                from repro.fleet.supervisor import _kill_group
+
+                for shard in supervisor.shards:
+                    if shard.shard_id == shard_id:
+                        shard.detached = True
+                        _kill_group(shard.process)
+                        await shard.process.wait()
+
+            async with PlannerClient(*router.address, retries=3) as client:
+                for i in range(n_requests):
+                    if i == kill_at:
+                        await crash_silently("shard-0")
+                    t0 = time.perf_counter()
+                    try:
+                        result = await client.plan(
+                            spec, n_vms=5, iterations=ITERATIONS, seed=i
+                        )
+                        assert result["kind"] == "plan"
+                    except Exception as exc:  # gate: must stay empty
+                        errors.append(repr(exc))
+                    latencies.append(time.perf_counter() - t0)
+            counters = dict(router.counters)
+        finally:
+            await _fleet_down(router, supervisor, serve_task)
+        return latencies, errors, counters, kill_at
+
+    latencies, errors, counters, kill_at = asyncio.run(scenario())
+    blip_window = latencies[kill_at:kill_at + 4]
+    steady = latencies[:kill_at] + latencies[kill_at + 4:]
+    report = {
+        "requests": len(latencies),
+        "kill_at": kill_at,
+        "errors": errors,
+        "failovers": counters.get("failovers", 0),
+        "shard_down_events": counters.get("shard_down", 0),
+        "steady_p50_s": _percentile(steady, 0.50),
+        "blip_max_s": max(blip_window),
+    }
+    print(
+        f"  failover: {report['requests']} requests, "
+        f"{len(errors)} errors, {report['failovers']} failover(s), "
+        f"blip {report['blip_max_s'] * 1e3:.0f} ms vs "
+        f"steady p50 {report['steady_p50_s'] * 1e3:.0f} ms"
+    )
+    if errors:
+        raise SystemExit(f"FAIL: {len(errors)} requests errored across the kill: "
+                         f"{errors[:3]}")
+    return report
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="smaller request counts (CI smoke)",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_fleet.json", help="output JSON path"
+    )
+    args = parser.parse_args()
+
+    scale_requests = 8 if args.quick else 24
+    hog_requests = 8 if args.quick else 24
+    light_requests = 4 if args.quick else 8
+    failover_requests = 9 if args.quick else 24
+
+    print(f"fleet scaling ({scale_requests} unique solves per fleet size):")
+    scaling = run_scaling(scale_requests)
+    print("hot tenant:")
+    hot = run_hot_tenant(hog_requests, light_requests)
+    print("failover:")
+    failover = run_failover(failover_requests)
+
+    report = {
+        "benchmark": "fleet",
+        "quick": bool(args.quick),
+        "iterations_per_solve": ITERATIONS,
+        "environment": bench_environment(),
+        "scaling": scaling,
+        "hot_tenant": hot,
+        "failover": failover,
+    }
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2)
+    print(f"wrote {args.out}")
+
+
+if __name__ == "__main__":
+    main()

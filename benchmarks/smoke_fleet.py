@@ -1,0 +1,127 @@
+#!/usr/bin/env python
+"""Fleet smoke: router + 2 shard subprocesses, solve, kill one, survive.
+
+The CI end-to-end check for the fleet tier, asserting the acceptance
+criteria in order:
+
+1. a 2-shard fleet boots (supervisor spawns real ``cast-plan serve``
+   processes, each registers with the router);
+2. a solve routed through the fleet returns a valid plan carrying the
+   serving shard's id, and a repeat is served by the router L1 cache;
+3. one shard is hard-killed (process group and all); a fresh solve
+   with client retries enabled still succeeds via the survivor —
+   zero request errors across the kill;
+4. the fleet-wide metrics scrape afterwards reflects exactly the
+   router plus the surviving shard, and its per-tenant counter
+   carries the tenant label;
+5. teardown drains cleanly: every remaining shard exits 0 on SIGTERM.
+
+Exits non-zero on any violation.  Wired into CI next to the
+observability smoke.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import sys
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+sys.path.insert(0, os.path.join(_HERE, "..", "src"))
+
+from repro.fleet import FleetRouter, FleetSupervisor
+from repro.service import PlannerClient
+from repro.workloads.io import workload_to_dict
+from repro.workloads.swim import synthesize_small_workload
+
+
+def check(condition: bool, message: str) -> None:
+    if not condition:
+        print(f"SMOKE FAIL: {message}", file=sys.stderr)
+        sys.exit(1)
+    print(f"  ok: {message}")
+
+
+async def main() -> None:
+    spec = workload_to_dict(synthesize_small_workload(n_jobs=4))
+
+    router = FleetRouter(health_interval_s=0.5, default_restarts=2)
+    await router.start()
+    serve_task = asyncio.create_task(router.serve_forever())
+    supervisor = FleetSupervisor(
+        router, shards=2, restarts=2, pool_processes=1, auto_restart=False
+    )
+
+    print("fleet smoke: spawning 2 shards...")
+    try:
+        await supervisor.start()
+        check(
+            sorted(router.healthy_shards) == ["shard-0", "shard-1"],
+            "both shards registered and healthy",
+        )
+
+        async with PlannerClient(*router.address, retries=2) as client:
+            first = await client.plan(
+                spec, n_vms=5, iterations=40, seed=1, tenant="smoke"
+            )
+            check(first["kind"] == "plan", "fleet solve returns a plan")
+            check(
+                first["shard"] in ("shard-0", "shard-1"),
+                f"result stamped with serving shard ({first['shard']})",
+            )
+
+            repeat = await client.plan(
+                spec, n_vms=5, iterations=40, seed=1, tenant="smoke"
+            )
+            check(repeat["cached"] is True, "repeat served by the router L1 cache")
+            check(repeat["plan"] == first["plan"], "cached plan identical")
+
+            await supervisor.kill_shard("shard-0", respawn=False)
+            check(
+                router.healthy_shards == ["shard-1"],
+                "killed shard left the ring",
+            )
+
+            # Fresh request (different seed — no cache help): must
+            # complete with zero errors whatever shard it hashes to.
+            second = await client.plan(
+                spec, n_vms=5, iterations=40, seed=2, tenant="smoke"
+            )
+            check(
+                second["kind"] == "plan" and second["shard"] == "shard-1",
+                "post-kill solve served by the survivor",
+            )
+
+            scraped = await client.metrics(format="json", scope="fleet")
+            shards = set()
+            for entry in scraped["metrics"].values():
+                for sample in entry["values"]:
+                    shards.add(sample["labels"].get("shard"))
+            check(
+                shards == {"router", "shard-1"},
+                f"fleet scrape reflects survivor only ({sorted(shards)})",
+            )
+            tenant_entry = scraped["metrics"].get(
+                "cast_fleet_tenant_requests_total", {"values": []}
+            )
+            tenants = {
+                sample["labels"].get("tenant")
+                for sample in tenant_entry["values"]
+            }
+            check("smoke" in tenants, "per-tenant counter in the fleet scrape")
+    finally:
+        await supervisor.stop()
+        serve_task.cancel()
+        await asyncio.gather(serve_task, return_exceptions=True)
+        await router.stop()
+
+    survivor = supervisor.shards[1]
+    check(
+        survivor.process is not None and survivor.process.returncode == 0,
+        "surviving shard drained and exited 0 on SIGTERM",
+    )
+    print("fleet smoke: OK")
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

@@ -9,11 +9,17 @@ Subcommands
 ``serve``
     Run the planner daemon: an asyncio TCP service with a plan cache,
     single-flight dedup and a multi-start solver pool
-    (:mod:`repro.service`).  Stop with Ctrl-C.
+    (:mod:`repro.service`).  Stop with Ctrl-C (or SIGTERM — both drain
+    inflight solves and exit cleanly).
+``fleet``
+    Run a sharded planner fleet: a consistent-hashing router plus N
+    shard subprocesses with health-checked failover and per-tenant
+    fair queueing (:mod:`repro.fleet`).  Speaks the same protocol as
+    ``serve``, so ``submit`` works against either.
 ``submit``
-    Send a workload to a running daemon and print the plan exactly as
-    ``plan`` would; repeated submissions of the same workload are
-    answered from the server's cache.
+    Send a workload to a running daemon (or fleet router) and print
+    the plan exactly as ``plan`` would; repeated submissions of the
+    same workload are answered from the server's cache.
 ``experiment``
     Regenerate one of the paper's tables/figures or an ablation
     (``table1 table2 table4 fig1 fig2 fig3 fig4 fig5 fig7 fig8 fig9
@@ -177,6 +183,26 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     return 0
 
 
+def _install_sigterm_drain(stop_event) -> None:
+    """Make SIGTERM behave like Ctrl-C for the serve/fleet loops.
+
+    Supervised daemons (the fleet supervisor, systemd, containers) stop
+    children with SIGTERM; without a handler Python dies mid-solve with
+    a traceback and a non-zero exit.  Setting ``stop_event`` lets the
+    accept loop drain inflight work, close the socket, and exit 0.
+    No-op on loops/platforms without signal-handler support.
+    """
+    import asyncio
+    import signal
+
+    try:
+        asyncio.get_running_loop().add_signal_handler(
+            signal.SIGTERM, stop_event.set
+        )
+    except (NotImplementedError, RuntimeError):  # pragma: no cover - win/nested
+        pass
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
@@ -206,14 +232,104 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"cache={server.cache.capacity}) — Ctrl-C to stop",
             flush=True,
         )
+        sigterm = asyncio.Event()
+        _install_sigterm_drain(sigterm)
+        serve_task = asyncio.create_task(server.serve_forever())
+        sigterm_task = asyncio.create_task(sigterm.wait())
         try:
-            # Ctrl-C cancels this task (asyncio.run's SIGINT handler);
+            # Ctrl-C cancels this wait (asyncio.run's SIGINT handler);
             # the cancellation must propagate after the drain so
             # asyncio.run re-raises KeyboardInterrupt and main() can
-            # exit 130.
-            await server.serve_forever()
+            # exit 130.  SIGTERM resolves the event instead: drain and
+            # return 0 (supervised shards must die cleanly).
+            await asyncio.wait(
+                {serve_task, sigterm_task},
+                return_when=asyncio.FIRST_COMPLETED,
+            )
         finally:
+            for task in (serve_task, sigterm_task):
+                task.cancel()
+            await asyncio.gather(serve_task, sigterm_task, return_exceptions=True)
             await server.stop()
+
+    asyncio.run(run())
+    return 0
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .fleet import FleetRouter, FleetSupervisor
+
+    if args.trace_export:
+        from .obs.tracing import add_jsonl_sink
+
+        add_jsonl_sink(args.trace_export)
+        print(f"streaming spans to {args.trace_export}", file=sys.stderr)
+
+    weights = {}
+    for item in args.tenant_weight or []:
+        name, _, value = item.partition("=")
+        try:
+            weights[name] = float(value)
+        except ValueError:
+            raise CastError(
+                f"--tenant-weight wants NAME=FLOAT, got {item!r}"
+            ) from None
+
+    async def run() -> None:
+        router = FleetRouter(
+            host=args.host,
+            port=args.port,
+            cache_size=args.cache_size,
+            max_inflight=args.max_inflight,
+            max_queue_per_tenant=args.max_queue_per_tenant,
+            tenant_weights=weights or None,
+            default_restarts=args.restarts,
+            health_interval_s=args.health_interval,
+        )
+        supervisor = FleetSupervisor(
+            router,
+            shards=args.shards,
+            host=args.host,
+            pool_processes=args.pool_processes,
+            restarts=args.restarts,
+            max_inflight=args.shard_max_inflight,
+            request_timeout_s=args.request_timeout,
+            auto_restart=not args.no_restart,
+        )
+        await router.start()
+        host, port = router.address
+        print(f"starting {args.shards} planner shard(s)...", flush=True)
+        try:
+            await supervisor.start()
+        except BaseException:
+            await router.stop()
+            raise
+        print(
+            f"cast-plan fleet: router on {host}:{port} over "
+            + ", ".join(
+                f"{s.shard_id}@{s.host}:{s.port}" for s in supervisor.shards
+            )
+            + f" (pool={args.pool_processes} procs/shard, "
+            f"restarts={args.restarts}) — Ctrl-C to stop",
+            flush=True,
+        )
+        sigterm = asyncio.Event()
+        _install_sigterm_drain(sigterm)
+        serve_task = asyncio.create_task(router.serve_forever())
+        sigterm_task = asyncio.create_task(sigterm.wait())
+        try:
+            await asyncio.wait(
+                {serve_task, sigterm_task},
+                return_when=asyncio.FIRST_COMPLETED,
+            )
+        finally:
+            for task in (serve_task, sigterm_task):
+                task.cancel()
+            await asyncio.gather(serve_task, sigterm_task, return_exceptions=True)
+            await supervisor.stop()
+            await router.stop()
 
     asyncio.run(run())
     return 0
@@ -229,7 +345,8 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     except CastError as exc:
         print(str(exc), file=sys.stderr)
         return 2
-    client = SyncPlannerClient(host=args.host, port=args.port)
+    client = SyncPlannerClient(host=args.host, port=args.port,
+                               retries=args.retries)
     try:
         result = client.plan(
             workload_to_dict(workload),
@@ -241,11 +358,12 @@ def _cmd_submit(args: argparse.Namespace) -> int:
             restarts=args.restarts,
             backend=args.backend,
             replicas=args.replicas,
+            tenant=args.tenant,
         )
     except ConnectionRefusedError:
         print(
             f"no planner at {args.host}:{args.port} — start one with "
-            f"'cast-plan serve'",
+            f"'cast-plan serve' (or 'cast-plan fleet')",
             file=sys.stderr,
         )
         return 2
@@ -266,18 +384,22 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         f"solved in {result.get('solve_seconds', 0.0):.2f}s, "
         f"{result.get('restarts', 1)} restarts (best: #{result.get('best_restart', 0)})"
     )
+    if result.get("shard"):
+        origin += f" [shard {result['shard']}]"
     trace = result.get("trace_id") or ""
     trace_part = f"  trace {trace[:12]}" if trace else ""
     print(f"served from {origin}  [{result.get('fingerprint', '')[:12]}]{trace_part}")
     if args.show_stats:
         stats = client.stats()
         cache = stats["cache"]
-        counters = stats["counters"]
+        # "counters" keys differ between a single server and the fleet
+        # router, but both expose these three.
+        counters = stats.get("counters", {})
         print(
             f"server stats: cache hits={cache['hits']} misses={cache['misses']} "
             f"evictions={cache['evictions']} size={cache['size']}/{cache['capacity']}  "
-            f"singleflight joins={counters['dedup_joined']}  "
-            f"solves={counters['solves_ok']}"
+            f"singleflight joins={counters.get('dedup_joined', 0)}  "
+            f"solves={counters.get('solves_ok', 0)}"
         )
     return 0
 
@@ -467,6 +589,43 @@ def build_parser() -> argparse.ArgumentParser:
     _add_logging_args(p_serve)
     p_serve.set_defaults(func=_cmd_serve)
 
+    p_fleet = sub.add_parser(
+        "fleet",
+        help="run a sharded planner fleet (router + N shard processes)",
+    )
+    p_fleet.add_argument("--shards", type=int, default=2,
+                         help="planner shard processes to spawn")
+    p_fleet.add_argument("--host", default="127.0.0.1", help="bind address")
+    p_fleet.add_argument("--port", type=int, default=DEFAULT_SERVICE_PORT,
+                         help="router TCP port (0 picks a free one); "
+                              "shards always take free ports")
+    p_fleet.add_argument("--pool-processes", type=int, default=1,
+                         help="solver worker processes per shard "
+                              "(0 = threads)")
+    p_fleet.add_argument("--restarts", type=int, default=4,
+                         help="annealing restarts per solve (all shards)")
+    p_fleet.add_argument("--cache-size", type=int, default=256,
+                         help="router L1 plan-cache capacity (entries)")
+    p_fleet.add_argument("--max-inflight", type=int, default=16,
+                         help="concurrent forwards at the router")
+    p_fleet.add_argument("--max-queue-per-tenant", type=int, default=64,
+                         help="queued requests per tenant before shedding")
+    p_fleet.add_argument("--shard-max-inflight", type=int, default=4,
+                         help="concurrent solves per shard")
+    p_fleet.add_argument("--tenant-weight", action="append", metavar="NAME=W",
+                         help="fair-queueing weight for a tenant "
+                              "(repeatable; default 1.0)")
+    p_fleet.add_argument("--health-interval", type=float, default=1.0,
+                         help="seconds between shard health sweeps")
+    p_fleet.add_argument("--request-timeout", type=float, default=600.0,
+                         help="per-solve deadline on each shard (seconds)")
+    p_fleet.add_argument("--no-restart", action="store_true",
+                         help="do not respawn crashed shards")
+    p_fleet.add_argument("--trace-export", default=None, metavar="PATH",
+                         help="stream router spans to this JSONL file")
+    _add_logging_args(p_fleet)
+    p_fleet.set_defaults(func=_cmd_fleet)
+
     p_submit = sub.add_parser("submit",
                               help="submit a workload to a running daemon")
     _add_workload_args(p_submit)
@@ -483,6 +642,12 @@ def build_parser() -> argparse.ArgumentParser:
                           help="daemon TCP port")
     p_submit.add_argument("--restarts", type=int, default=None,
                           help="annealing restarts (default: server's)")
+    p_submit.add_argument("--tenant", default=None,
+                          help="tenant label for fleet fair queueing "
+                               "and per-tenant metrics")
+    p_submit.add_argument("--retries", type=int, default=0,
+                          help="reconnect attempts (exponential backoff) "
+                               "after a lost connection; 0 = fail fast")
     p_submit.add_argument("--show-stats", action="store_true",
                           help="also print server cache/dedup counters")
     p_submit.set_defaults(func=_cmd_submit)

@@ -19,6 +19,9 @@ __all__ = [
     "ProtocolError",
     "ServiceBusyError",
     "ServiceTimeoutError",
+    "ServiceUnavailableError",
+    "FleetError",
+    "NoHealthyShardsError",
     "ObservabilityError",
 ]
 
@@ -70,6 +73,24 @@ class ServiceBusyError(ServiceError):
 
 class ServiceTimeoutError(ServiceError):
     """A solve exceeded the server's per-request deadline."""
+
+
+class ServiceUnavailableError(ServiceError, ConnectionError):
+    """The peer vanished mid-conversation (EOF before a response line).
+
+    Doubly derived so both idioms work: ``except CastError`` (typed
+    service failure) and ``except ConnectionError`` (retryable
+    transport loss — the client's reconnect loop and the fleet
+    router's failover path both key off the latter).
+    """
+
+
+class FleetError(ServiceError):
+    """The fleet tier (router/supervisor) failed to process a request."""
+
+
+class NoHealthyShardsError(FleetError):
+    """Every planner shard is down; the router cannot route the solve."""
 
 
 class ObservabilityError(CastError):

@@ -1,0 +1,40 @@
+"""Fleet tier: sharded planner serving behind an orchestrator/router.
+
+A single :class:`~repro.service.server.PlannerServer` is one asyncio
+loop and one failure domain.  This subpackage scales the planning
+service horizontally:
+
+* :mod:`repro.fleet.hashring` — deterministic consistent hashing of
+  request fingerprints onto shards, minimal movement on membership
+  change;
+* :mod:`repro.fleet.tenancy` — per-tenant admission control via
+  weighted fair queueing in front of routing;
+* :mod:`repro.fleet.router` — the orchestrator: same wire protocol as
+  a single server, plus router-level plan cache + single-flight,
+  shard health checks, automatic failover, and the fleet-wide
+  ``metrics`` roll-up;
+* :mod:`repro.fleet.supervisor` — spawns shard subprocesses, restarts
+  crashes, drains on shutdown.
+
+Routing never perturbs determinism: the router forwards canonical
+solve params untouched, so a fleet answer is bit-identical to a
+single-server answer for the same request (pinned by
+``tests/test_fleet_router.py``).  Still stdlib + numpy only.
+"""
+
+from __future__ import annotations
+
+from .hashring import ConsistentHashRing
+from .router import FleetRouter, ShardInfo
+from .supervisor import FleetSupervisor, ShardProcess, free_port
+from .tenancy import WeightedFairScheduler
+
+__all__ = [
+    "ConsistentHashRing",
+    "FleetRouter",
+    "FleetSupervisor",
+    "ShardInfo",
+    "ShardProcess",
+    "WeightedFairScheduler",
+    "free_port",
+]

@@ -1,0 +1,142 @@
+"""Consistent hashing for request → shard routing.
+
+The router must map every request fingerprint to a shard such that
+
+* the mapping is **deterministic** — two routers (or one router before
+  and after a restart) agree, so shard-local plan caches stay hot;
+* shard death/join causes **minimal movement** — only the keys that
+  routed to a dead shard move (to their next ring successor), and a
+  joining shard steals only the keys it now owns.  Everything else
+  keeps its shard, preserving the fleet's cache locality.
+
+Classic Karger ring: each shard owns ``vnodes`` points on a 64-bit
+circle (SHA-256 of ``"shard_id#replica"``), a key routes to the first
+point clockwise of its own hash.  Virtual nodes smooth the load split
+(with 64 vnodes the max/min key-share ratio across shards stays small
+without weighting tricks).  Lookup is a ``bisect`` over a sorted point
+array — O(log(shards·vnodes)) per request, rebuild O(n log n) only on
+membership change.
+
+Everything hashes through SHA-256 (not ``hash()``) so placement is
+stable across processes and Python versions — the same property the
+request fingerprint itself relies on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..errors import FleetError
+
+__all__ = ["DEFAULT_VNODES", "ConsistentHashRing"]
+
+#: Virtual nodes per shard — enough to keep the key split near-uniform
+#: for single-digit shard counts without making rebuilds noticeable.
+DEFAULT_VNODES = 64
+
+
+def _point(token: str) -> int:
+    """A stable 64-bit ring position for ``token``."""
+    return int.from_bytes(
+        hashlib.sha256(token.encode("utf-8")).digest()[:8], "big"
+    )
+
+
+class ConsistentHashRing:
+    """Deterministic fingerprint → shard-id mapping with minimal movement."""
+
+    def __init__(
+        self, shard_ids: Iterable[str] = (), vnodes: int = DEFAULT_VNODES
+    ) -> None:
+        if vnodes < 1:
+            raise FleetError(f"vnodes must be >= 1, got {vnodes}")
+        self.vnodes = int(vnodes)
+        self._shards: Dict[str, List[int]] = {}
+        self._points: List[Tuple[int, str]] = []
+        self._keys: List[int] = []
+        for shard_id in shard_ids:
+            self.add(shard_id)
+
+    # -- membership ----------------------------------------------------------
+
+    def add(self, shard_id: str) -> None:
+        """Place ``shard_id`` on the ring (idempotent)."""
+        shard_id = str(shard_id)
+        if shard_id in self._shards:
+            return
+        points = [
+            _point(f"{shard_id}#{i}") for i in range(self.vnodes)
+        ]
+        self._shards[shard_id] = points
+        self._rebuild()
+
+    def remove(self, shard_id: str) -> None:
+        """Take ``shard_id`` off the ring (idempotent)."""
+        if self._shards.pop(str(shard_id), None) is not None:
+            self._rebuild()
+
+    def _rebuild(self) -> None:
+        points: List[Tuple[int, str]] = []
+        for shard_id, shard_points in self._shards.items():
+            points.extend((p, shard_id) for p in shard_points)
+        # Sort by (position, shard_id) so vnode collisions — astronomically
+        # unlikely but possible — still break ties deterministically.
+        points.sort()
+        self._points = points
+        self._keys = [p for p, _ in points]
+
+    # -- lookup --------------------------------------------------------------
+
+    def route(self, key: str) -> str:
+        """The shard owning ``key`` (first vnode clockwise of its hash)."""
+        if not self._points:
+            raise FleetError("hash ring is empty: no shards to route to")
+        idx = bisect_right(self._keys, _point(str(key)))
+        if idx == len(self._points):  # wrap past 2^64 back to the start
+            idx = 0
+        return self._points[idx][1]
+
+    def successors(self, key: str) -> List[str]:
+        """Every shard in ring order starting at ``key``'s owner.
+
+        The failover walk: the router tries ``successors(fp)[0]``, and
+        on connection failure moves down the list — each shard appears
+        exactly once, so the walk is bounded by the fleet size.
+        """
+        if not self._points:
+            return []
+        idx = bisect_right(self._keys, _point(str(key)))
+        seen: List[str] = []
+        n = len(self._points)
+        for i in range(n):
+            shard_id = self._points[(idx + i) % n][1]
+            if shard_id not in seen:
+                seen.append(shard_id)
+        return seen
+
+    # -- introspection -------------------------------------------------------
+
+    def shards(self) -> List[str]:
+        """Current member shard ids, sorted."""
+        return sorted(self._shards)
+
+    def __len__(self) -> int:
+        return len(self._shards)
+
+    def __contains__(self, shard_id: str) -> bool:
+        return str(shard_id) in self._shards
+
+    def load_split(self, keys: Iterable[str]) -> Dict[str, int]:
+        """How many of ``keys`` each shard owns (diagnostics/tests)."""
+        split: Dict[str, int] = {shard_id: 0 for shard_id in self._shards}
+        for key in keys:
+            split[self.route(key)] += 1
+        return split
+
+    def describe(self) -> Optional[Dict[str, int]]:
+        """Ring summary for the router's ``stats`` payload."""
+        if not self._shards:
+            return None
+        return {shard_id: len(points) for shard_id, points in self._shards.items()}

@@ -1,0 +1,783 @@
+"""The fleet orchestrator: a consistent-hashing router over planner shards.
+
+Topology::
+
+    clients ──▶ FleetRouter ──▶ shard planner-1 (PlannerServer)
+                   │       └──▶ shard planner-2
+                   │       └──▶ shard planner-N
+                   └── health checks, failover, fleet metrics roll-up
+
+The router speaks the same JSON-lines protocol as a single
+:class:`~repro.service.server.PlannerServer`, so every existing client
+(``cast-plan submit``, :class:`~repro.service.client.PlannerClient`)
+works against a fleet unchanged.  Per solve request it:
+
+1. normalizes the params and computes the canonical request
+   fingerprint (:func:`repro.service.fingerprint.request_fingerprint`)
+   — routing never perturbs the solve inputs, so fleet results are
+   bit-identical to a single server's;
+2. answers from the **router L1 plan cache** if any shard ever solved
+   this fingerprint through us — a hit on any shard serves the fleet;
+3. joins the **router-level single-flight**: identical requests
+   arriving on any connection while one is being forwarded collapse to
+   one shard solve, fleet-wide;
+4. waits for a forward slot under **per-tenant weighted fair
+   queueing** (:class:`~repro.fleet.tenancy.WeightedFairScheduler`) —
+   a saturating tenant queues behind itself, not in front of others;
+5. routes the fingerprint on the **consistent hash ring** of healthy
+   shards and forwards over a pooled connection.  A connection-level
+   failure marks the shard down, rebalances the ring, and fails over
+   to the next ring successor — the retried solve is byte-identical
+   (deterministic + fingerprint-cached), so mid-solve shard death
+   costs one extra solve, never a wrong answer.
+
+Shard membership is dynamic: the ``register``/``deregister`` ops (used
+by :class:`~repro.fleet.supervisor.FleetSupervisor`) add and remove
+shards at runtime, and a background health checker pings every
+registered shard, taking it out of the ring after
+``health_failures`` consecutive misses and restoring it on recovery.
+
+Observability: the ``metrics`` op gains a ``scope`` param.
+``scope="router"`` exposes the router's own registry;
+``scope="fleet"`` (the default here) scrapes every healthy shard's
+registry and merges them — stamped with a ``shard`` label — into one
+exposition, so fleet-wide totals are one scrape and per-shard
+breakdowns are one label away.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+import time
+from typing import Any, Dict, List, Mapping, Optional, Set, Tuple
+
+from ..cloud import resolve_provider
+from ..errors import (
+    CastError,
+    FleetError,
+    NoHealthyShardsError,
+    ProtocolError,
+    ServiceTimeoutError,
+    ServiceUnavailableError,
+)
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracing import current_trace_id, span
+from ..service.cache import PlanCache
+from ..service.fingerprint import request_fingerprint
+from ..service.pool import DEFAULT_RESTARTS
+from ..service.protocol import (
+    MAX_LINE_BYTES,
+    error_response,
+    exception_from_payload,
+    make_request,
+    ok_response,
+    parse_request,
+    parse_response,
+    read_message,
+    send_message,
+)
+from ..service.server import _normalize_solve_params
+from .hashring import ConsistentHashRing
+from .tenancy import WeightedFairScheduler
+
+__all__ = ["FleetRouter", "ShardInfo"]
+
+logger = logging.getLogger(__name__)
+
+
+class ShardInfo:
+    """One registered shard: address plus live health state."""
+
+    __slots__ = (
+        "shard_id", "host", "port", "healthy", "consecutive_failures",
+        "registered_at",
+    )
+
+    def __init__(self, shard_id: str, host: str, port: int) -> None:
+        self.shard_id = str(shard_id)
+        self.host = str(host)
+        self.port = int(port)
+        self.healthy = True
+        self.consecutive_failures = 0
+        self.registered_at = time.monotonic()
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "shard_id": self.shard_id,
+            "host": self.host,
+            "port": self.port,
+            "healthy": self.healthy,
+            "consecutive_failures": self.consecutive_failures,
+        }
+
+
+class _ShardLink:
+    """A small pool of persistent connections to one shard.
+
+    The protocol is strict request/response per connection, so a
+    connection serves one forward at a time; concurrent forwards to the
+    same shard each take (or open) their own connection and return it
+    to the free list afterwards.  Any transport error closes the
+    connection — a socket that failed mid-exchange carries unknowable
+    framing state.
+    """
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+        self._free: List[Tuple[asyncio.StreamReader, asyncio.StreamWriter]] = []
+        self._busy: Set[asyncio.StreamWriter] = set()
+
+    async def request(
+        self, payload: Mapping[str, Any], timeout: Optional[float] = None
+    ) -> Dict[str, Any]:
+        """One request/response round-trip, pooled."""
+        if self._free:
+            reader, writer = self._free.pop()
+        else:
+            reader, writer = await asyncio.open_connection(
+                self.host, self.port, limit=MAX_LINE_BYTES
+            )
+        self._busy.add(writer)
+        try:
+            await send_message(writer, payload)
+            line = await asyncio.wait_for(read_message(reader), timeout=timeout)
+            if line is None:
+                raise ServiceUnavailableError(
+                    f"shard {self.host}:{self.port} closed the connection "
+                    f"mid-request"
+                )
+            response = parse_response(line)
+        except BaseException:
+            writer.close()
+            raise
+        finally:
+            self._busy.discard(writer)
+        self._free.append((reader, writer))
+        return response
+
+    def close(self) -> None:
+        """Abort every connection, in-flight forwards included.
+
+        Closing a busy connection feeds EOF to its pending read, so a
+        forward stuck on a shard that died without ever sending a FIN
+        (SIGKILL with the socket fd leaked into a forked solver worker,
+        a vanished VM, a dropped network) fails over as soon as the
+        health checker marks the shard down, instead of hanging until
+        ``forward_timeout_s``.
+        """
+        for _, writer in self._free:
+            writer.close()
+        self._free.clear()
+        for writer in list(self._busy):
+            writer.close()
+        self._busy.clear()
+
+
+class FleetRouter:
+    """Orchestrator/router tier in front of N planner shards.
+
+    Parameters
+    ----------
+    host / port:
+        Bind address; port 0 picks a free port (see :attr:`address`).
+    cache_size:
+        Router L1 plan-cache capacity (fingerprint → result).
+    max_inflight / max_queue_per_tenant / tenant_weights:
+        The :class:`WeightedFairScheduler` admission knobs.
+    default_restarts:
+        Restart count pinned onto forwarded solves that don't specify
+        one — must match the shards' configured default so the
+        router-side fingerprint equals the shard-side one.
+    health_interval_s / health_timeout_s / health_failures:
+        Background ping cadence, per-ping deadline, and how many
+        consecutive misses take a shard out of the ring.
+    forward_timeout_s:
+        Deadline for one forwarded request (should exceed the shards'
+        own ``request_timeout_s`` so shard timeouts surface typed).
+    registry:
+        Metrics registry; a fresh one per router when omitted.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        cache_size: int = 256,
+        max_inflight: int = 16,
+        max_queue_per_tenant: int = 64,
+        tenant_weights: Optional[Mapping[str, float]] = None,
+        default_restarts: int = DEFAULT_RESTARTS,
+        vnodes: int = 64,
+        health_interval_s: float = 1.0,
+        health_timeout_s: float = 2.0,
+        health_failures: int = 2,
+        forward_timeout_s: float = 660.0,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.cache = PlanCache(capacity=cache_size)
+        self.scheduler = WeightedFairScheduler(
+            max_inflight=max_inflight,
+            max_queue_per_tenant=max_queue_per_tenant,
+            weights=tenant_weights,
+        )
+        self.default_restarts = int(default_restarts)
+        self.ring = ConsistentHashRing(vnodes=vnodes)
+        self.health_interval_s = float(health_interval_s)
+        self.health_timeout_s = float(health_timeout_s)
+        self.health_failures = int(health_failures)
+        self.forward_timeout_s = float(forward_timeout_s)
+        self._shards: Dict[str, ShardInfo] = {}
+        self._links: Dict[str, _ShardLink] = {}
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._connections: Set[asyncio.StreamWriter] = set()
+        self._inflight: Dict[str, "asyncio.Future[Tuple[Dict[str, Any], bool]]"] = {}
+        self._health_task: Optional["asyncio.Task[None]"] = None
+        self._next_forward_id = 0
+
+        self.metrics = registry if registry is not None else MetricsRegistry()
+        self._requests_total = self.metrics.counter(
+            "cast_fleet_requests_total", "Request lines received by the router"
+        )
+        self._ops = self.metrics.counter(
+            "cast_fleet_ops_total", "Router requests by op", labelnames=("op",)
+        )
+        self._events = self.metrics.counter(
+            "cast_fleet_events_total",
+            "Router lifecycle events by kind",
+            labelnames=("event",),
+        )
+        self._routed = self.metrics.counter(
+            "cast_fleet_routed_total",
+            "Solves forwarded per shard",
+            labelnames=("shard",),
+        )
+        self._tenant_requests = self.metrics.counter(
+            "cast_fleet_tenant_requests_total",
+            "Solve requests through the router by tenant",
+            labelnames=("tenant",),
+        )
+        self._solve_seconds = self.metrics.histogram(
+            "cast_fleet_solve_seconds",
+            "End-to-end router wall time of non-L1-cached solves",
+        )
+        self.cache.bind_metrics(self.metrics)
+        self.scheduler.bind_metrics(self.metrics)
+        self.metrics.register_collector("fleet_shards", self._mirror_shards)
+        self._started_at = time.monotonic()
+
+    def _mirror_shards(self, reg: MetricsRegistry) -> None:
+        states = reg.gauge(
+            "cast_fleet_shards", "Registered shards by health state",
+            labelnames=("state",),
+        )
+        healthy = sum(1 for s in self._shards.values() if s.healthy)
+        states.set(healthy, state="healthy")
+        states.set(len(self._shards) - healthy, state="down")
+
+    # -- membership ----------------------------------------------------------
+
+    def add_shard(self, shard_id: str, host: str, port: int) -> ShardInfo:
+        """Register (or re-register) a shard and put it in the ring.
+
+        Re-registering an existing id updates the address and restores
+        it to the ring — the supervisor's restart path.
+        """
+        shard_id = str(shard_id)
+        existing = self._shards.get(shard_id)
+        if existing is not None and (existing.host, existing.port) != (host, int(port)):
+            # Address changed: drop the stale connection pool.
+            link = self._links.pop(shard_id, None)
+            if link is not None:
+                link.close()
+        info = ShardInfo(shard_id, host, port)
+        self._shards[shard_id] = info
+        self.ring.add(shard_id)
+        self._events.inc(event="shard_registered")
+        logger.info("shard %s registered at %s:%d", shard_id, info.host, info.port)
+        return info
+
+    def remove_shard(self, shard_id: str) -> bool:
+        """Deregister a shard entirely (ring, registry, connections)."""
+        shard_id = str(shard_id)
+        info = self._shards.pop(shard_id, None)
+        self.ring.remove(shard_id)
+        link = self._links.pop(shard_id, None)
+        if link is not None:
+            link.close()
+        if info is not None:
+            self._events.inc(event="shard_deregistered")
+            logger.info("shard %s deregistered", shard_id)
+        return info is not None
+
+    def _mark_down(self, shard_id: str, reason: str) -> None:
+        info = self._shards.get(shard_id)
+        if info is None or not info.healthy:
+            return
+        info.healthy = False
+        self.ring.remove(shard_id)
+        link = self._links.pop(shard_id, None)
+        if link is not None:
+            link.close()
+        self._events.inc(event="shard_down")
+        logger.warning(
+            "shard %s marked down (%s); ring now %s",
+            shard_id, reason, self.ring.shards(),
+        )
+
+    def _mark_up(self, shard_id: str) -> None:
+        info = self._shards.get(shard_id)
+        if info is None:
+            return
+        info.consecutive_failures = 0
+        if info.healthy:
+            return
+        info.healthy = True
+        self.ring.add(shard_id)
+        self._events.inc(event="shard_up")
+        logger.info("shard %s back up; ring now %s", shard_id, self.ring.shards())
+
+    def _link(self, shard_id: str) -> _ShardLink:
+        link = self._links.get(shard_id)
+        if link is None:
+            info = self._shards[shard_id]
+            link = self._links[shard_id] = _ShardLink(info.host, info.port)
+        return link
+
+    @property
+    def healthy_shards(self) -> List[str]:
+        """Ids of shards currently in the ring."""
+        return self.ring.shards()
+
+    # -- health checking -----------------------------------------------------
+
+    async def _probe(self, info: ShardInfo) -> bool:
+        """One ping round-trip on a throwaway connection."""
+        try:
+            reader, writer = await asyncio.wait_for(
+                asyncio.open_connection(info.host, info.port),
+                timeout=self.health_timeout_s,
+            )
+            try:
+                await send_message(writer, make_request("ping", req_id="hc"))
+                line = await asyncio.wait_for(
+                    read_message(reader), timeout=self.health_timeout_s
+                )
+                if line is None:
+                    return False
+                return bool(parse_response(line).get("ok"))
+            finally:
+                writer.close()
+        except (OSError, asyncio.TimeoutError, ProtocolError):
+            return False
+
+    async def check_health(self) -> None:
+        """Probe every registered shard once, updating ring membership."""
+        for info in list(self._shards.values()):
+            alive = await self._probe(info)
+            if alive:
+                self._mark_up(info.shard_id)
+            else:
+                info.consecutive_failures += 1
+                if info.healthy and info.consecutive_failures >= self.health_failures:
+                    self._mark_down(
+                        info.shard_id,
+                        f"{info.consecutive_failures} failed health checks",
+                    )
+
+    async def _health_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.health_interval_s)
+            try:
+                await self.check_health()
+            except asyncio.CancelledError:
+                raise
+            except Exception:  # pragma: no cover - defensive
+                logger.exception("health sweep failed; continuing")
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind, start accepting connections, start the health loop."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port, limit=MAX_LINE_BYTES
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._started_at = time.monotonic()
+        if self.health_interval_s > 0:
+            self._health_task = asyncio.create_task(self._health_loop())
+        logger.info("fleet router listening on %s:%d", self.host, self.port)
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` — port resolved after :meth:`start`."""
+        return (self.host, self.port)
+
+    async def serve_forever(self) -> None:
+        """Block serving requests until cancelled or :meth:`stop`-ped."""
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        """Graceful shutdown: stop accepting, drain forwards, drop links."""
+        if self._health_task is not None:
+            self._health_task.cancel()
+            try:
+                await self._health_task
+            except asyncio.CancelledError:
+                pass
+            self._health_task = None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._inflight:
+            await asyncio.gather(
+                *list(self._inflight.values()), return_exceptions=True
+            )
+        for writer in list(self._connections):
+            writer.close()
+        for link in self._links.values():
+            link.close()
+        self._links.clear()
+        logger.info("fleet router stopped")
+
+    # -- connection handling -------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._connections.add(writer)
+        try:
+            while True:
+                line = await read_message(reader)
+                if line is None:
+                    break
+                if not line.strip():
+                    continue
+                self._requests_total.inc()
+                try:
+                    request = parse_request(line)
+                except ProtocolError as exc:
+                    self._events.inc(event="bad_requests")
+                    logger.debug("bad request line: %s", exc)
+                    await send_message(writer, error_response(None, exc))
+                    continue
+                response = await self._dispatch(request)
+                await send_message(writer, response)
+        except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+            pass
+        except asyncio.CancelledError:
+            pass
+        finally:
+            self._connections.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+                pass
+
+    async def _dispatch(self, request: Mapping[str, Any]) -> Dict[str, Any]:
+        op = request["op"]
+        req_id = request.get("id")
+        params = request["params"]
+        self._ops.inc(op=op)
+        with span("fleet.request", attrs={"op": op}) as sp:
+            try:
+                response = await self._dispatch_inner(op, req_id, params)
+            except asyncio.CancelledError:
+                raise
+            except CastError as exc:
+                response = error_response(req_id, exc)
+            except Exception as exc:  # the router must outlive any request
+                self._events.inc(event="internal_errors")
+                logger.exception("internal error handling op %r", op)
+                response = error_response(
+                    req_id, FleetError(f"internal error: {exc!r}")
+                )
+            response["trace_id"] = sp.trace_id
+            return response
+
+    async def _dispatch_inner(
+        self, op: str, req_id: Any, params: Mapping[str, Any]
+    ) -> Dict[str, Any]:
+        if op == "ping":
+            return ok_response(req_id, {"pong": True, "uptime_s": self.uptime_s})
+        if op == "stats":
+            return ok_response(req_id, self.stats())
+        if op == "metrics":
+            return ok_response(req_id, await self._metrics_op(params))
+        if op == "catalog":
+            return ok_response(req_id, self._catalog(params))
+        if op == "register":
+            return ok_response(req_id, self._register_op(params))
+        if op == "deregister":
+            shard_id = str(params.get("shard_id", ""))
+            removed = self.remove_shard(shard_id)
+            return ok_response(req_id, {"shard_id": shard_id, "removed": removed})
+        result, cached = await self._solve_op(op, params)
+        return ok_response(req_id, result, cached=cached)
+
+    # -- simple ops ----------------------------------------------------------
+
+    def _catalog(self, params: Mapping[str, Any]) -> Dict[str, Any]:
+        provider = resolve_provider(str(params.get("provider", "google")))
+        tiers = []
+        for tier in provider.tiers:
+            svc = provider.service(tier)
+            tiers.append(
+                {
+                    "tier": tier.value,
+                    "persistent": bool(svc.persistent),
+                    "price_gb_month": svc.price_gb_month,
+                    "price_gb_hr": provider.storage_price_gb_hr(tier),
+                }
+            )
+        return {
+            "provider": provider.name,
+            "tiers": tiers,
+            "vm": {
+                "name": provider.default_vm.name,
+                "price_per_hour_usd": provider.prices.vm_price_per_min * 60,
+            },
+        }
+
+    def _register_op(self, params: Mapping[str, Any]) -> Dict[str, Any]:
+        shard_id = params.get("shard_id")
+        host = params.get("host")
+        port = params.get("port")
+        if not shard_id or not host or port is None:
+            raise ProtocolError(
+                "register params need shard_id, host and port"
+            )
+        try:
+            port = int(port)
+        except (TypeError, ValueError):
+            raise ProtocolError(f"register port must be an int, got {port!r}") from None
+        info = self.add_shard(str(shard_id), str(host), port)
+        return {"shard": info.to_dict(), "ring": self.ring.shards()}
+
+    async def _metrics_op(self, params: Mapping[str, Any]) -> Dict[str, Any]:
+        fmt = str(params.get("format", "prometheus")).lower()
+        scope = str(params.get("scope", "fleet")).lower()
+        if fmt not in ("prometheus", "json"):
+            raise ProtocolError(
+                f"unknown metrics format {fmt!r} (expected 'prometheus' or 'json')"
+            )
+        if scope == "router":
+            registry = self.metrics
+        elif scope == "fleet":
+            registry = await self._fleet_registry()
+        else:
+            raise ProtocolError(
+                f"unknown metrics scope {scope!r} (expected 'fleet' or 'router')"
+            )
+        if fmt == "prometheus":
+            return {
+                "format": "prometheus", "scope": scope,
+                "body": registry.to_prometheus(),
+            }
+        return {"format": "json", "scope": scope, "metrics": registry.to_json()}
+
+    async def _fleet_registry(self) -> MetricsRegistry:
+        """Scrape every healthy shard and roll the registries up.
+
+        Each shard's snapshot merges with a ``shard=<id>`` label (the
+        router's own series merge as ``shard="router"``), so the
+        exposition carries per-shard series whose sum over the label is
+        the fleet-wide total.  A shard failing its scrape is skipped —
+        a dying shard must not take the fleet scrape down with it.
+        """
+        fleet = MetricsRegistry()
+        fleet.merge(self.metrics.snapshot(), extra_labels={"shard": "router"})
+
+        async def scrape(shard_id: str) -> None:
+            try:
+                response = await self._link(shard_id).request(
+                    make_request("metrics", {"format": "json"}, req_id="scrape"),
+                    timeout=self.health_timeout_s,
+                )
+            except (OSError, asyncio.TimeoutError, ProtocolError):
+                self._events.inc(event="scrape_failed")
+                return
+            if response.get("ok"):
+                fleet.merge(
+                    response["result"]["metrics"],
+                    extra_labels={"shard": shard_id},
+                )
+
+        await asyncio.gather(*(scrape(s) for s in self.healthy_shards))
+        return fleet
+
+    # -- the solve path ------------------------------------------------------
+
+    async def _solve_op(
+        self, op: str, params: Mapping[str, Any]
+    ) -> Tuple[Dict[str, Any], bool]:
+        normalized = _normalize_solve_params(op, params)
+        tenant = normalized["tenant"]
+        self._tenant_requests.inc(tenant=tenant)
+        restarts = normalized["restarts"] or self.default_restarts
+        # Pin the resolved restart count so the shard-side fingerprint
+        # (and therefore its cache) agrees with the router's key.
+        normalized["restarts"] = restarts
+        fingerprint = request_fingerprint(
+            op,
+            normalized["spec"],
+            provider=normalized["provider"],
+            n_vms=normalized["n_vms"],
+            iterations=normalized["iterations"],
+            seed=normalized["seed"],
+            use_castpp=normalized["use_castpp"],
+            restarts=restarts,
+            backend=normalized["backend"],
+            replicas=normalized["replicas"],
+        )
+
+        cached = self.cache.get(fingerprint)
+        if cached is not None:
+            return dict(
+                cached, fingerprint=fingerprint, trace_id=current_trace_id()
+            ), True
+
+        leader = self._inflight.get(fingerprint)
+        if leader is not None:
+            self._events.inc(event="dedup_joined")
+            result, _ = await asyncio.shield(leader)
+            return dict(
+                result, fingerprint=fingerprint, trace_id=current_trace_id()
+            ), False
+
+        future: "asyncio.Future[Tuple[Dict[str, Any], bool]]" = (
+            asyncio.get_running_loop().create_future()
+        )
+        self._inflight[fingerprint] = future
+        try:
+            await self.scheduler.acquire(tenant)
+            try:
+                started = time.monotonic()
+                result, shard_cached = await self._forward_with_failover(
+                    op, normalized, fingerprint
+                )
+                self._solve_seconds.observe(time.monotonic() - started)
+            finally:
+                self.scheduler.release(tenant)
+            result = dict(result)
+            self.cache.put(fingerprint, result)
+            self._events.inc(event="solves_ok")
+            future.set_result((result, shard_cached))
+        except BaseException as exc:
+            if isinstance(exc, CastError):
+                self._events.inc(event="solve_errors")
+            future.set_exception(exc)
+            future.exception()  # dedup waiters consume it; silence the loop
+            raise
+        finally:
+            self._inflight.pop(fingerprint, None)
+        return dict(result, fingerprint=fingerprint), False
+
+    def _forward_params(self, normalized: Mapping[str, Any]) -> Dict[str, Any]:
+        params = {k: v for k, v in normalized.items() if k != "op"}
+        return params
+
+    async def _forward_with_failover(
+        self, op: str, normalized: Mapping[str, Any], fingerprint: str
+    ) -> Tuple[Dict[str, Any], bool]:
+        """Forward to the ring owner, walking successors on shard death.
+
+        Only *transport* failures fail over — a typed error response
+        (bad workload, shard busy, solve timeout) is an answer about
+        this request, deterministic on any shard, and propagates as-is.
+        """
+        params = self._forward_params(normalized)
+        attempts = 0
+        max_attempts = max(1, len(self._shards))
+        while True:
+            if len(self.ring) == 0:
+                raise NoHealthyShardsError(
+                    f"no healthy shards to route {op!r} "
+                    f"({len(self._shards)} registered, all down)"
+                )
+            shard_id = self.ring.route(fingerprint)
+            self._next_forward_id += 1
+            payload = make_request(op, params, req_id=f"f{self._next_forward_id}")
+            with span(
+                "fleet.forward", attrs={"op": op, "shard": shard_id}
+            ):
+                try:
+                    response = await self._link(shard_id).request(
+                        payload, timeout=self.forward_timeout_s
+                    )
+                except asyncio.TimeoutError:
+                    raise ServiceTimeoutError(
+                        f"forward to shard {shard_id} exceeded "
+                        f"{self.forward_timeout_s:.0f}s"
+                    ) from None
+                except (ConnectionError, OSError) as exc:
+                    attempts += 1
+                    self._mark_down(shard_id, f"forward failed: {exc!r}")
+                    self._events.inc(event="failovers")
+                    if attempts >= max_attempts:
+                        raise NoHealthyShardsError(
+                            f"every shard failed while routing {op!r} "
+                            f"(last: {shard_id}: {exc!r})"
+                        ) from exc
+                    continue
+            self._routed.inc(shard=shard_id)
+            if response.get("ok"):
+                result = dict(response["result"])
+                result["shard"] = shard_id
+                return result, bool(response.get("cached", False))
+            raise exception_from_payload(response["error"])
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def uptime_s(self) -> float:
+        """Seconds since :meth:`start`."""
+        return time.monotonic() - self._started_at
+
+    @property
+    def op_counts(self) -> Dict[str, int]:
+        """Requests per op, from ``cast_fleet_ops_total``."""
+        return {
+            labels["op"]: int(value) for labels, value in self._ops.samples()
+        }
+
+    @property
+    def counters(self) -> Dict[str, int]:
+        """Router event counters, from ``cast_fleet_events_total``."""
+        return {
+            labels["event"]: int(value)
+            for labels, value in self._events.samples()
+        }
+
+    def stats(self) -> Dict[str, Any]:
+        """The router's ``stats`` op payload."""
+        return {
+            "role": "fleet-router",
+            "uptime_s": self.uptime_s,
+            "requests": self.op_counts,
+            "counters": self.counters,
+            "cache": self.cache.stats(),
+            "tenancy": self.scheduler.stats(),
+            "shards": [s.to_dict() for s in self._shards.values()],
+            "ring": self.ring.describe(),
+            "routed": {
+                labels["shard"]: int(value)
+                for labels, value in self._routed.samples()
+            },
+            "inflight": len(self._inflight),
+            "limits": {
+                "forward_timeout_s": self.forward_timeout_s,
+                "health_interval_s": self.health_interval_s,
+                "health_failures": self.health_failures,
+            },
+        }

@@ -344,16 +344,36 @@ class MetricsRegistry:
             out[metric.name] = entry
         return out
 
-    def merge(self, snapshot: Mapping[str, Any]) -> None:
+    def merge(
+        self,
+        snapshot: Mapping[str, Any],
+        extra_labels: Optional[Mapping[str, str]] = None,
+    ) -> None:
         """Fold a :meth:`snapshot` (typically a worker delta) in.
 
         Counters and histograms add; gauges take the incoming value.
         Instruments absent from this registry are created on the fly,
         so merging into a fresh registry reconstructs the snapshot.
+
+        ``extra_labels`` stamps every incoming series with additional
+        constant labels (appended to the declared label names).  This
+        is the fleet roll-up story: the router merges each shard's
+        scrape into one fresh registry with ``{"shard": shard_id}``, so
+        per-shard series stay distinguishable and summing over the
+        ``shard`` label reproduces the fleet-wide total.
         """
+        extra = dict(extra_labels or {})
         for name, entry in snapshot.items():
             kind = entry.get("kind")
-            labelnames = tuple(entry.get("labelnames", ()))
+            labelnames = tuple(entry.get("labelnames", ())) + tuple(extra)
+            if extra:
+                entry = dict(
+                    entry,
+                    values=[
+                        {**sample, "labels": {**sample["labels"], **extra}}
+                        for sample in entry["values"]
+                    ],
+                )
             if kind == "counter":
                 metric: Any = self.counter(name, entry.get("help", ""), labelnames)
                 for sample in entry["values"]:

@@ -1,4 +1,4 @@
-"""Clients for the planner daemon.
+"""Clients for the planner daemon and the fleet router.
 
 :class:`PlannerClient` is the native asyncio client — one connection,
 sequential request/response over it.  :class:`SyncPlannerClient` wraps
@@ -11,14 +11,26 @@ Error handling mirrors in-process semantics: an ``ok: false`` response
 re-raises the server's typed exception (``WorkloadError``,
 ``ServiceBusyError``...) via
 :func:`repro.service.protocol.exception_from_payload`.
+
+Reconnect: by default a lost connection surfaces immediately
+(``ConnectionRefusedError`` on connect, ``ServiceUnavailableError`` on
+EOF mid-request).  ``retries=N`` turns on a bounded
+exponential-backoff reconnect loop with jitter so fleet clients ride
+out a shard failover or router restart: each retry closes the dead
+socket, sleeps ``backoff_base * 2**attempt`` (capped at
+``backoff_max``, ±``jitter`` fraction randomized to de-synchronize
+herds), reconnects, and re-sends the request.  Solve requests are safe
+to re-send — they are deterministic and cached by fingerprint, so a
+duplicate costs at most one cache lookup on the far side.
 """
 
 from __future__ import annotations
 
 import asyncio
+import random
 from typing import Any, Dict, Mapping, Optional
 
-from ..errors import ProtocolError
+from ..errors import ServiceUnavailableError
 from .protocol import (
     exception_from_payload,
     make_request,
@@ -40,6 +52,7 @@ def _solve_params(
     restarts: Optional[int],
     backend: Optional[str] = None,
     replicas: Optional[int] = None,
+    tenant: Optional[str] = None,
 ) -> Dict[str, Any]:
     params: Dict[str, Any] = {
         "spec": dict(spec),
@@ -55,18 +68,50 @@ def _solve_params(
         params["backend"] = backend
     if replicas is not None:
         params["replicas"] = replicas
+    if tenant is not None:
+        params["tenant"] = tenant
     return params
 
 
 class PlannerClient:
-    """Async client: ``async with PlannerClient(host, port) as c: ...``."""
+    """Async client: ``async with PlannerClient(host, port) as c: ...``.
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 4815) -> None:
+    Parameters
+    ----------
+    host / port:
+        The daemon (or fleet router) address.
+    retries:
+        Reconnect attempts after a connection-level failure (refused,
+        reset, EOF mid-request).  0 — the default — preserves the
+        historical fail-fast behaviour.
+    backoff_base / backoff_max:
+        Exponential backoff schedule: attempt ``i`` sleeps
+        ``min(backoff_max, backoff_base * 2**i)`` seconds.
+    jitter:
+        Fractional randomization of each sleep (0.1 → ±10%), breaking
+        up reconnect herds when many clients lose the same shard.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 4815,
+        *,
+        retries: int = 0,
+        backoff_base: float = 0.05,
+        backoff_max: float = 2.0,
+        jitter: float = 0.1,
+    ) -> None:
         self.host = host
         self.port = port
+        self.retries = int(retries)
+        self.backoff_base = float(backoff_base)
+        self.backoff_max = float(backoff_max)
+        self.jitter = float(jitter)
         self._reader: Optional[asyncio.StreamReader] = None
         self._writer: Optional[asyncio.StreamWriter] = None
         self._next_id = 0
+        self._rng = random.Random()
 
     async def connect(self) -> "PlannerClient":
         """Open the connection (idempotent)."""
@@ -95,13 +140,15 @@ class PlannerClient:
 
     # -- raw request/response ------------------------------------------------
 
-    async def request(
-        self, op: str, params: Optional[Mapping[str, Any]] = None
-    ) -> Dict[str, Any]:
-        """Send one request, return the full validated response envelope.
+    def _backoff_s(self, attempt: int) -> float:
+        delay = min(self.backoff_max, self.backoff_base * (2.0 ** attempt))
+        if self.jitter:
+            delay *= 1.0 + self._rng.uniform(-self.jitter, self.jitter)
+        return max(0.0, delay)
 
-        Raises the server's typed exception on an error response.
-        """
+    async def _request_once(
+        self, op: str, params: Optional[Mapping[str, Any]]
+    ) -> Dict[str, Any]:
         await self.connect()
         assert self._reader is not None and self._writer is not None
         self._next_id += 1
@@ -109,8 +156,33 @@ class PlannerClient:
         await send_message(self._writer, req)
         line = await read_message(self._reader)
         if line is None:
-            raise ProtocolError("server closed the connection mid-request")
-        response = parse_response(line)
+            raise ServiceUnavailableError("server closed the connection mid-request")
+        return parse_response(line)
+
+    async def request(
+        self, op: str, params: Optional[Mapping[str, Any]] = None
+    ) -> Dict[str, Any]:
+        """Send one request, return the full validated response envelope.
+
+        Raises the server's typed exception on an error response.
+        Connection-level failures reconnect and re-send up to
+        ``retries`` times before propagating.
+        """
+        attempt = 0
+        while True:
+            try:
+                response = await self._request_once(op, params)
+                break
+            except (ConnectionError, OSError):
+                # Covers refused/reset/broken-pipe and the typed
+                # mid-request EOF (ServiceUnavailableError is a
+                # ConnectionError too).  A dead socket never carries
+                # state worth keeping — drop it either way.
+                await self.close()
+                if attempt >= self.retries:
+                    raise
+                await asyncio.sleep(self._backoff_s(attempt))
+                attempt += 1
         if not response["ok"]:
             raise exception_from_payload(response["error"])
         return response
@@ -131,21 +203,46 @@ class PlannerClient:
         """Server counters (cache, pool, single-flight, limits)."""
         return dict((await self.request("stats"))["result"])
 
-    async def metrics(self, format: str = "prometheus") -> Dict[str, Any]:
+    async def metrics(
+        self, format: str = "prometheus", scope: Optional[str] = None
+    ) -> Dict[str, Any]:
         """The server's metrics registry.
 
         ``format="prometheus"`` → ``{"format": ..., "body": <text>}``;
         ``format="json"`` → ``{"format": ..., "metrics": {...}}`` with
-        p50/p95/p99 per histogram series.
+        p50/p95/p99 per histogram series.  Against a fleet router,
+        ``scope="fleet"`` (its default) scrapes every healthy shard and
+        rolls the registries up with per-shard labels;
+        ``scope="router"`` returns only the router's own instruments.
         """
-        return dict(
-            (await self.request("metrics", {"format": format}))["result"]
-        )
+        params: Dict[str, Any] = {"format": format}
+        if scope is not None:
+            params["scope"] = scope
+        return dict((await self.request("metrics", params))["result"])
 
     async def catalog(self, provider: str = "google") -> Dict[str, Any]:
         """The provider's storage catalog and prices."""
         return dict(
             (await self.request("catalog", {"provider": provider}))["result"]
+        )
+
+    async def register(
+        self, shard_id: str, host: str, port: int
+    ) -> Dict[str, Any]:
+        """Register a planner shard with the fleet router."""
+        return dict(
+            (
+                await self.request(
+                    "register",
+                    {"shard_id": shard_id, "host": host, "port": int(port)},
+                )
+            )["result"]
+        )
+
+    async def deregister(self, shard_id: str) -> Dict[str, Any]:
+        """Remove a planner shard from the fleet router."""
+        return dict(
+            (await self.request("deregister", {"shard_id": shard_id}))["result"]
         )
 
     async def plan(
@@ -159,19 +256,23 @@ class PlannerClient:
         restarts: Optional[int] = None,
         backend: Optional[str] = None,
         replicas: Optional[int] = None,
+        tenant: Optional[str] = None,
     ) -> Dict[str, Any]:
         """Solve a workload; result carries ``cached`` and ``fingerprint``.
 
         ``backend="tempering"`` selects the parallel-tempering annealer
         with ``replicas`` coupled chains (see
         :mod:`repro.core.tempering`); both default to the server's
-        ``"anneal"`` single-chain when omitted.
+        ``"anneal"`` single-chain when omitted.  ``tenant`` labels the
+        request for the fleet's fair queueing and metrics; it never
+        changes the plan (plans are tenant-independent pure functions
+        of the request).
         """
         return await self._solve_result(
             "plan",
             _solve_params(
                 workload, provider, n_vms, iterations, seed, use_castpp, restarts,
-                backend=backend, replicas=replicas,
+                backend=backend, replicas=replicas, tenant=tenant,
             ),
         )
 
@@ -183,24 +284,45 @@ class PlannerClient:
         iterations: int = 3000,
         seed: int = 42,
         restarts: Optional[int] = None,
+        tenant: Optional[str] = None,
     ) -> Dict[str, Any]:
         """Deadline-optimize a workflow DAG."""
         return await self._solve_result(
             "plan_workflow",
-            _solve_params(workflow, provider, n_vms, iterations, seed, True, restarts),
+            _solve_params(
+                workflow, provider, n_vms, iterations, seed, True, restarts,
+                tenant=tenant,
+            ),
         )
 
 
 class SyncPlannerClient:
     """Blocking facade over :class:`PlannerClient` (one connection per call)."""
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 4815) -> None:
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 4815,
+        *,
+        retries: int = 0,
+        backoff_base: float = 0.05,
+        backoff_max: float = 2.0,
+        jitter: float = 0.1,
+    ) -> None:
         self.host = host
         self.port = port
+        self._client_kwargs = {
+            "retries": retries,
+            "backoff_base": backoff_base,
+            "backoff_max": backoff_max,
+            "jitter": jitter,
+        }
 
     def _run(self, method: str, *args: Any, **kwargs: Any) -> Dict[str, Any]:
         async def call() -> Dict[str, Any]:
-            async with PlannerClient(self.host, self.port) as client:
+            async with PlannerClient(
+                self.host, self.port, **self._client_kwargs
+            ) as client:
                 return await getattr(client, method)(*args, **kwargs)
 
         return asyncio.run(call())
@@ -213,9 +335,11 @@ class SyncPlannerClient:
         """Server counters."""
         return self._run("stats")
 
-    def metrics(self, format: str = "prometheus") -> Dict[str, Any]:
+    def metrics(
+        self, format: str = "prometheus", scope: Optional[str] = None
+    ) -> Dict[str, Any]:
         """The server's metrics registry (Prometheus text or JSON)."""
-        return self._run("metrics", format=format)
+        return self._run("metrics", format=format, scope=scope)
 
     def catalog(self, provider: str = "google") -> Dict[str, Any]:
         """Provider catalog."""

@@ -52,10 +52,25 @@ __all__ = [
 
 PROTOCOL_VERSION = 1
 
-#: Operations the server understands.  ``metrics`` exposes the server's
+#: Operations the protocol knows.  ``metrics`` exposes the server's
 #: observability registry (Prometheus text or JSON) — see
-#: :mod:`repro.obs.metrics`.
-OPS = ("plan", "plan_workflow", "catalog", "stats", "metrics", "ping")
+#: :mod:`repro.obs.metrics`.  ``register``/``deregister`` are the shard
+#: membership ops served by the fleet router
+#: (:mod:`repro.fleet.router`); a plain :class:`PlannerServer` answers
+#: them with a typed error.  Solve params may carry a ``tenant`` string
+#: (default ``"default"``) — it never enters the request fingerprint
+#: (plans are tenant-independent) but drives the router's per-tenant
+#: fair queueing and the per-tenant metric labels.
+OPS = (
+    "plan",
+    "plan_workflow",
+    "catalog",
+    "stats",
+    "metrics",
+    "ping",
+    "register",
+    "deregister",
+)
 
 #: Stream limit for one message — generous headroom over the largest
 #: synthetic workload (~100 jobs ≈ 10 KB) without letting one client

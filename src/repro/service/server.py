@@ -91,6 +91,7 @@ def _normalize_solve_params(op: str, params: Mapping[str, Any]) -> Dict[str, Any
         return {
             "op": op,
             "spec": dict(spec),
+            "tenant": str(params.get("tenant", "default")),
             "provider": str(params.get("provider", "google")),
             "n_vms": int(params.get("n_vms", 25)),
             "iterations": int(params.get("iterations", 3000)),
@@ -180,6 +181,11 @@ class PlannerServer:
         )
         self._ops = self.metrics.counter(
             "cast_service_ops_total", "Requests by op", labelnames=("op",)
+        )
+        self._tenant_requests = self.metrics.counter(
+            "cast_service_tenant_requests_total",
+            "Solve requests by tenant",
+            labelnames=("tenant",),
         )
         self._evaluator_events = self.metrics.counter(
             "cast_evaluator_events_total",
@@ -317,6 +323,11 @@ class PlannerServer:
             return ok_response(req_id, self._metrics_op(params))
         if op == "catalog":
             return ok_response(req_id, self._catalog(params))
+        if op in ("register", "deregister"):
+            raise ProtocolError(
+                f"op {op!r} is served by the fleet router, not a planner "
+                f"shard — point the registration at 'cast-plan fleet'"
+            )
         result, cached = await self._solve_op(op, params)
         return ok_response(req_id, result, cached=cached)
 
@@ -359,6 +370,7 @@ class PlannerServer:
         self, op: str, params: Mapping[str, Any]
     ) -> Tuple[Dict[str, Any], bool]:
         normalized = _normalize_solve_params(op, params)
+        self._tenant_requests.inc(tenant=normalized.pop("tenant"))
         restarts = normalized.pop("restarts") or self.pool.restarts
         fingerprint = request_fingerprint(
             op,

@@ -1,0 +1,98 @@
+"""Consistent hash ring: determinism, balance, minimal movement."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FleetError
+from repro.fleet.hashring import ConsistentHashRing
+
+shard_sets = st.sets(
+    st.text(st.characters(min_codepoint=97, max_codepoint=122), min_size=1, max_size=8),
+    min_size=1,
+    max_size=8,
+)
+keys = st.lists(st.text(min_size=1, max_size=32), min_size=1, max_size=50)
+
+
+class TestBasics:
+    def test_empty_ring_refuses_to_route(self):
+        with pytest.raises(FleetError, match="empty"):
+            ConsistentHashRing().route("k")
+
+    def test_bad_vnodes_rejected(self):
+        with pytest.raises(FleetError, match="vnodes"):
+            ConsistentHashRing(vnodes=0)
+
+    def test_membership_protocol(self):
+        ring = ConsistentHashRing(["a", "b"])
+        assert len(ring) == 2
+        assert "a" in ring and "c" not in ring
+        ring.add("a")  # idempotent
+        assert len(ring) == 2
+        ring.remove("c")  # idempotent
+        ring.remove("a")
+        assert ring.shards() == ["b"]
+
+    def test_single_shard_owns_everything(self):
+        ring = ConsistentHashRing(["only"])
+        assert all(ring.route(f"k{i}") == "only" for i in range(100))
+
+    def test_successors_enumerate_each_shard_once(self):
+        ring = ConsistentHashRing(["a", "b", "c"])
+        succ = ring.successors("some-key")
+        assert sorted(succ) == ["a", "b", "c"]
+        assert succ[0] == ring.route("some-key")
+
+    def test_load_split_reaches_every_shard(self):
+        ring = ConsistentHashRing(["a", "b", "c", "d"])
+        split = ring.load_split(f"fp{i}" for i in range(2000))
+        assert set(split) == {"a", "b", "c", "d"}
+        assert all(count > 0 for count in split.values())
+        assert sum(split.values()) == 2000
+
+
+class TestDeterminism:
+    @given(shards=shard_sets, ks=keys)
+    @settings(max_examples=50, deadline=None)
+    def test_two_rings_always_agree(self, shards, ks):
+        r1 = ConsistentHashRing(sorted(shards))
+        r2 = ConsistentHashRing(sorted(shards, reverse=True))  # insertion order
+        for k in ks:
+            assert r1.route(k) == r2.route(k)
+
+    def test_stable_across_rebuilds(self):
+        ring = ConsistentHashRing(["a", "b", "c"])
+        before = {f"k{i}": ring.route(f"k{i}") for i in range(200)}
+        ring.remove("b")
+        ring.add("b")  # leave and rejoin restores the exact mapping
+        assert before == {k: ring.route(k) for k in before}
+
+
+class TestMinimalMovement:
+    @given(shards=shard_sets, ks=keys)
+    @settings(max_examples=50, deadline=None)
+    def test_remove_only_moves_the_dead_shards_keys(self, shards, ks):
+        shards = sorted(shards)
+        if len(shards) < 2:
+            return
+        ring = ConsistentHashRing(shards)
+        victim = shards[0]
+        before = {k: ring.route(k) for k in ks}
+        ring.remove(victim)
+        for k in ks:
+            after = ring.route(k)
+            if before[k] != victim:
+                assert after == before[k]  # untouched keys stay put
+            else:
+                assert after != victim
+
+    @given(shards=shard_sets, ks=keys, joiner=st.text(min_size=9, max_size=12))
+    @settings(max_examples=50, deadline=None)
+    def test_join_only_steals_keys_it_now_owns(self, shards, ks, joiner):
+        ring = ConsistentHashRing(sorted(shards))
+        before = {k: ring.route(k) for k in ks}
+        ring.add(joiner)
+        for k in ks:
+            after = ring.route(k)
+            assert after == before[k] or after == joiner

@@ -1,0 +1,153 @@
+"""The supervisor: real shard subprocesses, crash restart, SIGTERM drain.
+
+These tests spawn actual ``python -m repro serve`` processes, so they
+are the slowest in the suite — each scenario keeps its fleet as small
+as the behaviour under test allows.
+"""
+
+import asyncio
+import signal
+
+import pytest
+
+from repro.errors import FleetError
+from repro.fleet import FleetRouter, FleetSupervisor
+from repro.service import PlannerClient
+from repro.workloads.io import workload_to_dict
+from repro.workloads.swim import synthesize_small_workload
+
+pytestmark = pytest.mark.slow
+
+
+def small_spec(n_jobs=4):
+    return workload_to_dict(synthesize_small_workload(n_jobs=n_jobs))
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def fleet_up(shards, **kwargs):
+    router = FleetRouter(health_interval_s=0, default_restarts=2)
+    await router.start()
+    serve_task = asyncio.create_task(router.serve_forever())
+    supervisor = FleetSupervisor(
+        router, shards=shards, restarts=2, check_interval_s=0.1, **kwargs
+    )
+    try:
+        await supervisor.start()
+    except BaseException:
+        serve_task.cancel()
+        await asyncio.gather(serve_task, return_exceptions=True)
+        await router.stop()
+        raise
+    return router, supervisor, serve_task
+
+
+async def fleet_down(router, supervisor, serve_task):
+    await supervisor.stop()
+    serve_task.cancel()
+    await asyncio.gather(serve_task, return_exceptions=True)
+    await router.stop()
+
+
+class TestLifecycle:
+    def test_bad_shard_count_rejected(self):
+        with pytest.raises(FleetError, match="shard"):
+            FleetSupervisor(FleetRouter(), shards=0)
+
+    def test_kill_unknown_shard_rejected(self):
+        async def scenario():
+            router, supervisor, serve_task = await fleet_up(1, auto_restart=False)
+            try:
+                with pytest.raises(FleetError, match="nosuch"):
+                    await supervisor.kill_shard("nosuch")
+            finally:
+                await fleet_down(router, supervisor, serve_task)
+
+        run(scenario())
+
+    def test_sigterm_drains_and_exits_zero(self):
+        """The graceful-shutdown satellite, end to end: a live shard
+        receiving SIGTERM (what ``supervisor.stop`` sends) exits 0."""
+
+        async def scenario():
+            router, supervisor, serve_task = await fleet_up(1, auto_restart=False)
+            try:
+                shard = supervisor.shards[0]
+                assert shard.alive
+                shard.detached = True  # keep the monitor's hands off
+                shard.process.send_signal(signal.SIGTERM)
+                code = await asyncio.wait_for(shard.process.wait(), timeout=15)
+                assert code == 0
+            finally:
+                await fleet_down(router, supervisor, serve_task)
+
+        run(scenario())
+
+
+class TestFailure:
+    def test_kill_one_shard_failover_and_scrape(self):
+        """The smoke scenario as a test: solve, kill a shard, the retried
+        solve succeeds via the survivor, and the fleet scrape reflects it."""
+
+        async def scenario():
+            router, supervisor, serve_task = await fleet_up(2, auto_restart=False)
+            try:
+                spec = small_spec()
+                async with PlannerClient(*router.address, retries=2) as client:
+                    first = await client.plan(spec, iterations=20, seed=1)
+                    assert first["kind"] == "plan"
+
+                    await supervisor.kill_shard("shard-0", respawn=False)
+                    assert router.healthy_shards == ["shard-1"]
+
+                    # Fresh request (no L1 hit): must complete with zero
+                    # errors whatever shard it hashes to.
+                    second = await client.plan(spec, iterations=20, seed=2)
+                    assert second["kind"] == "plan"
+                    assert second["shard"] == "shard-1"
+
+                    scraped = await client.metrics(format="json", scope="fleet")
+                    shards = set()
+                    for entry in scraped["metrics"].values():
+                        for sample in entry["values"]:
+                            shards.add(sample["labels"].get("shard"))
+                    assert shards == {"router", "shard-1"}
+            finally:
+                await fleet_down(router, supervisor, serve_task)
+
+        run(scenario())
+
+    def test_crashed_shard_respawns_on_same_port(self):
+        """Restart is invisible to routing: same id, same port, ring
+        membership restored once the monitor brings it back."""
+
+        async def scenario():
+            router, supervisor, serve_task = await fleet_up(1, auto_restart=True)
+            try:
+                shard = supervisor.shards[0]
+                port_before = shard.port
+                pid_before = shard.process.pid
+
+                await supervisor.kill_shard("shard-0", respawn=True)
+                assert not shard.alive
+
+                deadline = asyncio.get_running_loop().time() + 30
+                while asyncio.get_running_loop().time() < deadline:
+                    if shard.alive and "shard-0" in router.healthy_shards:
+                        break
+                    await asyncio.sleep(0.1)
+                assert shard.alive, "monitor never respawned the shard"
+                assert shard.restarts == 1
+                assert shard.port == port_before
+                assert shard.process.pid != pid_before
+                assert router.healthy_shards == ["shard-0"]
+
+                async with PlannerClient(*router.address) as client:
+                    result = await client.plan(small_spec(), iterations=20, seed=3)
+                    assert result["shard"] == "shard-0"
+            finally:
+                await fleet_down(router, supervisor, serve_task)
+
+        run(scenario())

@@ -1,0 +1,174 @@
+"""Client reconnect: bounded exponential backoff over flaky transports."""
+
+import asyncio
+
+import pytest
+
+from repro.errors import ServiceUnavailableError, WorkloadError
+from repro.service import PlannerClient
+from repro.service.protocol import (
+    error_response,
+    ok_response,
+    parse_request,
+    read_message,
+    send_message,
+)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class FlakyServer:
+    """Drops the first ``fail_first`` connections at accept, then serves.
+
+    Serving answers ``ping`` normally and any solve op with a typed
+    ``WorkloadError`` — enough surface to tell transport failures (which
+    should retry) apart from typed errors (which must not).
+    """
+
+    def __init__(self, fail_first=0):
+        self.fail_first = fail_first
+        self.connections = 0
+        self.requests = 0
+        self._server = None
+
+    async def __aenter__(self):
+        self._server = await asyncio.start_server(self._handle, "127.0.0.1", 0)
+        self.address = self._server.sockets[0].getsockname()[:2]
+        return self
+
+    async def __aexit__(self, *exc):
+        self._server.close()
+        await self._server.wait_closed()
+
+    async def _handle(self, reader, writer):
+        self.connections += 1
+        if self.connections <= self.fail_first:
+            writer.close()  # EOF before any response line
+            return
+        try:
+            while True:
+                line = await read_message(reader)
+                if line is None:
+                    break
+                request = parse_request(line)
+                self.requests += 1
+                if request["op"] == "ping":
+                    await send_message(
+                        writer, ok_response(request.get("id"), {"pong": True})
+                    )
+                else:
+                    await send_message(
+                        writer,
+                        error_response(
+                            request.get("id"), WorkloadError("synthetic")
+                        ),
+                    )
+        finally:
+            writer.close()
+
+
+class TestBackoffSchedule:
+    def test_exponential_and_capped(self):
+        client = PlannerClient(
+            retries=5, backoff_base=0.1, backoff_max=0.5, jitter=0.0
+        )
+        sleeps = [client._backoff_s(i) for i in range(5)]
+        assert sleeps == [0.1, 0.2, 0.4, 0.5, 0.5]
+
+    def test_jitter_stays_within_band(self):
+        client = PlannerClient(retries=3, backoff_base=0.1, jitter=0.25)
+        for attempt in range(4):
+            nominal = min(client.backoff_max, 0.1 * 2**attempt)
+            for _ in range(20):
+                s = client._backoff_s(attempt)
+                assert nominal * 0.75 <= s <= nominal * 1.25
+
+
+class TestRetryBehaviour:
+    def test_default_is_fail_fast(self):
+        async def scenario():
+            async with FlakyServer(fail_first=10) as server:
+                async with PlannerClient(*server.address) as client:
+                    # Clean EOF maps to ServiceUnavailableError; a racy
+                    # close can surface as ECONNRESET — both are
+                    # ConnectionError, which is the retry contract.
+                    with pytest.raises(ConnectionError):
+                        await client.ping()
+                assert server.connections == 1  # no silent reconnects
+
+        run(scenario())
+
+    def test_retry_reconnects_after_eof(self):
+        async def scenario():
+            async with FlakyServer(fail_first=1) as server:
+                async with PlannerClient(
+                    *server.address, retries=2, backoff_base=0.01, jitter=0.0
+                ) as client:
+                    pong = await client.ping()
+                    assert pong["pong"] is True
+                assert server.connections == 2
+
+        run(scenario())
+
+    def test_retries_are_bounded(self):
+        async def scenario():
+            async with FlakyServer(fail_first=100) as server:
+                async with PlannerClient(
+                    *server.address, retries=2, backoff_base=0.01, jitter=0.0
+                ) as client:
+                    with pytest.raises(ConnectionError):
+                        await client.ping()
+                assert server.connections == 3  # initial + 2 retries
+
+        run(scenario())
+
+    def test_connection_refused_is_retried_too(self):
+        async def scenario():
+            # Grab a port that nothing listens on.
+            probe = await asyncio.start_server(lambda r, w: None, "127.0.0.1", 0)
+            host, port = probe.sockets[0].getsockname()[:2]
+            probe.close()
+            await probe.wait_closed()
+            client = PlannerClient(
+                host, port, retries=1, backoff_base=0.01, jitter=0.0
+            )
+            backoffs = []
+            original = client._backoff_s
+            client._backoff_s = lambda attempt: (
+                backoffs.append(attempt), original(attempt)
+            )[1]
+            try:
+                with pytest.raises(OSError):
+                    await client.ping()
+            finally:
+                await client.close()
+            assert backoffs == [0]  # one reconnect attempt, then give up
+
+        run(scenario())
+
+    def test_typed_errors_never_retry(self):
+        async def scenario():
+            async with FlakyServer() as server:
+                async with PlannerClient(
+                    *server.address, retries=3, backoff_base=0.01
+                ) as client:
+                    with pytest.raises(WorkloadError, match="synthetic"):
+                        await client.request("plan", {"spec": {}})
+                assert server.requests == 1  # answered once, no replay
+
+        run(scenario())
+
+    def test_eof_midstream_maps_to_service_unavailable(self):
+        """The error type doubles as ConnectionError so generic retry
+        loops (and the router's failover) can catch it uniformly."""
+        assert issubclass(ServiceUnavailableError, ConnectionError)
+
+        async def scenario():
+            async with FlakyServer(fail_first=1) as server:
+                async with PlannerClient(*server.address) as client:
+                    with pytest.raises(ConnectionError):
+                        await client.ping()
+
+        run(scenario())
