@@ -29,7 +29,6 @@ Writes ``BENCH_sim.json`` (override with ``--out``).
 from __future__ import annotations
 
 import argparse
-import json
 import os
 import sys
 import time
@@ -41,7 +40,7 @@ sys.path.insert(0, _HERE)
 
 import numpy as np
 
-from conftest import bench_environment
+from conftest import write_bench_report
 from repro.cloud.provider import google_cloud_2015
 from repro.cloud.storage import Tier
 from repro.cloud.vm import ClusterSpec
@@ -173,7 +172,6 @@ def main(argv: List[str] | None = None) -> int:
         "parity_errors": failures,
         "channel_parity_rel": rel,
         "parity_rtol": PARITY_RTOL,
-        "environment": bench_environment(),
         "steps": {
             "reference_serial": {"seconds": ref_s, "sims_per_s": n_sims / ref_s},
             "virtual_serial": {"seconds": virt_s, "sims_per_s": n_sims / virt_s},
@@ -191,9 +189,7 @@ def main(argv: List[str] | None = None) -> int:
         "warm_speedup": ref_s / par_warm_s,
         "sim": report_counters,
     }
-    with open(args.out, "w") as fh:
-        json.dump(report, fh, indent=2)
-        fh.write("\n")
+    write_bench_report(args.out, report)
 
     print(
         f"[{'ok ' if not failures else 'FAIL'}] {len(plan_list)} plans x "

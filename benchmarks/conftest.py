@@ -44,6 +44,23 @@ def bench_environment() -> Dict[str, Any]:
     }
 
 
+def write_bench_report(path: str, report: Dict[str, Any]) -> None:
+    """Write one ``BENCH_*.json`` with the environment stamp guaranteed.
+
+    The stamp used to be each writer's responsibility and
+    ``BENCH_sim.json`` shipped without one; going through this helper
+    makes forgetting impossible.  A caller-provided ``environment``
+    key wins.
+    """
+    import json
+
+    payload = dict(report)
+    payload.setdefault("environment", bench_environment())
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+
+
 @pytest.fixture()
 def once(benchmark):
     """Run a deterministic experiment exactly once under timing."""

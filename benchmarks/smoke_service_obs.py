@@ -12,7 +12,9 @@ of the observability layer end to end:
   JSONL export of the trace round-trips;
 * the Prometheus exposition is non-empty and includes the unified
   counter surfaces (service events, solver, plan cache, sim cache,
-  pool);
+  simulator fast path, pool);
+* a ``whatif`` request drives the vectorized fast path, so its
+  ``cast_sim_fastpath_*`` counters scrape non-zero;
 * the legacy ``stats`` payload still carries its backward-compatible
   counter keys.
 
@@ -52,6 +54,8 @@ EXPECTED_METRICS = (
     "cast_solver_solve_seconds",
     "cast_plan_cache_events_total",
     "cast_sim_cache_events_total",
+    "cast_sim_fastpath_total",
+    "cast_sim_fastpath_batches_total",
     "cast_pool_tasks_total",
 )
 
@@ -107,6 +111,10 @@ async def run_smoke() -> int:
                 check(all(r["trace_id"] == trace_id for r in lines),
                       "exported spans all belong to the solve trace")
 
+            whatif = await client.whatif(spec, tier="objStore", n_vms=5)
+            check(whatif.get("trace_id") is not None and whatif["fast"] is True,
+                  "whatif runs the fast path and carries a trace_id")
+
             metrics = await client.metrics()
             body = metrics.get("body", "")
             check(metrics.get("format") == "prometheus" and bool(body.strip()),
@@ -115,6 +123,12 @@ async def run_smoke() -> int:
                 check(name in body, f"exposition includes {name}")
             check("# TYPE cast_service_solve_seconds histogram" in body,
                   "solve-latency histogram is typed in the exposition")
+            analytic = [
+                line for line in body.splitlines()
+                if line.startswith('cast_sim_fastpath_total{path="analytic"}')
+            ]
+            check(bool(analytic) and not analytic[0].endswith(" 0"),
+                  "whatif drove the analytic fast-path counter above zero")
 
             stats = await client.stats()
             check(set(stats["counters"]) == LEGACY_COUNTER_KEYS,

@@ -20,6 +20,13 @@ Subcommands
     Send a workload to a running daemon (or fleet router) and print
     the plan exactly as ``plan`` would; repeated submissions of the
     same workload are answered from the server's cache.
+``simulate``
+    Deploy a fixed tiering (a uniform ``--tier`` or a ``--plan-file``
+    from ``plan --out``) on the simulated cluster and print the
+    measured makespan/cost/utility — no solver involved.  ``--batch``
+    routes eligible jobs through the vectorized wave-model fast path;
+    ``--check`` re-measures on the exact event engine and exits 1 if
+    any phase disagrees beyond the documented tolerance.
 ``experiment``
     Regenerate one of the paper's tables/figures or an ablation
     (``table1 table2 table4 fig1 fig2 fig3 fig4 fig5 fig7 fig8 fig9
@@ -404,6 +411,89 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    import json
+    import time
+    from pathlib import Path
+
+    from .cloud.storage import Tier
+    from .cloud.vm import ClusterSpec
+    from .core.plan import TieringPlan
+    from .experiments.measure import measure_plan
+    from .experiments.runner import ExperimentRunner
+    from .simulator import ANALYTIC_RTOL, batch_results_match, fastpath_stats, \
+        reset_fastpath_stats
+
+    try:
+        workload = _resolve_workload(args)
+    except CastError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    prov = _resolve_provider(args.provider)
+    cluster = ClusterSpec(n_vms=args.vms)
+    if args.plan_file:
+        plan = TieringPlan.from_dict(json.loads(Path(args.plan_file).read_text()))
+    else:
+        plan = TieringPlan.uniform(workload, Tier(args.tier))
+
+    reset_fastpath_stats()
+    t0 = time.perf_counter()
+    with ExperimentRunner(args.workers, fast_path=args.batch) as runner:
+        measured = measure_plan(
+            workload, plan, cluster, prov,
+            runner=runner if (runner.parallel or args.batch) else None,
+        )
+    elapsed = time.perf_counter() - t0
+    source = "plan " + args.plan_file if args.plan_file else f"uniform {args.tier}"
+    print(
+        f"simulated {workload.n_jobs} jobs on {cluster.n_vms} VMs "
+        f"({prov.name}, {source}) in {elapsed:.2f}s"
+    )
+    print(
+        f"measured: T={measured.makespan_min:.1f} min  "
+        f"cost=${measured.cost.total_usd:.2f}  utility={measured.utility:.3e}"
+    )
+    if args.batch:
+        if runner.parallel:
+            # Fast-path counters accumulate inside the worker
+            # processes; report the parent-side dispatch instead.
+            rs = runner.stats()
+            print(
+                f"fast path: dispatched={rs['tasks_run']} "
+                f"deduped={rs['tasks_deduped']} over {rs['workers']} workers"
+            )
+        else:
+            st = fastpath_stats()
+            print(
+                f"fast path: analytic={st['analytic']} "
+                f"fallback={st['fallback']} cache_hits={st['cache_hits']} "
+                f"deduped={st['deduped']}"
+            )
+    if args.check:
+        # Re-measure on the exact event engine (serial, no fast path).
+        # Any phase off by more than ANALYTIC_RTOL relative fails the
+        # gate and the command exits 1 — same contract as the
+        # parity-gated benchmarks.
+        exact = measure_plan(workload, plan, cluster, prov)
+        got = [measured.per_job[j.job_id] for j in workload.jobs]
+        want = [exact.per_job[j.job_id] for j in workload.jobs]
+        failures = batch_results_match(got, want, rtol=ANALYTIC_RTOL)
+        if failures:
+            print(
+                f"parity check FAILED ({len(failures)} phases beyond "
+                f"rtol={ANALYTIC_RTOL:g}):",
+                file=sys.stderr,
+            )
+            for line in failures[:10]:
+                print(f"  {line}", file=sys.stderr)
+            return 1
+        print(
+            f"parity check passed: {len(got)} jobs within "
+            f"rtol={ANALYTIC_RTOL:g} of the exact engine"
+        )
+    return 0
+
+
 _EXPERIMENTS: Dict[str, Callable[[], str]] = {}
 
 
@@ -423,7 +513,9 @@ def _register_experiments() -> None:
             "fig3": lambda: ex.format_fig3(ex.run_fig3()),
             "fig4": lambda: ex.format_fig4(ex.run_fig4()),
             "fig5": lambda: ex.format_fig5(ex.run_fig5()),
-            "fig7": lambda workers=None: ex.format_fig7(ex.run_fig7(workers=workers)),
+            "fig7": lambda workers=None, fast_sim=False: ex.format_fig7(
+                ex.run_fig7(workers=workers, fast_sim=fast_sim)
+            ),
             "fig8": lambda: ex.format_fig8(ex.run_fig8()),
             "fig9": lambda workers=None: ex.format_fig9(ex.run_fig9(workers=workers)),
             "ablation-sa": lambda: ex.format_sa_ablation(ex.run_sa_ablation()),
@@ -460,15 +552,20 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     import inspect
 
     workers = getattr(args, "workers", None)
+    fast_sim = bool(getattr(args, "fast_sim", False))
     for name in names:
         print(f"=== {name} ===")
         fn = _EXPERIMENTS[name]
-        # Simulation-heavy experiments accept a worker count; the rest
-        # are solver-bound and run as before.
-        if "workers" in inspect.signature(fn).parameters:
-            print(fn(workers=workers))
-        else:
-            print(fn())
+        # Simulation-heavy experiments accept a worker count (and
+        # fig7 the vectorized fast path); the rest are solver-bound
+        # and run as before.
+        params = inspect.signature(fn).parameters
+        kwargs = {}
+        if "workers" in params:
+            kwargs["workers"] = workers
+        if "fast_sim" in params:
+            kwargs["fast_sim"] = fast_sim
+        print(fn(**kwargs))
         print()
     return 0
 
@@ -659,12 +756,47 @@ def build_parser() -> argparse.ArgumentParser:
                         help="comma-separated candidate VM counts")
     p_size.set_defaults(func=_cmd_size)
 
+    p_sim = sub.add_parser(
+        "simulate",
+        help="measure a fixed tiering on the simulated cluster",
+    )
+    p_sim.add_argument("--workload", default="facebook",
+                       choices=("facebook", "small"),
+                       help="which built-in workload to simulate")
+    p_sim.add_argument("--workload-file", default=None,
+                       help="JSON workload file (overrides --workload)")
+    p_sim.add_argument("--provider", default="google",
+                       choices=sorted(_PROVIDERS),
+                       help="cloud catalog to simulate against")
+    p_sim.add_argument("--vms", type=int, default=25, help="cluster size")
+    p_sim.add_argument("--tier", default="objStore",
+                       choices=("ephSSD", "persSSD", "persHDD", "objStore"),
+                       help="uniform tier for every job (default objStore)")
+    p_sim.add_argument("--plan-file", default=None, metavar="PATH",
+                       help="tiering-plan JSON (from 'plan --out'); "
+                            "overrides --tier")
+    p_sim.add_argument("--batch", action="store_true",
+                       help="route eligible jobs through the vectorized "
+                            "wave-model fast path (phase times agree with "
+                            "the event engine within 1e-9 relative)")
+    p_sim.add_argument("--workers", type=int, default=None,
+                       help="parallel simulation workers; default serial")
+    p_sim.add_argument("--check", action="store_true",
+                       help="re-measure on the exact event engine and "
+                            "exit 1 if any phase disagrees beyond the "
+                            "tolerance (the parity gate)")
+    _add_logging_args(p_sim)
+    p_sim.set_defaults(func=_cmd_simulate)
+
     p_exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
     p_exp.add_argument("name", help="experiment id (or 'all')")
     p_exp.add_argument("--workers", type=int, default=None,
                        help="parallel simulation workers for the "
                             "measurement-heavy experiments (fig7, fig9, "
                             "sensitivity); default serial")
+    p_exp.add_argument("--fast-sim", action="store_true",
+                       help="vectorized wave-model fast path for the "
+                            "measurement simulations (fig7)")
     _add_logging_args(p_exp)
     p_exp.set_defaults(func=_cmd_experiment)
 

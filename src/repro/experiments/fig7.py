@@ -97,12 +97,17 @@ def run_fig7(
     iterations: int = 6000,
     seed: int = 42,
     workers: Optional[int] = None,
+    fast_sim: bool = False,
 ) -> Fig7Result:
     """Solve and measure all eight configurations.
 
     ``workers`` > 1 fans the measurement simulations out over an
-    :class:`~repro.experiments.runner.ExperimentRunner`; the reported
-    numbers are identical to the serial run.
+    :class:`~repro.experiments.runner.ExperimentRunner` in whole
+    fingerprint-deduped chunks; the reported numbers are identical to
+    the serial run.  ``fast_sim`` additionally opts the runner into the
+    vectorized wave model (results then agree with the engine within
+    :data:`~repro.simulator.vectorized.ANALYTIC_RTOL` instead of
+    bit-exactly).
     """
     prov = prov or provider()
     cluster = cluster or evaluation_cluster()
@@ -123,12 +128,12 @@ def run_fig7(
                           schedule=schedule, seed=seed)
     plans["CAST++"] = castpp.solve(workload).best_state
 
-    with ExperimentRunner(workers) as runner:
+    with ExperimentRunner(workers, fast_path=fast_sim) as runner:
         measured = {
             name: measure_plan(
                 workload, plan, cluster, prov,
                 reuse_engineered=(name == "CAST++"),
-                runner=runner if runner.parallel else None,
+                runner=runner if (runner.parallel or fast_sim) else None,
             )
             for name, plan in plans.items()
         }

@@ -46,9 +46,20 @@ from ..simulator.cache import (
     job_sim_fingerprint,
     simulation_cache,
 )
-from ..simulator.engine import resolve_sim_inputs, simulate_job, simulate_workflow
+from ..simulator.engine import (
+    ANALYTIC_KEY_PREFIX,
+    resolve_sim_inputs,
+    simulate_batch,
+    simulate_job,
+    simulate_workflow,
+)
 from ..simulator.metrics import JobSimResult, WorkloadSimResult
-from ..simulator.storage_backend import REFERENCE_ENV, channel_impl_name
+from ..simulator.storage_backend import (
+    REFERENCE_ENV,
+    channel_impl_name,
+    use_reference_channel,
+)
+from ..simulator.vectorized import ANALYTIC_ENV
 from ..workloads.spec import JobSpec
 from ..workloads.workflow import Workflow
 
@@ -58,7 +69,9 @@ __all__ = [
     "sim_report",
     "spawn_seeds",
     "simulate_job_task",
+    "simulate_batch_task",
     "simulate_workflow_task",
+    "simulate_workflow_chunk_task",
 ]
 
 logger = logging.getLogger(__name__)
@@ -88,17 +101,27 @@ def _sim_env() -> Dict[str, str]:
     """The simulation-relevant environment to replay inside workers."""
     return {
         k: os.environ[k]
-        for k in (REFERENCE_ENV, CACHE_ENV)
+        for k in (REFERENCE_ENV, CACHE_ENV, ANALYTIC_ENV)
         if k in os.environ
     }
 
 
 def _apply_env(env: Mapping[str, str]) -> None:
-    for k in (REFERENCE_ENV, CACHE_ENV):
+    for k in (REFERENCE_ENV, CACHE_ENV, ANALYTIC_ENV):
         if k in env:
             os.environ[k] = env[k]
         else:
             os.environ.pop(k, None)
+
+
+def _chunked(seq: Sequence[Any], n_chunks: int) -> List[List[Any]]:
+    """Split ``seq`` into at most ``n_chunks`` contiguous, even chunks."""
+    seq = list(seq)
+    if not seq:
+        return []
+    n = max(1, min(int(n_chunks), len(seq)))
+    size = -(-len(seq) // n)
+    return [seq[i:i + size] for i in range(0, len(seq), size)]
 
 
 def simulate_job_task(payload: Tuple[Any, ...]) -> JobSimResult:
@@ -106,6 +129,21 @@ def simulate_job_task(payload: Tuple[Any, ...]) -> JobSimResult:
     job, tier, caps, cluster_spec, provider, env = payload
     _apply_env(env)
     return simulate_job(job, tier, cluster_spec, provider, per_vm_capacity_gb=caps)
+
+
+def simulate_batch_task(payload: Tuple[Any, ...]) -> List[JobSimResult]:
+    """Picklable worker body for a whole chunk of job simulations.
+
+    Routes through :func:`~repro.simulator.engine.simulate_batch`, so a
+    fast-path runner evaluates its chunk in one NumPy pass while a
+    plain runner (``fast_path=False``) reproduces per-job engine runs
+    bit-exactly — one task submission either way.
+    """
+    chunk, cluster_spec, provider, env, fast = payload
+    _apply_env(env)
+    return simulate_batch(
+        chunk, cluster_spec, provider, fast_path=bool(fast)
+    )
 
 
 def simulate_workflow_task(payload: Tuple[Any, ...]) -> WorkloadSimResult:
@@ -117,6 +155,16 @@ def simulate_workflow_task(payload: Tuple[Any, ...]) -> WorkloadSimResult:
     )
 
 
+def simulate_workflow_chunk_task(payload: Tuple[Any, ...]) -> List[WorkloadSimResult]:
+    """Picklable worker body for a chunk of workflow simulations."""
+    chunk, cluster_spec, provider, env = payload
+    _apply_env(env)
+    return [
+        simulate_workflow(wf, tier_of, cluster_spec, provider, per_vm_capacity_gb=caps)
+        for wf, tier_of, caps in chunk
+    ]
+
+
 class ExperimentRunner:
     """Ordered fan-out of independent simulations over worker processes.
 
@@ -126,10 +174,20 @@ class ExperimentRunner:
         Process count.  ``None``/``0``/``1`` run serially in-process
         (no executor is ever created).  Use as a context manager or
         call :meth:`close` to release the pool.
+    fast_path:
+        Opt in to the vectorized wave model for :meth:`simulate_jobs`
+        (``simulate_batch(..., fast_path=True)``): eligible jobs are
+        evaluated analytically within
+        :data:`~repro.simulator.vectorized.ANALYTIC_RTOL` of the
+        engine.  Off by default — the default runner remains
+        bit-identical to serial engine runs, which the throughput
+        benchmarks assert.  ``REPRO_SIM_REFERENCE=1`` overrides the
+        opt-in and restores exact event-engine results.
     """
 
-    def __init__(self, workers: Optional[int] = None) -> None:
+    def __init__(self, workers: Optional[int] = None, fast_path: bool = False) -> None:
         self.workers = int(workers or 0)
+        self.fast_path = bool(fast_path)
         self._pool: Optional[ProcessPoolExecutor] = None
         self.tasks_run = 0
         self.tasks_deduped = 0
@@ -212,22 +270,40 @@ class ExperimentRunner:
 
         Parallel mode deduplicates by simulation fingerprint before
         dispatch (the cache key excludes the job id, so shape-duplicate
-        jobs collapse to one task) and consults/feeds the parent-side
-        cache, making a warm batch free.  Serial mode defers to
-        :func:`simulate_job`, whose internal cache does the same —
-        either way the numbers are bit-identical.
+        jobs collapse to one request), consults/feeds the parent-side
+        cache, and ships the surviving requests to workers as whole
+        chunks through :func:`simulate_batch_task` — one submission per
+        chunk instead of one per job.  Serial mode defers to
+        :func:`simulate_job` (or one :func:`simulate_batch` call when
+        ``fast_path`` is on), whose internal cache does the same —
+        without the fast path the numbers are bit-identical to a
+        serial loop either way.
         """
         env = _sim_env()
-        if not self.parallel or not cache_enabled():
-            return self.map(
-                simulate_job_task,
-                [(job, tier, caps, cluster_spec, provider, env) for job, tier, caps in items],
-            )
+        items = list(items)
+        fast = self.fast_path and not use_reference_channel()
+        if not self.parallel:
+            self.batches += 1
+            self.tasks_run += len(items)
+            if fast:
+                return simulate_batch(
+                    items, cluster_spec, provider, fast_path=True
+                )
+            return [
+                simulate_job(job, tier, cluster_spec, provider, per_vm_capacity_gb=caps)
+                for job, tier, caps in items
+            ]
+
+        if not cache_enabled():
+            # No fingerprints to dedupe on; ship raw chunks.
+            self.batches += 1
+            self.tasks_run += len(items)
+            return self._run_chunks(items, cluster_spec, provider, env, fast)
 
         cache = simulation_cache()
         known: Dict[str, Optional[JobSimResult]] = {}
         item_keys: List[str] = []
-        payloads: List[Tuple[Any, ...]] = []
+        pending_items: List[JobSim] = []
         pending: Dict[str, int] = {}
         for job, tier, caps in items:
             rcaps, placement, out_tier = resolve_sim_inputs(
@@ -241,18 +317,28 @@ class ExperimentRunner:
             item_keys.append(key)
             if key in known or key in pending:
                 continue
+            # Engine results first (always authoritative); analytic
+            # results only satisfy a fast-path runner.
             hit = cache.get(key)
+            if hit is None and fast:
+                hit = cache.get(ANALYTIC_KEY_PREFIX + key)
             if hit is not None:
                 known[key] = hit
                 continue
-            pending[key] = len(payloads)
-            payloads.append((job, tier, caps, cluster_spec, provider, env))
+            pending[key] = len(pending_items)
+            pending_items.append((job, tier, caps))
 
-        self.tasks_deduped += len(items) - len(payloads)
-        fresh = self.map(simulate_job_task, payloads)
+        self.tasks_deduped += len(items) - len(pending_items)
+        self.batches += 1
+        self.tasks_run += len(pending_items)
+        fresh = self._run_chunks(pending_items, cluster_spec, provider, env, fast)
         for key, idx in pending.items():
-            cache.put(key, fresh[idx])
-            known[key] = fresh[idx]
+            res = fresh[idx]
+            # Analytic results (events == 0 marks them) must never sit
+            # under an engine key; engine fallbacks keep the bare key.
+            store_key = ANALYTIC_KEY_PREFIX + key if res.events == 0 else key
+            cache.put(store_key, res)
+            known[key] = res
 
         results: List[JobSimResult] = []
         for (job, _tier, _caps), key in zip(items, item_keys):
@@ -263,21 +349,63 @@ class ExperimentRunner:
             )
         return results
 
+    def _run_chunks(
+        self,
+        items: Sequence[JobSim],
+        cluster_spec: ClusterSpec,
+        provider: CloudProvider,
+        env: Mapping[str, str],
+        fast: bool,
+    ) -> List[JobSimResult]:
+        """Fan chunks of job requests over the pool, in order."""
+        if not items:
+            return []
+        chunks = _chunked(items, self.workers)
+        payloads = [(chunk, cluster_spec, provider, env, fast) for chunk in chunks]
+        logger.debug(
+            "dispatching %d sims as %d chunks to %d workers",
+            len(items), len(chunks), self.workers,
+        )
+        if len(payloads) == 1:
+            parts = [simulate_batch_task(payloads[0])]
+        else:
+            parts = list(self._executor().map(simulate_batch_task, payloads))
+        results: List[JobSimResult] = []
+        for part in parts:
+            results.extend(part)
+        return results
+
     def simulate_workflows(
         self,
         items: Sequence[Tuple[Workflow, Mapping[str, Tier], Optional[Mapping[Tier, float]]]],
         cluster_spec: ClusterSpec,
         provider: CloudProvider,
     ) -> List[WorkloadSimResult]:
-        """Simulate (workflow, tier-map, caps) batches in order."""
+        """Simulate (workflow, tier-map, caps) batches in order.
+
+        Workflow jobs are phased (mid-DAG staging disabled), so every
+        simulation runs on the exact event engine; parallel mode ships
+        whole chunks per worker submission like :meth:`simulate_jobs`.
+        """
         env = _sim_env()
-        return self.map(
-            simulate_workflow_task,
-            [
-                (wf, dict(tier_of), caps, cluster_spec, provider, env)
-                for wf, tier_of, caps in items
-            ],
-        )
+        normalized = [(wf, dict(tier_of), caps) for wf, tier_of, caps in items]
+        self.batches += 1
+        self.tasks_run += len(normalized)
+        if not self.parallel or len(normalized) <= 1:
+            return [
+                simulate_workflow(
+                    wf, tier_of, cluster_spec, provider, per_vm_capacity_gb=caps
+                )
+                for wf, tier_of, caps in normalized
+            ]
+        chunks = _chunked(normalized, self.workers)
+        results: List[WorkloadSimResult] = []
+        for part in self._executor().map(
+            simulate_workflow_chunk_task,
+            [(chunk, cluster_spec, provider, env) for chunk in chunks],
+        ):
+            results.extend(part)
+        return results
 
     # -- reporting ---------------------------------------------------------
 
@@ -285,6 +413,7 @@ class ExperimentRunner:
         """Runner counters (``workers``/``tasks_run``/``deduped``/...)."""
         return {
             "workers": self.workers,
+            "fast_path": self.fast_path,
             "tasks_run": self.tasks_run,
             "tasks_deduped": self.tasks_deduped,
             "batches": self.batches,

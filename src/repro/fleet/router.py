@@ -64,7 +64,7 @@ from ..errors import (
 from ..obs.metrics import MetricsRegistry
 from ..obs.tracing import current_trace_id, span
 from ..service.cache import PlanCache
-from ..service.fingerprint import request_fingerprint
+from ..service.fingerprint import request_fingerprint, whatif_fingerprint
 from ..service.pool import DEFAULT_RESTARTS
 from ..service.protocol import (
     MAX_LINE_BYTES,
@@ -77,7 +77,7 @@ from ..service.protocol import (
     read_message,
     send_message,
 )
-from ..service.server import _normalize_solve_params
+from ..service.server import _normalize_solve_params, _normalize_whatif_params
 from .hashring import ConsistentHashRing
 from .tenancy import WeightedFairScheduler
 
@@ -522,6 +522,9 @@ class FleetRouter:
             shard_id = str(params.get("shard_id", ""))
             removed = self.remove_shard(shard_id)
             return ok_response(req_id, {"shard_id": shard_id, "removed": removed})
+        if op == "whatif":
+            result, cached = await self._whatif_op(params)
+            return ok_response(req_id, result, cached=cached)
         result, cached = await self._solve_op(op, params)
         return ok_response(req_id, result, cached=cached)
 
@@ -622,8 +625,6 @@ class FleetRouter:
         self, op: str, params: Mapping[str, Any]
     ) -> Tuple[Dict[str, Any], bool]:
         normalized = _normalize_solve_params(op, params)
-        tenant = normalized["tenant"]
-        self._tenant_requests.inc(tenant=tenant)
         restarts = normalized["restarts"] or self.default_restarts
         # Pin the resolved restart count so the shard-side fingerprint
         # (and therefore its cache) agrees with the router's key.
@@ -640,6 +641,32 @@ class FleetRouter:
             backend=normalized["backend"],
             replicas=normalized["replicas"],
         )
+        return await self._route_request(op, normalized, fingerprint)
+
+    async def _whatif_op(
+        self, params: Mapping[str, Any]
+    ) -> Tuple[Dict[str, Any], bool]:
+        """``whatif`` through the fleet: same L1 cache, single-flight
+        and fair-queueing path as the solve ops; only the fingerprint
+        (and the downstream shard handler) differ."""
+        normalized = _normalize_whatif_params(params)
+        fingerprint = whatif_fingerprint(
+            normalized["spec"],
+            plan=normalized["plan"],
+            tier=normalized["tier"],
+            provider=normalized["provider"],
+            n_vms=normalized["n_vms"],
+            fast=normalized["fast"],
+        )
+        return await self._route_request("whatif", normalized, fingerprint)
+
+    async def _route_request(
+        self, op: str, normalized: Dict[str, Any], fingerprint: str
+    ) -> Tuple[Dict[str, Any], bool]:
+        """Cache → single-flight → fair queue → ring forward, shared by
+        every forwarded op."""
+        tenant = normalized["tenant"]
+        self._tenant_requests.inc(tenant=tenant)
 
         cached = self.cache.get(fingerprint)
         if cached is not None:

@@ -276,6 +276,42 @@ class PlannerClient:
             ),
         )
 
+    async def whatif(
+        self,
+        workload: Mapping[str, Any],
+        *,
+        plan: Optional[Mapping[str, Any]] = None,
+        tier: Optional[str] = None,
+        provider: str = "google",
+        n_vms: int = 25,
+        fast: bool = True,
+        tenant: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        """Measure a fixed tiering on the server's simulated cluster.
+
+        Exactly one of ``plan`` (a tiering-plan dict, e.g. from
+        ``plan --out``) or ``tier`` (a uniform tier name) selects the
+        tiering.  ``fast=True`` (the default) measures over the
+        vectorized wave-model fast path; ``fast=False`` forces the
+        exact event engine.  No solver runs — the result carries the
+        measured makespan/cost/utility plus per-job phase times, and is
+        cached by its own fingerprint (``fast`` included, since the two
+        paths agree only within the documented tolerance).
+        """
+        params: Dict[str, Any] = {
+            "spec": dict(workload),
+            "provider": provider,
+            "n_vms": n_vms,
+            "fast": fast,
+        }
+        if plan is not None:
+            params["plan"] = dict(plan)
+        if tier is not None:
+            params["tier"] = tier
+        if tenant is not None:
+            params["tenant"] = tenant
+        return await self._solve_result("whatif", params)
+
     async def plan_workflow(
         self,
         workflow: Mapping[str, Any],
@@ -348,6 +384,10 @@ class SyncPlannerClient:
     def plan(self, workload: Mapping[str, Any], **kwargs: Any) -> Dict[str, Any]:
         """Solve a workload."""
         return self._run("plan", workload, **kwargs)
+
+    def whatif(self, workload: Mapping[str, Any], **kwargs: Any) -> Dict[str, Any]:
+        """Measure a fixed tiering on the server's simulator."""
+        return self._run("whatif", workload, **kwargs)
 
     def plan_workflow(self, workflow: Mapping[str, Any], **kwargs: Any) -> Dict[str, Any]:
         """Deadline-optimize a workflow."""

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import hashlib
 import json
-from typing import Any, Dict, Mapping
+from typing import Any, Dict, Mapping, Optional
 
 from ..errors import WorkloadError
 from ..workloads.io import (
@@ -28,7 +28,12 @@ from ..workloads.io import (
     workload_to_dict,
 )
 
-__all__ = ["canonical_json", "canonical_spec", "request_fingerprint"]
+__all__ = [
+    "canonical_json",
+    "canonical_spec",
+    "request_fingerprint",
+    "whatif_fingerprint",
+]
 
 
 def canonical_json(obj: Any) -> str:
@@ -76,5 +81,31 @@ def request_fingerprint(
         "restarts": int(restarts),
         "backend": str(backend),
         "replicas": int(replicas),
+    }
+    return hashlib.sha256(canonical_json(payload).encode()).hexdigest()
+
+
+def whatif_fingerprint(
+    spec: Mapping[str, Any],
+    plan: Optional[Mapping[str, Any]] = None,
+    tier: Optional[str] = None,
+    provider: str = "google",
+    n_vms: int = 25,
+    fast: bool = True,
+) -> str:
+    """SHA-256 hex digest identifying one ``whatif`` measurement.
+
+    ``fast`` is part of the key: fast-path and exact-engine results
+    agree only within the documented tolerance, so they must not share
+    a cache entry.
+    """
+    payload = {
+        "op": "whatif",
+        "spec": canonical_spec(spec),
+        "plan": None if plan is None else dict(plan),
+        "tier": None if tier is None else str(tier),
+        "provider": str(provider),
+        "n_vms": int(n_vms),
+        "fast": bool(fast),
     }
     return hashlib.sha256(canonical_json(payload).encode()).hexdigest()

@@ -57,13 +57,16 @@ PROTOCOL_VERSION = 1
 #: :mod:`repro.obs.metrics`.  ``register``/``deregister`` are the shard
 #: membership ops served by the fleet router
 #: (:mod:`repro.fleet.router`); a plain :class:`PlannerServer` answers
-#: them with a typed error.  Solve params may carry a ``tenant`` string
-#: (default ``"default"``) — it never enters the request fingerprint
-#: (plans are tenant-independent) but drives the router's per-tenant
-#: fair queueing and the per-tenant metric labels.
+#: them with a typed error.  ``whatif`` measures a fixed tiering (a
+#: plan dict or a uniform tier) on the simulated cluster — no solver —
+#: over the vectorized fast path by default.  Solve params may carry a
+#: ``tenant`` string (default ``"default"``) — it never enters the
+#: request fingerprint (plans are tenant-independent) but drives the
+#: router's per-tenant fair queueing and the per-tenant metric labels.
 OPS = (
     "plan",
     "plan_workflow",
+    "whatif",
     "catalog",
     "stats",
     "metrics",

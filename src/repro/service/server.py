@@ -50,8 +50,9 @@ from ..errors import (
 from ..obs.metrics import MetricsRegistry
 from ..obs.tracing import current_trace_id, span
 from ..simulator.cache import register_metrics as register_sim_cache_metrics
+from ..simulator.vectorized import register_fastpath_metrics
 from .cache import PlanCache
-from .fingerprint import request_fingerprint
+from .fingerprint import request_fingerprint, whatif_fingerprint
 from .pool import SolverPool
 from .protocol import (
     MAX_LINE_BYTES,
@@ -105,6 +106,91 @@ def _normalize_solve_params(op: str, params: Mapping[str, Any]) -> Dict[str, Any
         }
     except (TypeError, ValueError) as exc:
         raise ProtocolError(f"bad solver knob in {op} params: {exc}") from None
+
+
+def _normalize_whatif_params(params: Mapping[str, Any]) -> Dict[str, Any]:
+    """Validate the ``whatif`` envelope: a spec plus exactly one tiering."""
+    spec = params.get("spec")
+    if not isinstance(spec, Mapping):
+        raise ProtocolError("whatif params need a 'spec' object (a workload dict)")
+    plan = params.get("plan")
+    tier = params.get("tier")
+    if (plan is None) == (tier is None):
+        raise ProtocolError(
+            "whatif params need exactly one of 'plan' (a tiering-plan dict) "
+            "or 'tier' (a uniform tier name)"
+        )
+    if plan is not None and not isinstance(plan, Mapping):
+        raise ProtocolError("whatif 'plan' must be an object")
+    try:
+        return {
+            "spec": dict(spec),
+            "plan": None if plan is None else dict(plan),
+            "tier": None if tier is None else str(tier),
+            "tenant": str(params.get("tenant", "default")),
+            "provider": str(params.get("provider", "google")),
+            "n_vms": int(params.get("n_vms", 25)),
+            "fast": bool(params.get("fast", True)),
+        }
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(f"bad knob in whatif params: {exc}") from None
+
+
+def _run_whatif(request: Mapping[str, Any]) -> Dict[str, Any]:
+    """Measure the requested tiering on the simulator (blocking).
+
+    Runs on a worker thread via :func:`asyncio.to_thread` — the
+    measurement is simulation-bound (milliseconds on the fast path,
+    seconds on the exact engine), not solver-bound, so it never goes
+    through the solver pool.
+    """
+    from ..cloud.storage import Tier
+    from ..cloud.vm import ClusterSpec
+    from ..core.plan import TieringPlan
+    from ..errors import WorkloadError
+    from ..experiments.measure import measure_plan
+    from ..experiments.runner import ExperimentRunner
+    from ..workloads.io import workload_from_dict
+
+    spec = request["spec"]
+    if spec.get("kind") != "workload":
+        raise WorkloadError("whatif wants a workload spec (kind='workload')")
+    workload = workload_from_dict(dict(spec))
+    prov = resolve_provider(request["provider"])
+    cluster = ClusterSpec(n_vms=request["n_vms"])
+    if request["plan"] is not None:
+        plan = TieringPlan.from_dict(dict(request["plan"]))
+    else:
+        try:
+            tier = Tier(request["tier"])
+        except ValueError:
+            raise WorkloadError(f"unknown tier {request['tier']!r}") from None
+        plan = TieringPlan.uniform(workload, tier)
+    fast = bool(request["fast"])
+    with ExperimentRunner(0, fast_path=fast) as runner:
+        measured = measure_plan(
+            workload, plan, cluster, prov, runner=runner if fast else None
+        )
+    return {
+        "makespan_s": measured.makespan_s,
+        "makespan_min": measured.makespan_min,
+        "cost_total_usd": measured.cost.total_usd,
+        "cost_vm_usd": measured.cost.vm_usd,
+        "cost_storage_usd": measured.cost.storage_usd,
+        "utility": measured.utility,
+        "n_jobs": workload.n_jobs,
+        "fast": fast,
+        "per_job": {
+            job_id: {
+                "download_s": r.download_s,
+                "map_s": r.map_s,
+                "reduce_s": r.reduce_s,
+                "upload_s": r.upload_s,
+                "total_s": r.total_s,
+            }
+            for job_id, r in measured.per_job.items()
+        },
+    }
 
 
 class PlannerServer:
@@ -199,6 +285,7 @@ class PlannerServer:
         self.cache.bind_metrics(self.metrics)
         self.pool.bind_metrics(self.metrics)
         register_sim_cache_metrics(self.metrics)
+        register_fastpath_metrics(self.metrics)
         self._reset_stats()
 
     def _reset_stats(self) -> None:
@@ -328,6 +415,9 @@ class PlannerServer:
                 f"op {op!r} is served by the fleet router, not a planner "
                 f"shard — point the registration at 'cast-plan fleet'"
             )
+        if op == "whatif":
+            result, cached = await self._whatif_op(params)
+            return ok_response(req_id, result, cached=cached)
         result, cached = await self._solve_op(op, params)
         return ok_response(req_id, result, cached=cached)
 
@@ -464,6 +554,67 @@ class PlannerServer:
             raise
         finally:
             self._admitted -= 1
+            self._inflight.pop(fingerprint, None)
+        return dict(result, fingerprint=fingerprint), False
+
+    async def _whatif_op(
+        self, params: Mapping[str, Any]
+    ) -> Tuple[Dict[str, Any], bool]:
+        """The ``whatif`` op: measure a fixed tiering, cached + deduped.
+
+        Same fingerprint-keyed cache and single-flight as the solve
+        ops, but no admission control or pool involvement — a whatif
+        is one simulation pass, cheap enough to run on a worker thread
+        while the loop stays live.
+        """
+        normalized = _normalize_whatif_params(params)
+        self._tenant_requests.inc(tenant=normalized.pop("tenant"))
+        fingerprint = whatif_fingerprint(
+            normalized["spec"],
+            plan=normalized["plan"],
+            tier=normalized["tier"],
+            provider=normalized["provider"],
+            n_vms=normalized["n_vms"],
+            fast=normalized["fast"],
+        )
+
+        cached = self.cache.get(fingerprint)
+        if cached is not None:
+            return dict(
+                cached, fingerprint=fingerprint, trace_id=current_trace_id()
+            ), True
+
+        leader_future = self._inflight.get(fingerprint)
+        if leader_future is not None:
+            self._events.inc(event="dedup_joined")
+            result = await asyncio.shield(leader_future)
+            return dict(
+                result, fingerprint=fingerprint, trace_id=current_trace_id()
+            ), False
+
+        future: "asyncio.Future[Dict[str, Any]]" = (
+            asyncio.get_running_loop().create_future()
+        )
+        self._inflight[fingerprint] = future
+        try:
+            started = time.monotonic()
+            with span(
+                "service.whatif", attrs={"fast": normalized["fast"]}
+            ) as whatif_span:
+                result = await asyncio.to_thread(_run_whatif, normalized)
+            result = dict(result)
+            result["measure_seconds"] = time.monotonic() - started
+            result["trace_id"] = whatif_span.trace_id
+            self._events.inc(event="whatifs_ok")
+            self.cache.put(fingerprint, result)
+            future.set_result(result)
+        except BaseException as exc:
+            if isinstance(exc, CastError):
+                self._events.inc(event="solve_errors")
+            future.set_exception(exc)
+            future.exception()
+            raise
+        finally:
             self._inflight.pop(fingerprint, None)
         return dict(result, fingerprint=fingerprint), False
 

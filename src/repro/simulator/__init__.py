@@ -19,9 +19,19 @@ from .engine import (
     default_per_vm_capacity,
     intermediate_tier_for,
     resolve_sim_inputs,
+    simulate_batch,
     simulate_job,
     simulate_workflow,
     simulate_workload,
+)
+from .vectorized import (
+    ANALYTIC_RTOL,
+    analytic_enabled,
+    batch_results_match,
+    fallback_reason,
+    fastpath_stats,
+    register_fastpath_metrics,
+    reset_fastpath_stats,
 )
 from .events import EventQueue
 from .hdfs import BlockPlacement
@@ -61,7 +71,15 @@ __all__ = [
     "default_per_vm_capacity",
     "resolve_sim_inputs",
     "simulate_job",
+    "simulate_batch",
     "simulate_workload",
     "simulate_workflow",
     "cross_tier_transfer_seconds",
+    "ANALYTIC_RTOL",
+    "analytic_enabled",
+    "batch_results_match",
+    "fallback_reason",
+    "fastpath_stats",
+    "register_fastpath_metrics",
+    "reset_fastpath_stats",
 ]

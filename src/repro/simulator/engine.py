@@ -26,7 +26,7 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import replace
-from typing import Dict, Mapping, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..cloud.provider import CloudProvider
 from ..cloud.storage import Tier
@@ -42,17 +42,33 @@ from .cluster import SimCluster, channel_bandwidth_mb_s
 from .hdfs import BlockPlacement
 from .metrics import JobSimResult, WorkloadSimResult
 from .scheduler import PhaseRun, TaskBody
+from .storage_backend import use_reference_channel
 from .tasks import make_map_task, make_reduce_task
+from .vectorized import (
+    analytic_enabled,
+    evaluate_wave_model,
+    fallback_reason,
+    wave_model_inputs,
+)
+from .vectorized import _stats as _fastpath_stats
 
 __all__ = [
     "intermediate_tier_for",
     "default_per_vm_capacity",
     "resolve_sim_inputs",
     "simulate_job",
+    "simulate_batch",
     "simulate_workload",
     "simulate_workflow",
     "cross_tier_transfer_seconds",
 ]
+
+#: Prefix distinguishing analytic results in the simulation cache.
+#: Engine-computed results keep their bare fingerprint keys, so a
+#: closed-form number can never be served where a caller asked the
+#: event engine (``simulate_job`` stays bit-exact), while repeat batch
+#: queries still hit.
+ANALYTIC_KEY_PREFIX = "analytic:"
 
 
 #: Per-VM persSSD volume backing objStore jobs' shuffle data.  The
@@ -404,6 +420,168 @@ def _simulate_job_uncached(
         upload_s=clock.duration("upload"),
         events=queue.events_dispatched,
     )
+
+
+def simulate_batch(
+    items: Sequence[Tuple[JobSpec, Tier, Optional[Mapping[Tier, float]]]],
+    cluster_spec: ClusterSpec,
+    provider: CloudProvider,
+    block_placements: Optional[Sequence[Optional[BlockPlacement]]] = None,
+    stage_in: bool = True,
+    stage_out: bool = True,
+    fast_path: Optional[bool] = None,
+) -> List[JobSimResult]:
+    """Simulate many ``(job, input_tier, caps)`` requests at once.
+
+    The batch analogue of :func:`simulate_job`, routed through the
+    vectorized wave model of :mod:`~repro.simulator.vectorized` where
+    the closed form is exact and through the event engine everywhere
+    else.  Per request, in order:
+
+    1. the content-addressed cache is consulted under the *engine* key —
+       hits are the engine's stored result re-stamped with the request's
+       job id, bit-exact exactly as :func:`simulate_job` serves them;
+    2. eligible requests (uniform placement, full staging — see
+       :func:`~repro.simulator.vectorized.fallback_reason`) are
+       evaluated in one NumPy pass, agreeing with the engine to
+       :data:`~repro.simulator.vectorized.ANALYTIC_RTOL`; their results
+       cache under an ``analytic:``-prefixed key so they can never
+       shadow an engine result;
+    3. everything else falls back to :func:`simulate_job` per request —
+       with ``REPRO_SIM_REFERENCE=1`` (or ``fast_path=False``) the whole
+       batch takes this path and is bit-identical to serial engine runs.
+
+    ``fast_path=None`` follows ``REPRO_SIM_ANALYTIC`` (on by default);
+    an explicit ``True``/``False`` overrides the environment.  The
+    reference-channel escape hatch always wins.
+    """
+    items = list(items)
+    if not items:
+        return []
+    placements: Sequence[Optional[BlockPlacement]]
+    if block_placements is None:
+        placements = [None] * len(items)
+    else:
+        placements = list(block_placements)
+        if len(placements) != len(items):
+            raise SimulationError(
+                f"simulate_batch: {len(items)} items but "
+                f"{len(placements)} block placements"
+            )
+
+    fast = analytic_enabled() if fast_path is None else bool(fast_path)
+    reference = use_reference_channel()
+    use_cache = cache_enabled()
+    cache = simulation_cache() if use_cache else None
+    stats = _fastpath_stats()
+
+    results: List[Optional[JobSimResult]] = [None] * len(items)
+    # (index, job, input_tier, out_tier, wave inputs, analytic cache key)
+    analytic: List[Tuple[int, JobSpec, Tier, Tier, object, Optional[str]]] = []
+    # (index, job, input_tier, caps, placement)
+    fallback: List[Tuple[int, JobSpec, Tier, Dict[Tier, float], Optional[BlockPlacement]]] = []
+    first_for_key: Dict[str, int] = {}
+    dup_of: Dict[int, int] = {}
+    n_cache_hits = 0
+
+    for i, (job, tier, caps_in) in enumerate(items):
+        caps, placement, out_tier = resolve_sim_inputs(
+            job, tier, cluster_spec, provider,
+            per_vm_capacity_gb=caps_in,
+            block_placement=placements[i],
+        )
+        key: Optional[str] = None
+        if cache is not None:
+            key = job_sim_fingerprint(
+                job, tier, cluster_spec, provider, caps, out_tier,
+                stage_in, stage_out,
+                placement_tiers=None if placement is None else tuple(placement.tiers),
+            )
+            hit = cache.get(key)
+            if hit is not None:
+                results[i] = (
+                    hit if hit.job_id == job.job_id else replace(hit, job_id=job.job_id)
+                )
+                n_cache_hits += 1
+                continue
+            prev = first_for_key.get(key)
+            if prev is not None:
+                dup_of[i] = prev
+                continue
+            first_for_key[key] = i
+
+        if reference or not fast:
+            reason = "reference" if reference else "disabled"
+        else:
+            reason = fallback_reason(job, placement, stage_in, stage_out)
+        if reason is None:
+            akey = None if key is None else ANALYTIC_KEY_PREFIX + key
+            if akey is not None:
+                ahit = cache.get(akey)
+                if ahit is not None:
+                    results[i] = (
+                        ahit
+                        if ahit.job_id == job.job_id
+                        else replace(ahit, job_id=job.job_id)
+                    )
+                    n_cache_hits += 1
+                    continue
+            wave = wave_model_inputs(
+                job, tier, cluster_spec, provider, caps, out_tier,
+                stage_in, stage_out,
+            )
+            analytic.append((i, job, tier, out_tier, wave, akey))
+        else:
+            stats.note_fallback(reason)
+            fallback.append((i, job, tier, caps, placement))
+
+    with _span(
+        "simulator.batch",
+        attrs={
+            "items": len(items),
+            "analytic": len(analytic),
+            "fallback": len(fallback),
+            "cache_hits": n_cache_hits,
+        },
+    ):
+        if analytic:
+            phases = evaluate_wave_model([entry[4] for entry in analytic])
+            for (i, job, tier, out_tier, _wave, akey), row in zip(analytic, phases):
+                res = JobSimResult(
+                    job_id=job.job_id,
+                    input_tier=tier,
+                    output_tier=out_tier,
+                    download_s=float(row[0]),
+                    map_s=float(row[1]),
+                    reduce_s=float(row[2]),
+                    upload_s=float(row[3]),
+                    events=0,
+                )
+                results[i] = res
+                if akey is not None and cache is not None:
+                    cache.put(akey, res)
+            stats.analytic += len(analytic)
+        for i, job, tier, caps, placement in fallback:
+            results[i] = simulate_job(
+                job, tier, cluster_spec, provider,
+                per_vm_capacity_gb=caps,
+                block_placement=placement,
+                stage_in=stage_in,
+                stage_out=stage_out,
+            )
+
+    for i, src_idx in dup_of.items():
+        src = results[src_idx]
+        assert src is not None
+        job = items[i][0]
+        results[i] = src if src.job_id == job.job_id else replace(src, job_id=job.job_id)
+
+    stats.cache_hits += n_cache_hits
+    stats.deduped += len(dup_of)
+    stats.batches += 1
+    out = [res for res in results if res is not None]
+    assert len(out) == len(items)
+    return out
 
 
 def simulate_workload(

@@ -36,6 +36,18 @@ class TestParser:
         assert args.workload_file == "wl.json"
         assert args.restarts is None  # server's default wins
 
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.workload == "facebook"
+        assert args.tier == "objStore"
+        assert args.vms == 25
+        assert not args.batch
+        assert not args.check
+
+    def test_experiment_accepts_fast_sim(self):
+        args = build_parser().parse_args(["experiment", "fig7", "--fast-sim"])
+        assert args.fast_sim is True
+
 
 class TestCommands:
     def test_catalog_prints_all_tiers(self, capsys):
@@ -74,6 +86,22 @@ class TestCommands:
     def test_experiment_unknown_name(self, capsys):
         assert main(["experiment", "fig99"]) == 2
         assert "unknown experiment" in capsys.readouterr().err
+
+    def test_simulate_batch_passes_parity_check(self, capsys):
+        rc = main(["simulate", "--workload", "small", "--tier", "persSSD",
+                   "--batch", "--check"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "simulated" in out
+        assert "fast path" in out
+        assert "parity check passed" in out
+
+    def test_simulate_exact_path(self, capsys):
+        rc = main(["simulate", "--workload", "small", "--tier", "objStore"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "simulated" in out
+        assert "fast path" not in out  # no --batch, no counters line
 
 
 class TestProvidersAndFiles:

@@ -143,6 +143,27 @@ class TestRouting:
 
         run(scenario())
 
+    def test_whatif_routes_and_caches(self):
+        async def scenario():
+            async with Fleet(n=2) as fleet:
+                async with fleet.client() as client:
+                    first = await client.whatif(
+                        small_spec(), tier="objStore", n_vms=5
+                    )
+                    assert first["cached"] is False
+                    assert first["fast"] is True
+                    assert first["makespan_s"] > 0
+                    assert first["shard"] in ("s0", "s1")
+                    # Repeat hits the router's L1 cache, bit-equal.
+                    second = await client.whatif(
+                        small_spec(), tier="objStore", n_vms=5
+                    )
+                    assert second["cached"] is True
+                    assert second["makespan_s"] == first["makespan_s"]
+                    assert fleet.router.cache.stats()["hits"] == 1
+
+        run(scenario())
+
     def test_identical_inflight_requests_collapse(self):
         calls = []
 

@@ -297,6 +297,96 @@ class TestSingleFlight:
         run(scenario())
 
 
+class TestWhatifOp:
+    def test_whatif_measures_and_caches(self):
+        async def scenario():
+            server = PlannerServer(pool=SolverPool(processes=0, restarts=1))
+            task = await serving(server)
+            try:
+                async with PlannerClient(*server.address) as client:
+                    spec = small_spec()
+                    r1 = await client.whatif(spec, tier="persSSD", n_vms=5)
+                    assert r1["cached"] is False
+                    assert r1["fast"] is True
+                    assert r1["n_jobs"] == 4
+                    assert r1["makespan_s"] > 0
+                    assert r1["cost_total_usd"] > 0
+                    assert set(r1["per_job"]) == {j["job_id"] for j in spec["jobs"]}
+                    # Identical question -> cached, identical answer.
+                    r2 = await client.whatif(spec, tier="persSSD", n_vms=5)
+                    assert r2["cached"] is True
+                    assert r2["makespan_s"] == r1["makespan_s"]
+                    # fast is part of the fingerprint: the exact-engine
+                    # variant is a distinct entry, agreeing within the gate.
+                    r3 = await client.whatif(spec, tier="persSSD", n_vms=5, fast=False)
+                    assert r3["cached"] is False
+                    assert r3["fast"] is False
+                    assert r3["makespan_s"] == pytest.approx(
+                        r1["makespan_s"], rel=1e-9
+                    )
+            finally:
+                await shutdown(server, task)
+
+        run(scenario())
+
+    def test_whatif_with_plan_dict(self):
+        async def scenario():
+            from repro.cloud.storage import Tier
+            from repro.core.plan import TieringPlan
+            from repro.workloads.io import workload_from_dict
+
+            server = PlannerServer(pool=SolverPool(processes=0, restarts=1))
+            task = await serving(server)
+            try:
+                async with PlannerClient(*server.address) as client:
+                    spec = small_spec()
+                    plan = TieringPlan.uniform(
+                        workload_from_dict(spec), Tier.OBJ_STORE
+                    ).to_dict()
+                    result = await client.whatif(spec, plan=plan, n_vms=5)
+                    assert result["cached"] is False
+                    assert result["makespan_s"] > 0
+            finally:
+                await shutdown(server, task)
+
+        run(scenario())
+
+    def test_whatif_requires_exactly_one_tiering(self):
+        async def scenario():
+            server = PlannerServer(pool=SolverPool(processes=0, restarts=1))
+            task = await serving(server)
+            try:
+                async with PlannerClient(*server.address) as client:
+                    spec = small_spec()
+                    with pytest.raises(ProtocolError, match="plan.*tier|tier.*plan"):
+                        await client.request("whatif", {"spec": spec})
+                    with pytest.raises(ProtocolError, match="plan.*tier|tier.*plan"):
+                        await client.request(
+                            "whatif",
+                            {"spec": spec, "tier": "objStore",
+                             "plan": {"placements": {}}},
+                        )
+            finally:
+                await shutdown(server, task)
+
+        run(scenario())
+
+    def test_whatif_bad_tier_is_typed_error(self):
+        async def scenario():
+            server = PlannerServer(pool=SolverPool(processes=0, restarts=1))
+            task = await serving(server)
+            try:
+                async with PlannerClient(*server.address) as client:
+                    with pytest.raises(WorkloadError, match="tier"):
+                        await client.whatif(small_spec(), tier="floppyDisk")
+                    # The daemon survives and still answers.
+                    assert (await client.ping())["pong"] is True
+            finally:
+                await shutdown(server, task)
+
+        run(scenario())
+
+
 class TestBackpressureAndTimeouts:
     def test_requests_beyond_queue_are_shed(self):
         async def scenario():
