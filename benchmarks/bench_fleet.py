@@ -39,7 +39,6 @@ from __future__ import annotations
 
 import argparse
 import asyncio
-import json
 import os
 import sys
 import time
@@ -49,7 +48,7 @@ _HERE = os.path.dirname(os.path.abspath(__file__))
 sys.path.insert(0, os.path.join(_HERE, "..", "src"))
 sys.path.insert(0, _HERE)
 
-from conftest import bench_environment
+from conftest import write_bench_report
 from repro.fleet import FleetRouter, FleetSupervisor
 from repro.service import PlannerClient
 from repro.workloads.io import workload_to_dict
@@ -320,13 +319,11 @@ def main() -> None:
         "benchmark": "fleet",
         "quick": bool(args.quick),
         "iterations_per_solve": ITERATIONS,
-        "environment": bench_environment(),
         "scaling": scaling,
         "hot_tenant": hot,
         "failover": failover,
     }
-    with open(args.out, "w") as fh:
-        json.dump(report, fh, indent=2)
+    write_bench_report(args.out, report)
     print(f"wrote {args.out}")
 
 

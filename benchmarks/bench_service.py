@@ -4,13 +4,23 @@ Pushes M requests through an in-process daemon — a mix of repeated
 workloads (cache + single-flight territory) and unique ones (real
 solves) — and reports requests/sec, the cache hit rate, and p50/p95
 latency.  This is the service-layer perf baseline later PRs compare
-against; run with ``-s`` to see the numbers.
+against; run with ``-s`` to see the numbers, or as a script to write
+an environment-stamped ``BENCH_service.json``::
+
+    PYTHONPATH=src python benchmarks/bench_service.py --out BENCH_service.json
 """
 
 from __future__ import annotations
 
+import argparse
 import asyncio
+import os
+import sys
 import time
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+sys.path.insert(0, os.path.join(_HERE, "..", "src"))
+sys.path.insert(0, _HERE)
 
 from repro.service import PlannerClient, PlannerServer, SolverPool
 from repro.workloads.io import workload_to_dict
@@ -105,3 +115,48 @@ def test_bench_service_throughput(once):
     joins = stats["counters"]["dedup_joined"]
     assert hits + joins == N_REQUESTS - UNIQUE_SEEDS
     assert rps > 0
+
+
+def main(argv=None):
+    from conftest import write_bench_report
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out", default="BENCH_service.json", help="output JSON path"
+    )
+    args = parser.parse_args(argv)
+
+    rps, hit_rate, p50, p95, stats = run_service_benchmark()
+    print(
+        f"service: {N_REQUESTS} requests ({UNIQUE_SEEDS} unique) -> "
+        f"{rps:.1f} req/s  cache-hit {hit_rate:.0%}  "
+        f"p50 {p50 * 1e3:.0f} ms  p95 {p95 * 1e3:.0f} ms"
+    )
+    report = {
+        "benchmark": "service_throughput",
+        "requests": N_REQUESTS,
+        "unique_seeds": UNIQUE_SEEDS,
+        "iterations_per_solve": ITERATIONS,
+        "concurrency": CONCURRENCY,
+        "rps": rps,
+        "cache_hit_rate": hit_rate,
+        "p50_s": p50,
+        "p95_s": p95,
+        "stats": stats,
+    }
+    write_bench_report(args.out, report)
+    print(f"wrote {args.out}")
+
+    solves_ok = stats["counters"]["solves_ok"] == UNIQUE_SEEDS
+    if not solves_ok:
+        print(
+            f"FAIL: expected {UNIQUE_SEEDS} solves, "
+            f"got {stats['counters']['solves_ok']}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,255 @@
+#!/usr/bin/env python
+"""Streaming session benchmark: warm-start re-plan latency under churn.
+
+A :class:`~repro.session.PlanningSession` opens on a 1,000-job resident
+workload (full-budget batch solve), then absorbs a churn window of
+alternating departures and arrivals — one warm-start delta-solve per
+event — followed by sampled full-budget cold re-solves of the final
+resident workload for the speedup and quality comparisons.
+
+Four gates are asserted, not just measured — any failure exits
+non-zero while ordinary timing noise never does:
+
+* **latency** — p99 warm re-plan latency < 10 ms at 1,000 resident
+  jobs (full mode only; ``--quick`` reports it without gating, CI
+  machines are too noisy for a hard single-digit-millisecond bound);
+* **speedup** — mean warm re-plan >= 50x faster than a full-budget
+  cold batch re-solve of the same resident workload (full mode only);
+* **quality** — the session's incumbent utility after the churn window
+  is within 1% of the cold full-budget solve's (always armed);
+* **parity** — every sampled re-plan re-scores bit-identically through
+  the canonical :func:`~repro.core.utility.evaluate_plan` path
+  (``parity_check_every`` during the window plus a final
+  ``verify_parity``; always armed).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_session.py
+    PYTHONPATH=src python benchmarks/bench_session.py --quick
+
+Writes ``BENCH_session.json`` (override with ``--out``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import gc
+import sys
+import os
+from typing import Any, Dict, List
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+sys.path.insert(0, os.path.join(_HERE, "..", "src"))
+sys.path.insert(0, _HERE)
+
+import numpy as np
+
+from conftest import write_bench_report
+from repro.session import PlanningSession, SessionConfig
+from repro.workloads.swim import synthesize_small_workload
+
+ITERATIONS = 3000
+SOLVER_SEED = 42
+WORKLOAD_SEED = 7
+POOL_SEED = 11
+EVENT_SEED = 3
+PARITY_EVERY = 20
+
+P99_LIMIT_MS = 10.0
+SPEEDUP_LIMIT = 50.0
+QUALITY_LIMIT = 0.99
+
+
+def percentile(ms: List[float], q: float) -> float:
+    return float(np.percentile(np.asarray(ms), q)) if ms else 0.0
+
+
+def churn_window(
+    session: PlanningSession, pool, pairs: int
+) -> Dict[str, Any]:
+    """``pairs`` remove/add event pairs; returns per-mode latencies."""
+    resident = list(session.resident_job_ids)
+    rng = np.random.default_rng(EVENT_SEED)
+    warm_s: List[float] = []
+    other_s: List[float] = []
+    gc.collect()
+    gc.freeze()  # keep survivor-scan pauses out of the measured window
+    try:
+        for i in range(pairs):
+            victim = resident.pop(int(rng.integers(len(resident))))
+            arrival = pool[i % len(pool)]
+            for result in (
+                session.remove_jobs([victim]),
+                session.add_jobs([arrival]),
+            ):
+                (warm_s if result.mode == "warm" else other_s).append(
+                    result.replan_s
+                )
+            resident.append(arrival.job_id)
+    finally:
+        gc.unfreeze()
+    return {"warm_s": warm_s, "other_s": other_s}
+
+
+def run(quick: bool) -> Dict[str, Any]:
+    n_jobs = 150 if quick else 1000
+    pairs = 20 if quick else 200
+    cold_samples = 1 if quick else 3
+    dataset_gb = 125.0 * n_jobs
+
+    workload = synthesize_small_workload(
+        n_jobs=n_jobs, total_dataset_gb=dataset_gb,
+        rng=np.random.default_rng(WORKLOAD_SEED), name=f"session-{n_jobs}",
+    )
+    pool_wl = synthesize_small_workload(
+        n_jobs=2 * pairs, total_dataset_gb=125.0 * 2 * pairs,
+        rng=np.random.default_rng(POOL_SEED), name="arrivals",
+    )
+    pool = [
+        dataclasses.replace(job, job_id=f"arr-{i:04d}")
+        for i, job in enumerate(pool_wl.jobs)
+    ]
+    # Full mode: warm re-plans alone hold batch quality at 1,000 jobs
+    # (each delta perturbs 0.1% of the workload), so the background
+    # full solve stays outside the measured window and the cold
+    # comparator below is measured separately.  Quick mode: at 150
+    # jobs each job carries ~7x the utility weight, so the session's
+    # documented quality bound — the periodic full solve — is doing
+    # the work; run it at its intended cadence and report those
+    # re-plans separately from the warm percentiles.
+    config = SessionConfig(
+        full_solve_every=4 if quick else 10 * pairs + 1,
+        parity_check_every=PARITY_EVERY,
+    )
+
+    print(f"opening session on {n_jobs} jobs (full-budget batch solve)...")
+    session = PlanningSession(
+        workload, iterations=ITERATIONS, seed=SOLVER_SEED, config=config,
+    )
+    opened = session.last_result
+    print(
+        f"open: {opened.replan_s:.2f}s  utility={opened.utility:.6e}"
+    )
+
+    print(f"churn window: {pairs} remove/add pairs ({2 * pairs} re-plans)...")
+    window = churn_window(session, pool, pairs)
+    warm_ms = sorted(s * 1e3 for s in window["warm_s"])
+    final_utility = session.last_result.utility
+    parity_final = session.verify_parity()
+    counters = dict(session.counters)
+
+    print(f"cold comparator: {cold_samples} full-budget re-solves...")
+    cold_s: List[float] = []
+    cold_utility = float("nan")
+    for _ in range(cold_samples):
+        cold = session.replan(force_full=True)
+        cold_s.append(cold.replan_s)
+        cold_utility = cold.utility
+    warm_mean_s = float(np.mean(window["warm_s"])) if warm_ms else 0.0
+    cold_mean_s = float(np.mean(cold_s))
+    speedup = cold_mean_s / warm_mean_s if warm_mean_s else float("inf")
+    p99_ms = percentile(warm_ms, 99)
+    quality = final_utility / cold_utility if cold_utility else float("nan")
+
+    gates = {
+        "latency_p99_ms": {
+            "value": p99_ms, "limit": P99_LIMIT_MS, "armed": not quick,
+            "ok": p99_ms < P99_LIMIT_MS,
+        },
+        "speedup_vs_cold": {
+            "value": speedup, "limit": SPEEDUP_LIMIT, "armed": not quick,
+            "ok": speedup >= SPEEDUP_LIMIT,
+        },
+        "quality_vs_cold": {
+            "value": quality, "limit": QUALITY_LIMIT, "armed": True,
+            "ok": quality >= QUALITY_LIMIT,
+        },
+        "parity": {
+            "value": bool(
+                parity_final and counters.get("parity_checks", 0) > 0
+            ),
+            "limit": True, "armed": True,
+            "ok": bool(parity_final) and counters.get("parity_checks", 0) > 0,
+        },
+    }
+
+    report = {
+        "benchmark": "session",
+        "quick": quick,
+        "params": {
+            "n_jobs": n_jobs, "event_pairs": pairs,
+            "iterations": ITERATIONS, "seed": SOLVER_SEED,
+            "parity_check_every": PARITY_EVERY,
+        },
+        "open": {"solve_s": opened.replan_s, "utility": opened.utility},
+        "warm": {
+            "n": len(warm_ms),
+            "mean_ms": warm_mean_s * 1e3,
+            "p50_ms": percentile(warm_ms, 50),
+            "p90_ms": percentile(warm_ms, 90),
+            "p95_ms": percentile(warm_ms, 95),
+            "p99_ms": p99_ms,
+            "max_ms": warm_ms[-1] if warm_ms else 0.0,
+        },
+        "cold": {
+            "samples_s": cold_s, "mean_s": cold_mean_s,
+            "utility": cold_utility,
+        },
+        "window_full_replans": {
+            "n": len(window["other_s"]),
+            "mean_s": (
+                float(np.mean(window["other_s"]))
+                if window["other_s"] else 0.0
+            ),
+        },
+        "final_utility": final_utility,
+        "speedup": speedup,
+        "counters": counters,
+        "drift_escalations": counters.get("drift_escalations", 0),
+        "evaluator": session.stats()["evaluator"],
+        "gates": gates,
+    }
+
+    print(
+        f"warm re-plans: n={len(warm_ms)}  "
+        f"p50={percentile(warm_ms, 50):.2f}  "
+        f"p95={percentile(warm_ms, 95):.2f}  p99={p99_ms:.2f}  "
+        f"max={report['warm']['max_ms']:.2f} ms"
+    )
+    print(
+        f"cold re-solve: {cold_mean_s:.2f}s mean -> {speedup:.0f}x speedup; "
+        f"quality={quality:.6f} of cold utility; "
+        f"parity={'ok' if gates['parity']['ok'] else 'FAIL'} "
+        f"({counters.get('parity_checks', 0)} checks)"
+    )
+    return report
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="150 jobs / 40 events; parity + quality gates "
+                             "stay armed, latency and speedup are reported "
+                             "but not gated")
+    parser.add_argument("--out", default="BENCH_session.json",
+                        help="report path (default BENCH_session.json)")
+    args = parser.parse_args()
+
+    report = run(quick=args.quick)
+    write_bench_report(args.out, report)
+    print(f"wrote {args.out}")
+
+    failed = [
+        name for name, gate in report["gates"].items()
+        if gate["armed"] and not gate["ok"]
+    ]
+    if failed:
+        print(f"GATE FAILURES: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    print("all armed gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

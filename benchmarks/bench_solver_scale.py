@@ -34,7 +34,6 @@ Writes ``BENCH_scale.json`` (override with ``--out``).
 from __future__ import annotations
 
 import argparse
-import json
 import os
 import sys
 import time
@@ -46,7 +45,7 @@ sys.path.insert(0, _HERE)
 
 import numpy as np
 
-from conftest import bench_environment
+from conftest import write_bench_report
 from repro.cloud.provider import google_cloud_2015
 from repro.cloud.vm import ClusterSpec
 from repro.core.annealing import AnnealingSchedule
@@ -202,12 +201,9 @@ def main(argv: List[str] | None = None) -> int:
         "replicas": REPLICAS,
         "parity_rtol": PARITY_RTOL,
         "parity_failures": failures,
-        "environment": bench_environment(),
         "runs": runs,
     }
-    with open(args.out, "w") as fh:
-        json.dump(report, fh, indent=2)
-        fh.write("\n")
+    write_bench_report(args.out, report)
     print(f"wrote {args.out} ({len(runs)} runs)")
 
     if failures:

@@ -50,7 +50,7 @@ sys.path.insert(0, _HERE)
 
 import numpy as np
 
-from conftest import bench_environment
+from conftest import write_bench_report
 from repro.cloud.aws import aws_2015
 from repro.cloud.provider import google_cloud_2015
 from repro.cloud.vm import ClusterSpec
@@ -259,12 +259,9 @@ def main(argv: List[str] | None = None) -> int:
         "solver_seed": SOLVER_SEED,
         "repeat": max(1, args.repeat),
         "parity_failures": failures,
-        "environment": bench_environment(),
         "runs": runs,
     }
-    with open(args.out, "w") as fh:
-        json.dump(report, fh, indent=2)
-        fh.write("\n")
+    write_bench_report(args.out, report)
     print(f"wrote {args.out} ({len(runs)} runs)")
 
     gate_failures = 0

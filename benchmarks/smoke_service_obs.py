@@ -15,6 +15,10 @@ of the observability layer end to end:
   simulator fast path, pool);
 * a ``whatif`` request drives the vectorized fast path, so its
   ``cast_sim_fastpath_*`` counters scrape non-zero;
+* a streaming session open → delta → scrape → close round-trip
+  surfaces the ``cast_session_*`` counters, re-plan latency histogram
+  and resident-jobs gauge, and the ``stats`` session listing empties
+  again on close;
 * the legacy ``stats`` payload still carries its backward-compatible
   counter keys.
 
@@ -25,6 +29,7 @@ the throughput smokes.
 from __future__ import annotations
 
 import asyncio
+import dataclasses
 import json
 import os
 import sys
@@ -57,6 +62,13 @@ EXPECTED_METRICS = (
     "cast_sim_fastpath_total",
     "cast_sim_fastpath_batches_total",
     "cast_pool_tasks_total",
+)
+
+EXPECTED_SESSION_METRICS = (
+    "cast_session_resident_jobs",
+    "cast_session_events_total",
+    "cast_session_replans_total",
+    "cast_session_replan_seconds",
 )
 
 LEGACY_COUNTER_KEYS = {
@@ -115,12 +127,33 @@ async def run_smoke() -> int:
             check(whatif.get("trace_id") is not None and whatif["fast"] is True,
                   "whatif runs the fast path and carries a trace_id")
 
+            opened = await client.session_open(
+                spec, n_vms=5, iterations=120, seed=5,
+                config={"parity_check_every": 1},
+            )
+            sid = opened["session_id"]
+            check(opened["mode"] == "full" and opened["resident_jobs"] == 5,
+                  "session_open solves the opening workload at full budget")
+            extra = [
+                dataclasses.replace(j, job_id="sess-" + j.job_id)
+                for j in synthesize_small_workload(n_jobs=2).jobs
+            ]
+            delta = await client.session_delta(sid, add_jobs=extra)
+            check(delta["mode"] == "warm" and delta["resident_jobs"] == 7,
+                  "session_delta warm re-plans the arrivals in-session")
+            check(delta["parity_ok"] is True,
+                  "warm re-plan passes the bit-exact parity check")
+
             metrics = await client.metrics()
             body = metrics.get("body", "")
             check(metrics.get("format") == "prometheus" and bool(body.strip()),
                   "metrics op returns a non-empty Prometheus payload")
             for name in EXPECTED_METRICS:
                 check(name in body, f"exposition includes {name}")
+            for name in EXPECTED_SESSION_METRICS:
+                check(name in body, f"exposition includes {name}")
+            check('cast_session_replans_total{mode="warm"}' in body,
+                  "session warm re-plan counter scrapes with its mode label")
             check("# TYPE cast_service_solve_seconds histogram" in body,
                   "solve-latency histogram is typed in the exposition")
             analytic = [
@@ -135,6 +168,15 @@ async def run_smoke() -> int:
                   "stats op keeps the legacy counter keys")
             check(stats["counters"]["solves_ok"] == 1,
                   "stats counts exactly one solve")
+            check(stats["sessions"]["open"] == 1,
+                  "stats lists the open streaming session")
+
+            closed = await client.session_close(sid)
+            check(closed["counters"]["deltas"] == 2,
+                  "session_close returns the final delta counters")
+            after = await client.stats()
+            check(after["sessions"]["open"] == 0,
+                  "closed session leaves the stats listing")
     finally:
         await server.stop()
 

@@ -27,6 +27,13 @@ Subcommands
     routes eligible jobs through the vectorized wave-model fast path;
     ``--check`` re-measures on the exact event engine and exits 1 if
     any phase disagrees beyond the documented tolerance.
+``session``
+    Replay a recorded churn trace (``--replay trace.json``) through a
+    streaming :class:`~repro.session.PlanningSession`: every add/remove
+    event triggers a warm-start re-plan, with per-event latency lines
+    and a p50/p95/p99 summary at the end.  ``--parity-every N``
+    bit-checks every Nth re-plan against the canonical evaluator and
+    exits 1 on any mismatch.
 ``experiment``
     Regenerate one of the paper's tables/figures or an ablation
     (``table1 table2 table4 fig1 fig2 fig3 fig4 fig5 fig7 fig8 fig9
@@ -494,6 +501,131 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _percentile(sorted_vals: List[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending list (0 when empty)."""
+    if not sorted_vals:
+        return 0.0
+    idx = min(len(sorted_vals) - 1, int(round(q * (len(sorted_vals) - 1))))
+    return sorted_vals[idx]
+
+
+def _fmt_replan(r) -> str:
+    parity = ""
+    if r.parity_ok is not None:
+        parity = f"  parity={'ok' if r.parity_ok else 'FAIL'}"
+    return (
+        f"[{r.seq:4d}] {r.kind:6s} {r.mode:5s} {r.replan_s * 1e3:9.2f} ms  "
+        f"jobs={r.resident_jobs:5d}  utility={r.utility:.4e}{parity}"
+    )
+
+
+def _cmd_session(args: argparse.Namespace) -> int:
+    """Replay a recorded churn trace through an in-process session."""
+    import json
+    from pathlib import Path
+
+    from .service.sessions import normalize_open_params
+    from .session import PlanningSession, SessionConfig, load_trace
+    from .workloads.io import (
+        job_from_dict,
+        reuse_set_from_dict,
+        workload_from_dict,
+    )
+
+    try:
+        trace = load_trace(args.replay)
+        open_params = dict(trace["open"])
+        for knob in ("provider", "iterations", "seed", "backend", "replicas"):
+            value = getattr(args, knob)
+            if value is not None:
+                open_params[knob] = value
+        if args.vms is not None:
+            open_params["n_vms"] = args.vms
+        if args.parity_every is not None:
+            config = dict(open_params.get("config") or {})
+            config["parity_check_every"] = args.parity_every
+            open_params["config"] = config
+        p = normalize_open_params(open_params)
+        workload = (
+            workload_from_dict(p["spec"]) if p["spec"] is not None else None
+        )
+        session = PlanningSession(
+            workload,
+            provider=_resolve_provider(p["provider"]),
+            n_vms=p["n_vms"],
+            iterations=p["iterations"],
+            seed=p["seed"],
+            use_castpp=p["use_castpp"],
+            backend=p["backend"],
+            replicas=p["replicas"],
+            config=(
+                SessionConfig(**p["config"]) if p["config"] is not None else None
+            ),
+        )
+    except (CastError, OSError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    results = []
+    if session.last_result is not None:
+        results.append(session.last_result)
+        print(_fmt_replan(session.last_result))
+    try:
+        for event in trace["events"]:
+            if event["kind"] == "add":
+                jobs = [job_from_dict(j) for j in event.get("jobs", [])]
+                sets = [
+                    reuse_set_from_dict(rs)
+                    for rs in event.get("reuse_sets", [])
+                ]
+                result = session.add_jobs(jobs, sets)
+            else:
+                result = session.remove_jobs(event["job_ids"])
+            results.append(result)
+            print(_fmt_replan(result))
+    except CastError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    summary = session.close()
+    warm_ms = sorted(
+        r.replan_s * 1e3 for r in results if r.mode == "warm"
+    )
+    modes: Dict[str, int] = {}
+    for r in results:
+        modes[r.mode] = modes.get(r.mode, 0) + 1
+    mode_str = ", ".join(f"{k}: {v}" for k, v in sorted(modes.items()))
+    print(
+        f"replayed {len(trace['events'])} events "
+        f"({mode_str}); {summary['resident_jobs']} jobs resident"
+    )
+    if warm_ms:
+        print(
+            f"warm re-plan latency: p50={_percentile(warm_ms, 0.50):.2f} "
+            f"p95={_percentile(warm_ms, 0.95):.2f} "
+            f"p99={_percentile(warm_ms, 0.99):.2f} "
+            f"max={warm_ms[-1]:.2f} ms"
+        )
+    parity_failures = sum(1 for r in results if r.parity_ok is False)
+    if parity_failures:
+        print(f"{parity_failures} parity checks FAILED", file=sys.stderr)
+    if args.out:
+        payload = {
+            "trace": args.replay,
+            "replans": [r.to_dict() for r in results],
+            "modes": modes,
+            "warm_ms": {
+                "p50": _percentile(warm_ms, 0.50),
+                "p95": _percentile(warm_ms, 0.95),
+                "p99": _percentile(warm_ms, 0.99),
+            },
+            "summary": {k: v for k, v in summary.items() if k != "plan"},
+        }
+        Path(args.out).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote replay results to {args.out}")
+    return 1 if parity_failures else 0
+
+
 _EXPERIMENTS: Dict[str, Callable[[], str]] = {}
 
 
@@ -517,7 +649,9 @@ def _register_experiments() -> None:
                 ex.run_fig7(workers=workers, fast_sim=fast_sim)
             ),
             "fig8": lambda: ex.format_fig8(ex.run_fig8()),
-            "fig9": lambda workers=None: ex.format_fig9(ex.run_fig9(workers=workers)),
+            "fig9": lambda workers=None, fast_sim=False: ex.format_fig9(
+                ex.run_fig9(workers=workers, fast_sim=fast_sim)
+            ),
             "ablation-sa": lambda: ex.format_sa_ablation(ex.run_sa_ablation()),
             "ablation-reg": lambda: ex.format_regression_ablation(
                 ex.run_regression_ablation()
@@ -528,8 +662,10 @@ def _register_experiments() -> None:
             "ablation-dynamic": lambda: ex.format_dynamic_ablation(
                 ex.run_dynamic_ablation()
             ),
-            "sensitivity": lambda workers=None: ex.format_price_sensitivity(
-                ex.run_price_sensitivity(workers=workers)
+            "sensitivity": lambda workers=None, fast_sim=False: (
+                ex.format_price_sensitivity(
+                    ex.run_price_sensitivity(workers=workers, fast_sim=fast_sim)
+                )
             ),
         }
     )
@@ -788,6 +924,37 @@ def build_parser() -> argparse.ArgumentParser:
     _add_logging_args(p_sim)
     p_sim.set_defaults(func=_cmd_simulate)
 
+    p_sess = sub.add_parser(
+        "session",
+        help="replay a churn trace through a streaming planning session",
+    )
+    p_sess.add_argument("--replay", required=True, metavar="PATH",
+                        help="session-trace JSON file (schema v1: open "
+                             "params plus add/remove events)")
+    p_sess.add_argument("--vms", type=int, default=None,
+                        help="cluster size (overrides the trace)")
+    p_sess.add_argument("--provider", default=None,
+                        choices=sorted(_PROVIDERS),
+                        help="cloud catalog (overrides the trace)")
+    p_sess.add_argument("--iterations", type=int, default=None,
+                        help="full-solve iteration budget (overrides "
+                             "the trace)")
+    p_sess.add_argument("--seed", type=int, default=None,
+                        help="solver RNG seed (overrides the trace)")
+    p_sess.add_argument("--backend", default=None,
+                        choices=("anneal", "tempering"),
+                        help="full-solve backend (overrides the trace)")
+    p_sess.add_argument("--replicas", type=int, default=None,
+                        help="tempering replica count (overrides the trace)")
+    p_sess.add_argument("--parity-every", type=int, default=None,
+                        metavar="N",
+                        help="bit-parity re-score every Nth re-plan; any "
+                             "failure exits 1")
+    p_sess.add_argument("--out", default=None, metavar="PATH",
+                        help="write per-event results as JSON")
+    _add_logging_args(p_sess)
+    p_sess.set_defaults(func=_cmd_session)
+
     p_exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
     p_exp.add_argument("name", help="experiment id (or 'all')")
     p_exp.add_argument("--workers", type=int, default=None,
@@ -796,7 +963,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "sensitivity); default serial")
     p_exp.add_argument("--fast-sim", action="store_true",
                        help="vectorized wave-model fast path for the "
-                            "measurement simulations (fig7)")
+                            "measurement simulations (fig7, fig9, "
+                            "sensitivity); eligibility is per job, so "
+                            "ineligible jobs still run on the exact "
+                            "event engine")
     _add_logging_args(p_exp)
     p_exp.set_defaults(func=_cmd_experiment)
 

@@ -158,11 +158,22 @@ def simulated_annealing(
             return float("-inf")
 
     current = initial_state
+    # A delta objective whose base already *is* the initial state (a
+    # warm-started solve that pre-rebased, e.g. via
+    # ``PlanEvaluator.apply_workload_delta``) needs no baseline pass at
+    # all — its cached scalars are bit-identical to what ``reset``
+    # would recompute.
+    prebased = (
+        delta_mode
+        and getattr(utility_fn, "base_plan", None) is initial_state
+    )
     # The baseline evaluation is the annealer's only *full* objective
     # pass — worth its own span on the solve trace (everything after
     # runs at delta granularity and is far too hot to instrument).
-    with _span("evaluator.baseline", attrs={"delta_mode": delta_mode}):
-        if delta_mode:
+    with _span("evaluator.baseline", attrs={"delta_mode": delta_mode, "prebased": prebased}):
+        if prebased:
+            u_current = utility_fn.base_utility  # type: ignore[attr-defined]
+        elif delta_mode:
             try:
                 u_current = reset(current)  # type: ignore[misc]
             except CastError:

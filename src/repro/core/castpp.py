@@ -203,18 +203,30 @@ class CastPlusPlus(CastSolver):
         return utility
 
     def neighbor_moves(
-        self, workload: WorkloadSpec
+        self,
+        workload: WorkloadSpec,
+        *,
+        fp: Optional[Dict[str, float]] = None,
+        groups: Optional[Dict[str, Any]] = None,
     ) -> Callable[[TieringPlan, np.random.Generator], Neighbor[TieringPlan]]:
-        """Single-job move that relocates whole reuse sets atomically."""
+        """Single-job move that relocates whole reuse sets atomically.
+
+        ``fp`` (job id → footprint GB) and ``groups`` (job id → sorted
+        ids of its reuse group, singleton for loners) can be supplied
+        pre-built — the streaming session layer maintains both
+        incrementally so closure setup stays O(1) per re-plan.
+        """
         tiers = list(self.provider.tiers)
         jobs = list(workload.jobs)
         # Footprints and reuse groups are per-workload constants —
         # hoist their property/lookup chains out of the hot closure.
-        fp = {j.job_id: j.footprint_gb for j in jobs}
-        groups = {}
-        for j in jobs:
-            rs = workload.reuse_set_of(j.job_id)
-            groups[j.job_id] = sorted(rs.job_ids) if rs is not None else [j.job_id]
+        if fp is None:
+            fp = {j.job_id: j.footprint_gb for j in jobs}
+        if groups is None:
+            groups = {}
+            for j in jobs:
+                rs = workload.reuse_set_of(j.job_id)
+                groups[j.job_id] = sorted(rs.job_ids) if rs is not None else [j.job_id]
 
         def move(plan: TieringPlan, rng: np.random.Generator) -> Neighbor[TieringPlan]:
             job = jobs[rng.integers(len(jobs))]

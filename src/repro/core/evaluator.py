@@ -48,7 +48,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -155,36 +155,26 @@ class PlanEvaluator:
         self.matrix = matrix
         self.provider = provider
         self.reuse_aware = reuse_aware
+        #: Validate plans on reset/evaluate (structure + Eq. 3).  The
+        #: streaming session layer turns this off for its persistent
+        #: evaluator: warm plans are feasible by construction (survivors
+        #: keep validated placements, arrivals get exact-fit seeds) and
+        #: the O(N) re-validation would dominate millisecond re-plans.
+        self.validate_resets = True
         self._jobs = list(workload.jobs)
         self._job_by_id = {j.job_id: j for j in self._jobs}
         self._job_idx = {j.job_id: i for i, j in enumerate(self._jobs)}
-        self._footprint = {j.job_id: j.footprint_gb for j in self._jobs}
+        self._footprint: Dict[str, float] = {}
         # Capacity-independent Eq. 1 terms, once per job: (app name,
         # waves×MB per phase, ephSSD staging seconds).  ``map_s`` in
         # estimate_job is ``(waves_m * gb_to_mb(input/m)) / bw`` —
         # left-to-right — so pre-multiplying here is bit-identical.
         self._static: Dict[str, Tuple[str, float, float, float, float, float]] = {}
+        # Per-job data-size constants for billed contributions, summed
+        # exactly as job_billed_contributions sums them.
+        self._job_gb: Dict[str, Tuple[float, float]] = {}
         for job in self._jobs:
-            m, r = job.map_tasks, job.reduce_tasks
-            waves_m = _effective_waves(
-                m, cluster_spec.total_map_slots, job.app.cpu_intensive
-            )
-            waves_r = _effective_waves(
-                r, cluster_spec.total_reduce_slots, job.app.cpu_intensive
-            )
-            self._static[job.job_id] = (
-                job.app.name,
-                waves_m * gb_to_mb(job.input_gb / m),
-                waves_r * gb_to_mb(job.intermediate_gb / r),
-                waves_r * gb_to_mb(job.output_gb / r),
-                staging_seconds(job.input_gb, m, cluster_spec, provider),
-                staging_seconds(
-                    job.output_gb,
-                    r * job.app.files_per_reduce_task,
-                    cluster_spec,
-                    provider,
-                ),
-            )
+            self._register_job(job)
         # Interned bandwidth identities: (app, tier, qpvc) -> id, with
         # ids shared between lookups that produce equal bandwidth
         # values on the same tier (flat and saturated profiles).
@@ -205,12 +195,9 @@ class PlanEvaluator:
             self._max_pvc[tier] = svc.max_capacity_per_vm_gb()
             self._tier_rel[tier] = (svc.requires_intermediate, svc.requires_backing)
         self._n_vms = cluster_spec.n_vms
-        # Per-job data-size constants for billed contributions, summed
-        # exactly as job_billed_contributions sums them.
-        self._job_gb: Dict[str, Tuple[float, float]] = {
-            j.job_id: (j.intermediate_gb, j.input_gb + j.output_gb)
-            for j in self._jobs
-        }
+        # Job ids removed by update_workload whose memo entries are
+        # still resident; compacted once enough pile up.
+        self._retired: set = set()
         # (job, bandwidth id) -> total runtime seconds: the hot-loop
         # cache.  Full JobEstimate objects are materialized lazily —
         # only makespan totals are needed per proposal.
@@ -221,11 +208,339 @@ class PlanEvaluator:
         self.counters: Dict[str, int] = {
             "full_evaluations": 0,
             "incremental_evaluations": 0,
+            "delta_rebases": 0,
             "cache_hits": 0,
             "cache_misses": 0,
             "jobs_reestimated": 0,
             "jobs_skipped": 0,
         }
+
+    def _register_job(self, job) -> None:
+        """Compute one job's capacity-independent terms (Eq. 1 statics).
+
+        Pure per-job functions of the fixed cluster/provider, so values
+        are identical whether the job arrived at construction or later
+        through :meth:`update_workload` — bit-parity is insensitive to
+        arrival order.
+        """
+        m, r = job.map_tasks, job.reduce_tasks
+        waves_m = _effective_waves(
+            m, self.cluster_spec.total_map_slots, job.app.cpu_intensive
+        )
+        waves_r = _effective_waves(
+            r, self.cluster_spec.total_reduce_slots, job.app.cpu_intensive
+        )
+        self._static[job.job_id] = (
+            job.app.name,
+            waves_m * gb_to_mb(job.input_gb / m),
+            waves_r * gb_to_mb(job.intermediate_gb / r),
+            waves_r * gb_to_mb(job.output_gb / r),
+            staging_seconds(job.input_gb, m, self.cluster_spec, self.provider),
+            staging_seconds(
+                job.output_gb,
+                r * job.app.files_per_reduce_task,
+                self.cluster_spec,
+                self.provider,
+            ),
+        )
+        self._footprint[job.job_id] = job.footprint_gb
+        self._job_gb[job.job_id] = (
+            job.intermediate_gb, job.input_gb + job.output_gb
+        )
+
+    def _purge_job(self, jid: str) -> None:
+        """Drop a job's memo entries (re-admission of a retired id)."""
+        for cache in (self._tot_cache, self._est_objs):
+            for key in [k for k in cache if k[0] == jid]:
+                del cache[key]
+
+    _COMPACT_RETIRED = 512
+
+    def update_workload(
+        self, workload: WorkloadSpec, appended_only: bool = False
+    ) -> None:
+        """Rebase the evaluator onto a new workload (streaming deltas).
+
+        Static terms are computed only for newly arrived jobs; departed
+        jobs' entries are dropped and their memo keys retired (compacted
+        in bulk once :attr:`_COMPACT_RETIRED` pile up).  The base state
+        is invalidated — the next ``reset`` performs one full, memo-warm
+        evaluation — so every downstream number still flows through
+        ``_full_state``'s canonical-order summation and parity with the
+        reference path is untouched.
+
+        A surviving job id must keep its spec: estimates are memoized by
+        id, so mutating a job in place would serve stale cache entries.
+
+        ``appended_only`` is a caller promise that the new workload is
+        the old one with jobs *appended* (nothing removed, nothing
+        reordered): surviving indices are unchanged, so the id/index
+        maps update in O(new jobs) instead of O(N).  The prefix length
+        is checked; the per-id order is trusted — pass it only when the
+        delta really was append-only (the session's ``add_jobs`` path).
+        """
+        old_by_id = self._job_by_id
+        new_jobs = list(workload.jobs)
+        if appended_only and len(new_jobs) >= len(self._jobs):
+            appended = new_jobs[len(self._jobs):]
+            if all(j.job_id not in old_by_id for j in appended):
+                base = len(self._jobs)
+                for off, job in enumerate(appended):
+                    jid = job.job_id
+                    if jid in self._retired:
+                        self._retired.discard(jid)
+                        self._purge_job(jid)
+                    self._register_job(job)
+                    old_by_id[jid] = job
+                    self._job_idx[jid] = base + off
+                self.workload = workload
+                self._jobs = new_jobs
+                self._base = _BaseState()
+                self._pending = None
+                return
+        for job in new_jobs:
+            jid = job.job_id
+            old = old_by_id.get(jid)
+            if old is not None:
+                if old != job:
+                    raise PlanError(
+                        f"job {jid!r} changed spec across update_workload(); "
+                        "remove and re-add it under a fresh id"
+                    )
+                continue
+            if jid in self._retired:
+                self._retired.discard(jid)
+                self._purge_job(jid)
+            self._register_job(job)
+        new_ids = {j.job_id for j in new_jobs}
+        for jid in old_by_id:
+            if jid not in new_ids:
+                del self._static[jid]
+                del self._footprint[jid]
+                del self._job_gb[jid]
+                self._retired.add(jid)
+        self.workload = workload
+        self._jobs = new_jobs
+        self._job_by_id = {j.job_id: j for j in new_jobs}
+        self._job_idx = {j.job_id: i for i, j in enumerate(new_jobs)}
+        self._base = _BaseState()
+        self._pending = None
+        self._compact_retired()
+
+    def _compact_retired(self) -> None:
+        if len(self._retired) >= self._COMPACT_RETIRED:
+            gone = self._retired
+            self._tot_cache = {
+                k: v for k, v in self._tot_cache.items() if k[0] not in gone
+            }
+            self._est_objs = {
+                k: v for k, v in self._est_objs.items() if k[0] not in gone
+            }
+            self._retired = set()
+
+    def apply_workload_delta(
+        self,
+        workload: WorkloadSpec,
+        plan: TieringPlan,
+        added: Sequence,
+        removed: Sequence[str],
+    ) -> float:
+        """Rebase workload *and* base plan in one delta-scoped step.
+
+        The streaming-session warm path: instead of invalidating the
+        base and paying a full O(N) re-evaluation on the next
+        ``reset``, patch the existing base state in place — only the
+        arrived/departed jobs and the *contended tiers* (those whose
+        quantized per-VM capacity moved) are re-scored; every other
+        job keeps its exact cached total.  The final makespan/billed
+        sums and the finalize tail still run in canonical order over
+        the patched per-job components, so the resulting utility is
+        bit-identical to ``reset(plan)`` after ``update_workload``.
+
+        Caller contract (the session's ``_warm_plan`` guarantees it;
+        violations would silently break parity, which the session's
+        periodic ``verify_parity`` check would then trip):
+
+        * ``workload`` is the previous workload with ``removed`` ids
+          dropped (survivors keep relative order) and ``added`` jobs
+          appended at the end, in order;
+        * ``plan`` is the previous *base* plan with exactly those
+          placements dropped/appended — surviving jobs keep their
+          ``Placement`` objects and relative plan order.
+
+        Falls back to ``update_workload`` + ``reset`` when there is no
+        base yet.  Returns the utility of ``plan``.
+        """
+        base = self._base
+        if base.plan is None:
+            self.update_workload(workload, appended_only=not removed)
+            return self.reset(plan)
+        self._pending = None
+        placements = plan.placements
+        if len(placements) != len(workload.jobs):
+            raise PlanError(
+                "apply_workload_delta: plan does not cover the workload"
+            )
+
+        # Old list indices of departing jobs, before the index map moves.
+        try:
+            removed_at = sorted(
+                (self._job_idx[jid] for jid in removed), reverse=True
+            )
+        except KeyError as exc:
+            raise PlanError(
+                f"removed job not in workload: {exc.args[0]!r}"
+            ) from None
+
+        for jid in removed:
+            del self._static[jid]
+            del self._footprint[jid]
+            del self._job_gb[jid]
+            del self._job_by_id[jid]
+            self._retired.add(jid)
+        for job in added:
+            jid = job.job_id
+            if jid in self._job_by_id:
+                raise PlanError(f"job {jid!r} already in workload")
+            if jid in self._retired:
+                self._retired.discard(jid)
+                self._purge_job(jid)
+            self._register_job(job)
+            self._job_by_id[jid] = job
+        self.workload = workload
+        self._jobs = list(workload.jobs)
+        if removed:
+            self._job_idx = {j.job_id: i for i, j in enumerate(self._jobs)}
+        else:
+            nbase = len(self._jobs) - len(added)
+            for off, job in enumerate(added):
+                self._job_idx[job.job_id] = nbase + off
+        job_idx = self._job_idx
+
+        # Patch the per-index component lists: C-level deletes keep the
+        # workload-order invariant; arrivals get placeholders below.
+        totals = base.totals
+        contribs = base.contribs
+        for i in removed_at:
+            del totals[i]
+            del contribs[i]
+        for _ in added:
+            totals.append(0.0)
+            contribs.append(())
+
+        # Membership / aggregates, re-summed for affected tiers only in
+        # plan order (removal preserves it; arrivals sit at plan end).
+        affected: set = set()
+        old_plan_pl = base.plan.placements
+        for jid in removed:
+            tier = old_plan_pl[jid].tier
+            affected.add(tier)
+            base.members[tier].remove(jid)
+            del base.pos[jid]
+            del base.est_key[jid]
+        if added:
+            nxt = (max(base.pos.values()) + 1) if base.pos else 0
+            for job in added:
+                jid = job.job_id
+                affected.add(placements[jid].tier)
+                base.members.setdefault(placements[jid].tier, []).append(jid)
+                base.pos[jid] = nxt
+                nxt += 1
+        old_qpvc = {t: base.qpvc.get(t) for t in affected}
+        for tier in affected:
+            ids = base.members.get(tier)
+            if not ids:
+                base.members.pop(tier, None)
+                base.agg.pop(tier, None)
+                base.pvc.pop(tier, None)
+                base.qpvc.pop(tier, None)
+                continue
+            agg = 0.0
+            for jid in ids:
+                agg += placements[jid].capacity_gb
+            base.agg[tier] = agg
+            base.pvc[tier] = self._per_vm(tier, agg)
+            base.qpvc[tier] = quantize_capacity(base.pvc[tier])
+
+        # Re-key contended tiers (quantized capacity moved) and
+        # arrivals; everything else keeps its exact cached total.
+        static = self._static
+        est_key = base.est_key
+        bw_ids = self._bw_ids
+        tot_cache = self._tot_cache
+        reestimated = 0
+        for tier in affected:
+            qp = base.qpvc.get(tier)
+            if qp is None or qp == old_qpvc[tier]:
+                continue
+            app_bid: Dict[str, int] = {}
+            for jid in base.members[tier]:
+                app = static[jid][0]
+                bid = app_bid.get(app)
+                if bid is None:
+                    bid = bw_ids.get((app, tier, qp))
+                    if bid is None:
+                        bid = self._bw_id(app, tier, qp)
+                    app_bid[app] = bid
+                if est_key.get(jid) == bid:
+                    continue
+                tot = tot_cache.get((jid, bid))
+                if tot is None:
+                    tot = self._tot(jid, tier, bid)
+                totals[job_idx[jid]] = tot
+                est_key[jid] = bid
+                reestimated += 1
+        for job in added:
+            jid = job.job_id
+            p = placements[jid]
+            contribs[job_idx[jid]] = self._contribs(jid, p)
+            if jid in est_key:
+                continue  # keyed by the contended-tier pass above
+            tier = p.tier
+            qp = base.qpvc[tier]
+            bid = bw_ids.get((static[jid][0], tier, qp))
+            if bid is None:
+                bid = self._bw_id(static[jid][0], tier, qp)
+            tot = tot_cache.get((jid, bid))
+            if tot is None:
+                tot = self._tot(jid, tier, bid)
+            totals[job_idx[jid]] = tot
+            est_key[jid] = bid
+            reestimated += 1
+
+        # Canonical re-summation (workload order) + shared finalize
+        # tail — the same accumulation _full_state performs.
+        makespan_s = sum(totals)
+        billed: Dict[Tier, float] = {}
+        for pairs in contribs:
+            for tier, gb in pairs:
+                billed[tier] = billed.get(tier, 0.0) + gb
+        if self.reuse_aware:
+
+            def est_of(jid: str) -> _StagingView:
+                return _StagingView(
+                    static[jid][4]
+                    if placements[jid].tier is Tier.EPH_SSD else 0.0
+                )
+        else:
+            est_of = None  # type: ignore[assignment]  # never called
+        makespan_s, cost, utility = finalize_plan_metrics(
+            self.workload, plan, est_of, makespan_s, billed,
+            self.cluster_spec, self.provider, reuse_aware=self.reuse_aware,
+        )
+        base.plan = plan
+        base.utility = utility
+        base.makespan_s = makespan_s
+        base.cost = cost
+        base.billed = billed
+        base.estimates = {}
+        base.evaluation = None
+        counters = self.counters
+        counters["delta_rebases"] += 1
+        counters["jobs_reestimated"] += reestimated
+        counters["jobs_skipped"] += len(self._jobs) - reestimated
+        self._compact_retired()
+        return utility
 
     # -- memoized job estimation ------------------------------------------------
 
@@ -347,14 +662,24 @@ class PlanEvaluator:
 
     # -- full evaluation (reference-parity path) --------------------------------
 
-    def _full_state(self, plan: TieringPlan) -> _BaseState:
+    def _full_state(self, plan: TieringPlan, light: bool = False) -> _BaseState:
         """Evaluate ``plan`` from scratch into a fresh base state.
 
         Mirrors :func:`~repro.core.utility.evaluate_plan` operation for
         operation (same summation orders, shared finalize tail), with
         job estimates routed through the memo cache.
+
+        ``light`` skips materializing :class:`JobEstimate` objects and
+        the :class:`PlanEvaluation` — :attr:`last_evaluation` rebuilds
+        both lazily from the memo keys, exactly as it does after
+        ``accept()``.  The reuse-economics pass reads only the
+        capacity-independent ``download_s``, served from the static
+        terms like the ``propose`` path — same values, same order, so
+        the utility stays bit-identical.  This keeps the per-re-plan
+        baseline evaluation of streaming sessions allocation-lean.
         """
-        plan.validate(self.workload, self.provider)
+        if self.validate_resets:
+            plan.validate(self.workload, self.provider)
         state = _BaseState()
         state.plan = plan
         state.pos = {jid: i for i, jid in enumerate(plan.placements)}
@@ -379,7 +704,8 @@ class PlanEvaluator:
             tier = placement.tier
             bid = self._bw_id(static[jid][0], tier, state.qpvc[tier])
             tot = self._tot(jid, tier, bid)
-            state.estimates[jid] = self._est_obj(jid, tier, bid)
+            if not light:
+                state.estimates[jid] = self._est_obj(jid, tier, bid)
             state.est_key[jid] = bid
             state.totals.append(tot)
             state.contribs.append(self._contribs(jid, placement))
@@ -390,21 +716,36 @@ class PlanEvaluator:
             for tier, gb in pairs:
                 billed[tier] = billed.get(tier, 0.0) + gb
 
+        if light:
+            if self.reuse_aware:
+                placements = plan.placements
+
+                def est_of(jid: str) -> _StagingView:
+                    return _StagingView(
+                        static[jid][4]
+                        if placements[jid].tier is Tier.EPH_SSD else 0.0
+                    )
+            else:
+                est_of = None  # type: ignore[assignment]  # never called
+        else:
+            est_of = state.estimates.__getitem__  # type: ignore[assignment]
+
         makespan_s, cost, utility = finalize_plan_metrics(
-            self.workload, plan, state.estimates.__getitem__, makespan_s,
+            self.workload, plan, est_of, makespan_s,
             billed, self.cluster_spec, self.provider, reuse_aware=self.reuse_aware,
         )
         state.utility = utility
         state.makespan_s = makespan_s
         state.cost = cost
         state.billed = billed
-        state.evaluation = PlanEvaluation(
-            makespan_s=makespan_s,
-            cost=cost,
-            utility=utility,
-            per_job=dict(state.estimates),
-            capacity_gb=dict(billed),
-        )
+        if not light:
+            state.evaluation = PlanEvaluation(
+                makespan_s=makespan_s,
+                cost=cost,
+                utility=utility,
+                per_job=dict(state.estimates),
+                capacity_gb=dict(billed),
+            )
         self.counters["full_evaluations"] += 1
         return state
 
@@ -421,7 +762,7 @@ class PlanEvaluator:
     def reset(self, plan: TieringPlan) -> float:
         """Full evaluation; ``plan`` becomes the base state."""
         self._pending = None
-        self._base = self._full_state(plan)
+        self._base = self._full_state(plan, light=True)
         return self._base.utility
 
     def propose(self, neighbor_plan: TieringPlan, move: PlanMove) -> float:
@@ -681,6 +1022,28 @@ class PlanEvaluator:
     def base_plan(self) -> Optional[TieringPlan]:
         """The current base plan (None before the first ``reset``)."""
         return self._base.plan
+
+    @property
+    def base_utility(self) -> float:
+        """Utility of the current base plan (NaN before ``reset``)."""
+        return self._base.utility
+
+    @property
+    def base_makespan_s(self) -> float:
+        """Makespan of the current base plan (NaN before ``reset``)."""
+        return self._base.makespan_s
+
+    @property
+    def base_cost(self) -> Optional[CostBreakdown]:
+        """Cost breakdown of the current base plan (None before ``reset``).
+
+        These three read the already-summed base-state scalars — unlike
+        :attr:`last_evaluation` they never materialize per-job estimate
+        objects, so the streaming session layer can report utility,
+        makespan and cost without adding an O(N) pass to its re-plan
+        latency.
+        """
+        return self._base.cost
 
     @property
     def last_evaluation(self) -> Optional[PlanEvaluation]:

@@ -112,7 +112,11 @@ class CastSolver:
     # -- neighborhood ---------------------------------------------------------
 
     def neighbor_moves(
-        self, workload: WorkloadSpec
+        self,
+        workload: WorkloadSpec,
+        *,
+        fp: Optional[Dict[str, float]] = None,
+        groups: Optional[Dict[str, Any]] = None,
     ) -> Callable[[TieringPlan, np.random.Generator], Neighbor[TieringPlan]]:
         """Random move: retier/resize one job, or bulk-retier one app.
 
@@ -125,14 +129,22 @@ class CastSolver:
 
         Returns :class:`~repro.core.annealing.Neighbor` values carrying
         the move, enabling the annealer's delta-evaluation fast path.
+
+        ``fp`` optionally supplies the job-id → footprint-GB map (its
+        property chains dominate closure setup at 1,000 jobs); the
+        streaming session layer maintains it incrementally across
+        deltas.  ``groups`` is accepted for signature compatibility
+        with :meth:`CastPlusPlus.neighbor_moves` and ignored here.
         """
+        del groups  # reuse groups only matter to the CAST++ neighborhood
         tiers = list(self.provider.tiers)
         jobs = list(workload.jobs)
         by_app = workload.jobs_by_app()
         app_names = sorted(by_app)
         # Footprints resolve through a property chain — hoist them out
         # of the per-iteration closure.
-        fp = {j.job_id: j.footprint_gb for j in jobs}
+        if fp is None:
+            fp = {j.job_id: j.footprint_gb for j in jobs}
         app_ids = {app: [j.job_id for j in members] for app, members in by_app.items()}
 
         def move(plan: TieringPlan, rng: np.random.Generator) -> Neighbor[TieringPlan]:
@@ -215,6 +227,9 @@ class CastSolver:
         record_trajectory: bool = False,
         progress: Optional[Callable[[SolverProgress], None]] = None,
         progress_every: int = 500,
+        schedule: Optional[AnnealingSchedule] = None,
+        evaluator: Optional[PlanEvaluator] = None,
+        neighbor_fn: Optional[Callable[..., Neighbor[TieringPlan]]] = None,
     ) -> AnnealingResult[TieringPlan]:
         """Run Algorithm 2 and return the best plan found.
 
@@ -225,6 +240,17 @@ class CastSolver:
         receives sampled :class:`~repro.obs.progress.SolverProgress`
         snapshots every ``progress_every`` iterations (disabled, the
         default, costs one pointer check per iteration).
+
+        ``schedule`` overrides the solver's annealing schedule for this
+        run only, and ``evaluator`` supplies a pre-built
+        :class:`PlanEvaluator` whose memo caches carry over (its
+        workload/reuse-awareness must match; the annealer ``reset``\\ s
+        it on the initial plan unless its base already *is* that plan,
+        so a stale base is harmless).  Both are
+        the warm-start seams the streaming session layer uses; the
+        evaluator and ``neighbor_fn`` (a pre-built
+        :meth:`neighbor_moves` closure) overrides apply to the
+        incremental ``anneal`` path only.
         """
         with _span(
             "solver.solve",
@@ -233,7 +259,8 @@ class CastSolver:
         ):
             started = time.perf_counter()
             result = self._solve_inner(
-                workload, initial, record_trajectory, progress, progress_every
+                workload, initial, record_trajectory, progress, progress_every,
+                schedule, evaluator, neighbor_fn,
             )
             self._record_solve_metrics(result, time.perf_counter() - started)
         return result
@@ -245,33 +272,56 @@ class CastSolver:
         record_trajectory: bool,
         progress: Optional[Callable[[SolverProgress], None]],
         progress_every: int,
+        schedule: Optional[AnnealingSchedule] = None,
+        evaluator: Optional[PlanEvaluator] = None,
+        neighbor_fn: Optional[Callable[..., Neighbor[TieringPlan]]] = None,
     ) -> AnnealingResult[TieringPlan]:
+        sched = schedule if schedule is not None else self.schedule
         if self.backend == "tempering":
             from .tempering import solve_tempering  # late: avoids cycle
 
             self.last_tempering = None
-            return solve_tempering(
-                self, workload, initial=initial,
-                record_trajectory=record_trajectory,
-                progress=progress, progress_every=progress_every,
-            )
+            if schedule is None:
+                return solve_tempering(
+                    self, workload, initial=initial,
+                    record_trajectory=record_trajectory,
+                    progress=progress, progress_every=progress_every,
+                )
+            # solve_tempering reads the ladder's base schedule off the
+            # solver; swap it in for the duration of this run only.
+            saved = self.schedule
+            self.schedule = sched
+            try:
+                return solve_tempering(
+                    self, workload, initial=initial,
+                    record_trajectory=record_trajectory,
+                    progress=progress, progress_every=progress_every,
+                )
+            finally:
+                self.schedule = saved
         if self.backend != "anneal":
             raise SolverError(f"unknown solver backend: {self.backend!r}")
         self.last_tempering = None
         init = initial if initial is not None else self.initial_plan(workload)
         if self.incremental:
-            objective: Any = self.make_evaluator(workload)
-            neighbor_fn: Any = self.neighbor_moves(workload)
+            objective: Any = (
+                evaluator if evaluator is not None
+                else self.make_evaluator(workload)
+            )
+            moves: Any = (
+                neighbor_fn if neighbor_fn is not None
+                else self.neighbor_moves(workload)
+            )
             self.last_evaluator = objective
         else:
             objective = self.objective(workload)
-            neighbor_fn = self.neighbor(workload)
+            moves = self.neighbor(workload)
             self.last_evaluator = None
         return simulated_annealing(
             initial_state=init,
             utility_fn=objective,
-            neighbor_fn=neighbor_fn,
-            schedule=self.schedule,
+            neighbor_fn=moves,
+            schedule=sched,
             rng=np.random.default_rng(self.seed),
             record_trajectory=record_trajectory,
             progress=progress,
@@ -332,6 +382,7 @@ def solve_workload_request(
     use_castpp: bool = True,
     backend: str = "anneal",
     replicas: int = 8,
+    initial_plan: Optional[Mapping[str, Any]] = None,
 ) -> Dict[str, Any]:
     """Solve one workload request end to end, primitives in, primitives out.
 
@@ -339,6 +390,10 @@ def solve_workload_request(
     types, and the function is module-level, so it pickles cleanly into
     a ``ProcessPoolExecutor`` worker (the planner service's multi-start
     pool) and needs no shared state with the parent process.
+
+    ``initial_plan`` optionally warm-starts the annealer from a
+    schema-v1 tiering-plan dict (the previous best plan of a streaming
+    session, say) instead of the Algorithm 2 seed.
 
     Raises :class:`~repro.errors.CastError` subclasses for malformed
     workloads, unknown providers, or infeasible solves — callers map
@@ -358,6 +413,10 @@ def solve_workload_request(
         seed=int(seed),
         backend=str(backend),
         replicas=int(replicas),
+        initial_plan=(
+            TieringPlan.from_dict(dict(initial_plan))
+            if initial_plan is not None else None
+        ),
     )
     ev = outcome.evaluation
     evaluator = outcome.solver.last_evaluator

@@ -23,6 +23,7 @@ __all__ = [
     "FleetError",
     "NoHealthyShardsError",
     "ObservabilityError",
+    "SessionError",
 ]
 
 
@@ -95,3 +96,11 @@ class NoHealthyShardsError(FleetError):
 
 class ObservabilityError(CastError):
     """A metrics instrument was registered or used inconsistently."""
+
+
+class SessionError(CastError):
+    """A streaming planning session was driven invalidly.
+
+    Raised for deltas against a closed session, duplicate/unknown job
+    ids in a delta, or malformed session-trace files.
+    """

@@ -157,10 +157,13 @@ def simulate_workflow_task(payload: Tuple[Any, ...]) -> WorkloadSimResult:
 
 def simulate_workflow_chunk_task(payload: Tuple[Any, ...]) -> List[WorkloadSimResult]:
     """Picklable worker body for a chunk of workflow simulations."""
-    chunk, cluster_spec, provider, env = payload
+    chunk, cluster_spec, provider, env, fast = payload
     _apply_env(env)
     return [
-        simulate_workflow(wf, tier_of, cluster_spec, provider, per_vm_capacity_gb=caps)
+        simulate_workflow(
+            wf, tier_of, cluster_spec, provider,
+            per_vm_capacity_gb=caps, fast_path=bool(fast),
+        )
         for wf, tier_of, caps in chunk
     ]
 
@@ -383,18 +386,23 @@ class ExperimentRunner:
     ) -> List[WorkloadSimResult]:
         """Simulate (workflow, tier-map, caps) batches in order.
 
-        Workflow jobs are phased (mid-DAG staging disabled), so every
-        simulation runs on the exact event engine; parallel mode ships
+        A ``fast_path`` runner routes each workflow's jobs through
+        :func:`~repro.simulator.engine.simulate_batch`; eligibility
+        stays per request, and DAG jobs are phased (staging partially
+        disabled), so they fall back to the exact event engine and the
+        results match a plain runner bit-for-bit.  Parallel mode ships
         whole chunks per worker submission like :meth:`simulate_jobs`.
         """
         env = _sim_env()
         normalized = [(wf, dict(tier_of), caps) for wf, tier_of, caps in items]
+        fast = self.fast_path and not use_reference_channel()
         self.batches += 1
         self.tasks_run += len(normalized)
         if not self.parallel or len(normalized) <= 1:
             return [
                 simulate_workflow(
-                    wf, tier_of, cluster_spec, provider, per_vm_capacity_gb=caps
+                    wf, tier_of, cluster_spec, provider,
+                    per_vm_capacity_gb=caps, fast_path=fast,
                 )
                 for wf, tier_of, caps in normalized
             ]
@@ -402,7 +410,7 @@ class ExperimentRunner:
         results: List[WorkloadSimResult] = []
         for part in self._executor().map(
             simulate_workflow_chunk_task,
-            [(chunk, cluster_spec, provider, env) for chunk in chunks],
+            [(chunk, cluster_spec, provider, env, fast) for chunk in chunks],
         ):
             results.extend(part)
         return results

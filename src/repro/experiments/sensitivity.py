@@ -124,12 +124,17 @@ def run_price_sensitivity(
     iterations: int = 1500,
     seed: int = 42,
     workers: Optional[int] = None,
+    fast_sim: bool = False,
 ) -> List[SensitivityRow]:
     """Re-plan under perturbed prices and measure churn and regret.
 
     ``workers`` > 1 runs the repricing scenarios on a process pool;
     every scenario re-solves with the same fixed seed either way, so
-    the rows are identical to a serial run.
+    the rows are identical to a serial run.  ``fast_sim`` opts the
+    runner into the vectorized fast path for any simulation it
+    dispatches; the scenario bodies are solver-bound (churn and regret
+    come from :func:`~repro.core.utility.evaluate_plan`, not the event
+    engine), so the rows are identical with the flag on or off.
     """
     prov = prov or provider()
     cluster = cluster or characterization_cluster()
@@ -159,7 +164,7 @@ def run_price_sensitivity(
         for tier in tiers
         for factor in factors
     ]
-    with ExperimentRunner(workers) as runner:
+    with ExperimentRunner(workers, fast_path=fast_sim) as runner:
         return runner.map(_solve_scenario, payloads)
 
 

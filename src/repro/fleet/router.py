@@ -37,6 +37,16 @@ shards at runtime, and a background health checker pings every
 registered shard, taking it out of the ring after
 ``health_failures`` consecutive misses and restoring it on recovery.
 
+Streaming sessions (``session_open``/``session_delta``/``session_close``)
+are *stateful*, so they bypass the L1 cache, single-flight and fair
+queueing and instead pin to a shard by hashing ``session:<id>`` on the
+same ring.  The router keeps a per-session event log (the open params
+plus every delta); when the pinned shard dies — or ring churn moves the
+session's key — the log replays against the new owner before the
+current request forwards, rebuilding the session's state there.
+Replayed re-plans are deterministic, so the rebuilt incumbent is the
+plan the dead shard held.
+
 Observability: the ``metrics`` op gains a ``scope`` param.
 ``scope="router"`` exposes the router's own registry;
 ``scope="fleet"`` (the default here) scrapes every healthy shard's
@@ -50,6 +60,7 @@ from __future__ import annotations
 import asyncio
 import logging
 import time
+import uuid
 from typing import Any, Dict, List, Mapping, Optional, Set, Tuple
 
 from ..cloud import resolve_provider
@@ -78,6 +89,7 @@ from ..service.protocol import (
     send_message,
 )
 from ..service.server import _normalize_solve_params, _normalize_whatif_params
+from ..service.sessions import normalize_delta_params, normalize_open_params
 from .hashring import ConsistentHashRing
 from .tenancy import WeightedFairScheduler
 
@@ -238,6 +250,11 @@ class FleetRouter:
         self._inflight: Dict[str, "asyncio.Future[Tuple[Dict[str, Any], bool]]"] = {}
         self._health_task: Optional["asyncio.Task[None]"] = None
         self._next_forward_id = 0
+        # Streaming-session state: per-session replay log
+        # ({"open": params, "deltas": [params...], "home": shard_id})
+        # and a lock serializing ops per session.
+        self._session_logs: Dict[str, Dict[str, Any]] = {}
+        self._session_locks: Dict[str, asyncio.Lock] = {}
 
         self.metrics = registry if registry is not None else MetricsRegistry()
         self._requests_total = self.metrics.counter(
@@ -525,6 +542,8 @@ class FleetRouter:
         if op == "whatif":
             result, cached = await self._whatif_op(params)
             return ok_response(req_id, result, cached=cached)
+        if op in ("session_open", "session_delta", "session_close"):
+            return ok_response(req_id, await self._session_op(op, params))
         result, cached = await self._solve_op(op, params)
         return ok_response(req_id, result, cached=cached)
 
@@ -659,6 +678,149 @@ class FleetRouter:
             fast=normalized["fast"],
         )
         return await self._route_request("whatif", normalized, fingerprint)
+
+    # -- streaming sessions --------------------------------------------------
+
+    def _session_lock(self, session_id: str) -> asyncio.Lock:
+        lock = self._session_locks.get(session_id)
+        if lock is None:
+            lock = self._session_locks[session_id] = asyncio.Lock()
+        return lock
+
+    async def _session_op(self, op: str, params: Mapping[str, Any]) -> Dict[str, Any]:
+        """Route one session op to its pinned shard (replaying on failover).
+
+        Sessions bypass the L1 cache / single-flight / fair queue: a
+        delta is stateful, milliseconds of shard work, and never
+        equivalent to another request.
+        """
+        if op == "session_open":
+            normalized = normalize_open_params(params)
+            session_id = (
+                normalized["session_id"] or f"session-{uuid.uuid4().hex[:12]}"
+            )
+            forward = {
+                k: v for k, v in normalized.items() if v is not None
+            }
+            forward["session_id"] = session_id
+            async with self._session_lock(session_id):
+                # Opening an existing id replaces the session — start a
+                # fresh log either way.
+                log = {"open": dict(forward), "deltas": [], "home": None}
+                self._session_logs[session_id] = log
+                result = await self._forward_session(op, forward, session_id)
+            return result
+        session_id = str(params.get("session_id") or "")
+        if op == "session_delta":
+            normalized = normalize_delta_params(params)
+            session_id = normalized["session_id"]
+            forward = {k: v for k, v in normalized.items() if v is not None}
+            async with self._session_lock(session_id):
+                log = self._session_logs.get(session_id)
+                result = await self._forward_session(op, forward, session_id)
+                if log is not None:
+                    log["deltas"].append(dict(forward))
+            return result
+        # session_close
+        if not session_id:
+            raise ProtocolError("session_close params need a 'session_id'")
+        async with self._session_lock(session_id):
+            result = await self._forward_session(
+                op, {"session_id": session_id}, session_id
+            )
+            self._session_logs.pop(session_id, None)
+        self._session_locks.pop(session_id, None)
+        return result
+
+    async def _replay_session(
+        self, shard_id: str, session_id: str, log: Mapping[str, Any]
+    ) -> None:
+        """Rebuild a session on ``shard_id`` from the router's log.
+
+        Raises transport errors (``ConnectionError``/``OSError``) to the
+        failover loop; typed shard errors propagate to the caller — a
+        delta the old shard accepted cannot fail on a replay, so a typed
+        error here means the log itself is bad.
+        """
+        self._events.inc(event="session_replays")
+        link = self._link(shard_id)
+        steps = [("session_open", dict(log["open"]))]
+        steps.extend(("session_delta", dict(d)) for d in log["deltas"])
+        for step_op, step_params in steps:
+            step_params["include_plan"] = False
+            self._next_forward_id += 1
+            response = await link.request(
+                make_request(
+                    step_op, step_params, req_id=f"r{self._next_forward_id}"
+                ),
+                timeout=self.forward_timeout_s,
+            )
+            if not response.get("ok"):
+                raise exception_from_payload(response["error"])
+        logger.info(
+            "session %s replayed onto shard %s (%d deltas)",
+            session_id, shard_id, len(log["deltas"]),
+        )
+
+    async def _forward_session(
+        self, op: str, params: Mapping[str, Any], session_id: str
+    ) -> Dict[str, Any]:
+        """Forward one session op to ``ring.route("session:<id>")``.
+
+        When the ring owner is not the shard holding the session's
+        state (first contact after a failover or ring churn), the
+        session log replays there first.  Transport failures mark the
+        shard down and walk the ring, exactly like the solve path.
+        """
+        key = f"session:{session_id}"
+        attempts = 0
+        max_attempts = max(1, len(self._shards))
+        while True:
+            if len(self.ring) == 0:
+                raise NoHealthyShardsError(
+                    f"no healthy shards to route {op!r} "
+                    f"({len(self._shards)} registered, all down)"
+                )
+            shard_id = self.ring.route(key)
+            log = self._session_logs.get(session_id)
+            self._next_forward_id += 1
+            payload = make_request(op, params, req_id=f"f{self._next_forward_id}")
+            with span(
+                "fleet.forward", attrs={"op": op, "shard": shard_id}
+            ):
+                try:
+                    if (
+                        log is not None
+                        and op != "session_open"
+                        and log.get("home") != shard_id
+                    ):
+                        await self._replay_session(shard_id, session_id, log)
+                    response = await self._link(shard_id).request(
+                        payload, timeout=self.forward_timeout_s
+                    )
+                except asyncio.TimeoutError:
+                    raise ServiceTimeoutError(
+                        f"forward to shard {shard_id} exceeded "
+                        f"{self.forward_timeout_s:.0f}s"
+                    ) from None
+                except (ConnectionError, OSError) as exc:
+                    attempts += 1
+                    self._mark_down(shard_id, f"forward failed: {exc!r}")
+                    self._events.inc(event="failovers")
+                    if attempts >= max_attempts:
+                        raise NoHealthyShardsError(
+                            f"every shard failed while routing {op!r} "
+                            f"(last: {shard_id}: {exc!r})"
+                        ) from exc
+                    continue
+            self._routed.inc(shard=shard_id)
+            if response.get("ok"):
+                if log is not None:
+                    log["home"] = shard_id
+                result = dict(response["result"])
+                result["shard"] = shard_id
+                return result
+            raise exception_from_payload(response["error"])
 
     async def _route_request(
         self, op: str, normalized: Dict[str, Any], fingerprint: str
@@ -802,6 +964,13 @@ class FleetRouter:
                 for labels, value in self._routed.samples()
             },
             "inflight": len(self._inflight),
+            "sessions": {
+                sid: {
+                    "home": log.get("home"),
+                    "deltas_logged": len(log["deltas"]),
+                }
+                for sid, log in self._session_logs.items()
+            },
             "limits": {
                 "forward_timeout_s": self.forward_timeout_s,
                 "health_interval_s": self.health_interval_s,

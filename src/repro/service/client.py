@@ -39,7 +39,24 @@ from .protocol import (
     send_message,
 )
 
-__all__ = ["PlannerClient", "SyncPlannerClient"]
+__all__ = ["PlannerClient", "PlannerSessionHandle", "SyncPlannerClient"]
+
+
+def _as_job_dict(job: Any) -> Dict[str, Any]:
+    """Accept a schema-v1 job dict or a JobSpec-like object."""
+    if isinstance(job, Mapping):
+        return dict(job)
+    from ..workloads.io import job_to_dict
+
+    return job_to_dict(job)
+
+
+def _as_reuse_set_dict(rs: Any) -> Dict[str, Any]:
+    if isinstance(rs, Mapping):
+        return dict(rs)
+    from ..workloads.io import reuse_set_to_dict
+
+    return reuse_set_to_dict(rs)
 
 
 def _solve_params(
@@ -331,6 +348,176 @@ class PlannerClient:
             ),
         )
 
+    # -- streaming sessions --------------------------------------------------
+
+    async def session_open(
+        self,
+        workload: Optional[Mapping[str, Any]] = None,
+        *,
+        session_id: Optional[str] = None,
+        provider: str = "google",
+        n_vms: int = 25,
+        iterations: int = 3000,
+        seed: int = 42,
+        use_castpp: bool = True,
+        backend: Optional[str] = None,
+        replicas: Optional[int] = None,
+        config: Optional[Mapping[str, Any]] = None,
+        include_plan: bool = False,
+    ) -> Dict[str, Any]:
+        """Open a streaming planning session (see :mod:`repro.session`).
+
+        The optional ``workload`` (schema-v1 dict) is solved at full
+        budget as the session's opening plan; subsequent
+        :meth:`session_delta` calls re-plan by warm start in
+        milliseconds.  Returns at least ``session_id``.
+        """
+        params: Dict[str, Any] = {
+            "provider": provider,
+            "n_vms": n_vms,
+            "iterations": iterations,
+            "seed": seed,
+            "use_castpp": use_castpp,
+            "include_plan": include_plan,
+        }
+        if workload is not None:
+            params["spec"] = dict(workload)
+        if session_id is not None:
+            params["session_id"] = session_id
+        if backend is not None:
+            params["backend"] = backend
+        if replicas is not None:
+            params["replicas"] = replicas
+        if config is not None:
+            params["config"] = dict(config)
+        return dict((await self.request("session_open", params))["result"])
+
+    async def session_delta(
+        self,
+        session_id: str,
+        *,
+        add_jobs: Any = None,
+        reuse_sets: Any = None,
+        remove: Any = None,
+        include_plan: bool = False,
+    ) -> Dict[str, Any]:
+        """Admit a delta (departures and/or arrivals) to a session.
+
+        ``add_jobs``/``reuse_sets`` accept schema-v1 dicts or the
+        in-process :class:`~repro.workloads.spec.JobSpec` /
+        ``ReuseSet`` objects.  Removals apply before additions.
+        """
+        params: Dict[str, Any] = {
+            "session_id": session_id,
+            "include_plan": include_plan,
+        }
+        if remove:
+            params["remove"] = [str(jid) for jid in remove]
+        if add_jobs or reuse_sets:
+            params["add"] = {
+                "jobs": [_as_job_dict(j) for j in (add_jobs or [])],
+                "reuse_sets": [
+                    _as_reuse_set_dict(rs) for rs in (reuse_sets or [])
+                ],
+            }
+        return dict((await self.request("session_delta", params))["result"])
+
+    async def session_close(self, session_id: str) -> Dict[str, Any]:
+        """Close a session; returns its final plan and counters."""
+        return dict(
+            (
+                await self.request("session_close", {"session_id": session_id})
+            )["result"]
+        )
+
+    def session(
+        self,
+        workload: Optional[Mapping[str, Any]] = None,
+        **open_kwargs: Any,
+    ) -> "PlannerSessionHandle":
+        """Context-managed streaming session::
+
+            async with client.session(workload_dict) as sess:
+                await sess.add_jobs([...])
+                await sess.remove_jobs(["job-3"])
+
+        The session opens on ``__aenter__`` and closes (server-side)
+        on ``__aexit__``; the handle's :attr:`~PlannerSessionHandle.summary`
+        holds the close payload afterwards.
+        """
+        return PlannerSessionHandle(self, workload, open_kwargs)
+
+
+class PlannerSessionHandle:
+    """One open streaming session bound to a :class:`PlannerClient`."""
+
+    def __init__(
+        self,
+        client: PlannerClient,
+        workload: Optional[Mapping[str, Any]],
+        open_kwargs: Dict[str, Any],
+    ) -> None:
+        self._client = client
+        self._workload = workload
+        self._open_kwargs = open_kwargs
+        self.session_id: Optional[str] = None
+        #: Result payload of the most recent open/delta op.
+        self.last: Optional[Dict[str, Any]] = None
+        #: The ``session_close`` payload, set on ``__aexit__``/:meth:`close`.
+        self.summary: Optional[Dict[str, Any]] = None
+
+    async def __aenter__(self) -> "PlannerSessionHandle":
+        result = await self._client.session_open(
+            self._workload, **self._open_kwargs
+        )
+        self.session_id = str(result["session_id"])
+        self.last = result
+        return self
+
+    async def __aexit__(self, *exc_info: Any) -> None:
+        if self.session_id is not None and self.summary is None:
+            try:
+                await self.close()
+            except Exception:
+                # Best-effort close on unwind: the original exception
+                # (if any) matters more than a dead session id.
+                if exc_info[0] is None:
+                    raise
+
+    def _require_open(self) -> str:
+        if self.session_id is None:
+            raise ServiceUnavailableError("session is not open")
+        return self.session_id
+
+    async def add_jobs(
+        self,
+        jobs: Any,
+        reuse_sets: Any = None,
+        include_plan: bool = False,
+    ) -> Dict[str, Any]:
+        """Admit arriving jobs; returns the re-plan result payload."""
+        self.last = await self._client.session_delta(
+            self._require_open(),
+            add_jobs=jobs, reuse_sets=reuse_sets, include_plan=include_plan,
+        )
+        return self.last
+
+    async def remove_jobs(
+        self, job_ids: Any, include_plan: bool = False
+    ) -> Dict[str, Any]:
+        """Retire departing jobs; returns the re-plan result payload."""
+        self.last = await self._client.session_delta(
+            self._require_open(), remove=job_ids, include_plan=include_plan,
+        )
+        return self.last
+
+    async def close(self) -> Dict[str, Any]:
+        """Close the session server-side (idempotent client-side)."""
+        sid = self._require_open()
+        self.summary = await self._client.session_close(sid)
+        self.session_id = None
+        return self.summary
+
 
 class SyncPlannerClient:
     """Blocking facade over :class:`PlannerClient` (one connection per call)."""
@@ -392,3 +579,19 @@ class SyncPlannerClient:
     def plan_workflow(self, workflow: Mapping[str, Any], **kwargs: Any) -> Dict[str, Any]:
         """Deadline-optimize a workflow."""
         return self._run("plan_workflow", workflow, **kwargs)
+
+    def session_open(
+        self, workload: Optional[Mapping[str, Any]] = None, **kwargs: Any
+    ) -> Dict[str, Any]:
+        """Open a streaming planning session (state lives server-side,
+        keyed by the returned ``session_id`` — safe across the one
+        connection-per-call model of this facade)."""
+        return self._run("session_open", workload, **kwargs)
+
+    def session_delta(self, session_id: str, **kwargs: Any) -> Dict[str, Any]:
+        """Admit a delta to a streaming session."""
+        return self._run("session_delta", session_id, **kwargs)
+
+    def session_close(self, session_id: str) -> Dict[str, Any]:
+        """Close a streaming session."""
+        return self._run("session_close", session_id)

@@ -63,6 +63,11 @@ PROTOCOL_VERSION = 1
 #: ``tenant`` string (default ``"default"``) — it never enters the
 #: request fingerprint (plans are tenant-independent) but drives the
 #: router's per-tenant fair queueing and the per-tenant metric labels.
+#: ``session_open``/``session_delta``/``session_close`` drive streaming
+#: planning sessions (:mod:`repro.session`): stateful warm-start
+#: re-plans keyed by ``session_id``, so they bypass the plan cache,
+#: single-flight dedup and admission control entirely — a delta is
+#: milliseconds of work and never equivalent to another request.
 OPS = (
     "plan",
     "plan_workflow",
@@ -73,6 +78,9 @@ OPS = (
     "ping",
     "register",
     "deregister",
+    "session_open",
+    "session_delta",
+    "session_close",
 )
 
 #: Stream limit for one message — generous headroom over the largest

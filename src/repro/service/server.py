@@ -54,6 +54,7 @@ from ..simulator.vectorized import register_fastpath_metrics
 from .cache import PlanCache
 from .fingerprint import request_fingerprint, whatif_fingerprint
 from .pool import SolverPool
+from .sessions import SessionManager
 from .protocol import (
     MAX_LINE_BYTES,
     error_response,
@@ -282,6 +283,7 @@ class PlannerServer:
             "cast_service_solve_seconds",
             "End-to-end wall time of non-cached solves",
         )
+        self.sessions = SessionManager(registry=self.metrics)
         self.cache.bind_metrics(self.metrics)
         self.pool.bind_metrics(self.metrics)
         register_sim_cache_metrics(self.metrics)
@@ -418,6 +420,12 @@ class PlannerServer:
         if op == "whatif":
             result, cached = await self._whatif_op(params)
             return ok_response(req_id, result, cached=cached)
+        if op == "session_open":
+            return ok_response(req_id, await self.sessions.open(params))
+        if op == "session_delta":
+            return ok_response(req_id, await self.sessions.delta(params))
+        if op == "session_close":
+            return ok_response(req_id, await self.sessions.close(params))
         result, cached = await self._solve_op(op, params)
         return ok_response(req_id, result, cached=cached)
 
@@ -669,6 +677,7 @@ class PlannerServer:
             "evaluator": self.evaluator_totals,
             "cache": self.cache.stats(),
             "pool": self.pool.stats(),
+            "sessions": self.sessions.stats(),
             "inflight": len(self._inflight),
             "limits": {
                 "max_inflight": self.max_inflight,

@@ -1,0 +1,30 @@
+"""Streaming planning sessions (warm-start delta-solves).
+
+See :mod:`repro.session.session` for the model: a
+:class:`PlanningSession` holds a churning resident workload and keeps
+its tiering plan fresh with millisecond warm re-plans, escalating to
+full re-solves on workload drift.
+"""
+
+from .drift import DriftDetector, mix_distance, workload_mix
+from .log import SessionEvent, SessionLog, load_trace, save_trace
+from .session import (
+    SESSION_REPLAN_BUCKETS,
+    PlanningSession,
+    ReplanResult,
+    SessionConfig,
+)
+
+__all__ = [
+    "PlanningSession",
+    "ReplanResult",
+    "SessionConfig",
+    "SESSION_REPLAN_BUCKETS",
+    "DriftDetector",
+    "workload_mix",
+    "mix_distance",
+    "SessionEvent",
+    "SessionLog",
+    "load_trace",
+    "save_trace",
+]

@@ -1,0 +1,119 @@
+"""Append-only session event log, and the on-disk trace format.
+
+Two consumers:
+
+* :class:`~repro.session.session.PlanningSession` records every applied
+  delta, so a session is replayable from its log alone — the fleet
+  router leans on this to survive shard failover (replay the log on the
+  ring successor, then continue);
+* ``cast-plan session --replay <trace>`` drives a session from a trace
+  file, the offline path for benchmarking re-plan latency on recorded
+  churn.
+
+The trace file is schema-v1 JSON::
+
+    {"version": 1, "kind": "session-trace",
+     "open": {...session_open params: workload?, n_vms, iterations, ...},
+     "events": [{"kind": "add", "jobs": [...], "reuse_sets": [...]},
+                {"kind": "remove", "job_ids": [...]}]}
+
+``jobs`` entries use the :mod:`repro.workloads.io` job schema
+(``job_id``/``app``/``input_gb``/...); ``reuse_sets`` the reuse-set
+schema from the same module.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Mapping, Tuple
+
+from ..errors import SessionError
+
+__all__ = ["SessionEvent", "SessionLog", "load_trace", "save_trace"]
+
+_EVENT_KINDS = ("open", "add", "remove", "catalog", "replan")
+
+
+@dataclass(frozen=True)
+class SessionEvent:
+    """One applied session delta (already validated and admitted)."""
+
+    seq: int
+    kind: str
+    payload: Mapping[str, Any]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"seq": self.seq, "kind": self.kind,
+                "payload": dict(self.payload)}
+
+
+class SessionLog:
+    """Append-only list of the deltas a session has admitted."""
+
+    def __init__(self) -> None:
+        self._events: List[SessionEvent] = []
+
+    def append(self, kind: str, payload: Mapping[str, Any]) -> SessionEvent:
+        if kind not in _EVENT_KINDS:
+            raise SessionError(f"unknown session event kind: {kind!r}")
+        event = SessionEvent(seq=len(self._events), kind=kind,
+                             payload=dict(payload))
+        self._events.append(event)
+        return event
+
+    def events(self) -> Tuple[SessionEvent, ...]:
+        return tuple(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        return [e.to_dict() for e in self._events]
+
+
+def _check_events(events: Iterable[Mapping[str, Any]]) -> List[Dict[str, Any]]:
+    out: List[Dict[str, Any]] = []
+    for i, event in enumerate(events):
+        kind = event.get("kind")
+        if kind not in ("add", "remove"):
+            raise SessionError(
+                f"trace event {i}: kind must be 'add' or 'remove', "
+                f"got {kind!r}"
+            )
+        if kind == "add" and not isinstance(event.get("jobs"), list):
+            raise SessionError(f"trace event {i}: 'add' needs a jobs list")
+        if kind == "remove" and not isinstance(event.get("job_ids"), list):
+            raise SessionError(
+                f"trace event {i}: 'remove' needs a job_ids list"
+            )
+        out.append(dict(event))
+    return out
+
+
+def load_trace(path: str) -> Dict[str, Any]:
+    """Load and validate a schema-v1 session trace file."""
+    with open(path) as fh:
+        data = json.load(fh)
+    if data.get("version") != 1 or data.get("kind") != "session-trace":
+        raise SessionError(
+            f"not a v1 session-trace file: version={data.get('version')!r} "
+            f"kind={data.get('kind')!r}"
+        )
+    data["events"] = _check_events(data.get("events", []))
+    data.setdefault("open", {})
+    return data
+
+
+def save_trace(path: str, open_params: Mapping[str, Any],
+               events: Iterable[Mapping[str, Any]]) -> None:
+    """Write a schema-v1 session trace file."""
+    payload = {
+        "version": 1,
+        "kind": "session-trace",
+        "open": dict(open_params),
+        "events": _check_events(events),
+    }
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")

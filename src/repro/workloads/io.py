@@ -37,6 +37,10 @@ from .spec import JobSpec, ReuseLifetime, ReuseSet, WorkloadSpec
 from .workflow import Workflow
 
 __all__ = [
+    "job_to_dict",
+    "job_from_dict",
+    "reuse_set_to_dict",
+    "reuse_set_from_dict",
     "workload_to_dict",
     "workload_from_dict",
     "workflow_to_dict",
@@ -48,7 +52,8 @@ __all__ = [
 _VERSION = 1
 
 
-def _job_to_dict(job: JobSpec) -> Dict[str, Any]:
+def job_to_dict(job: JobSpec) -> Dict[str, Any]:
+    """One job record of the schema-v1 ``jobs`` list."""
     out: Dict[str, Any] = {
         "job_id": job.job_id,
         "app": job.app.name,
@@ -61,7 +66,8 @@ def _job_to_dict(job: JobSpec) -> Dict[str, Any]:
     return out
 
 
-def _job_from_dict(data: Dict[str, Any]) -> JobSpec:
+def job_from_dict(data: Dict[str, Any]) -> JobSpec:
+    """Parse one schema-v1 job record (streaming deltas send these)."""
     try:
         return JobSpec.make(
             job_id=data["job_id"],
@@ -74,47 +80,56 @@ def _job_from_dict(data: Dict[str, Any]) -> JobSpec:
         raise WorkloadError(f"job record missing field {exc}") from None
 
 
+def reuse_set_to_dict(rs: ReuseSet) -> Dict[str, Any]:
+    """One reuse-set record of the schema-v1 ``reuse_sets`` list."""
+    return {
+        "job_ids": sorted(rs.job_ids),
+        "lifetime": rs.lifetime.value,
+        "n_accesses": rs.n_accesses,
+    }
+
+
+def reuse_set_from_dict(data: Dict[str, Any]) -> ReuseSet:
+    """Parse one schema-v1 reuse-set record."""
+    try:
+        lifetime = ReuseLifetime(data.get("lifetime", ReuseLifetime.SHORT.value))
+    except ValueError:
+        raise WorkloadError(
+            f"unknown reuse lifetime {data.get('lifetime')!r}; "
+            f"known: {[p.value for p in ReuseLifetime]}"
+        ) from None
+    try:
+        job_ids = frozenset(data["job_ids"])
+    except KeyError:
+        raise WorkloadError("reuse-set record missing 'job_ids'") from None
+    return ReuseSet(
+        job_ids=job_ids,
+        lifetime=lifetime,
+        n_accesses=int(data.get("n_accesses", 7)),
+    )
+
+
 def workload_to_dict(workload: WorkloadSpec) -> Dict[str, Any]:
     """Serialize a workload to the schema-v1 dict."""
     return {
         "version": _VERSION,
         "kind": "workload",
         "name": workload.name,
-        "jobs": [_job_to_dict(j) for j in workload.jobs],
-        "reuse_sets": [
-            {
-                "job_ids": sorted(rs.job_ids),
-                "lifetime": rs.lifetime.value,
-                "n_accesses": rs.n_accesses,
-            }
-            for rs in workload.reuse_sets
-        ],
+        "jobs": [job_to_dict(j) for j in workload.jobs],
+        "reuse_sets": [reuse_set_to_dict(rs) for rs in workload.reuse_sets],
     }
 
 
 def workload_from_dict(data: Dict[str, Any]) -> WorkloadSpec:
     """Deserialize a schema-v1 workload dict (validating everything)."""
     _check_header(data, "workload")
-    jobs = tuple(_job_from_dict(j) for j in data.get("jobs", []))
-    reuse_sets = []
-    for rs in data.get("reuse_sets", []):
-        try:
-            lifetime = ReuseLifetime(rs.get("lifetime", ReuseLifetime.SHORT.value))
-        except ValueError:
-            raise WorkloadError(
-                f"unknown reuse lifetime {rs.get('lifetime')!r}; "
-                f"known: {[p.value for p in ReuseLifetime]}"
-            ) from None
-        reuse_sets.append(
-            ReuseSet(
-                job_ids=frozenset(rs["job_ids"]),
-                lifetime=lifetime,
-                n_accesses=int(rs.get("n_accesses", 7)),
-            )
-        )
+    jobs = tuple(job_from_dict(j) for j in data.get("jobs", []))
+    reuse_sets = tuple(
+        reuse_set_from_dict(rs) for rs in data.get("reuse_sets", [])
+    )
     return WorkloadSpec(
         jobs=jobs,
-        reuse_sets=tuple(reuse_sets),
+        reuse_sets=reuse_sets,
         name=str(data.get("name", "workload")),
     )
 
@@ -125,7 +140,7 @@ def workflow_to_dict(workflow: Workflow) -> Dict[str, Any]:
         "version": _VERSION,
         "kind": "workflow",
         "name": workflow.name,
-        "jobs": [_job_to_dict(j) for j in workflow.jobs],
+        "jobs": [job_to_dict(j) for j in workflow.jobs],
         "edges": [list(edge) for edge in workflow.edges],
         "deadline_s": workflow.deadline_s,
     }
@@ -134,7 +149,7 @@ def workflow_to_dict(workflow: Workflow) -> Dict[str, Any]:
 def workflow_from_dict(data: Dict[str, Any]) -> Workflow:
     """Deserialize a schema-v1 workflow dict."""
     _check_header(data, "workflow")
-    jobs = tuple(_job_from_dict(j) for j in data.get("jobs", []))
+    jobs = tuple(job_from_dict(j) for j in data.get("jobs", []))
     try:
         deadline = float(data["deadline_s"])
     except KeyError:

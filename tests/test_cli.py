@@ -48,6 +48,18 @@ class TestParser:
         args = build_parser().parse_args(["experiment", "fig7", "--fast-sim"])
         assert args.fast_sim is True
 
+    def test_fast_sim_reaches_the_simulation_experiments(self):
+        # --fast-sim must actually be forwarded, not silently dropped:
+        # every simulation-heavy experiment entry accepts the kwarg.
+        import inspect
+
+        from repro.cli import _EXPERIMENTS, _register_experiments
+
+        _register_experiments()
+        for name in ("fig7", "fig9", "sensitivity"):
+            params = inspect.signature(_EXPERIMENTS[name]).parameters
+            assert "fast_sim" in params, name
+
 
 class TestCommands:
     def test_catalog_prints_all_tiers(self, capsys):
@@ -233,3 +245,73 @@ class TestServiceRoundTrip:
                    "--iterations", "10"])
         assert rc == 2
         assert "no planner" in capsys.readouterr().err
+
+
+class TestSessionReplay:
+    @pytest.fixture()
+    def trace_path(self, tmp_path):
+        import numpy as np
+
+        from repro.session import save_trace
+        from repro.workloads.io import job_to_dict, workload_to_dict
+        from repro.workloads.swim import synthesize_small_workload
+
+        base = synthesize_small_workload(
+            n_jobs=8, rng=np.random.default_rng(11), name="replay"
+        )
+        arrivals = synthesize_small_workload(
+            n_jobs=2, rng=np.random.default_rng(12), name="arr"
+        )
+        jobs = []
+        for i, job in enumerate(arrivals.jobs):
+            d = job_to_dict(job)
+            d["job_id"] = f"arr-{i}"
+            jobs.append(d)
+        events = [
+            {"kind": "add", "jobs": jobs},
+            {"kind": "remove", "job_ids": [base.jobs[0].job_id]},
+        ]
+        path = tmp_path / "trace.json"
+        save_trace(
+            str(path),
+            {
+                "spec": workload_to_dict(base),
+                "iterations": 200,
+                "config": {"parity_check_every": 1},
+            },
+            events,
+        )
+        return str(path)
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["session", "--replay", "t.json"])
+        assert args.replay == "t.json"
+        assert args.iterations is None  # trace values win unless overridden
+        assert args.out is None
+
+    def test_replay_runs_and_summarizes(self, capsys, trace_path):
+        assert main(["session", "--replay", trace_path]) == 0
+        out = capsys.readouterr().out
+        # open (full) + add (warm) + remove (warm), parity-checked.
+        assert "replayed 2 events" in out
+        assert "full: 1" in out and "warm: 2" in out
+        assert "warm re-plan latency" in out
+        assert "parity=ok" in out
+
+    def test_replay_writes_results_json(self, capsys, tmp_path, trace_path):
+        import json
+
+        out_path = tmp_path / "replay.json"
+        rc = main(["session", "--replay", trace_path, "--out", str(out_path)])
+        assert rc == 0
+        payload = json.loads(out_path.read_text())
+        assert payload["modes"] == {"full": 1, "warm": 2}
+        assert len(payload["replans"]) == 3
+        assert all(r["parity_ok"] for r in payload["replans"])
+        assert payload["summary"]["resident_jobs"] == 9
+        assert "plan" not in payload["summary"]
+
+    def test_missing_trace_fails_cleanly(self, capsys, tmp_path):
+        rc = main(["session", "--replay", str(tmp_path / "nope.json")])
+        assert rc == 2
+        assert capsys.readouterr().err

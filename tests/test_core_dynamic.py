@@ -99,6 +99,89 @@ class TestRunDynamic:
         assert a.cost.total_usd == b.cost.total_usd
 
 
+class TestPhasedSessionReplanning:
+    """Phase boundaries (§6's phased workloads) drive the session API.
+
+    Within a phase the application mix is stable, so deltas stay on the
+    warm path; crossing a boundary — one app class drains while another
+    floods in, the :mod:`repro.core.dynamic` scenario — trips the drift
+    detector and escalates to a full-budget re-solve whose plan is
+    bit-identical to the batch CAST++ solve of that phase's workload.
+    """
+
+    ITERATIONS = 800
+    SEED = 9
+
+    @pytest.fixture(scope="class")
+    def phased(self, provider):
+        from repro.session import PlanningSession, SessionConfig
+
+        phase_a = tuple(
+            JobSpec(job_id=f"grep-{i}", app=GREP, input_gb=50.0, n_maps=50)
+            for i in range(6)
+        )
+        phase_b = tuple(
+            JobSpec(job_id=f"sort-{i}", app=SORT, input_gb=200.0, n_maps=200)
+            for i in range(6)
+        )
+        session = PlanningSession(
+            WorkloadSpec(jobs=phase_a),
+            provider=provider,
+            iterations=self.ITERATIONS,
+            seed=self.SEED,
+            config=SessionConfig(parity_check_every=1),
+        )
+        within = session.remove_jobs(["grep-5"])
+        boundary = session.add_jobs(phase_b)
+        return session, within, boundary
+
+    def test_within_phase_delta_stays_warm(self, phased):
+        _, within, _ = phased
+        assert within.mode == "warm"
+        assert not within.escalated
+        assert within.drift_distance == 0.0  # mix is still 100% grep
+
+    def test_phase_boundary_escalates_to_full_solve(self, phased):
+        from repro.session.drift import mix_distance, workload_mix
+
+        session, _, boundary = phased
+        assert boundary.escalated
+        assert boundary.mode == "full"
+        assert session.counters["drift_escalations"] == 1
+        # The reported distance is the total-variation gap between the
+        # anchor mix (all grep, captured at the open full solve) and the
+        # post-boundary resident mix.
+        expected = mix_distance(
+            {"grep": 1.0}, workload_mix(session.workload.jobs)
+        )
+        assert boundary.drift_distance == pytest.approx(expected)
+        assert expected > session.config.drift_threshold
+
+    def test_escalated_plan_is_bit_identical_to_batch_castpp(
+        self, phased, provider
+    ):
+        from repro.core.annealing import AnnealingSchedule
+        from repro.core.castpp import CastPlusPlus
+
+        session, _, boundary = phased
+        batch = CastPlusPlus(
+            cluster_spec=session.cluster_spec,
+            matrix=session.matrix,
+            provider=provider,
+            schedule=AnnealingSchedule(iter_max=self.ITERATIONS),
+            seed=self.SEED,
+        ).solve(session.workload)
+        assert boundary.plan.to_dict() == batch.best_state.to_dict()
+        assert boundary.utility == batch.best_utility
+
+    def test_escalated_plan_passes_canonical_parity(self, phased):
+        _, _, boundary = phased
+        # parity_check_every=1: every re-plan in the fixture re-scored
+        # its plan through the canonical evaluate_plan path and asserted
+        # bit-equality (a violation raises inside the fixture).
+        assert boundary.parity_ok is True
+
+
 class TestStaticBeatsDynamic:
     def test_castpp_beats_reactive_on_fig7_workload(
         self, provider, eval_cluster, eval_matrix, facebook_workload

@@ -61,3 +61,16 @@ class TestSensitivityStudy:
         text = format_price_sensitivity(rows)
         assert text.count("\n") == len(rows)
         assert "plan churn" in text
+
+    def test_fast_sim_rows_are_identical(
+        self, rows, provider, char_cluster, matrix, small_workload
+    ):
+        # The scenario bodies are solver-bound, so the --fast-sim CLI
+        # path must change nothing about the reported rows.
+        fast = run_price_sensitivity(
+            prov=provider, cluster=char_cluster, workload=small_workload,
+            matrix=matrix, factors=(0.5, 2.0),
+            tiers=(Tier.PERS_SSD, Tier.OBJ_STORE),
+            iterations=300, fast_sim=True,
+        )
+        assert fast == rows

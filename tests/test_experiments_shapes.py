@@ -261,3 +261,13 @@ class TestFig9:
 
     def test_workflow_oblivious_cast_misses_deadlines(self, fig9):
         assert fig9.config("CAST").misses >= 1
+
+    def test_fast_sim_panel_is_bit_identical(self, fig9):
+        # The suite's DAG jobs are all phased, so --fast-sim must fall
+        # back to the exact event engine per request: the whole panel
+        # is bit-identical with the flag on.  (The second run's
+        # simulations are content-addressed cache hits, so this mostly
+        # costs the two solver runs.)
+        from repro.experiments.fig9 import run_fig9
+
+        assert run_fig9(iterations=2000, fast_sim=True) == fig9

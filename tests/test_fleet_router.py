@@ -13,6 +13,7 @@ from repro.errors import (
     NoHealthyShardsError,
     ProtocolError,
     ServiceBusyError,
+    SessionError,
     WorkloadError,
 )
 from repro.fleet import FleetRouter
@@ -386,6 +387,90 @@ class TestMembershipOps:
                 task.cancel()
                 await asyncio.gather(task, return_exceptions=True)
                 await server.stop()
+
+        run(scenario())
+
+
+class TestSessions:
+    def test_session_pinned_to_one_shard(self):
+        async def scenario():
+            async with Fleet(n=2) as fleet:
+                async with fleet.client() as client:
+                    opened = await client.session_open(
+                        small_spec(6), iterations=150, seed=3,
+                        include_plan=False,
+                    )
+                    sid = opened["session_id"]
+                    home = opened["shard"]
+                    assert opened["mode"] == "full"
+                    assert (
+                        fleet.router.stats()["sessions"][sid]["home"] == home
+                    )
+                    # Every delta lands on the pinned shard and is logged.
+                    for i in range(3):
+                        out = await client.session_delta(
+                            sid,
+                            add_jobs=[{
+                                "job_id": f"n{i}", "app": "grep",
+                                "input_gb": 2.0, "n_maps": 4,
+                            }],
+                        )
+                        assert out["shard"] == home
+                        assert out["mode"] == "warm"
+                    logged = fleet.router.stats()["sessions"][sid]
+                    assert logged["deltas_logged"] == 3
+                    closed = await client.session_close(sid)
+                    assert closed["counters"]["deltas"] == 4
+                    assert sid not in fleet.router.stats()["sessions"]
+
+        run(scenario())
+
+    def test_failover_replays_the_session_log(self):
+        """Kill the home shard: the next delta replays open + deltas on
+        the ring successor and continues from identical state."""
+
+        async def scenario():
+            async with Fleet(n=2) as fleet:
+                async with fleet.client() as client:
+                    opened = await client.session_open(
+                        small_spec(6), iterations=150, seed=3,
+                        include_plan=False,
+                    )
+                    sid = opened["session_id"]
+                    home = opened["shard"]
+                    await client.session_delta(
+                        sid,
+                        add_jobs=[{
+                            "job_id": "newjob", "app": "sort",
+                            "input_gb": 4.0, "n_maps": 8, "n_reduces": 2,
+                        }],
+                    )
+                    await fleet.servers[int(home[1:])].stop()
+                    fleet.router._mark_down(home, "stopped by test")
+
+                    out = await client.session_delta(sid, remove=["newjob"])
+                    survivor = out["shard"]
+                    assert survivor != home
+                    assert out["resident_jobs"] == 6
+                    assert fleet.router.counters["session_replays"] == 1
+                    stats = fleet.router.stats()["sessions"][sid]
+                    assert stats["home"] == survivor
+                    assert stats["deltas_logged"] == 2
+                    closed = await client.session_close(sid)
+                    # open + 2 deltas replayed, + the post-failover delta
+                    # and nothing else: the survivor saw the same history.
+                    assert closed["counters"]["deltas"] == 3
+
+        run(scenario())
+
+    def test_unknown_session_is_a_typed_error(self):
+        async def scenario():
+            async with Fleet(n=2) as fleet:
+                async with fleet.client() as client:
+                    with pytest.raises(SessionError, match="no such session"):
+                        await client.session_delta("nope", remove=["x"])
+                    # Typed errors never trigger failover.
+                    assert fleet.router.healthy_shards == ["s0", "s1"]
 
         run(scenario())
 
