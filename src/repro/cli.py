@@ -34,22 +34,31 @@ Subcommands
     and a p50/p95/p99 summary at the end.  ``--parity-every N``
     bit-checks every Nth re-plan against the canonical evaluator and
     exits 1 on any mismatch.
+``sweep``
+    Solve a (catalog × workload × knob) grid through the amortized
+    :class:`~repro.sweep.SweepEngine` — warm-start transfer between
+    neighboring points, CRN-paired seeds across catalogs, per-point
+    bit parity — and print the per-workload catalog ranking.
 ``experiment``
     Regenerate one of the paper's tables/figures or an ablation
     (``table1 table2 table4 fig1 fig2 fig3 fig4 fig5 fig7 fig8 fig9
     ablation-sa ablation-reg ablation-heat ablation-dynamic
-    sensitivity``, or ``all``).
+    sensitivity crosscloud``, or ``all``).
 ``size``
     Sweep candidate cluster sizes for a workload and report the
     utility-maximizing VM count (the paper's future-work extension).
 ``report``
     Regenerate every artifact into one markdown reproduction report.
 ``catalog``
-    Print the provider's storage catalog and prices.
+    Print one provider's storage catalog and prices.
+``catalogs``
+    List every registered provider with tier price/bandwidth
+    summaries (``--json`` for machine-readable output).
 
-All workload-consuming commands accept ``--provider {google,aws}`` and
-``--workload-file path.json`` (see :mod:`repro.workloads.io` for the
-schema) in place of the built-in synthetic workloads.
+All workload-consuming commands accept ``--provider
+{google,aws,azure}`` and ``--workload-file path.json`` (see
+:mod:`repro.workloads.io` for the schema) in place of the built-in
+synthetic workloads.
 """
 
 from __future__ import annotations
@@ -100,6 +109,124 @@ def _cmd_catalog(args: argparse.Namespace) -> int:
             f"{svc.price_gb_month:11.3f} {prov.storage_price_gb_hr(tier):10.6f}"
         )
     print(f"VM ({prov.default_vm.name}): ${prov.prices.vm_price_per_min * 60:.4f}/hour")
+    return 0
+
+
+def _catalogs_summary() -> List[Dict]:
+    """Every registered provider with tier price/bandwidth summaries."""
+    out: List[Dict] = []
+    for key in sorted(_PROVIDERS):
+        prov = _resolve_provider(key)
+        tiers = []
+        for tier in prov.tiers:
+            svc = prov.service(tier)
+            tiers.append(
+                {
+                    "tier": tier.value,
+                    "persistent": svc.persistent,
+                    "price_gb_month": svc.price_gb_month,
+                    "price_gb_hr": prov.storage_price_gb_hr(tier),
+                    "mb_s_at_500gb": svc.throughput_mb_s(500.0),
+                    "mb_s_cap": svc.throughput.cap,
+                    "iops_cap": svc.iops.cap,
+                }
+            )
+        out.append(
+            {
+                "key": key,
+                "name": prov.name,
+                "vm": prov.default_vm.name,
+                "vm_usd_hr": prov.prices.vm_price_per_min * 60,
+                "tiers": tiers,
+            }
+        )
+    return out
+
+
+def _cmd_catalogs(args: argparse.Namespace) -> int:
+    summary = _catalogs_summary()
+    if getattr(args, "json", False):
+        import json
+
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return 0
+    for entry in summary:
+        print(
+            f"{entry['key']}: {entry['name']} "
+            f"(VM {entry['vm']} ${entry['vm_usd_hr']:.3f}/hr)"
+        )
+        print(
+            f"  {'tier':10s} {'persistent':>10s} {'$/GB/month':>11s} "
+            f"{'MB/s@500GB':>11s} {'MB/s cap':>9s} {'IOPS cap':>9s}"
+        )
+        for t in entry["tiers"]:
+            print(
+                f"  {t['tier']:10s} {str(t['persistent']):>10s} "
+                f"{t['price_gb_month']:11.3f} {t['mb_s_at_500gb']:11.0f} "
+                f"{t['mb_s_cap']:9.0f} {t['iops_cap']:9.0f}"
+            )
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .sweep import SweepConfig, SweepEngine
+
+    try:
+        workload = _resolve_workload(args)
+    except CastError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    providers = [p.strip() for p in args.providers.split(",") if p.strip()]
+    knobs = [{"rep": r} for r in range(max(1, args.reps))]
+    config = SweepConfig(
+        n_vms=args.vms,
+        iterations=args.iterations,
+        seed=args.seed,
+        use_castpp=not args.basic,
+        backend=args.backend,
+        replicas=args.replicas,
+        warm=not args.cold,
+    )
+    try:
+        engine = SweepEngine(
+            providers, [workload], knobs=knobs, config=config,
+            workers=args.workers,
+        )
+        result = engine.run()
+    except CastError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if args.json:
+        import json
+
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+        return 0 if all(p.parity_ok for p in result.points) else 1
+    modes = result.modes
+    print(
+        f"sweep: {len(result.points)} points "
+        f"({len(providers)} catalogs x 1 workload x {len(knobs)} knobs) "
+        f"in {result.elapsed_s:.2f}s"
+    )
+    print(
+        "modes: "
+        + ", ".join(f"{k}={v}" for k, v in sorted(modes.items()) if v)
+    )
+    for block in result.ranking():
+        print(f"\nworkload {block['workload']}:")
+        print(
+            f"  {'rank':>4s} {'catalog':>8s} {'utility':>12s} "
+            f"{'vs best':>8s} {'cost $':>9s} {'makespan':>9s}"
+        )
+        for rank, e in enumerate(block["ranking"], start=1):
+            print(
+                f"  {rank:4d} {e['provider']:>8s} {e['mean_utility']:12.6f} "
+                f"{e['relative'] * 100:7.1f}% {e['mean_cost_usd']:9.2f} "
+                f"{e['mean_makespan_min']:7.1f}m"
+            )
+    bad = [p for p in result.points if not p.parity_ok]
+    if bad:
+        print(f"PARITY FAILURES: {len(bad)} points", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -667,6 +794,9 @@ def _register_experiments() -> None:
                     ex.run_price_sensitivity(workers=workers, fast_sim=fast_sim)
                 )
             ),
+            "crosscloud": lambda workers=None: ex.format_crosscloud(
+                ex.run_crosscloud(workers=workers)
+            ),
         }
     )
 
@@ -784,6 +914,37 @@ def build_parser() -> argparse.ArgumentParser:
                            choices=sorted(_PROVIDERS))
     _add_logging_args(p_catalog)
     p_catalog.set_defaults(func=_cmd_catalog)
+
+    p_catalogs = sub.add_parser(
+        "catalogs",
+        help="list every registered cloud catalog with tier summaries",
+    )
+    p_catalogs.add_argument("--json", action="store_true",
+                            help="machine-readable output")
+    _add_logging_args(p_catalogs)
+    p_catalogs.set_defaults(func=_cmd_catalogs)
+
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="solve a multi-catalog grid with warm-start transfer",
+    )
+    _add_workload_args(p_sweep)
+    _add_logging_args(p_sweep)
+    p_sweep.add_argument("--providers", default="google,aws,azure",
+                         help="comma-separated catalog list (sweep axis)")
+    p_sweep.add_argument("--vms", type=int, default=25, help="cluster size")
+    p_sweep.add_argument("--reps", type=int, default=2,
+                         help="CRN-paired replications per catalog")
+    p_sweep.add_argument("--basic", action="store_true",
+                         help="use basic CAST instead of CAST++")
+    p_sweep.add_argument("--cold", action="store_true",
+                         help="disable warm-start transfer (every point "
+                              "solves at full budget)")
+    p_sweep.add_argument("--workers", type=int, default=None,
+                         help="process-pool workers; default serial")
+    p_sweep.add_argument("--json", action="store_true",
+                         help="dump the full sweep result as JSON")
+    p_sweep.set_defaults(func=_cmd_sweep)
 
     p_plan = sub.add_parser("plan", help="plan a workload")
     _add_workload_args(p_plan)

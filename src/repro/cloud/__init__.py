@@ -9,6 +9,7 @@ from typing import Callable, Dict
 
 from ..errors import CatalogError
 from .aws import C3_4XLARGE, aws_2015
+from .azure import STANDARD_D14, azure_2015
 from .pricing import PriceBook, google_cloud_2015_pricebook
 from .provider import CloudProvider, google_cloud_2015
 from .scaling import ScalingCurve, flat_curve
@@ -28,6 +29,7 @@ from .vm import (
 PROVIDER_FACTORIES: Dict[str, Callable[[], CloudProvider]] = {
     "google": google_cloud_2015,
     "aws": aws_2015,
+    "azure": azure_2015,
 }
 
 
@@ -50,6 +52,8 @@ __all__ = [
     "resolve_provider",
     "aws_2015",
     "C3_4XLARGE",
+    "azure_2015",
+    "STANDARD_D14",
     "PriceBook",
     "google_cloud_2015_pricebook",
     "ScalingCurve",

@@ -1,0 +1,125 @@
+"""An Azure-style provider catalog (mid-2015 era).
+
+Completes the three-cloud comparison the paper motivates but never
+runs: §1 and §3.1.2 argue CAST's mechanism is provider-agnostic
+("Other cloud service providers such as AWS EC2 provide similar
+storage services with different performance–cost trade-offs"), and
+Azure of the same era exposed the same four roles under different
+names and scaling mechanics.
+
+This catalog maps the four :class:`~repro.cloud.storage.Tier` roles to
+their mid-2015 Azure analogues:
+
+=============  ========================  ======================================
+Role           Azure service             Modelling
+=============  ========================  ======================================
+``ephSSD``     D-series local temp SSD   1 × 800 GB local device, ~450 MB/s
+``persSSD``    Premium Storage (RAID-0)  P10/P20/P30 disks striped up to the
+                                         DS-series ~512 MB/s VM ceiling
+``persHDD``    Standard disks (RAID-0)   page-blob spindles up to ~100 MB/s
+``objStore``   Blob storage (block)      ~160 MB/s/node, higher request latency
+=============  ========================  ======================================
+
+Numbers are era-plausible list prices and measured-throughput figures
+(synthetic where Azure published none, as with the AWS catalog); the
+reproduction claim is that **nothing downstream changes** — profiler,
+solver, sweep engine and experiments run against it untouched.
+"""
+
+from __future__ import annotations
+
+from .pricing import PriceBook
+from .provider import CloudProvider
+from .scaling import ScalingCurve, flat_curve
+from .storage import StorageService, Tier
+from .vm import VMType
+from ..units import monthly_to_hourly_price
+
+__all__ = ["azure_2015", "STANDARD_D14"]
+
+#: 16 vCPU / 112 GB instance comparable to n1-standard-16 / c3.4xlarge
+#: (~$0.94/hr, US East pay-as-you-go, mid 2015).
+STANDARD_D14 = VMType(
+    name="Standard_D14", vcpus=16, memory_gb=112.0,
+    map_slots=10, reduce_slots=6, network_mb_s=1000.0,
+)
+
+
+def _azure_services() -> dict:
+    temp_ssd = StorageService(
+        tier=Tier.EPH_SSD,
+        persistent=False,
+        throughput=flat_curve(450.0),
+        iops=flat_curve(48_000.0),
+        # The D-series temp disk is bundled with the VM; the effective
+        # rate prices the capacity share of the instance premium.
+        price_gb_month=0.18,
+        fixed_volume_gb=800.0,
+        max_volumes_per_vm=1,
+        requires_backing=Tier.OBJ_STORE,
+    )
+    premium_storage = StorageService(
+        tier=Tier.PERS_SSD,
+        persistent=True,
+        # P10 (128 GB, 100 MB/s) → P20 (512 GB, 150 MB/s) → P30 (1 TB,
+        # 200 MB/s), RAID-0 striped until the DS-series VM bandwidth
+        # ceiling.
+        throughput=ScalingCurve(
+            points=((128.0, 100.0), (512.0, 150.0), (1024.0, 200.0)),
+            cap=512.0,
+        ),
+        iops=ScalingCurve(
+            points=((128.0, 500.0), (512.0, 2300.0), (1024.0, 5000.0)),
+            cap=50_000.0,
+        ),
+        price_gb_month=0.12,
+        max_volume_gb=1_023.0,
+    )
+    standard_disk = StorageService(
+        tier=Tier.PERS_HDD,
+        persistent=True,
+        throughput=ScalingCurve(
+            points=((100.0, 40.0), (500.0, 60.0), (1000.0, 80.0)),
+            cap=100.0,
+        ),
+        iops=ScalingCurve(
+            points=((100.0, 300.0), (500.0, 500.0), (1000.0, 500.0)),
+            cap=500.0,
+        ),
+        price_gb_month=0.05,
+        max_volume_gb=1_023.0,
+    )
+    blob = StorageService(
+        tier=Tier.OBJ_STORE,
+        persistent=True,
+        throughput=flat_curve(160.0),
+        iops=flat_curve(500.0),
+        price_gb_month=0.024,
+        request_overhead_s=0.35,
+        bulk_staging_mb_s=110.0,
+        requires_intermediate=Tier.PERS_SSD,
+    )
+    return {
+        Tier.EPH_SSD: temp_ssd,
+        Tier.PERS_SSD: premium_storage,
+        Tier.PERS_HDD: standard_disk,
+        Tier.OBJ_STORE: blob,
+    }
+
+
+def azure_2015() -> CloudProvider:
+    """The Azure-style provider instance (era-plausible catalog)."""
+    services = _azure_services()
+    prices = PriceBook(
+        vm_price_per_min=0.936 / 60.0,
+        storage_price_gb_hr={
+            tier: monthly_to_hourly_price(svc.price_gb_month)
+            for tier, svc in services.items()
+        },
+    )
+    return CloudProvider(
+        name="azure-2015",
+        services=services,
+        prices=prices,
+        default_vm=STANDARD_D14,
+    )

@@ -46,7 +46,8 @@ binds, and the sequential :meth:`TensorWorkloadModel.plan_utility` path
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Tuple
+import weakref
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -60,7 +61,14 @@ from ..workloads.spec import WorkloadSpec
 from .perf_model import _effective_waves, staging_seconds
 from .plan import Placement, TieringPlan
 
-__all__ = ["TensorWorkloadModel", "TensorBatchState"]
+__all__ = [
+    "TensorWorkloadModel",
+    "TensorBatchState",
+    "BandwidthTensor",
+    "JobStatics",
+    "bandwidth_tensor",
+    "job_statics",
+]
 
 #: Mirrors repro.core.solver.CAPACITY_MULTIPLIERS (imported lazily to
 #: avoid a circular import — solver imports this module's consumers).
@@ -71,6 +79,260 @@ _CAPACITY_MULTIPLIERS: Tuple[float, ...] = (1.0, 1.25, 1.5, 2.0, 3.0, 4.0)
 #: seconds, 4 aggregate capacity GB, 5 own billed GB, 6 intermediate GB
 #: (billed on the helper tier), 7 input+output GB (billed on backing).
 _C = 8
+
+
+class BandwidthTensor:
+    """Shared dense PCHIP bandwidth grids for one (matrix, apps, tiers).
+
+    The spline evaluation over the integer capacity grids is the
+    expensive, capacity-profile-bound part of model construction, and
+    it depends only on the model matrix and the (app, tier) universe —
+    not on the workload, plan, or prices.  One instance is built per
+    catalog and shared read-only by every :class:`TensorWorkloadModel`
+    over the same matrix (cross-catalog sweeps, repeated tempering
+    solves, service restarts on one shard).
+    """
+
+    __slots__ = ("apps", "tiers", "lo", "hi", "G", "bw")
+
+    def __init__(
+        self,
+        apps: Tuple[str, ...],
+        tiers: Tuple[Tier, ...],
+        lo: np.ndarray,
+        hi: np.ndarray,
+        G: int,
+        bw: np.ndarray,
+    ) -> None:
+        self.apps = apps
+        self.tiers = tiers
+        self.lo = lo
+        self.hi = hi
+        self.G = G
+        self.bw = bw
+
+
+#: (id(matrix), apps, tiers) → (weakref(matrix), tensor).  Keyed by
+#: matrix identity — profiled matrices are memoized process-wide by
+#: :func:`repro.profiler.build_model_matrix`, so identity hits are the
+#: common case; the weakref guard detects id reuse after a collect.
+_BW_CACHE: Dict[Tuple[int, Tuple[str, ...], Tuple[Tier, ...]], Tuple[Any, Any]] = {}
+_BW_CACHE_MAX = 64
+
+
+def bandwidth_tensor(
+    matrix: ModelMatrix, apps: Tuple[str, ...], tiers: Tuple[Tier, ...]
+) -> BandwidthTensor:
+    """The memoized ``(apps, tiers, grid, 3)`` bandwidth tensor.
+
+    Bit-exact: the same ``at_array`` evaluation over the same grids as
+    the inline build it replaces, so sharing cannot change any utility.
+    """
+    key = (id(matrix), apps, tiers)
+    hit = _BW_CACHE.get(key)
+    if hit is not None and hit[0]() is matrix:
+        return hit[1]
+    A, T = len(apps), len(tiers)
+    lo = np.zeros((A, T), dtype=np.int64)
+    hi = np.zeros((A, T), dtype=np.int64)
+    tables: Dict[Tuple[int, int], Tuple[np.ndarray, ...]] = {}
+    for a, name in enumerate(apps):
+        for t, tier in enumerate(tiers):
+            profile = matrix.get(name, tier)
+            caps = profile.capacities
+            if len(caps) == 1:
+                arrs = profile.at_array(np.array([caps[0]]))
+                lo[a, t] = hi[a, t] = 0
+            else:
+                lo[a, t] = math.floor(caps[0])
+                hi[a, t] = math.ceil(caps[-1])
+                grid = np.arange(lo[a, t], hi[a, t] + 1, dtype=float)
+                arrs = profile.at_array(grid)
+            # The max(1e-9, ...) clamp CapacityProfile.at applies.
+            tables[(a, t)] = tuple(np.maximum(1e-9, arr) for arr in arrs)
+    G = max(int(hi[a, t] - lo[a, t]) + 1 for a in range(A) for t in range(T))
+    # Interleaved (A, T, G, 3) so one gather yields all three phases.
+    bw = np.full((A, T, G, 3), 1e-9, dtype=float)
+    for (a, t), (m_arr, s_arr, r_arr) in tables.items():
+        n = m_arr.shape[0]
+        bw[a, t, :n, 0] = m_arr
+        bw[a, t, :n, 1] = s_arr
+        bw[a, t, :n, 2] = r_arr
+    tensor = BandwidthTensor(apps, tiers, lo, hi, G, bw)
+    try:
+        ref = weakref.ref(matrix)
+    except TypeError:
+        return tensor
+    if len(_BW_CACHE) >= _BW_CACHE_MAX:
+        _BW_CACHE.clear()
+    _BW_CACHE[key] = (ref, tensor)
+    return tensor
+
+
+class JobStatics:
+    """Shared capacity-independent Eq. 1 terms for one workload.
+
+    Everything here is a pure function of (workload, cluster slots,
+    objStore staging parameters): the app-contiguous job order, the
+    per-job phase pre-terms, staging seconds, footprints, and the
+    reuse-group structure.  Instances are shared read-only between
+    models — per-plan state (capacity levels, level sums) stays in
+    :class:`TensorWorkloadModel`.
+    """
+
+    __slots__ = (
+        "jobs", "app_names", "job_pos", "app_idx", "app_idx_l", "pre",
+        "download", "stage_s", "inter", "io", "fp", "app_members",
+        "groups", "group_of", "set_members", "set_anchor", "set_shared",
+        "set_disc", "set_dup", "set_window",
+    )
+
+
+#: (id(workload), cluster, staging signature) → (weakref, statics).
+_STATICS_CACHE: Dict[Tuple[Any, ...], Tuple[Any, Any]] = {}
+_STATICS_CACHE_MAX = 64
+
+
+def _staging_signature(
+    cluster_spec: ClusterSpec, provider: CloudProvider
+) -> Tuple[float, float]:
+    """The provider inputs :func:`staging_seconds` actually reads."""
+    svc = provider.service(Tier.OBJ_STORE)
+    bw = svc.bulk_staging_mb_s or svc.throughput_mb_s(1.0)
+    return (float(bw), float(svc.request_overhead_s))
+
+
+def job_statics(
+    workload: WorkloadSpec, cluster_spec: ClusterSpec, provider: CloudProvider
+) -> JobStatics:
+    """The memoized per-job static terms of the Eq. 1 objective.
+
+    Two catalogs with identical objStore staging behaviour share an
+    instance; catalogs that stage differently get their own (the
+    staging constants differ, nothing else does).
+    """
+    key = (id(workload), cluster_spec, _staging_signature(cluster_spec, provider))
+    hit = _STATICS_CACHE.get(key)
+    if hit is not None and hit[0]() is workload:
+        return hit[1]
+
+    jobs = list(workload.jobs)
+    N = len(jobs)
+    app_names = sorted({j.app.name for j in jobs})
+    apos = {name: i for i, name in enumerate(app_names)}
+    # Internal job order groups each app contiguously (stable sort, so
+    # workload order is preserved within an app): app-level bulk moves
+    # then touch plain slices instead of fancy-index arrays.
+    jobs.sort(key=lambda j: apos[j.app.name])
+
+    st = JobStatics()
+    st.jobs = jobs
+    st.app_names = app_names
+    st.job_pos = {j.job_id: i for i, j in enumerate(jobs)}
+    st.app_idx = np.empty(N, dtype=np.int64)
+    st.pre = np.empty((N, 3), dtype=float)
+    st.download = np.empty(N, dtype=float)
+    st.stage_s = np.empty(N, dtype=float)
+    st.inter = np.empty(N, dtype=float)
+    st.io = np.empty(N, dtype=float)
+    st.fp = np.empty(N, dtype=float)
+    for i, job in enumerate(jobs):
+        m, r = job.map_tasks, job.reduce_tasks
+        waves_m = _effective_waves(
+            m, cluster_spec.total_map_slots, job.app.cpu_intensive
+        )
+        waves_r = _effective_waves(
+            r, cluster_spec.total_reduce_slots, job.app.cpu_intensive
+        )
+        st.app_idx[i] = apos[job.app.name]
+        st.pre[i, 0] = waves_m * gb_to_mb(job.input_gb / m)
+        st.pre[i, 1] = waves_r * gb_to_mb(job.intermediate_gb / r)
+        st.pre[i, 2] = waves_r * gb_to_mb(job.output_gb / r)
+        download = staging_seconds(job.input_gb, m, cluster_spec, provider)
+        upload = staging_seconds(
+            job.output_gb,
+            r * job.app.files_per_reduce_task,
+            cluster_spec,
+            provider,
+        )
+        st.download[i] = download
+        st.stage_s[i] = download + upload
+        st.inter[i] = job.intermediate_gb
+        st.io[i] = job.input_gb + job.output_gb
+        st.fp[i] = job.footprint_gb
+    # Python-int twin for the scalar move kernels (list indexing beats
+    # numpy scalar extraction in the hot loop).
+    st.app_idx_l = st.app_idx.tolist()
+
+    # Jobs are app-contiguous (see the sort above), so each app is a
+    # slice — slice reads/writes in the bulk-move kernel are views.
+    A = len(app_names)
+    starts = np.searchsorted(st.app_idx, np.arange(A + 1))
+    st.app_members = [slice(int(starts[a]), int(starts[a + 1])) for a in range(A)]
+
+    # Reuse groups: each reuse set is one atomic move unit; jobs
+    # outside any set are singleton groups (Constraint 7).
+    group_of = np.arange(N, dtype=np.int64)
+    groups: List[np.ndarray] = [np.array([i], dtype=np.int64) for i in range(N)]
+    if workload.reuse_sets:
+        groups = []
+        group_of = np.full(N, -1, dtype=np.int64)
+        for rs in workload.reuse_sets:
+            ns = np.array(
+                sorted(st.job_pos[j] for j in rs.job_ids), dtype=np.int64
+            )
+            for n in ns:
+                group_of[n] = len(groups)
+            groups.append(ns)
+        for i in range(N):
+            if group_of[i] < 0:
+                group_of[i] = len(groups)
+                groups.append(np.array([i], dtype=np.int64))
+    st.groups = groups
+    st.group_of = group_of.tolist()
+
+    # Reuse-set constants for the batched §3.1.3 economics.
+    sets = workload.reuse_sets
+    if sets:
+        st.set_members = [
+            np.array(sorted(st.job_pos[j] for j in rs.job_ids), dtype=np.int64)
+            for rs in sets
+        ]
+        st.set_anchor = np.array([ns[0] for ns in st.set_members], dtype=np.int64)
+        st.set_shared = np.array(
+            [max(jobs[n].input_gb for n in ns) for ns in st.set_members]
+        )
+        # ephSSD download discount: one staged copy serves every
+        # member, so all but the largest download are skipped (the
+        # staging terms are capacity-independent constants).
+        st.set_disc = np.array(
+            [
+                float(st.download[ns].sum() - st.download[ns].max())
+                if len(ns) > 1
+                else 0.0
+                for ns in st.set_members
+            ]
+        )
+        st.set_dup = np.array(
+            [
+                (len(ns) - 1) * float(shared)
+                for ns, shared in zip(st.set_members, st.set_shared)
+            ]
+        )
+        st.set_window = np.array([rs.lifetime.window_seconds for rs in sets])
+    else:
+        st.set_members = []
+        st.set_anchor = st.set_shared = st.set_disc = None
+        st.set_dup = st.set_window = None
+
+    try:
+        ref = weakref.ref(workload)
+    except TypeError:
+        return st
+    if len(_STATICS_CACHE) >= _STATICS_CACHE_MAX:
+        _STATICS_CACHE.clear()
+    _STATICS_CACHE[key] = (ref, st)
+    return st
 
 
 class TensorBatchState:
@@ -118,59 +380,27 @@ class TensorWorkloadModel:
         self.provider = provider
         self.reuse_aware = reuse_aware
 
-        jobs = list(workload.jobs)
-        self.n_jobs = N = len(jobs)
+        self.n_jobs = N = workload.n_jobs
         self.tiers: List[Tier] = list(provider.tiers)
         self.n_tiers = T = len(self.tiers)
         tpos = {tier: i for i, tier in enumerate(self.tiers)}
         self._tpos = tpos
 
-        app_names = sorted({j.app.name for j in jobs})
-        self.apps = app_names
-        self.n_apps = A = len(app_names)
-        apos = {name: i for i, name in enumerate(app_names)}
-        # Internal job order groups each app contiguously (stable sort,
-        # so workload order is preserved within an app): app-level bulk
-        # moves then touch plain slices instead of fancy-index arrays.
-        jobs.sort(key=lambda j: apos[j.app.name])
-        self.jobs = jobs
-        self._job_pos = {j.job_id: i for i, j in enumerate(jobs)}
-
-        # -- per-job constants (the capacity-independent Eq. 1 terms) --
-        self.app_idx = np.empty(N, dtype=np.int64)
-        self.pre = np.empty((N, 3), dtype=float)
-        self.download = np.empty(N, dtype=float)
-        self.stage_s = np.empty(N, dtype=float)
-        self.inter = np.empty(N, dtype=float)
-        self.io = np.empty(N, dtype=float)
-        self.fp = np.empty(N, dtype=float)
-        for i, job in enumerate(jobs):
-            m, r = job.map_tasks, job.reduce_tasks
-            waves_m = _effective_waves(
-                m, cluster_spec.total_map_slots, job.app.cpu_intensive
-            )
-            waves_r = _effective_waves(
-                r, cluster_spec.total_reduce_slots, job.app.cpu_intensive
-            )
-            self.app_idx[i] = apos[job.app.name]
-            self.pre[i, 0] = waves_m * gb_to_mb(job.input_gb / m)
-            self.pre[i, 1] = waves_r * gb_to_mb(job.intermediate_gb / r)
-            self.pre[i, 2] = waves_r * gb_to_mb(job.output_gb / r)
-            download = staging_seconds(job.input_gb, m, cluster_spec, provider)
-            upload = staging_seconds(
-                job.output_gb,
-                r * job.app.files_per_reduce_task,
-                cluster_spec,
-                provider,
-            )
-            self.download[i] = download
-            self.stage_s[i] = download + upload
-            self.inter[i] = job.intermediate_gb
-            self.io[i] = job.input_gb + job.output_gb
-            self.fp[i] = job.footprint_gb
-        # Python-int twin for the scalar move kernels (list indexing
-        # beats numpy scalar extraction in the hot loop).
-        self.app_idx_l = self.app_idx.tolist()
+        # -- shared capacity-independent Eq. 1 terms (memoized) --
+        st = job_statics(workload, cluster_spec, provider)
+        self._statics = st
+        self.jobs = st.jobs
+        self.apps = st.app_names
+        self.n_apps = A = len(st.app_names)
+        self._job_pos = st.job_pos
+        self.app_idx = st.app_idx
+        self.app_idx_l = st.app_idx_l
+        self.pre = st.pre
+        self.download = st.download
+        self.stage_s = st.stage_s
+        self.inter = st.inter
+        self.io = st.io
+        self.fp = st.fp
 
         # -- capacity levels: level 0 = custom, 1.. = footprint × mult --
         self.n_levels = L = 1 + len(_CAPACITY_MULTIPLIERS)
@@ -217,99 +447,29 @@ class TensorWorkloadModel:
         self.n_vms = cluster_spec.n_vms
         self.vm_rate = provider.prices.vm_price_per_min
 
-        # -- bandwidth grids: one padded tensor for all (app, tier) --
-        lo = np.zeros((A, T), dtype=np.int64)
-        hi = np.zeros((A, T), dtype=np.int64)
-        tables: Dict[Tuple[int, int], Tuple[np.ndarray, ...]] = {}
-        for a, name in enumerate(app_names):
-            for t, tier in enumerate(self.tiers):
-                profile = matrix.get(name, tier)
-                caps = profile.capacities
-                if len(caps) == 1:
-                    arrs = profile.at_array(np.array([caps[0]]))
-                    lo[a, t] = hi[a, t] = 0
-                else:
-                    lo[a, t] = math.floor(caps[0])
-                    hi[a, t] = math.ceil(caps[-1])
-                    grid = np.arange(lo[a, t], hi[a, t] + 1, dtype=float)
-                    arrs = profile.at_array(grid)
-                # The max(1e-9, ...) clamp CapacityProfile.at applies.
-                tables[(a, t)] = tuple(np.maximum(1e-9, arr) for arr in arrs)
-        G = max(int(hi[a, t] - lo[a, t]) + 1 for a in range(A) for t in range(T))
-        self.lo, self.hi = lo, hi
-        self._G = G
-        # Interleaved (A, T, G, 3) so one gather yields all three phases.
-        self.bw = np.full((A, T, G, 3), 1e-9, dtype=float)
-        for (a, t), (m_arr, s_arr, r_arr) in tables.items():
-            n = m_arr.shape[0]
-            self.bw[a, t, :n, 0] = m_arr
-            self.bw[a, t, :n, 1] = s_arr
-            self.bw[a, t, :n, 2] = r_arr
+        # -- bandwidth grids: one shared padded tensor per catalog --
+        bwt = bandwidth_tensor(matrix, tuple(st.app_names), tuple(self.tiers))
+        self.lo, self.hi = bwt.lo, bwt.hi
+        self._G = bwt.G
+        self.bw = bwt.bw
         self._ai_grid = np.broadcast_to(np.arange(A)[:, None], (A, T))
         self._ti_grid = np.broadcast_to(np.arange(T)[None, :], (A, T))
         self._arangeN = np.arange(N)
 
-        # -- groupings for the move kernels --
-        # Jobs are app-contiguous (see the sort above), so each app is
-        # a slice — slice reads/writes in the bulk-move kernel are
-        # views, not gathers.
-        starts = np.searchsorted(self.app_idx, np.arange(A + 1))
-        self.app_members: List[slice] = [
-            slice(int(starts[a]), int(starts[a + 1])) for a in range(A)
-        ]
-        # Reuse groups: each reuse set is one atomic move unit; jobs
-        # outside any set are singleton groups (Constraint 7).
-        group_of = np.arange(N, dtype=np.int64)
-        groups: List[np.ndarray] = [np.array([i], dtype=np.int64) for i in range(N)]
-        if workload.reuse_sets:
-            groups = []
-            group_of = np.full(N, -1, dtype=np.int64)
-            for rs in workload.reuse_sets:
-                ns = np.array(
-                    sorted(self._job_pos[j] for j in rs.job_ids), dtype=np.int64
-                )
-                for n in ns:
-                    group_of[n] = len(groups)
-                groups.append(ns)
-            for i in range(N):
-                if group_of[i] < 0:
-                    group_of[i] = len(groups)
-                    groups.append(np.array([i], dtype=np.int64))
-        self.groups = groups
-        self.group_of = group_of.tolist()
+        # -- groupings for the move kernels (shared, read-only) --
+        self.app_members: List[slice] = st.app_members
+        self.groups = st.groups
+        self.group_of = st.group_of
 
         # -- reuse-set constants for the batched economics --
-        sets = workload.reuse_sets
-        self.n_sets = S = len(sets)
+        self.n_sets = S = len(workload.reuse_sets)
         if S:
-            self.set_members = [
-                np.array(sorted(self._job_pos[j] for j in rs.job_ids), dtype=np.int64)
-                for rs in sets
-            ]
-            self.set_anchor = np.array(
-                [ns[0] for ns in self.set_members], dtype=np.int64
-            )
-            self.set_shared = np.array(
-                [max(self.jobs[n].input_gb for n in ns) for ns in self.set_members]
-            )
-            # ephSSD download discount: one staged copy serves every
-            # member, so all but the largest download are skipped (the
-            # staging terms are capacity-independent constants).
-            self.set_disc = np.array(
-                [
-                    float(self.download[ns].sum() - self.download[ns].max())
-                    if len(ns) > 1
-                    else 0.0
-                    for ns in self.set_members
-                ]
-            )
-            self.set_dup = np.array(
-                [
-                    (len(ns) - 1) * float(shared)
-                    for ns, shared in zip(self.set_members, self.set_shared)
-                ]
-            )
-            self.set_window = np.array([rs.lifetime.window_seconds for rs in sets])
+            self.set_members = st.set_members
+            self.set_anchor = st.set_anchor
+            self.set_shared = st.set_shared
+            self.set_disc = st.set_disc
+            self.set_dup = st.set_dup
+            self.set_window = st.set_window
 
     # -- capacity levels -------------------------------------------------------
 

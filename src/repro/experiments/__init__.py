@@ -27,6 +27,12 @@ from .common import (
     provider,
     single_config_cost,
 )
+from .crosscloud import (
+    CrossCloudRow,
+    crosscloud_workloads,
+    format_crosscloud,
+    run_crosscloud,
+)
 from .fig1 import Fig1Cell, Fig1Result, format_fig1, run_fig1
 from .fig2 import Fig2Series, format_fig2, run_fig2
 from .fig3 import Fig3Cell, Fig3Result, format_fig3, run_fig3
@@ -66,6 +72,10 @@ __all__ = [
     "reprice",
     "run_price_sensitivity",
     "format_price_sensitivity",
+    "CrossCloudRow",
+    "crosscloud_workloads",
+    "run_crosscloud",
+    "format_crosscloud",
     "Table1Row",
     "run_table1",
     "format_table1",

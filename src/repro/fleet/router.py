@@ -75,7 +75,11 @@ from ..errors import (
 from ..obs.metrics import MetricsRegistry
 from ..obs.tracing import current_trace_id, span
 from ..service.cache import PlanCache
-from ..service.fingerprint import request_fingerprint, whatif_fingerprint
+from ..service.fingerprint import (
+    request_fingerprint,
+    sweep_fingerprint,
+    whatif_fingerprint,
+)
 from ..service.pool import DEFAULT_RESTARTS
 from ..service.protocol import (
     MAX_LINE_BYTES,
@@ -88,7 +92,11 @@ from ..service.protocol import (
     read_message,
     send_message,
 )
-from ..service.server import _normalize_solve_params, _normalize_whatif_params
+from ..service.server import (
+    _normalize_solve_params,
+    _normalize_sweep_params,
+    _normalize_whatif_params,
+)
 from ..service.sessions import normalize_delta_params, normalize_open_params
 from .hashring import ConsistentHashRing
 from .tenancy import WeightedFairScheduler
@@ -542,6 +550,9 @@ class FleetRouter:
         if op == "whatif":
             result, cached = await self._whatif_op(params)
             return ok_response(req_id, result, cached=cached)
+        if op == "sweep":
+            result, cached = await self._sweep_op(params)
+            return ok_response(req_id, result, cached=cached)
         if op in ("session_open", "session_delta", "session_close"):
             return ok_response(req_id, await self._session_op(op, params))
         result, cached = await self._solve_op(op, params)
@@ -678,6 +689,32 @@ class FleetRouter:
             fast=normalized["fast"],
         )
         return await self._route_request("whatif", normalized, fingerprint)
+
+    async def _sweep_op(
+        self, params: Mapping[str, Any]
+    ) -> Tuple[Dict[str, Any], bool]:
+        """``sweep`` through the fleet: one shard runs the whole grid.
+
+        The sweep's amortization (shared catalog tensors, warm-start
+        donors) lives inside one engine, so the grid is deliberately
+        NOT split across shards — the fingerprint routes the sweep to
+        a single shard, which fans waves over its own process pool.
+        L1 cache, single-flight and fair queueing as for solves.
+        """
+        normalized = _normalize_sweep_params(params)
+        fingerprint = sweep_fingerprint(
+            normalized["specs"],
+            normalized["providers"],
+            reps=normalized["reps"],
+            n_vms=normalized["n_vms"],
+            iterations=normalized["iterations"],
+            seed=normalized["seed"],
+            use_castpp=normalized["use_castpp"],
+            backend=normalized["backend"],
+            replicas=normalized["replicas"],
+            warm=normalized["warm"],
+        )
+        return await self._route_request("sweep", normalized, fingerprint)
 
     # -- streaming sessions --------------------------------------------------
 

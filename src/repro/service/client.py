@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import asyncio
 import random
-from typing import Any, Dict, Mapping, Optional
+from typing import Any, Dict, Mapping, Optional, Sequence
 
 from ..errors import ServiceUnavailableError
 from .protocol import (
@@ -329,6 +329,52 @@ class PlannerClient:
             params["tenant"] = tenant
         return await self._solve_result("whatif", params)
 
+    async def sweep(
+        self,
+        workloads: "Sequence[Mapping[str, Any]] | Mapping[str, Any]",
+        *,
+        providers: Sequence[str] = ("google",),
+        reps: int = 1,
+        n_vms: int = 25,
+        iterations: int = 3000,
+        seed: int = 42,
+        use_castpp: bool = True,
+        backend: str = "anneal",
+        replicas: int = 8,
+        warm: bool = True,
+        workers: Optional[int] = None,
+        tenant: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        """Solve a (catalog × workload × rep) grid on the server.
+
+        Runs the amortized :class:`~repro.sweep.SweepEngine` server-side
+        — warm-start transfer between neighboring grid points, CRN-paired
+        seeds across catalogs, per-point bit parity — and returns its
+        ``to_dict()`` payload (points, per-workload catalog ranking,
+        mode counts).  Cached and single-flighted by the sweep
+        fingerprint; ``workers`` fans engine waves over a server-side
+        process pool.
+        """
+        if isinstance(workloads, Mapping):
+            workloads = [workloads]
+        params: Dict[str, Any] = {
+            "specs": [dict(w) for w in workloads],
+            "providers": list(providers),
+            "reps": reps,
+            "n_vms": n_vms,
+            "iterations": iterations,
+            "seed": seed,
+            "use_castpp": use_castpp,
+            "backend": backend,
+            "replicas": replicas,
+            "warm": warm,
+        }
+        if workers is not None:
+            params["workers"] = workers
+        if tenant is not None:
+            params["tenant"] = tenant
+        return await self._solve_result("sweep", params)
+
     async def plan_workflow(
         self,
         workflow: Mapping[str, Any],
@@ -575,6 +621,14 @@ class SyncPlannerClient:
     def whatif(self, workload: Mapping[str, Any], **kwargs: Any) -> Dict[str, Any]:
         """Measure a fixed tiering on the server's simulator."""
         return self._run("whatif", workload, **kwargs)
+
+    def sweep(
+        self,
+        workloads: "Sequence[Mapping[str, Any]] | Mapping[str, Any]",
+        **kwargs: Any,
+    ) -> Dict[str, Any]:
+        """Solve a cross-catalog sweep grid on the server."""
+        return self._run("sweep", workloads, **kwargs)
 
     def plan_workflow(self, workflow: Mapping[str, Any], **kwargs: Any) -> Dict[str, Any]:
         """Deadline-optimize a workflow."""

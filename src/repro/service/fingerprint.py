@@ -32,6 +32,7 @@ __all__ = [
     "canonical_json",
     "canonical_spec",
     "request_fingerprint",
+    "sweep_fingerprint",
     "whatif_fingerprint",
 ]
 
@@ -81,6 +82,42 @@ def request_fingerprint(
         "restarts": int(restarts),
         "backend": str(backend),
         "replicas": int(replicas),
+    }
+    return hashlib.sha256(canonical_json(payload).encode()).hexdigest()
+
+
+def sweep_fingerprint(
+    specs: "list[Mapping[str, Any]]",
+    providers: "list[str]",
+    reps: int = 1,
+    n_vms: int = 25,
+    iterations: int = 3000,
+    seed: int = 42,
+    use_castpp: bool = True,
+    backend: str = "anneal",
+    replicas: int = 8,
+    warm: bool = True,
+) -> str:
+    """SHA-256 hex digest identifying one cross-catalog sweep.
+
+    Axis *order* is part of the key: catalog 0 is the warm-start
+    reference catalog and the point list is row-major, so permuting
+    the axes changes which points transfer from which donors (results
+    stay within the quality gate but are not bit-identical).
+    ``warm`` is part of the key for the same reason.
+    """
+    payload = {
+        "op": "sweep",
+        "specs": [canonical_spec(s) for s in specs],
+        "providers": [str(p) for p in providers],
+        "reps": int(reps),
+        "n_vms": int(n_vms),
+        "iterations": int(iterations),
+        "seed": int(seed),
+        "use_castpp": bool(use_castpp),
+        "backend": str(backend),
+        "replicas": int(replicas),
+        "warm": bool(warm),
     }
     return hashlib.sha256(canonical_json(payload).encode()).hexdigest()
 

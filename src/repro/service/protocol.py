@@ -72,6 +72,7 @@ OPS = (
     "plan",
     "plan_workflow",
     "whatif",
+    "sweep",
     "catalog",
     "stats",
     "metrics",

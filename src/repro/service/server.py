@@ -52,7 +52,7 @@ from ..obs.tracing import current_trace_id, span
 from ..simulator.cache import register_metrics as register_sim_cache_metrics
 from ..simulator.vectorized import register_fastpath_metrics
 from .cache import PlanCache
-from .fingerprint import request_fingerprint, whatif_fingerprint
+from .fingerprint import request_fingerprint, sweep_fingerprint, whatif_fingerprint
 from .pool import SolverPool
 from .sessions import SessionManager
 from .protocol import (
@@ -135,6 +135,88 @@ def _normalize_whatif_params(params: Mapping[str, Any]) -> Dict[str, Any]:
         }
     except (TypeError, ValueError) as exc:
         raise ProtocolError(f"bad knob in whatif params: {exc}") from None
+
+
+def _normalize_sweep_params(params: Mapping[str, Any]) -> Dict[str, Any]:
+    """Validate the ``sweep`` envelope: workload spec(s) plus axes."""
+    specs = params.get("specs")
+    if specs is None:
+        spec = params.get("spec")
+        specs = None if spec is None else [spec]
+    if (
+        not isinstance(specs, (list, tuple))
+        or not specs
+        or not all(isinstance(s, Mapping) for s in specs)
+    ):
+        raise ProtocolError(
+            "sweep params need 'specs' (a non-empty list of workload "
+            "dicts) or 'spec' (a single workload dict)"
+        )
+    providers = params.get("providers", ["google"])
+    if (
+        not isinstance(providers, (list, tuple))
+        or not providers
+        or not all(isinstance(p, str) for p in providers)
+    ):
+        raise ProtocolError(
+            "sweep 'providers' must be a non-empty list of catalog names"
+        )
+    try:
+        return {
+            "specs": [dict(s) for s in specs],
+            "providers": [str(p) for p in providers],
+            "tenant": str(params.get("tenant", "default")),
+            "reps": int(params.get("reps", 1)),
+            "n_vms": int(params.get("n_vms", 25)),
+            "iterations": int(params.get("iterations", 3000)),
+            "seed": int(params.get("seed", 42)),
+            "use_castpp": bool(params.get("use_castpp", True)),
+            "backend": str(params.get("backend", "anneal")),
+            "replicas": int(params.get("replicas", 8)),
+            "warm": bool(params.get("warm", True)),
+            "workers": (
+                None if params.get("workers") is None else int(params["workers"])
+            ),
+        }
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(f"bad knob in sweep params: {exc}") from None
+
+
+def _run_sweep(request: Mapping[str, Any]) -> Dict[str, Any]:
+    """Solve the sweep grid (blocking; runs on a worker thread).
+
+    The engine does its own fan-out: with ``workers`` set, waves go
+    through a process-pool :class:`~repro.experiments.runner.ExperimentRunner`
+    owned by the engine, so the solves never touch the server's solver
+    pool — a sweep is one admission-controlled unit of work.
+    """
+    from ..errors import WorkloadError
+    from ..sweep import SweepConfig, SweepEngine
+    from ..workloads.io import workload_from_dict
+
+    workloads = []
+    for spec in request["specs"]:
+        if spec.get("kind") != "workload":
+            raise WorkloadError("sweep wants workload specs (kind='workload')")
+        workloads.append(workload_from_dict(dict(spec)))
+    if request["reps"] < 1:
+        raise WorkloadError(f"sweep reps must be >= 1, got {request['reps']}")
+    engine = SweepEngine(
+        request["providers"],
+        workloads,
+        knobs=[{"rep": r} for r in range(request["reps"])],
+        config=SweepConfig(
+            n_vms=request["n_vms"],
+            iterations=request["iterations"],
+            seed=request["seed"],
+            use_castpp=request["use_castpp"],
+            backend=request["backend"],
+            replicas=request["replicas"],
+            warm=request["warm"],
+        ),
+        workers=request["workers"],
+    )
+    return engine.run().to_dict()
 
 
 def _run_whatif(request: Mapping[str, Any]) -> Dict[str, Any]:
@@ -420,6 +502,9 @@ class PlannerServer:
         if op == "whatif":
             result, cached = await self._whatif_op(params)
             return ok_response(req_id, result, cached=cached)
+        if op == "sweep":
+            result, cached = await self._sweep_op(params)
+            return ok_response(req_id, result, cached=cached)
         if op == "session_open":
             return ok_response(req_id, await self.sessions.open(params))
         if op == "session_delta":
@@ -614,6 +699,75 @@ class PlannerServer:
             result["measure_seconds"] = time.monotonic() - started
             result["trace_id"] = whatif_span.trace_id
             self._events.inc(event="whatifs_ok")
+            self.cache.put(fingerprint, result)
+            future.set_result(result)
+        except BaseException as exc:
+            if isinstance(exc, CastError):
+                self._events.inc(event="solve_errors")
+            future.set_exception(exc)
+            future.exception()
+            raise
+        finally:
+            self._inflight.pop(fingerprint, None)
+        return dict(result, fingerprint=fingerprint), False
+
+    async def _sweep_op(
+        self, params: Mapping[str, Any]
+    ) -> Tuple[Dict[str, Any], bool]:
+        """The ``sweep`` op: a cross-catalog grid, cached + deduped.
+
+        Same fingerprint-keyed cache and single-flight as ``whatif``.
+        The engine owns its own process-pool fan-out (the ``workers``
+        knob), so the whole sweep runs as one worker-thread unit and
+        the server's solver pool stays free for interactive solves.
+        """
+        normalized = _normalize_sweep_params(params)
+        self._tenant_requests.inc(tenant=normalized.pop("tenant"))
+        fingerprint = sweep_fingerprint(
+            normalized["specs"],
+            normalized["providers"],
+            reps=normalized["reps"],
+            n_vms=normalized["n_vms"],
+            iterations=normalized["iterations"],
+            seed=normalized["seed"],
+            use_castpp=normalized["use_castpp"],
+            backend=normalized["backend"],
+            replicas=normalized["replicas"],
+            warm=normalized["warm"],
+        )
+
+        cached = self.cache.get(fingerprint)
+        if cached is not None:
+            return dict(
+                cached, fingerprint=fingerprint, trace_id=current_trace_id()
+            ), True
+
+        leader_future = self._inflight.get(fingerprint)
+        if leader_future is not None:
+            self._events.inc(event="dedup_joined")
+            result = await asyncio.shield(leader_future)
+            return dict(
+                result, fingerprint=fingerprint, trace_id=current_trace_id()
+            ), False
+
+        future: "asyncio.Future[Dict[str, Any]]" = (
+            asyncio.get_running_loop().create_future()
+        )
+        self._inflight[fingerprint] = future
+        try:
+            started = time.monotonic()
+            with span(
+                "service.sweep",
+                attrs={
+                    "catalogs": len(normalized["providers"]),
+                    "workloads": len(normalized["specs"]),
+                },
+            ) as sweep_span:
+                result = await asyncio.to_thread(_run_sweep, normalized)
+            result = dict(result)
+            result["sweep_seconds"] = time.monotonic() - started
+            result["trace_id"] = sweep_span.trace_id
+            self._events.inc(event="sweeps_ok")
             self.cache.put(fingerprint, result)
             future.set_result(result)
         except BaseException as exc:

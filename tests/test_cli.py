@@ -116,6 +116,65 @@ class TestCommands:
         assert "fast path" not in out  # no --batch, no counters line
 
 
+class TestSweepAndCatalogs:
+    def test_sweep_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.providers == "google,aws,azure"
+        assert args.reps == 2
+        assert args.vms == 25
+        assert not args.cold
+        assert not args.json
+
+    def test_catalogs_lists_every_provider(self, capsys):
+        assert main(["catalogs"]) == 0
+        out = capsys.readouterr().out
+        for key in ("google", "aws", "azure"):
+            assert f"{key}:" in out
+        for tier in ("ephSSD", "persSSD", "persHDD", "objStore"):
+            assert tier in out
+
+    def test_catalogs_json(self, capsys):
+        import json
+
+        assert main(["catalogs", "--json"]) == 0
+        entries = json.loads(capsys.readouterr().out)
+        assert {e["key"] for e in entries} >= {"google", "aws", "azure"}
+        for e in entries:
+            assert len(e["tiers"]) == 4
+            assert all(t["price_gb_month"] > 0 for t in e["tiers"])
+
+    def test_sweep_runs_and_ranks(self, capsys):
+        rc = main(["sweep", "--workload", "small", "--vms", "5",
+                   "--iterations", "100", "--reps", "1",
+                   "--providers", "google,aws"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "4 points" not in out  # 2 catalogs x 1 workload x 1 knob
+        assert "2 points" in out
+        assert "google" in out and "aws" in out
+        assert "vs best" in out
+
+    def test_sweep_json_payload(self, capsys):
+        import json
+
+        rc = main(["sweep", "--workload", "small", "--vms", "5",
+                   "--iterations", "100", "--reps", "1",
+                   "--providers", "google", "--json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "sweep"
+        assert payload["parity_ok"] is True
+
+    def test_crosscloud_registered_as_experiment(self):
+        import inspect
+
+        from repro.cli import _EXPERIMENTS, _register_experiments
+
+        _register_experiments()
+        assert "crosscloud" in _EXPERIMENTS
+        assert "workers" in inspect.signature(_EXPERIMENTS["crosscloud"]).parameters
+
+
 class TestProvidersAndFiles:
     def test_catalog_aws(self, capsys):
         assert main(["catalog", "--provider", "aws"]) == 0
@@ -155,7 +214,7 @@ class TestProvidersAndFiles:
         from repro.cli import _resolve_provider
 
         with pytest.raises(CatalogError, match="unknown provider"):
-            _resolve_provider("azure")
+            _resolve_provider("digitalocean")
 
 
 class TestMainErrorHandling:

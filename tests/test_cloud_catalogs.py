@@ -1,0 +1,96 @@
+"""Catalog-generic invariants: every registered provider must satisfy
+the four-role schema the planner assumes, and the whole pipeline must
+run unchanged against each of them."""
+
+import pytest
+
+from repro.cloud import PROVIDER_FACTORIES, resolve_provider
+from repro.cloud.storage import Tier
+from repro.cloud.vm import ClusterSpec
+
+ALL_PROVIDERS = sorted(PROVIDER_FACTORIES)
+
+
+@pytest.fixture(scope="module", params=ALL_PROVIDERS)
+def catalog(request):
+    return resolve_provider(request.param)
+
+
+class TestSchema:
+    def test_all_four_roles_present(self, catalog):
+        assert set(catalog.tiers) == set(Tier)
+
+    def test_positive_prices(self, catalog):
+        assert catalog.prices.vm_price_per_min > 0
+        for tier in catalog.tiers:
+            assert catalog.service(tier).price_gb_month > 0
+            assert catalog.storage_price_gb_hr(tier) > 0
+
+    def test_ephemeral_role_wiring(self, catalog):
+        svc = catalog.service(Tier.EPH_SSD)
+        assert not svc.persistent
+        assert svc.requires_backing is Tier.OBJ_STORE
+        assert svc.fixed_volume_gb and svc.fixed_volume_gb > 0
+
+    def test_object_store_role_wiring(self, catalog):
+        svc = catalog.service(Tier.OBJ_STORE)
+        assert svc.persistent
+        assert svc.requires_intermediate is Tier.PERS_SSD
+        assert svc.max_volume_gb is None  # unlimited
+        assert svc.request_overhead_s > 0
+
+    def test_block_tiers_are_persistent_and_capped(self, catalog):
+        for tier in (Tier.PERS_SSD, Tier.PERS_HDD):
+            svc = catalog.service(tier)
+            assert svc.persistent
+            assert svc.max_volume_gb and svc.max_volume_gb > 0
+
+    @pytest.mark.parametrize("curve_name", ["throughput", "iops"])
+    def test_scaling_curves_monotone_up_to_cap(self, catalog, curve_name):
+        for tier in catalog.tiers:
+            curve = getattr(catalog.service(tier), curve_name)
+            samples = [curve(gb) for gb in
+                       (1.0, 50.0, 128.0, 500.0, 1000.0, 5000.0, 50_000.0)]
+            assert all(v > 0 for v in samples), (tier, curve_name)
+            assert samples == sorted(samples), (tier, curve_name)
+            assert samples[-1] <= curve.cap + 1e-9
+
+    def test_ssd_faster_than_hdd(self, catalog):
+        at = 500.0
+        assert (
+            catalog.service(Tier.PERS_SSD).throughput_mb_s(at)
+            > catalog.service(Tier.PERS_HDD).throughput_mb_s(at)
+        )
+        assert (
+            catalog.service(Tier.PERS_SSD).price_gb_month
+            > catalog.service(Tier.PERS_HDD).price_gb_month
+        )
+
+
+class TestPipeline:
+    """Profiler and solver are catalog-generic end to end."""
+
+    @pytest.fixture(scope="class")
+    def workload(self):
+        from repro.workloads.swim import synthesize_small_workload
+
+        return synthesize_small_workload(n_jobs=5, total_dataset_gb=500.0)
+
+    def test_profiler_covers_every_tier(self, catalog, workload):
+        from repro.profiler import build_model_matrix
+
+        cluster = ClusterSpec(n_vms=5, vm=catalog.default_vm)
+        matrix = build_model_matrix(provider=catalog, cluster_spec=cluster)
+        for tier in catalog.tiers:
+            bw = matrix.bandwidths("sort", tier, 400.0)
+            assert bw.map_mb_s > 0
+
+    def test_solver_end_to_end(self, catalog, workload):
+        from repro import plan_workload
+
+        outcome = plan_workload(
+            workload, n_vms=5, provider=catalog, iterations=120, seed=3
+        )
+        outcome.plan.validate(workload, catalog)
+        assert outcome.evaluation.utility > 0
+        assert outcome.evaluation.cost.total_usd > 0

@@ -7,6 +7,7 @@ from repro.service.fingerprint import (
     canonical_json,
     canonical_spec,
     request_fingerprint,
+    sweep_fingerprint,
 )
 from repro.workloads.io import workflow_to_dict, workload_to_dict
 from repro.workloads.spec import JobSpec, ReuseLifetime, ReuseSet, WorkloadSpec
@@ -118,3 +119,34 @@ class TestRequestFingerprint:
         assert request_fingerprint("plan", other) != request_fingerprint(
             "plan", workload_dict
         )
+
+
+class TestSweepFingerprint:
+    def test_stable_for_identical_sweeps(self, workload_dict):
+        a = sweep_fingerprint([workload_dict], ["google", "aws"], reps=2)
+        b = sweep_fingerprint([workload_dict], ["google", "aws"], reps=2)
+        assert a == b
+
+    def test_axis_order_is_part_of_the_key(self, workload_dict):
+        # Catalog 0 is the warm-start reference: permuting the axis
+        # changes the donor topology, so it must change the key.
+        assert sweep_fingerprint(
+            [workload_dict], ["google", "aws"]
+        ) != sweep_fingerprint([workload_dict], ["aws", "google"])
+
+    @pytest.mark.parametrize(
+        "knob,value",
+        [
+            ("reps", 3),
+            ("n_vms", 10),
+            ("iterations", 100),
+            ("seed", 43),
+            ("use_castpp", False),
+            ("warm", False),
+        ],
+    )
+    def test_every_knob_changes_the_key(self, workload_dict, knob, value):
+        base = sweep_fingerprint([workload_dict], ["google"])
+        assert sweep_fingerprint(
+            [workload_dict], ["google"], **{knob: value}
+        ) != base

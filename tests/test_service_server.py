@@ -124,8 +124,8 @@ class TestBasicOps:
             task = await serving(server)
             try:
                 async with PlannerClient(*server.address) as client:
-                    with pytest.raises(CatalogError, match="azure"):
-                        await client.catalog("azure")
+                    with pytest.raises(CatalogError, match="digitalocean"):
+                        await client.catalog("digitalocean")
             finally:
                 await shutdown(server, task)
 
@@ -379,6 +379,68 @@ class TestWhatifOp:
                 async with PlannerClient(*server.address) as client:
                     with pytest.raises(WorkloadError, match="tier"):
                         await client.whatif(small_spec(), tier="floppyDisk")
+                    # The daemon survives and still answers.
+                    assert (await client.ping())["pong"] is True
+            finally:
+                await shutdown(server, task)
+
+        run(scenario())
+
+
+class TestSweepOp:
+    def test_sweep_solves_grid_and_caches(self):
+        async def scenario():
+            server = PlannerServer(pool=SolverPool(processes=0, restarts=1))
+            task = await serving(server)
+            try:
+                async with PlannerClient(*server.address) as client:
+                    spec = small_spec()
+                    r1 = await client.sweep(
+                        spec, providers=["google", "aws"], reps=2,
+                        n_vms=5, iterations=120,
+                    )
+                    assert r1["cached"] is False
+                    assert r1["kind"] == "sweep"
+                    assert r1["n_points"] == 4
+                    assert r1["parity_ok"] is True
+                    assert r1["modes"].get("cold", 0) >= 1
+                    (block,) = r1["ranking"]
+                    assert {e["provider"] for e in block["ranking"]} == {
+                        "google", "aws",
+                    }
+                    # Identical sweep -> answered from the cache.
+                    r2 = await client.sweep(
+                        spec, providers=["google", "aws"], reps=2,
+                        n_vms=5, iterations=120,
+                    )
+                    assert r2["cached"] is True
+                    assert r2["fingerprint"] == r1["fingerprint"]
+                    # Axis order is part of the key (donor topology).
+                    r3 = await client.sweep(
+                        spec, providers=["aws", "google"], reps=2,
+                        n_vms=5, iterations=120,
+                    )
+                    assert r3["cached"] is False
+                    assert r3["fingerprint"] != r1["fingerprint"]
+            finally:
+                await shutdown(server, task)
+
+        run(scenario())
+
+    def test_sweep_bad_params_are_typed_errors(self):
+        async def scenario():
+            server = PlannerServer(pool=SolverPool(processes=0, restarts=1))
+            task = await serving(server)
+            try:
+                async with PlannerClient(*server.address) as client:
+                    with pytest.raises(ProtocolError, match="specs"):
+                        await client.request("sweep", {"providers": ["google"]})
+                    with pytest.raises(ProtocolError, match="providers"):
+                        await client.request(
+                            "sweep", {"spec": small_spec(), "providers": []}
+                        )
+                    with pytest.raises(WorkloadError, match="reps"):
+                        await client.sweep(small_spec(), reps=0)
                     # The daemon survives and still answers.
                     assert (await client.ping())["pong"] is True
             finally:
