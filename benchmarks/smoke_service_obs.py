@@ -20,7 +20,16 @@ of the observability layer end to end:
   and resident-jobs gauge, and the ``stats`` session listing empties
   again on close;
 * the legacy ``stats`` payload still carries its backward-compatible
-  counter keys.
+  counter keys;
+* the ``slo`` op reports per-op burn-rate state, and an error flood on
+  a unit clock drives ok → page, auto-writing a postmortem bundle into
+  ``dump_dir`` that :func:`load_bundle` accepts;
+* the ``profile`` op samples the live daemon and answers a subsystem
+  table;
+* ``debug_dump`` answers a bundle that round-trips through
+  ``dump_bundle``/``load_bundle`` with identical metric values;
+* ``cast-plan top --once`` renders one dashboard frame against the
+  live daemon from a subprocess.
 
 Exits non-zero on any violation.  Fast (<10 s) — wired into CI next to
 the throughput smokes.
@@ -32,12 +41,16 @@ import asyncio
 import dataclasses
 import json
 import os
+import subprocess
 import sys
 import tempfile
 
 _HERE = os.path.dirname(os.path.abspath(__file__))
 sys.path.insert(0, os.path.join(_HERE, "..", "src"))
 
+from repro.errors import CastError
+from repro.obs.flightrec import dump_bundle, load_bundle
+from repro.obs.slo import BurnPolicy
 from repro.obs.tracing import trace_collector
 from repro.service import PlannerClient, PlannerServer, SolverPool
 from repro.workloads.io import workload_to_dict
@@ -77,8 +90,18 @@ LEGACY_COUNTER_KEYS = {
 }
 
 
-async def run_smoke() -> int:
-    server = PlannerServer(pool=SolverPool(processes=0, restarts=2))
+async def run_smoke(dump_dir: str) -> int:
+    # A manual SLO clock plus second-scale burn windows let the smoke
+    # drive ok -> page deterministically; eval is on-demand only.
+    slo_clock = [0.0]
+    server = PlannerServer(
+        pool=SolverPool(processes=0, restarts=2),
+        slo_policy=BurnPolicy(fast_short_s=10.0, fast_long_s=60.0,
+                              slow_short_s=30.0, slow_long_s=120.0),
+        slo_clock=lambda: slo_clock[0],
+        slo_eval_interval_s=0,
+        dump_dir=dump_dir,
+    )
     await server.start()
     host, port = server.address
     failures = []
@@ -177,6 +200,83 @@ async def run_smoke() -> int:
             after = await client.stats()
             check(after["sessions"]["open"] == 0,
                   "closed session leaves the stats listing")
+            check("flight_recorder" in after and "slo" in after,
+                  "stats carries flight_recorder and slo summaries")
+
+            # -- SLO op + exemplars ------------------------------------------
+            slo = await client.slo()
+            check(slo.get("scope") == "server" and
+                  slo.get("ops", {}).get("solve", {}).get("state") == "ok",
+                  "slo op reports burn-rate state per op (solve ok)")
+            check({"fast_short", "fast_long", "slow_short", "slow_long"}
+                  <= set(slo["ops"]["solve"]["burn"]),
+                  "slo report carries all four burn windows")
+
+            scraped = await client.metrics(format="json")
+            latency = scraped["metrics"]["cast_op_latency_seconds"]
+            plan_series = [s for s in latency["values"]
+                           if s["labels"].get("op") == "plan"]
+            check(bool(plan_series) and plan_series[0].get("exemplars"),
+                  "latency histogram series carry slowest-K exemplars")
+
+            # -- profile op --------------------------------------------------
+            profile = await client.profile(duration_s=0.2, interval_s=0.005)
+            check(profile.get("interval_s") == 0.005 and
+                  "by_subsystem" in profile,
+                  "profile op samples the live daemon")
+
+            # -- debug_dump round-trip ---------------------------------------
+            bundle = await client.debug_dump(reason="smoke")
+            with tempfile.TemporaryDirectory() as tmp:
+                path = os.path.join(tmp, "bundle.jsonl")
+                dump_bundle(path, bundle)
+                loaded = load_bundle(path)
+            check(loaded["metrics"] == bundle["metrics"],
+                  "debug_dump bundle round-trips identical metric values")
+            check([r["trace_id"] for r in loaded["records"]] ==
+                  [r["trace_id"] for r in bundle["records"]],
+                  "debug_dump bundle round-trips exemplar/record trace ids")
+
+            # -- error flood -> page -> auto dump ----------------------------
+            for seed in range(4):
+                try:
+                    await client.plan(spec, n_vms=0, seed=seed)
+                    check(False, "n_vms=0 solve should have failed")
+                except CastError as exc:
+                    check(bool(getattr(exc, "trace_id", None)),
+                          f"error response {seed} carries a trace_id")
+            slo_clock[0] = 61.0
+            paged = await client.slo()
+            check(paged["ops"]["solve"]["state"] == "page",
+                  "error flood drives the solve SLO to page")
+            dumps = sorted(os.listdir(dump_dir))
+            check(len(dumps) == 1 and "page-solve" in dumps[0],
+                  "page transition auto-writes one postmortem bundle")
+            if dumps:
+                auto = load_bundle(os.path.join(dump_dir, dumps[0]))
+                check(auto["meta"]["reason"] == "page-solve" and
+                      auto["slo"]["ops"]["solve"]["state"] == "page",
+                      "auto-written bundle loads and records the page")
+
+            # -- cast-plan top --once against the live daemon ----------------
+            env = dict(os.environ)
+            src = os.path.join(_HERE, "..", "src")
+            env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+            # In a thread: a blocking run() would stall the event loop
+            # the in-process daemon is serving from.
+            top = await asyncio.to_thread(
+                subprocess.run,
+                [sys.executable, "-m", "repro", "top", "--once",
+                 "--host", host, "--port", str(port)],
+                capture_output=True, text=True, env=env, timeout=60,
+            )
+            frame = top.stdout
+            check(top.returncode == 0, "cast-plan top --once exits 0")
+            check("SLO" in frame and "Latency by op (ms)" in frame
+                  and "plan" in frame,
+                  "top --once renders SLO and latency sections")
+            check("page" in frame,
+                  "top --once shows the paged solve objective")
     finally:
         await server.stop()
 
@@ -189,7 +289,8 @@ async def run_smoke() -> int:
 
 
 def main() -> int:
-    return asyncio.run(run_smoke())
+    with tempfile.TemporaryDirectory() as dump_dir:
+        return asyncio.run(run_smoke(dump_dir))
 
 
 if __name__ == "__main__":

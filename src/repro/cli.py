@@ -20,6 +20,20 @@ Subcommands
     Send a workload to a running daemon (or fleet router) and print
     the plan exactly as ``plan`` would; repeated submissions of the
     same workload are answered from the server's cache.
+``top``
+    Live ANSI dashboard over a running daemon or fleet router: per-op
+    latency quantiles, SLO burn-rate states, cache hit rates, shard
+    health and WFQ queue depths, repainted every ``--interval``
+    seconds (``--once`` prints a single frame for scripts).
+``profile``
+    Run the sampling profiler inside a running daemon for
+    ``--duration`` seconds and print self-time by subsystem
+    (``--out`` writes folded stacks for any flamegraph tool).
+``debug-dump``
+    Fetch a flight-recorder postmortem bundle (metrics + exemplars +
+    recent requests + spans + SLO report) from a running daemon into
+    one JSONL file.  Servers also write these automatically on SLO
+    ``page`` transitions when started with ``--dump-dir``.
 ``simulate``
     Deploy a fixed tiering (a uniform ``--tier`` or a ``--plan-file``
     from ``plan --out``) on the simulated cluster and print the
@@ -364,6 +378,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_inflight=args.max_inflight,
             max_queue=args.max_queue,
             request_timeout_s=args.request_timeout,
+            dump_dir=args.dump_dir,
         )
         await server.start()
         host, port = server.address
@@ -428,6 +443,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             tenant_weights=weights or None,
             default_restarts=args.restarts,
             health_interval_s=args.health_interval,
+            dump_dir=args.dump_dir,
         )
         supervisor = FleetSupervisor(
             router,
@@ -438,6 +454,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             max_inflight=args.shard_max_inflight,
             request_timeout_s=args.request_timeout,
             auto_restart=not args.no_restart,
+            dump_dir=args.dump_dir,
         )
         await router.start()
         host, port = router.address
@@ -542,6 +559,108 @@ def _cmd_submit(args: argparse.Namespace) -> int:
             f"singleflight joins={counters.get('dedup_joined', 0)}  "
             f"solves={counters.get('solves_ok', 0)}"
         )
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    """Live dashboard: poll metrics/slo/stats, repaint one frame."""
+    import time
+
+    from .obs.top import CLEAR, render_dashboard
+    from .service.client import SyncPlannerClient
+
+    client = SyncPlannerClient(host=args.host, port=args.port)
+    color = (not args.no_color) and sys.stdout.isatty()
+
+    def one_frame() -> str:
+        stats = client.stats()
+        fleet = args.fleet or stats.get("role") == "fleet-router"
+        metrics = client.metrics(format="json")["metrics"]
+        slo = client.slo()
+        return render_dashboard(
+            metrics=metrics, slo=slo, stats=stats, fleet=fleet, color=color,
+            title=f"cast-plan top — {args.host}:{args.port}",
+        )
+
+    try:
+        if args.once:
+            print(one_frame(), end="")
+            return 0
+        while True:
+            frame = one_frame()
+            print(CLEAR + frame, end="", flush=True)
+            time.sleep(args.interval)
+    except ConnectionRefusedError:
+        print(
+            f"no planner at {args.host}:{args.port} — start one with "
+            f"'cast-plan serve' (or 'cast-plan fleet')",
+            file=sys.stderr,
+        )
+        return 2
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Run the server's sampling profiler and print the subsystem table."""
+    from pathlib import Path
+
+    from .service.client import SyncPlannerClient
+
+    client = SyncPlannerClient(host=args.host, port=args.port)
+    try:
+        report = client.profile(
+            duration_s=args.duration, interval_s=args.interval
+        )
+    except ConnectionRefusedError:
+        print(
+            f"no planner at {args.host}:{args.port} — start one with "
+            f"'cast-plan serve' (or 'cast-plan fleet')",
+            file=sys.stderr,
+        )
+        return 2
+    print(
+        f"sampled {report['samples']} frames over {report['duration_s']:.2f}s "
+        f"(every {report['interval_s'] * 1000:.1f} ms)"
+    )
+    print(f"{'subsystem':14s} {'samples':>8s} {'share':>7s} {'self(s)':>8s}")
+    for name, row in report["by_subsystem"].items():
+        print(
+            f"{name:14s} {row['samples']:8d} {row['share'] * 100:6.1f}% "
+            f"{row['self_s']:8.3f}"
+        )
+    if args.out:
+        Path(args.out).write_text(
+            "\n".join(report["folded"]) + ("\n" if report["folded"] else "")
+        )
+        print(f"wrote {len(report['folded'])} folded stacks to {args.out}")
+    return 0
+
+
+def _cmd_debug_dump(args: argparse.Namespace) -> int:
+    """Fetch a postmortem bundle from a live daemon and write it."""
+    import time
+
+    from .obs.flightrec import dump_bundle
+    from .service.client import SyncPlannerClient
+
+    client = SyncPlannerClient(host=args.host, port=args.port)
+    try:
+        bundle = client.debug_dump(reason="cli")
+    except ConnectionRefusedError:
+        print(
+            f"no planner at {args.host}:{args.port} — start one with "
+            f"'cast-plan serve' (or 'cast-plan fleet')",
+            file=sys.stderr,
+        )
+        return 2
+    path = args.out or f"castdump-{int(time.time() * 1000)}-cli.jsonl"
+    dump_bundle(path, bundle)
+    slo = bundle.get("slo") or {}
+    print(
+        f"wrote {path}: {len(bundle.get('metrics', {}))} metrics, "
+        f"{len(bundle.get('records', []))} flight records, "
+        f"{len(bundle.get('spans', []))} spans, "
+        f"slo state {slo.get('state', 'n/a')}"
+    )
     return 0
 
 
@@ -980,6 +1099,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="per-solve deadline in seconds")
     p_serve.add_argument("--trace-export", default=None, metavar="PATH",
                          help="stream every finished span to this JSONL file")
+    p_serve.add_argument("--dump-dir", default=None, metavar="DIR",
+                         help="auto-write a flight-recorder debug bundle "
+                              "here on every SLO page transition")
     _add_logging_args(p_serve)
     p_serve.set_defaults(func=_cmd_serve)
 
@@ -1017,6 +1139,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="do not respawn crashed shards")
     p_fleet.add_argument("--trace-export", default=None, metavar="PATH",
                          help="stream router spans to this JSONL file")
+    p_fleet.add_argument("--dump-dir", default=None, metavar="DIR",
+                         help="auto-write debug bundles here on SLO pages "
+                              "(router at the top level, one subdir per "
+                              "shard)")
     _add_logging_args(p_fleet)
     p_fleet.set_defaults(func=_cmd_fleet)
 
@@ -1045,6 +1171,53 @@ def build_parser() -> argparse.ArgumentParser:
     p_submit.add_argument("--show-stats", action="store_true",
                           help="also print server cache/dedup counters")
     p_submit.set_defaults(func=_cmd_submit)
+
+    p_top = sub.add_parser(
+        "top",
+        help="live dashboard over a running daemon or fleet router",
+    )
+    p_top.add_argument("--host", default="127.0.0.1", help="daemon address")
+    p_top.add_argument("--port", type=int, default=DEFAULT_SERVICE_PORT,
+                       help="daemon TCP port")
+    p_top.add_argument("--fleet", action="store_true",
+                       help="force the fleet view (auto-detected from the "
+                            "stats payload otherwise)")
+    p_top.add_argument("--interval", type=float, default=2.0,
+                       help="seconds between repaints")
+    p_top.add_argument("--once", action="store_true",
+                       help="print a single frame and exit (for scripts/CI)")
+    p_top.add_argument("--no-color", action="store_true",
+                       help="disable ANSI colors even on a TTY")
+    _add_logging_args(p_top)
+    p_top.set_defaults(func=_cmd_top)
+
+    p_prof = sub.add_parser(
+        "profile",
+        help="run the sampling profiler inside a running daemon",
+    )
+    p_prof.add_argument("--host", default="127.0.0.1", help="daemon address")
+    p_prof.add_argument("--port", type=int, default=DEFAULT_SERVICE_PORT,
+                        help="daemon TCP port")
+    p_prof.add_argument("--duration", type=float, default=1.0,
+                        help="seconds to sample (server caps at 30)")
+    p_prof.add_argument("--interval", type=float, default=0.005,
+                        help="seconds between samples")
+    p_prof.add_argument("--out", default=None, metavar="PATH",
+                        help="write folded stacks (flamegraph input) here")
+    _add_logging_args(p_prof)
+    p_prof.set_defaults(func=_cmd_profile)
+
+    p_dump = sub.add_parser(
+        "debug-dump",
+        help="fetch a flight-recorder postmortem bundle from a daemon",
+    )
+    p_dump.add_argument("--host", default="127.0.0.1", help="daemon address")
+    p_dump.add_argument("--port", type=int, default=DEFAULT_SERVICE_PORT,
+                        help="daemon TCP port")
+    p_dump.add_argument("--out", default=None, metavar="PATH",
+                        help="bundle path (default castdump-<ms>-cli.jsonl)")
+    _add_logging_args(p_dump)
+    p_dump.set_defaults(func=_cmd_debug_dump)
 
     p_size = sub.add_parser("size", help="sweep cluster sizes for a workload")
     _add_workload_args(p_size)
@@ -1162,7 +1335,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("interrupted", file=sys.stderr)
         return 130
     except CastError as exc:
-        print(str(exc), file=sys.stderr)
+        # Service-relayed errors carry the server-side trace id (the
+        # client stamps it from the error envelope) — print it so the
+        # failure can be grepped out of a debug dump or span export.
+        trace = getattr(exc, "trace_id", None)
+        suffix = f"  [trace {str(trace)[:12]}]" if trace else ""
+        print(f"{exc}{suffix}", file=sys.stderr)
         return 2
 
 

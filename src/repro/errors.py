@@ -28,7 +28,16 @@ __all__ = [
 
 
 class CastError(Exception):
-    """Base class for all errors raised by :mod:`repro`."""
+    """Base class for all errors raised by :mod:`repro`.
+
+    ``trace_id`` is ``None`` for in-process failures; the service
+    client stamps it from the response envelope when reconstructing a
+    server-side error, so a failed request stays correlatable with the
+    server's spans and flight-recorder records (``cast-plan
+    debug-dump``).
+    """
+
+    trace_id: "str | None" = None
 
 
 class CatalogError(CastError):

@@ -53,15 +53,25 @@ Observability: the ``metrics`` op gains a ``scope`` param.
 registry and merges them — stamped with a ``shard`` label — into one
 exposition, so fleet-wide totals are one scrape and per-shard
 breakdowns are one label away.
+
+The router carries the same operational layer as a shard
+(:mod:`repro.obs.slo` / :mod:`repro.obs.flightrec` /
+:mod:`repro.obs.sampler`): the dispatch loop times every request and
+feeds a flight recorder that also remembers which shard served it,
+the ``slo`` op evaluates the router's own engine and rolls every
+shard's report up (worst shard state wins, per op), a ``page``
+transition auto-writes a postmortem bundle into ``dump_dir``, and
+``profile``/``debug_dump`` work exactly as on a shard.
 """
 
 from __future__ import annotations
 
 import asyncio
 import logging
+import os
 import time
 import uuid
-from typing import Any, Dict, List, Mapping, Optional, Set, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 from ..cloud import resolve_provider
 from ..errors import (
@@ -72,7 +82,16 @@ from ..errors import (
     ServiceTimeoutError,
     ServiceUnavailableError,
 )
+from ..obs.flightrec import FlightRecorder, build_bundle, dump_bundle
 from ..obs.metrics import MetricsRegistry
+from ..obs.sampler import SamplingProfiler
+from ..obs.slo import (
+    BurnPolicy,
+    Objective,
+    SLOEngine,
+    Transition,
+    rollup_reports,
+)
 from ..obs.tracing import current_trace_id, span
 from ..service.cache import PlanCache
 from ..service.fingerprint import (
@@ -93,6 +112,8 @@ from ..service.protocol import (
     send_message,
 )
 from ..service.server import (
+    _MAX_PROFILE_S,
+    _UNRECORDED_OPS,
     _normalize_solve_params,
     _normalize_sweep_params,
     _normalize_whatif_params,
@@ -236,6 +257,13 @@ class FleetRouter:
         health_failures: int = 2,
         forward_timeout_s: float = 660.0,
         registry: Optional[MetricsRegistry] = None,
+        slo_objectives: Optional[Sequence[Objective]] = None,
+        slo_policy: Optional[BurnPolicy] = None,
+        slo_clock: Optional[Any] = None,
+        slo_eval_interval_s: float = 5.0,
+        dump_dir: Optional[str] = None,
+        flight_capacity: int = 512,
+        flight_exemplars: int = 8,
     ) -> None:
         self.host = host
         self.port = port
@@ -290,9 +318,32 @@ class FleetRouter:
             "cast_fleet_solve_seconds",
             "End-to-end router wall time of non-L1-cached solves",
         )
+        self._op_latency = self.metrics.histogram(
+            "cast_op_latency_seconds",
+            "Wire-level request latency by op",
+            labelnames=("op",),
+        )
+        self._op_requests = self.metrics.counter(
+            "cast_op_requests_total",
+            "Wire-level requests by op and outcome",
+            labelnames=("op", "outcome"),
+        )
         self.cache.bind_metrics(self.metrics)
         self.scheduler.bind_metrics(self.metrics)
         self.metrics.register_collector("fleet_shards", self._mirror_shards)
+
+        self.recorder = FlightRecorder(
+            capacity=flight_capacity, exemplars=flight_exemplars
+        )
+        self.recorder.bind_metrics(self.metrics)
+        self.dump_dir = dump_dir
+        self.slo_eval_interval_s = float(slo_eval_interval_s)
+        self.slo = SLOEngine(
+            slo_objectives, policy=slo_policy, clock=slo_clock
+        )
+        self.slo.bind_metrics(self.metrics)
+        self.slo.on_transition(self._on_slo_transition)
+        self._slo_task: Optional["asyncio.Task[None]"] = None
         self._started_at = time.monotonic()
 
     def _mirror_shards(self, reg: MetricsRegistry) -> None:
@@ -435,6 +486,8 @@ class FleetRouter:
         self._started_at = time.monotonic()
         if self.health_interval_s > 0:
             self._health_task = asyncio.create_task(self._health_loop())
+        if self.slo_eval_interval_s > 0:
+            self._slo_task = asyncio.create_task(self._slo_loop())
         logger.info("fleet router listening on %s:%d", self.host, self.port)
 
     @property
@@ -452,6 +505,13 @@ class FleetRouter:
 
     async def stop(self) -> None:
         """Graceful shutdown: stop accepting, drain forwards, drop links."""
+        if self._slo_task is not None:
+            self._slo_task.cancel()
+            try:
+                await self._slo_task
+            except asyncio.CancelledError:
+                pass
+            self._slo_task = None
         if self._health_task is not None:
             self._health_task.cancel()
             try:
@@ -515,6 +575,7 @@ class FleetRouter:
         params = request["params"]
         self._ops.inc(op=op)
         with span("fleet.request", attrs={"op": op}) as sp:
+            started = time.monotonic()
             try:
                 response = await self._dispatch_inner(op, req_id, params)
             except asyncio.CancelledError:
@@ -528,7 +589,48 @@ class FleetRouter:
                     req_id, FleetError(f"internal error: {exc!r}")
                 )
             response["trace_id"] = sp.trace_id
+            self._record_request(
+                op, params, response, time.monotonic() - started, sp.trace_id
+            )
             return response
+
+    def _record_request(
+        self,
+        op: str,
+        params: Mapping[str, Any],
+        response: Mapping[str, Any],
+        latency_s: float,
+        trace_id: Optional[str],
+    ) -> None:
+        """Per-op latency/outcome metrics + one flight-recorder record.
+
+        Mirrors the shard-side recorder but also remembers *which
+        shard* served each routed request — a fleet postmortem needs
+        the culprit, not just the symptom.
+        """
+        ok = bool(response.get("ok"))
+        self._op_latency.observe(latency_s, op=op)
+        self._op_requests.inc(op=op, outcome="ok" if ok else "error")
+        if op in _UNRECORDED_OPS:
+            return
+        error = None
+        if not ok:
+            error = str(response.get("error", {}).get("type", "error"))
+        shard = None
+        result = response.get("result")
+        if isinstance(result, Mapping):
+            shard = result.get("shard")
+        tenant = params.get("tenant")
+        self.recorder.record(
+            op=op,
+            latency_s=latency_s,
+            ok=ok,
+            cached=bool(response.get("cached", False)),
+            tenant=str(tenant) if tenant is not None else None,
+            shard=str(shard) if shard is not None else None,
+            error=error,
+            trace_id=trace_id,
+        )
 
     async def _dispatch_inner(
         self, op: str, req_id: Any, params: Mapping[str, Any]
@@ -539,6 +641,12 @@ class FleetRouter:
             return ok_response(req_id, self.stats())
         if op == "metrics":
             return ok_response(req_id, await self._metrics_op(params))
+        if op == "slo":
+            return ok_response(req_id, await self._slo_op(params))
+        if op == "profile":
+            return ok_response(req_id, await self._profile_op(params))
+        if op == "debug_dump":
+            return ok_response(req_id, self._debug_dump_op(params))
         if op == "catalog":
             return ok_response(req_id, self._catalog(params))
         if op == "register":
@@ -617,7 +725,13 @@ class FleetRouter:
                 "format": "prometheus", "scope": scope,
                 "body": registry.to_prometheus(),
             }
-        return {"format": "json", "scope": scope, "metrics": registry.to_json()}
+        body = registry.to_json()
+        if scope == "router":
+            # Fleet-scope series carry shard labels the router's
+            # exemplars don't know about; only the router's own
+            # latency series get exemplars stamped.
+            self.recorder.attach_exemplars(body)
+        return {"format": "json", "scope": scope, "metrics": body}
 
     async def _fleet_registry(self) -> MetricsRegistry:
         """Scrape every healthy shard and roll the registries up.
@@ -648,6 +762,134 @@ class FleetRouter:
 
         await asyncio.gather(*(scrape(s) for s in self.healthy_shards))
         return fleet
+
+    # -- operational ops -----------------------------------------------------
+
+    async def _slo_op(self, params: Mapping[str, Any]) -> Dict[str, Any]:
+        """The fleet ``slo`` op: worst-shard roll-up.
+
+        Evaluates the router's own engine (over its wire-level
+        counters) and scrapes every healthy shard's ``slo`` op, then
+        combines the reports pessimistically — per op, the fleet state
+        is the **worst shard state**.  ``scope="router"`` skips the
+        scrape and answers with the router's own report only.
+        """
+        scope = str(params.get("scope", "fleet")).lower()
+        own = self.slo.evaluate(registry=self.metrics)
+        if scope == "router":
+            return dict(own, scope="router")
+        if scope != "fleet":
+            raise ProtocolError(
+                f"unknown slo scope {scope!r} (expected 'fleet' or 'router')"
+            )
+        reports: Dict[str, Mapping[str, Any]] = {"router": own}
+
+        async def scrape(shard_id: str) -> None:
+            try:
+                response = await self._link(shard_id).request(
+                    make_request("slo", {}, req_id="slo-scrape"),
+                    timeout=self.health_timeout_s,
+                )
+            except (OSError, asyncio.TimeoutError, ProtocolError):
+                self._events.inc(event="scrape_failed")
+                return
+            if response.get("ok"):
+                reports[shard_id] = response["result"]
+
+        await asyncio.gather(*(scrape(s) for s in self.healthy_shards))
+        rollup = rollup_reports(reports)
+        rollup["policy"] = self.slo.policy.to_dict()
+        return rollup
+
+    async def _profile_op(self, params: Mapping[str, Any]) -> Dict[str, Any]:
+        """The ``profile`` op: sample the *router* process.
+
+        Shard solver time never shows up here — point ``cast-plan
+        profile`` at a shard's own port for that.
+        """
+        try:
+            duration_s = float(params.get("duration_s", 1.0))
+            interval_s = float(params.get("interval_s", 0.005))
+        except (TypeError, ValueError) as exc:
+            raise ProtocolError(f"bad profile params: {exc}") from None
+        if not 0.0 < duration_s <= _MAX_PROFILE_S:
+            raise ProtocolError(
+                f"profile duration_s must be in (0, {_MAX_PROFILE_S:g}], "
+                f"got {duration_s}"
+            )
+        if interval_s <= 0:
+            raise ProtocolError(
+                f"profile interval_s must be > 0, got {interval_s}"
+            )
+        profiler = SamplingProfiler(interval_s=interval_s)
+        return await asyncio.to_thread(profiler.run_for, duration_s)
+
+    def _debug_dump_op(self, params: Mapping[str, Any]) -> Dict[str, Any]:
+        """The ``debug_dump`` op: the router's postmortem bundle."""
+        return self._build_bundle(reason=str(params.get("reason", "request")))
+
+    def _build_bundle(self, reason: str) -> Dict[str, Any]:
+        return build_bundle(
+            registry=self.metrics,
+            recorder=self.recorder,
+            slo_report=self.slo.last_report,
+            config=self._config_payload(),
+            reason=reason,
+        )
+
+    def _config_payload(self) -> Dict[str, Any]:
+        return {
+            "role": "fleet-router",
+            "host": self.host,
+            "port": self.port,
+            "shards": [s.to_dict() for s in self._shards.values()],
+            "limits": {
+                "forward_timeout_s": self.forward_timeout_s,
+                "health_interval_s": self.health_interval_s,
+                "health_failures": self.health_failures,
+            },
+            "cache_capacity": self.cache.capacity,
+            "slo": self.slo.config(),
+            "dump_dir": self.dump_dir,
+        }
+
+    def _on_slo_transition(self, edge: Transition) -> None:
+        """Engine callback: auto-dump a bundle on every page entry."""
+        logger.warning("SLO %s: %s -> %s", edge.op, edge.old, edge.new)
+        if edge.new != "page":
+            return
+        path = self._write_dump(reason=f"page-{edge.op}")
+        if path is not None:
+            logger.warning("SLO page on %s: wrote debug dump %s", edge.op, path)
+
+    def _write_dump(self, reason: str) -> Optional[str]:
+        """Write one bundle into ``dump_dir`` (None = dumping disabled)."""
+        if not self.dump_dir:
+            return None
+        try:
+            os.makedirs(self.dump_dir, exist_ok=True)
+            stamp = int(time.time() * 1000)
+            path = os.path.join(
+                self.dump_dir, f"castdump-{stamp}-{reason}.jsonl"
+            )
+            dump_bundle(path, self._build_bundle(reason=reason))
+            self._events.inc(event="debug_dumps")
+            return path
+        except OSError:
+            logger.exception("failed to write debug dump; continuing")
+            return None
+
+    async def _slo_loop(self) -> None:
+        """Background tick over the router's own engine (states must
+        decay back to ``ok`` without traffic forcing an evaluation)."""
+        while True:
+            await asyncio.sleep(self.slo_eval_interval_s)
+            try:
+                self.slo.evaluate(registry=self.metrics)
+            except asyncio.CancelledError:
+                raise
+            except Exception:  # pragma: no cover - defensive
+                logger.exception("SLO evaluation failed; continuing")
 
     # -- the solve path ------------------------------------------------------
 
@@ -1000,6 +1242,8 @@ class FleetRouter:
                 labels["shard"]: int(value)
                 for labels, value in self._routed.samples()
             },
+            "flight_recorder": self.recorder.stats(),
+            "slo": self.slo.states,
             "inflight": len(self._inflight),
             "sessions": {
                 sid: {

@@ -141,6 +141,7 @@ class FleetSupervisor:
         ready_timeout_s: float = 30.0,
         check_interval_s: float = 0.5,
         python: Optional[str] = None,
+        dump_dir: Optional[str] = None,
     ) -> None:
         if shards < 1:
             raise FleetError(f"fleet needs >= 1 shard, got {shards}")
@@ -156,6 +157,7 @@ class FleetSupervisor:
         self.ready_timeout_s = float(ready_timeout_s)
         self.check_interval_s = float(check_interval_s)
         self.python = python or sys.executable
+        self.dump_dir = dump_dir
         self.shards: List[ShardProcess] = [
             ShardProcess(f"shard-{i}", host, free_port(host)) for i in range(shards)
         ]
@@ -164,7 +166,7 @@ class FleetSupervisor:
     # -- spawning ------------------------------------------------------------
 
     def _command(self, shard: ShardProcess) -> List[str]:
-        return [
+        cmd = [
             self.python, "-m", "repro", "serve",
             "--host", shard.host,
             "--port", str(shard.port),
@@ -174,6 +176,13 @@ class FleetSupervisor:
             "--cache-size", str(self.cache_size),
             "--request-timeout", str(self.request_timeout_s),
         ]
+        if self.dump_dir:
+            # One subdirectory per shard so concurrent page dumps from
+            # different shards never race on a filename.
+            cmd.extend(
+                ["--dump-dir", os.path.join(self.dump_dir, shard.shard_id)]
+            )
+        return cmd
 
     async def _spawn(self, shard: ShardProcess) -> None:
         env = dict(os.environ)

@@ -22,10 +22,32 @@ Solver progress telemetry (:mod:`repro.obs.progress`) rides on the
 same registry: the annealing backends accept a sampled progress
 callback that is **off by default** — the hot loops pay one
 ``is not None`` check per iteration when disabled.
+
+On top of the raw signals sits the operational layer:
+
+* :mod:`repro.obs.slo` — declarative per-op objectives evaluated from
+  registry snapshots with multi-window burn-rate alerting and an
+  ok→warning→page state machine (the ``slo`` service/fleet op);
+* :mod:`repro.obs.flightrec` — a bounded ring of recent request
+  records with slowest-K latency exemplars, and single-file JSONL
+  postmortem bundles (``cast-plan debug-dump``, auto-written on SLO
+  page transitions);
+* :mod:`repro.obs.sampler` — a ``sys._current_frames()`` sampling
+  profiler aggregating self-time by subsystem with folded-stack
+  flamegraph output (the ``profile`` op);
+* :mod:`repro.obs.top` — the pure renderer behind the ``cast-plan
+  top`` live dashboard.
 """
 
 from __future__ import annotations
 
+from .flightrec import (
+    FlightRecord,
+    FlightRecorder,
+    build_bundle,
+    dump_bundle,
+    load_bundle,
+)
 from .logs import configure_logging, json_log_record
 from .metrics import (
     Counter,
@@ -38,6 +60,16 @@ from .metrics import (
     use_registry,
 )
 from .progress import ProgressPrinter, SolverProgress
+from .sampler import SamplingProfiler, profile_for
+from .slo import (
+    BurnPolicy,
+    Objective,
+    SLOEngine,
+    default_objectives,
+    rollup_reports,
+    worst_state,
+)
+from .top import render_dashboard
 from .tracing import (
     SpanRecord,
     add_jsonl_sink,
@@ -68,4 +100,18 @@ __all__ = [
     "json_log_record",
     "SolverProgress",
     "ProgressPrinter",
+    "Objective",
+    "BurnPolicy",
+    "SLOEngine",
+    "default_objectives",
+    "worst_state",
+    "rollup_reports",
+    "FlightRecord",
+    "FlightRecorder",
+    "build_bundle",
+    "dump_bundle",
+    "load_bundle",
+    "SamplingProfiler",
+    "profile_for",
+    "render_dashboard",
 ]

@@ -85,6 +85,12 @@ def _escape_label_value(value: str) -> str:
     return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
 
 
+def _escape_help_text(value: str) -> str:
+    # The 0.0.4 exposition format escapes backslash and newline (but
+    # not quotes) in HELP text; label values escape all three.
+    return value.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 class _Instrument:
     """Shared plumbing: a name, declared labels, keyed values."""
 
@@ -427,7 +433,9 @@ class MetricsRegistry:
             if not samples:
                 continue
             if metric.help:
-                lines.append(f"# HELP {metric.name} {metric.help}")
+                lines.append(
+                    f"# HELP {metric.name} {_escape_help_text(metric.help)}"
+                )
             lines.append(f"# TYPE {metric.name} {metric.kind}")
             for labels, value in samples:
                 label_str = ",".join(
@@ -485,6 +493,15 @@ def snapshot_delta(before: Mapping[str, Any],
     The result merges cleanly into any other registry — this is how a
     pool worker ships "what this task did" home without shipping its
     whole process history every time.
+
+    A counter that went *backwards* between the two snapshots means the
+    source restarted mid-scrape (a shard respawned by the fleet
+    supervisor, a recycled pool worker): the cumulative total reset to
+    zero and re-accumulated.  The delta then clamps to the ``after``
+    value — everything the new incarnation counted — and never goes
+    negative; a negative "monotonic" delta would poison any registry it
+    merges into.  Histogram series reset the same way as a unit (a
+    restart zeroes counts, sum and count together).
     """
     def _prev(entry: Mapping[str, Any], labels: Mapping[str, str]) -> Any:
         for sample in entry.get("values", ()):
@@ -502,6 +519,10 @@ def snapshot_delta(before: Mapping[str, Any],
             if entry["kind"] == "counter":
                 base = float(prev) if prev is not None else 0.0
                 diff = float(value) - base
+                if diff < 0:
+                    # Counter reset (source restarted): clamp to the
+                    # new cumulative value.
+                    diff = float(value)
                 if diff:
                     values.append({"labels": sample["labels"], "value": diff})
             elif entry["kind"] == "histogram":
@@ -510,6 +531,13 @@ def snapshot_delta(before: Mapping[str, Any],
                             "count": 0}
                 counts = [a - b for a, b in zip(value["counts"], prev["counts"])]
                 count = value["count"] - prev["count"]
+                if count < 0 or any(c < 0 for c in counts):
+                    # Histogram reset: the series restarted as a unit,
+                    # so the whole after-value is the delta.
+                    prev = {"counts": [0] * len(value["counts"]), "sum": 0.0,
+                            "count": 0}
+                    counts = list(value["counts"])
+                    count = value["count"]
                 if count:
                     values.append({
                         "labels": sample["labels"],

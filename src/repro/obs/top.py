@@ -1,0 +1,301 @@
+"""`cast-plan top`: a live ANSI dashboard over the metrics/slo/stats ops.
+
+Pure rendering lives here — :func:`render_dashboard` turns the three
+op payloads (``metrics`` in JSON format, ``slo``, ``stats``) into one
+text frame — so the dashboard is unit-testable without a terminal or
+a server.  The CLI polls a daemon (or fleet router) and repaints with
+plain ANSI escapes; ``--once`` prints a single frame for scripts and
+the CI smoke test.
+
+Everything is derived from wire payloads, never from in-process
+objects: whatever `top` can show, any external dashboard can too.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = ["render_dashboard"]
+
+_RESET = "\x1b[0m"
+_STATE_COLORS = {"ok": "\x1b[32m", "warning": "\x1b[33m", "page": "\x1b[31m"}
+#: Clear screen + cursor home — one repaint per poll.
+CLEAR = "\x1b[H\x1b[2J"
+
+
+def _paint(text: str, state: str, color: bool) -> str:
+    if not color:
+        return text
+    return f"{_STATE_COLORS.get(state, '')}{text}{_RESET}"
+
+
+def _fmt_ms(seconds: float) -> str:
+    if seconds != seconds:  # NaN: empty series
+        return "-"
+    return f"{seconds * 1000.0:.1f}"
+
+
+def _fmt_count(value: float) -> str:
+    return f"{value:g}"
+
+
+def _series(
+    metrics: Mapping[str, Any], name: str
+) -> List[Tuple[Dict[str, str], Any]]:
+    entry = metrics.get(name)
+    if not entry:
+        return []
+    return [
+        (dict(sample.get("labels", {})), sample.get("value"))
+        for sample in entry.get("values", ())
+    ]
+
+
+def _counter_sum(
+    metrics: Mapping[str, Any], name: str, **match: str
+) -> float:
+    """Sum of a counter's series matching the given labels."""
+    total = 0.0
+    for labels, value in _series(metrics, name):
+        if all(labels.get(k) == v for k, v in match.items()):
+            total += float(value)
+    return total
+
+
+def _quantile_from_counts(
+    bounds: Sequence[float], counts: Sequence[float], q: float
+) -> float:
+    """Same in-bucket interpolation as ``Histogram.quantile``."""
+    total = sum(counts)
+    if total <= 0:
+        return float("nan")
+    rank = q * total
+    seen = 0.0
+    for i, c in enumerate(counts):
+        if seen + c >= rank and c:
+            lo = 0.0 if i == 0 else bounds[i - 1]
+            hi = bounds[i] if i < len(bounds) else bounds[-1]
+            frac = (rank - seen) / c
+            return lo + (hi - lo) * min(1.0, max(0.0, frac))
+        seen += c
+    return bounds[-1] if bounds else float("nan")
+
+
+def _latency_rows(
+    metrics: Mapping[str, Any], name: str
+) -> List[Dict[str, Any]]:
+    """Per-op latency table rows, aggregated over any extra labels.
+
+    A fleet scrape carries one series per (op, shard); summing bucket
+    counts per op before the quantile math gives the fleet-wide
+    distribution instead of one arbitrary shard's.
+    """
+    entry = metrics.get(name)
+    if not entry:
+        return []
+    bounds = [float(b) for b in entry.get("buckets", ())]
+    agg: Dict[str, Dict[str, Any]] = {}
+    for sample in entry.get("values", ()):
+        op = sample.get("labels", {}).get("op")
+        if op is None:
+            continue
+        value = sample.get("value", {})
+        row = agg.setdefault(op, {
+            "op": op, "count": 0.0, "sum": 0.0,
+            "counts": [0.0] * len(value.get("counts", ())),
+        })
+        counts = value.get("counts", ())
+        if len(row["counts"]) != len(counts):
+            row["counts"] = [0.0] * len(counts)
+        for i, c in enumerate(counts):
+            row["counts"][i] += float(c)
+        row["count"] += float(value.get("count", 0.0))
+        row["sum"] += float(value.get("sum", 0.0))
+    rows = []
+    for op in sorted(agg):
+        row = agg[op]
+        rows.append({
+            "op": op,
+            "count": row["count"],
+            "p50": _quantile_from_counts(bounds, row["counts"], 0.50),
+            "p95": _quantile_from_counts(bounds, row["counts"], 0.95),
+            "p99": _quantile_from_counts(bounds, row["counts"], 0.99),
+        })
+    return rows
+
+
+def _cache_line(metrics: Mapping[str, Any], prefix: str) -> Optional[str]:
+    hits = _counter_sum(metrics, f"{prefix}_events_total", event="hit")
+    misses = _counter_sum(metrics, f"{prefix}_events_total", event="miss")
+    if hits + misses <= 0:
+        return None
+    rate = hits / (hits + misses)
+    return (
+        f"hits {_fmt_count(hits)}  misses {_fmt_count(misses)}  "
+        f"hit-rate {rate * 100.0:.1f}%"
+    )
+
+
+def _slo_section(
+    slo: Optional[Mapping[str, Any]], color: bool
+) -> List[str]:
+    lines = ["SLO"]
+    if not slo or not slo.get("ops"):
+        lines.append("  (no slo data)")
+        return lines
+    lines.append(
+        f"  {'op':14s} {'state':8s} {'burn 5m':>9s} {'burn 1h':>9s} "
+        f"{'burn 30m':>9s} {'burn 6h':>9s} {'budget':>8s}  shards"
+    )
+    for op in sorted(slo["ops"]):
+        entry = slo["ops"][op]
+        state = entry.get("state", "ok")
+        burn = entry.get("burn", {})
+        shards = entry.get("shards", {})
+        shard_part = ""
+        if shards:
+            bad = [s for s, st in sorted(shards.items()) if st != "ok"]
+            shard_part = ",".join(bad) if bad else "all ok"
+        lines.append(
+            f"  {op:14s} {_paint(f'{state:8s}', state, color)} "
+            f"{burn.get('fast_short', 0.0):9.2f} "
+            f"{burn.get('fast_long', 0.0):9.2f} "
+            f"{burn.get('slow_short', 0.0):9.2f} "
+            f"{burn.get('slow_long', 0.0):9.2f} "
+            f"{entry.get('budget_remaining', 1.0) * 100.0:7.1f}%  "
+            f"{shard_part}"
+        )
+    return lines
+
+
+def _counters_summary(metrics: Mapping[str, Any]) -> List[str]:
+    """Session/sweep/service counters worth a line each."""
+    lines: List[str] = []
+    pairs = (
+        ("sessions", "cast_session_events_total", "kind"),
+        ("replans", "cast_session_replans_total", "mode"),
+        ("sweeps", "cast_sweep_points_total", "mode"),
+    )
+    for label, name, key in pairs:
+        series = _series(metrics, name)
+        if not series:
+            continue
+        by_key: Dict[str, float] = {}
+        for labels, value in series:
+            k = labels.get(key, "?")
+            by_key[k] = by_key.get(k, 0.0) + float(value)
+        parts = "  ".join(
+            f"{k}={_fmt_count(v)}" for k, v in sorted(by_key.items())
+        )
+        lines.append(f"  {label:9s} {parts}")
+    return lines
+
+
+def render_dashboard(
+    *,
+    metrics: Mapping[str, Any],
+    slo: Optional[Mapping[str, Any]] = None,
+    stats: Optional[Mapping[str, Any]] = None,
+    fleet: bool = False,
+    color: bool = False,
+    title: str = "cast-plan top",
+) -> str:
+    """One dashboard frame from the three op payloads."""
+    stats = stats or {}
+    lines: List[str] = []
+    uptime = float(stats.get("uptime_s", 0.0))
+    counters = stats.get("counters", {})
+    requests = counters.get("requests", 0)
+    overall = (slo or {}).get("state", "ok")
+    lines.append(
+        f"{title} — {'fleet' if fleet else 'server'}  "
+        f"state {_paint(overall, overall, color)}  "
+        f"uptime {uptime:.0f}s  requests {requests}"
+    )
+    lines.append("")
+    lines.extend(_slo_section(slo, color))
+
+    # Latency: per-op wire latencies (every surface records these);
+    # fall back to the solve histogram for pre-scrape payloads.
+    for name, label in (
+        ("cast_op_latency_seconds", "Latency by op (ms)"),
+        ("cast_fleet_solve_seconds", None),
+    ):
+        rows = _latency_rows(metrics, name)
+        if name == "cast_op_latency_seconds" or rows:
+            lines.append("")
+            lines.append(label or name)
+            if rows:
+                lines.append(
+                    f"  {'op':14s} {'count':>8s} {'p50':>9s} {'p95':>9s} "
+                    f"{'p99':>9s}"
+                )
+                for row in rows:
+                    lines.append(
+                        f"  {row['op']:14s} {row['count']:8g} "
+                        f"{_fmt_ms(row['p50']):>9s} {_fmt_ms(row['p95']):>9s} "
+                        f"{_fmt_ms(row['p99']):>9s}"
+                    )
+            else:
+                lines.append("  (no requests yet)")
+            break
+
+    lines.append("")
+    lines.append("Caches")
+    shown = False
+    for label, prefix in (
+        ("plan", "cast_plan_cache"),
+        ("sim", "cast_sim_cache"),
+    ):
+        line = _cache_line(metrics, prefix)
+        if line is not None:
+            lines.append(f"  {label:9s} {line}")
+            shown = True
+    if not shown:
+        lines.append("  (no cache traffic yet)")
+
+    counter_lines = _counters_summary(metrics)
+    if counter_lines:
+        lines.append("")
+        lines.append("Counters")
+        lines.extend(counter_lines)
+
+    if fleet:
+        lines.append("")
+        lines.append("Fleet")
+        shards = stats.get("shards", ())
+        if shards:
+            for info in sorted(
+                shards, key=lambda s: str(s.get("shard_id", ""))
+            ):
+                healthy = bool(info.get("healthy", True))
+                state = "ok" if healthy else "page"
+                word = "healthy" if healthy else "down"
+                lines.append(
+                    f"  {str(info.get('shard_id', '?')):12s} "
+                    f"{_paint(word, state, color)}  "
+                    f"{info.get('host', '?')}:{info.get('port', '?')}"
+                )
+        else:
+            lines.append("  (no shards registered)")
+        queued = _series(metrics, "cast_fleet_tenant_queued")
+        inflight = {
+            labels.get("tenant"): float(value)
+            for labels, value in _series(metrics, "cast_fleet_tenant_inflight")
+        }
+        if queued:
+            lines.append("  WFQ queue depth by tenant:")
+            for labels, value in sorted(
+                queued, key=lambda kv: kv[0].get("tenant", "")
+            ):
+                tenant = labels.get("tenant", "?")
+                lines.append(
+                    f"    {tenant:12s} queued {float(value):g}  "
+                    f"inflight {inflight.get(tenant, 0.0):g}"
+                )
+
+    flight = _counter_sum(metrics, "cast_flightrec_records_total")
+    if flight:
+        lines.append("")
+        lines.append(f"Flight recorder: {flight:g} requests recorded")
+    return "\n".join(lines) + "\n"

@@ -32,6 +32,7 @@ from typing import Any, Dict, Mapping, Optional, Sequence
 
 from ..errors import ServiceUnavailableError
 from .protocol import (
+    MAX_LINE_BYTES,
     exception_from_payload,
     make_request,
     parse_response,
@@ -134,7 +135,7 @@ class PlannerClient:
         """Open the connection (idempotent)."""
         if self._writer is None:
             self._reader, self._writer = await asyncio.open_connection(
-                self.host, self.port
+                self.host, self.port, limit=MAX_LINE_BYTES
             )
         return self
 
@@ -201,7 +202,13 @@ class PlannerClient:
                 await asyncio.sleep(self._backoff_s(attempt))
                 attempt += 1
         if not response["ok"]:
-            raise exception_from_payload(response["error"])
+            exc = exception_from_payload(response["error"])
+            # Error envelopes carry the server-side trace id too —
+            # stamp it on the exception so callers (and the CLI) can
+            # print something grep-able against a debug dump.
+            trace = response.get("trace_id")
+            exc.trace_id = str(trace) if trace is not None else None
+            raise exc
         return response
 
     async def _solve_result(self, op: str, params: Dict[str, Any]) -> Dict[str, Any]:
@@ -236,6 +243,42 @@ class PlannerClient:
         if scope is not None:
             params["scope"] = scope
         return dict((await self.request("metrics", params))["result"])
+
+    async def slo(self, scope: Optional[str] = None) -> Dict[str, Any]:
+        """The server's SLO report (burn rates + ok/warning/page per op).
+
+        Against a fleet router the default scope rolls every shard's
+        report up (worst shard state wins); ``scope="router"`` returns
+        the router's own report only.
+        """
+        params: Dict[str, Any] = {}
+        if scope is not None:
+            params["scope"] = scope
+        return dict((await self.request("slo", params))["result"])
+
+    async def profile(
+        self, duration_s: float = 1.0, interval_s: float = 0.005
+    ) -> Dict[str, Any]:
+        """Run the server's sampling profiler for ``duration_s`` seconds.
+
+        Returns the subsystem self-time table plus folded stacks (see
+        :mod:`repro.obs.sampler`).  The call blocks for the whole
+        duration.
+        """
+        return dict(
+            (
+                await self.request(
+                    "profile",
+                    {"duration_s": duration_s, "interval_s": interval_s},
+                )
+            )["result"]
+        )
+
+    async def debug_dump(self, reason: str = "request") -> Dict[str, Any]:
+        """Fetch a flight-recorder postmortem bundle from the server."""
+        return dict(
+            (await self.request("debug_dump", {"reason": reason}))["result"]
+        )
 
     async def catalog(self, provider: str = "google") -> Dict[str, Any]:
         """The provider's storage catalog and prices."""
@@ -609,6 +652,20 @@ class SyncPlannerClient:
     ) -> Dict[str, Any]:
         """The server's metrics registry (Prometheus text or JSON)."""
         return self._run("metrics", format=format, scope=scope)
+
+    def slo(self, scope: Optional[str] = None) -> Dict[str, Any]:
+        """The server's (or fleet's rolled-up) SLO report."""
+        return self._run("slo", scope=scope)
+
+    def profile(
+        self, duration_s: float = 1.0, interval_s: float = 0.005
+    ) -> Dict[str, Any]:
+        """Run the server's sampling profiler (blocks for the duration)."""
+        return self._run("profile", duration_s=duration_s, interval_s=interval_s)
+
+    def debug_dump(self, reason: str = "request") -> Dict[str, Any]:
+        """Fetch a postmortem bundle from the server."""
+        return self._run("debug_dump", reason=reason)
 
     def catalog(self, provider: str = "google") -> Dict[str, Any]:
         """Provider catalog."""

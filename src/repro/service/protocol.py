@@ -68,6 +68,12 @@ PROTOCOL_VERSION = 1
 #: re-plans keyed by ``session_id``, so they bypass the plan cache,
 #: single-flight dedup and admission control entirely — a delta is
 #: milliseconds of work and never equivalent to another request.
+#: The operational ops: ``slo`` evaluates the server's SLO engine
+#: (:mod:`repro.obs.slo`; against a fleet router it rolls every
+#: shard's report up, worst state wins), ``profile`` runs the sampling
+#: profiler for ``duration_s`` seconds (:mod:`repro.obs.sampler`), and
+#: ``debug_dump`` returns a flight-recorder postmortem bundle
+#: (:mod:`repro.obs.flightrec`).
 OPS = (
     "plan",
     "plan_workflow",
@@ -76,6 +82,9 @@ OPS = (
     "catalog",
     "stats",
     "metrics",
+    "slo",
+    "profile",
+    "debug_dump",
     "ping",
     "register",
     "deregister",

@@ -30,14 +30,25 @@ JSON); the legacy ``stats`` payload is now *derived* from the registry,
 byte-compatible with the old hand-rolled dicts.  Each request runs
 inside a ``service.request`` span and every response carries its
 ``trace_id``.
+
+On top of the raw registry sits the operational layer: the dispatch
+loop times every request into ``cast_op_latency_seconds{op}`` /
+``cast_op_requests_total{op,outcome}`` and the flight recorder's ring
+(:mod:`repro.obs.flightrec`), an :class:`~repro.obs.slo.SLOEngine`
+evaluates burn rates from those series (the ``slo`` op; a background
+tick when ``slo_eval_interval_s`` > 0), a ``page`` transition
+auto-writes a JSONL postmortem bundle into ``dump_dir``, the
+``profile`` op runs the sampling profiler, and ``debug_dump`` returns
+a bundle over the wire.
 """
 
 from __future__ import annotations
 
 import asyncio
 import logging
+import os
 import time
-from typing import Any, Dict, Mapping, Optional, Set, Tuple
+from typing import Any, Dict, Mapping, Optional, Sequence, Set, Tuple
 
 from ..cloud import resolve_provider
 from ..errors import (
@@ -47,7 +58,10 @@ from ..errors import (
     ServiceError,
     ServiceTimeoutError,
 )
+from ..obs.flightrec import FlightRecorder, build_bundle, dump_bundle
 from ..obs.metrics import MetricsRegistry
+from ..obs.sampler import SamplingProfiler
+from ..obs.slo import BurnPolicy, Objective, SLOEngine, Transition
 from ..obs.tracing import current_trace_id, span
 from ..simulator.cache import register_metrics as register_sim_cache_metrics
 from ..simulator.vectorized import register_fastpath_metrics
@@ -78,6 +92,18 @@ _EVENT_KEYS = (
     "timeouts",
     "rejected",
 )
+
+#: Ops excluded from the flight-recorder ring: monitoring traffic (a
+#: dashboard polling every 2 s) must not evict the solve records a
+#: postmortem actually needs.  Their latencies still land in
+#: ``cast_op_latency_seconds`` like everyone else's.
+_UNRECORDED_OPS = frozenset(
+    ("ping", "stats", "metrics", "slo", "profile", "debug_dump")
+)
+
+#: ``profile`` op duration ceiling — the op blocks a worker thread for
+#: its whole duration, so an unbounded request would be a free DoS.
+_MAX_PROFILE_S = 30.0
 
 
 def _normalize_solve_params(op: str, params: Mapping[str, Any]) -> Dict[str, Any]:
@@ -318,6 +344,13 @@ class PlannerServer:
         request_timeout_s: float = 600.0,
         solver_fn: Optional[Any] = None,
         registry: Optional[MetricsRegistry] = None,
+        slo_objectives: Optional[Sequence[Objective]] = None,
+        slo_policy: Optional[BurnPolicy] = None,
+        slo_clock: Optional[Any] = None,
+        slo_eval_interval_s: float = 5.0,
+        dump_dir: Optional[str] = None,
+        flight_capacity: int = 512,
+        flight_exemplars: int = 8,
     ) -> None:
         if max_inflight < 1:
             raise ServiceError(f"max_inflight must be >= 1, got {max_inflight}")
@@ -365,11 +398,34 @@ class PlannerServer:
             "cast_service_solve_seconds",
             "End-to-end wall time of non-cached solves",
         )
+        self._op_latency = self.metrics.histogram(
+            "cast_op_latency_seconds",
+            "Wire-level request latency by op",
+            labelnames=("op",),
+        )
+        self._op_requests = self.metrics.counter(
+            "cast_op_requests_total",
+            "Wire-level requests by op and outcome",
+            labelnames=("op", "outcome"),
+        )
         self.sessions = SessionManager(registry=self.metrics)
         self.cache.bind_metrics(self.metrics)
         self.pool.bind_metrics(self.metrics)
         register_sim_cache_metrics(self.metrics)
         register_fastpath_metrics(self.metrics)
+
+        self.recorder = FlightRecorder(
+            capacity=flight_capacity, exemplars=flight_exemplars
+        )
+        self.recorder.bind_metrics(self.metrics)
+        self.dump_dir = dump_dir
+        self.slo_eval_interval_s = float(slo_eval_interval_s)
+        self.slo = SLOEngine(
+            slo_objectives, policy=slo_policy, clock=slo_clock
+        )
+        self.slo.bind_metrics(self.metrics)
+        self.slo.on_transition(self._on_slo_transition)
+        self._slo_task: Optional["asyncio.Task[None]"] = None
         self._reset_stats()
 
     def _reset_stats(self) -> None:
@@ -392,6 +448,8 @@ class PlannerServer:
         )
         self.port = self._server.sockets[0].getsockname()[1]
         self._reset_stats()
+        if self.slo_eval_interval_s > 0:
+            self._slo_task = asyncio.create_task(self._slo_loop())
         logger.info("planner daemon listening on %s:%d", self.host, self.port)
 
     @property
@@ -409,6 +467,13 @@ class PlannerServer:
 
     async def stop(self) -> None:
         """Graceful shutdown: stop accepting, drain solves, close the pool."""
+        if self._slo_task is not None:
+            self._slo_task.cancel()
+            try:
+                await self._slo_task
+            except asyncio.CancelledError:
+                pass
+            self._slo_task = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -468,6 +533,7 @@ class PlannerServer:
         params = request["params"]
         self._ops.inc(op=op)
         with span("service.request", attrs={"op": op}) as sp:
+            started = time.monotonic()
             try:
                 response = await self._dispatch_inner(op, req_id, params)
             except asyncio.CancelledError:
@@ -481,7 +547,38 @@ class PlannerServer:
                     req_id, ServiceError(f"internal error: {exc!r}")
                 )
             response["trace_id"] = sp.trace_id
+            self._record_request(
+                op, params, response, time.monotonic() - started, sp.trace_id
+            )
             return response
+
+    def _record_request(
+        self,
+        op: str,
+        params: Mapping[str, Any],
+        response: Mapping[str, Any],
+        latency_s: float,
+        trace_id: Optional[str],
+    ) -> None:
+        """Per-op latency/outcome metrics + one flight-recorder record."""
+        ok = bool(response.get("ok"))
+        self._op_latency.observe(latency_s, op=op)
+        self._op_requests.inc(op=op, outcome="ok" if ok else "error")
+        if op in _UNRECORDED_OPS:
+            return
+        error = None
+        if not ok:
+            error = str(response.get("error", {}).get("type", "error"))
+        tenant = params.get("tenant")
+        self.recorder.record(
+            op=op,
+            latency_s=latency_s,
+            ok=ok,
+            cached=bool(response.get("cached", False)),
+            tenant=str(tenant) if tenant is not None else None,
+            error=error,
+            trace_id=trace_id,
+        )
 
     async def _dispatch_inner(
         self, op: str, req_id: Any, params: Mapping[str, Any]
@@ -492,6 +589,12 @@ class PlannerServer:
             return ok_response(req_id, self.stats())
         if op == "metrics":
             return ok_response(req_id, self._metrics_op(params))
+        if op == "slo":
+            return ok_response(req_id, self._slo_op(params))
+        if op == "profile":
+            return ok_response(req_id, await self._profile_op(params))
+        if op == "debug_dump":
+            return ok_response(req_id, self._debug_dump_op(params))
         if op == "catalog":
             return ok_response(req_id, self._catalog(params))
         if op in ("register", "deregister"):
@@ -539,15 +642,132 @@ class PlannerServer:
         }
 
     def _metrics_op(self, params: Mapping[str, Any]) -> Dict[str, Any]:
-        """The ``metrics`` op: the registry in Prometheus text or JSON."""
+        """The ``metrics`` op: the registry in Prometheus text or JSON.
+
+        The JSON exposition carries the flight recorder's slowest-K
+        exemplars on each per-op latency series — a p99 spike arrives
+        with trace ids attached.
+        """
         fmt = str(params.get("format", "prometheus")).lower()
         if fmt == "prometheus":
             return {"format": "prometheus", "body": self.metrics.to_prometheus()}
         if fmt == "json":
-            return {"format": "json", "metrics": self.metrics.to_json()}
+            return {
+                "format": "json",
+                "metrics": self.recorder.attach_exemplars(
+                    self.metrics.to_json()
+                ),
+            }
         raise ProtocolError(
             f"unknown metrics format {fmt!r} (expected 'prometheus' or 'json')"
         )
+
+    # -- operational ops -------------------------------------------------------
+
+    def _slo_op(self, params: Mapping[str, Any]) -> Dict[str, Any]:
+        """The ``slo`` op: evaluate the engine on a fresh snapshot.
+
+        Transitions fire synchronously here (the same path the
+        background tick uses), so a ``page`` entered during this very
+        evaluation has already written its dump by the time the
+        response leaves.
+        """
+        return self.slo.evaluate(registry=self.metrics)
+
+    async def _profile_op(self, params: Mapping[str, Any]) -> Dict[str, Any]:
+        """The ``profile`` op: sample this process, return the profile."""
+        try:
+            duration_s = float(params.get("duration_s", 1.0))
+            interval_s = float(params.get("interval_s", 0.005))
+        except (TypeError, ValueError) as exc:
+            raise ProtocolError(f"bad profile params: {exc}") from None
+        if not 0.0 < duration_s <= _MAX_PROFILE_S:
+            raise ProtocolError(
+                f"profile duration_s must be in (0, {_MAX_PROFILE_S:g}], "
+                f"got {duration_s}"
+            )
+        if interval_s <= 0:
+            raise ProtocolError(
+                f"profile interval_s must be > 0, got {interval_s}"
+            )
+        profiler = SamplingProfiler(interval_s=interval_s)
+        # The sampler sleeps for the whole duration — park it on a
+        # worker thread so the event loop keeps serving (and shows up
+        # in its own samples).
+        return await asyncio.to_thread(profiler.run_for, duration_s)
+
+    def _debug_dump_op(self, params: Mapping[str, Any]) -> Dict[str, Any]:
+        """The ``debug_dump`` op: one postmortem bundle, over the wire."""
+        return self._build_bundle(reason=str(params.get("reason", "request")))
+
+    def _build_bundle(self, reason: str) -> Dict[str, Any]:
+        return build_bundle(
+            registry=self.metrics,
+            recorder=self.recorder,
+            slo_report=self.slo.last_report,
+            config=self._config_payload(),
+            reason=reason,
+        )
+
+    def _config_payload(self) -> Dict[str, Any]:
+        return {
+            "role": "server",
+            "host": self.host,
+            "port": self.port,
+            "limits": {
+                "max_inflight": self.max_inflight,
+                "max_queue": self.max_queue,
+                "request_timeout_s": self.request_timeout_s,
+            },
+            "pool": {
+                "processes": self.pool.processes,
+                "restarts": self.pool.restarts,
+            },
+            "cache_capacity": self.cache.capacity,
+            "slo": self.slo.config(),
+            "dump_dir": self.dump_dir,
+        }
+
+    def _on_slo_transition(self, edge: Transition) -> None:
+        """Engine callback: auto-dump a bundle on every page entry."""
+        logger.warning(
+            "SLO %s: %s -> %s", edge.op, edge.old, edge.new
+        )
+        if edge.new != "page":
+            return
+        path = self._write_dump(reason=f"page-{edge.op}")
+        if path is not None:
+            logger.warning("SLO page on %s: wrote debug dump %s", edge.op, path)
+
+    def _write_dump(self, reason: str) -> Optional[str]:
+        """Write one bundle into ``dump_dir`` (None = dumping disabled)."""
+        if not self.dump_dir:
+            return None
+        try:
+            os.makedirs(self.dump_dir, exist_ok=True)
+            stamp = int(time.time() * 1000)
+            path = os.path.join(
+                self.dump_dir, f"castdump-{stamp}-{reason}.jsonl"
+            )
+            dump_bundle(path, self._build_bundle(reason=reason))
+            self._events.inc(event="debug_dumps")
+            return path
+        except OSError:
+            logger.exception("failed to write debug dump; continuing")
+            return None
+
+    async def _slo_loop(self) -> None:
+        """Background tick: evaluate the SLO engine even when idle —
+        states must decay back to ``ok`` without traffic forcing an
+        evaluation."""
+        while True:
+            await asyncio.sleep(self.slo_eval_interval_s)
+            try:
+                self.slo.evaluate(registry=self.metrics)
+            except asyncio.CancelledError:
+                raise
+            except Exception:  # pragma: no cover - defensive
+                logger.exception("SLO evaluation failed; continuing")
 
     async def _solve_op(
         self, op: str, params: Mapping[str, Any]
@@ -832,6 +1052,8 @@ class PlannerServer:
             "cache": self.cache.stats(),
             "pool": self.pool.stats(),
             "sessions": self.sessions.stats(),
+            "flight_recorder": self.recorder.stats(),
+            "slo": self.slo.states,
             "inflight": len(self._inflight),
             "limits": {
                 "max_inflight": self.max_inflight,

@@ -374,3 +374,131 @@ class TestSessionReplay:
         rc = main(["session", "--replay", str(tmp_path / "nope.json")])
         assert rc == 2
         assert capsys.readouterr().err
+
+
+class TestOperationalParsers:
+    def test_top_defaults(self):
+        args = build_parser().parse_args(["top"])
+        assert args.port == DEFAULT_SERVICE_PORT
+        assert args.interval == 2.0
+        assert not args.once
+        assert not args.fleet
+        assert not args.no_color
+
+    def test_profile_defaults(self):
+        args = build_parser().parse_args(["profile"])
+        assert args.duration == 1.0
+        assert args.interval == 0.005
+        assert args.out is None
+
+    def test_debug_dump_defaults(self):
+        args = build_parser().parse_args(["debug-dump", "--out", "b.jsonl"])
+        assert args.port == DEFAULT_SERVICE_PORT
+        assert args.out == "b.jsonl"
+
+    def test_serve_and_fleet_take_dump_dir(self):
+        assert build_parser().parse_args(
+            ["serve", "--dump-dir", "/tmp/dumps"]).dump_dir == "/tmp/dumps"
+        assert build_parser().parse_args(
+            ["fleet", "--dump-dir", "/tmp/dumps"]).dump_dir == "/tmp/dumps"
+
+    def test_cast_error_trace_id_printed(self, capsys, monkeypatch):
+        """Errors relayed from a daemon carry a trace id; main() prints
+        it so the failure can be chased in a debug dump."""
+        import repro.cli as cli_mod
+
+        def failing(args):
+            exc = CastError("shard said no")
+            exc.trace_id = "abcdef0123456789abcdef0123456789"
+            raise exc
+
+        monkeypatch.setattr(cli_mod, "_cmd_catalog", failing)
+        assert main(["catalog"]) == 2
+        err = capsys.readouterr().err
+        assert "shard said no" in err
+        assert "[trace abcdef012345]" in err
+
+
+class TestOperationalCommands:
+    """top/profile/debug-dump against a live daemon subprocess."""
+
+    @pytest.fixture()
+    def live_server(self):
+        import os
+        import re
+        import signal
+        import subprocess
+        import sys
+
+        env = dict(os.environ)
+        src = str(__import__("pathlib").Path(__file__).resolve().parents[1] / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0",
+             "--pool-processes", "0", "--restarts", "2"],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True, env=env,
+        )
+        try:
+            banner = proc.stdout.readline()
+            match = re.search(r"listening on [\d.]+:(\d+)", banner)
+            assert match, f"no banner: {banner!r}"
+            yield proc, int(match.group(1))
+        finally:
+            proc.send_signal(signal.SIGINT)
+            try:
+                proc.wait(timeout=30)
+            except subprocess.TimeoutExpired:  # pragma: no cover
+                proc.kill()
+
+    def test_top_once_renders_a_frame(self, capsys, live_server):
+        _proc, port = live_server
+        assert main(["submit", "--workload", "small", "--vms", "5",
+                     "--iterations", "20", "--port", str(port)]) == 0
+        capsys.readouterr()
+        assert main(["top", "--once", "--port", str(port)]) == 0
+        frame = capsys.readouterr().out
+        assert f"cast-plan top — 127.0.0.1:{port}" in frame
+        assert "SLO" in frame
+        assert "Latency by op (ms)" in frame
+        assert "plan" in frame
+        # --once goes to stdout pipes: never ANSI-colored.
+        assert "\x1b[" not in frame
+
+    def test_profile_prints_subsystem_table(self, capsys, live_server,
+                                            tmp_path):
+        _proc, port = live_server
+        out = str(tmp_path / "profile.folded")
+        assert main(["profile", "--port", str(port),
+                     "--duration", "0.2", "--out", out]) == 0
+        text = capsys.readouterr().out
+        assert "sampled" in text
+        assert "subsystem" in text
+        import os
+        assert os.path.exists(out)
+
+    def test_debug_dump_writes_a_loadable_bundle(self, capsys, live_server,
+                                                 tmp_path):
+        from repro.obs.flightrec import load_bundle
+
+        _proc, port = live_server
+        path = str(tmp_path / "bundle.jsonl")
+        assert main(["debug-dump", "--port", str(port), "--out", path]) == 0
+        out = capsys.readouterr().out
+        assert f"wrote {path}" in out
+        bundle = load_bundle(path)
+        assert bundle["meta"]["reason"] == "cli"
+        assert bundle["config"]["role"] == "server"
+
+    def test_submit_error_prints_trace_id(self, capsys, live_server):
+        _proc, port = live_server
+        rc = main(["submit", "--workload", "small", "--vms", "0",
+                   "--iterations", "10", "--port", str(port)])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "at least one VM" in err
+        assert "[trace " in err
+
+    def test_top_without_server_fails_cleanly(self, capsys):
+        rc = main(["top", "--once", "--port", "1"])
+        assert rc == 2
+        assert "no planner" in capsys.readouterr().err

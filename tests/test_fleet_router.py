@@ -552,3 +552,187 @@ class TestObservability:
                     assert stats["tenancy"]["max_inflight"] == 16
 
         run(scenario())
+
+
+class TestFleetSLO:
+    """The fleet `slo` op: per-shard evaluation, worst-shard roll-up."""
+
+    @staticmethod
+    def _tight_policy(**overrides):
+        from repro.obs.slo import BurnPolicy
+
+        kw = dict(fast_short_s=10.0, fast_long_s=60.0,
+                  slow_short_s=30.0, slow_long_s=120.0)
+        kw.update(overrides)
+        return BurnPolicy(**kw)
+
+    def _slo_fleet(self, clocks, failing=()):
+        """A 2-shard fleet with manual SLO clocks and on-demand eval."""
+        from repro.errors import WorkloadError as WErr
+        from repro.obs.slo import Objective
+
+        async def failing_solver(request):
+            raise WErr("synthetic shard failure")
+
+        objectives = [Objective("solve", ("plan",),
+                                kind="availability", target=0.99)]
+        router = FleetRouter(
+            health_interval_s=0,
+            default_restarts=RESTARTS,
+            slo_objectives=objectives,
+            # The router never alerts here: its role in these tests is
+            # pure roll-up, so its own engine is muted via min_events.
+            slo_policy=self._tight_policy(min_events=10**6),
+            slo_eval_interval_s=0,
+        )
+        servers = [
+            PlannerServer(
+                pool=SolverPool(processes=0, restarts=RESTARTS),
+                solver_fn=failing_solver if i in failing else None,
+                slo_objectives=objectives,
+                slo_policy=self._tight_policy(),
+                slo_clock=(lambda i=i: clocks[i]),
+                slo_eval_interval_s=0,
+            )
+            for i in range(2)
+        ]
+        return router, servers
+
+    def test_two_shard_rollup_is_worst_shard_state(self):
+        clocks = [0.0, 0.0]
+
+        async def scenario():
+            router, servers = self._slo_fleet(clocks, failing=(1,))
+            tasks = []
+            for i, server in enumerate(servers):
+                await server.start()
+                tasks.append(asyncio.create_task(server.serve_forever()))
+                router.add_shard(f"s{i}", *server.address)
+            await router.start()
+            tasks.append(asyncio.create_task(router.serve_forever()))
+            try:
+                async with PlannerClient(*router.address) as client:
+                    # Baseline observation on every engine, all clocks 0.
+                    baseline = await client.slo()
+                    assert baseline["scope"] == "fleet"
+                    assert baseline["state"] == "ok"
+                    assert baseline["ops"]["solve"]["shards"] == {
+                        "router": "ok", "s0": "ok", "s1": "ok",
+                    }
+
+                    spec = small_spec()
+                    seed = seed_routed_to(router, "s1", spec, iterations=10)
+                    with pytest.raises(WorkloadError):
+                        await client.plan(spec, iterations=10, seed=seed)
+
+                    # Only s1's window slides past its failure.
+                    clocks[1] = 61.0
+                    report = await client.slo()
+                    assert report["state"] == "page"
+                    solve = report["ops"]["solve"]
+                    assert solve["state"] == "page"
+                    assert solve["shards"]["s1"] == "page"
+                    assert solve["shards"]["s0"] == "ok"
+                    assert report["shards"]["s1"] == "page"
+                    assert report["policy"]["fast_burn"] == 14.4
+
+                    # Router scope skips the scrape entirely.
+                    own = await client.slo(scope="router")
+                    assert own["scope"] == "router"
+                    assert "shards" not in own["ops"]["solve"]
+
+                    with pytest.raises(ProtocolError, match="scope"):
+                        await client.slo(scope="galaxy")
+            finally:
+                for task in tasks:
+                    task.cancel()
+                await asyncio.gather(*tasks, return_exceptions=True)
+                await router.stop()
+                for server in servers:
+                    await server.stop()
+
+        run(scenario())
+
+    def test_rollup_skips_a_dead_shard(self):
+        clocks = [0.0, 0.0]
+
+        async def scenario():
+            router, servers = self._slo_fleet(clocks)
+            tasks = []
+            for i, server in enumerate(servers):
+                await server.start()
+                tasks.append(asyncio.create_task(server.serve_forever()))
+                router.add_shard(f"s{i}", *server.address)
+            await router.start()
+            tasks.append(asyncio.create_task(router.serve_forever()))
+            try:
+                async with PlannerClient(*router.address) as client:
+                    await servers[0].stop()
+                    router._mark_down("s0", "stopped by test")
+                    report = await client.slo()
+                    assert "s0" not in report["shards"]
+                    assert report["shards"]["s1"] == "ok"
+            finally:
+                for task in tasks:
+                    task.cancel()
+                await asyncio.gather(*tasks, return_exceptions=True)
+                await router.stop()
+                for server in servers:
+                    await server.stop()
+
+        run(scenario())
+
+
+class TestFleetRestartScrape:
+    def test_delta_across_a_shard_restart_never_goes_negative(self):
+        """A shard respawn resets its counters mid-scrape; deltas
+        between successive fleet scrapes must clamp, not go negative
+        (the snapshot_delta counter-reset contract, fleet-level)."""
+        from repro.obs.metrics import snapshot_delta
+
+        async def scenario():
+            async with Fleet(n=2) as fleet:
+                spec = small_spec()
+                async with fleet.client() as client:
+                    for shard in ("s0", "s1"):
+                        seed = seed_routed_to(
+                            fleet.router, shard, spec, iterations=20
+                        )
+                        await client.plan(spec, iterations=20, seed=seed)
+                    before = (await client.metrics(
+                        format="json", scope="fleet"))["metrics"]
+
+                    # Restart s0 on its original port: same ring slot,
+                    # fresh process, zeroed counters.
+                    old = fleet.servers[0]
+                    host, port = old.address
+                    await old.stop()
+                    fresh = PlannerServer(
+                        host, port,
+                        pool=SolverPool(processes=0, restarts=RESTARTS),
+                    )
+                    await fresh.start()
+                    fleet.servers[0] = fresh
+                    fleet._tasks.append(
+                        asyncio.create_task(fresh.serve_forever())
+                    )
+
+                    after = (await client.metrics(
+                        format="json", scope="fleet"))["metrics"]
+
+                delta = snapshot_delta(before, after)
+                for name, entry in delta.items():
+                    for sample in entry["values"]:
+                        value = sample["value"]
+                        if entry["kind"] == "counter":
+                            assert value >= 0, (name, sample)
+                        elif entry["kind"] == "histogram":
+                            assert value["count"] >= 0, (name, sample)
+                            assert all(c >= 0 for c in value["counts"]), \
+                                (name, sample)
+                # The restarted shard's scrape did reset below its old
+                # totals (otherwise this test proves nothing).
+                served = before["cast_service_requests_total"]["values"]
+                assert any(s["labels"].get("shard") == "s0" for s in served)
+
+        run(scenario())

@@ -141,6 +141,15 @@ class TestPrometheusExposition:
         text = reg.to_prometheus()
         assert 'v="a\\"b\\\\c"' in text
 
+    def test_help_text_escaped(self):
+        # 0.0.4 format: HELP escapes backslash and newline (a raw
+        # newline would truncate the comment and corrupt the scrape).
+        reg = MetricsRegistry()
+        reg.counter("c", "path C:\\tmp\nsecond line").inc()
+        text = reg.to_prometheus()
+        assert "# HELP c path C:\\\\tmp\\nsecond line" in text
+        assert "\nsecond line" not in text.replace("\\nsecond", "")
+
     def test_json_exposition_has_quantiles(self):
         reg = MetricsRegistry()
         reg.histogram("h").observe(0.3)
@@ -190,6 +199,36 @@ class TestSnapshotMerge:
         c2 = MetricsRegistry()
         c2.merge(delta)
         assert c2.counter("c").value() == 2.0
+
+    def test_snapshot_delta_clamps_counter_reset(self):
+        """A source restart mid-scrape (shard respawn) zeroes its
+        counters; the delta clamps to the new total, never negative."""
+        old = MetricsRegistry()
+        old.counter("c").inc(100)
+        before = old.snapshot()
+        restarted = MetricsRegistry()
+        restarted.counter("c").inc(7)
+        delta = snapshot_delta(before, restarted.snapshot())
+        assert delta["c"]["values"][0]["value"] == 7.0
+
+    def test_snapshot_delta_clamps_histogram_reset(self):
+        old = MetricsRegistry()
+        h = old.histogram("h", buckets=(1.0,))
+        for _ in range(50):
+            h.observe(0.5)
+        before = old.snapshot()
+        restarted = MetricsRegistry()
+        restarted.histogram("h", buckets=(1.0,)).observe(2.0)
+        delta = snapshot_delta(before, restarted.snapshot())
+        value = delta["h"]["values"][0]["value"]
+        assert value["count"] == 1
+        assert value["counts"] == [0, 1]
+        assert all(c >= 0 for c in value["counts"])
+        # And the clamped delta still merges cleanly elsewhere.
+        sink = MetricsRegistry()
+        sink.merge(delta)
+        ((_, series),) = sink.get("h").samples()
+        assert series["count"] == 1
 
     def test_reset_keeps_instruments_and_collectors(self):
         reg = MetricsRegistry()

@@ -1,0 +1,147 @@
+"""The sampling profiler: frame classification, sampling, folded output."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.sampler import (
+    SUBSYSTEMS,
+    SamplingProfiler,
+    classify_frame,
+    profile_for,
+)
+
+
+class TestClassifyFrame:
+    def test_evaluator_outranks_the_generic_core_rule(self):
+        assert classify_frame("src/repro/core/evaluator.py") == "evaluator"
+        assert classify_frame("src/repro/core/tensor_eval.py") == "evaluator"
+        assert classify_frame("src/repro/core/annealing.py") == "solver"
+
+    def test_serialization_outranks_service(self):
+        assert classify_frame("src/repro/service/protocol.py") == \
+            "serialization"
+        assert classify_frame("src/repro/service/fingerprint.py") == \
+            "serialization"
+        assert classify_frame("src/repro/service/server.py") == "service"
+
+    def test_idle_outranks_everything(self):
+        assert classify_frame("/usr/lib/python3.11/selectors.py") == "idle"
+        assert classify_frame("/usr/lib/python3.11/threading.py") == "idle"
+        # A named wait in an otherwise-classified module is still idle.
+        assert classify_frame("src/repro/core/solver.py", "wait") == "idle"
+
+    def test_stdlib_json_is_serialization(self):
+        assert classify_frame("/usr/lib/python3.11/json/encoder.py") == \
+            "serialization"
+
+    def test_windows_paths_normalize(self):
+        assert classify_frame(r"C:\repo\src\repro\fleet\router.py") == "fleet"
+
+    def test_everything_else_is_other(self):
+        assert classify_frame("/home/me/app.py") == "other"
+
+    def test_rules_only_emit_known_subsystems(self):
+        for path in ("src/repro/obs/slo.py", "src/repro/sweep/grid.py",
+                     "src/repro/session/planner.py",
+                     "src/repro/simulator/engine.py",
+                     "src/repro/workloads/swim.py",
+                     "src/repro/cloud/pricing.py"):
+            assert classify_frame(path) in SUBSYSTEMS
+
+
+def spin_thread(stop):
+    """A busy helper thread whose frames land in this (tests/) file."""
+    while not stop.is_set():
+        sum(range(100))
+
+
+class TestSampling:
+    def test_bad_interval_rejected(self):
+        with pytest.raises(ObservabilityError, match="interval"):
+            SamplingProfiler(interval_s=0.0)
+
+    def test_sample_once_sees_a_real_thread(self):
+        stop = threading.Event()
+        worker = threading.Thread(target=spin_thread, args=(stop,),
+                                  daemon=True)
+        worker.start()
+        try:
+            prof = SamplingProfiler()
+            own = threading.get_ident()
+            for _ in range(20):
+                prof.sample_once(exclude=(own,))
+                time.sleep(0.001)
+        finally:
+            stop.set()
+            worker.join()
+        report = prof.report()
+        assert report["samples"] >= 20
+        # The spin loop lives outside src/repro, so it counts as
+        # "other"; the folded stacks must name this module's function.
+        assert report["by_subsystem"]["other"]["samples"] >= 1
+        assert any("spin_thread" in line for line in report["folded"])
+
+    def test_synthetic_frames_are_deterministic(self):
+        """Classification end-to-end with hand-built frame objects."""
+        import sys
+
+        def leaf():
+            return sys._getframe()
+
+        frame = leaf()
+        prof = SamplingProfiler(interval_s=0.01)
+        assert prof.sample_once(frames_by_thread={1: frame, 2: frame}) == 2
+        assert prof.sample_once(frames_by_thread={1: frame},
+                                exclude=(1,)) == 0
+        report = prof.report()
+        assert report["samples"] == 2
+        ((stack, count),) = [line.rsplit(" ", 1)
+                             for line in report["folded"]]
+        assert int(count) == 2
+        assert stack.endswith(":leaf")
+        shares = [e["share"] for e in report["by_subsystem"].values()]
+        assert sum(shares) == pytest.approx(1.0)
+
+    def test_start_stop_idempotent_and_thread_excluded(self):
+        prof = SamplingProfiler(interval_s=0.001)
+        prof.start()
+        prof.start()  # no-op
+        time.sleep(0.05)
+        prof.stop()
+        prof.stop()  # no-op
+        report = prof.report()
+        assert report["duration_s"] > 0
+        # The sampler never samples itself.
+        assert not any("repro-obs-sampler" in line
+                       for line in report["folded"])
+        assert not any("sampler:_run" in line for line in report["folded"])
+
+    def test_to_folded_is_flamegraph_input(self):
+        import sys
+
+        def leaf():
+            return sys._getframe()
+
+        prof = SamplingProfiler()
+        prof.sample_once(frames_by_thread={7: leaf()})
+        folded = prof.to_folded()
+        assert folded.endswith("\n")
+        stack, count = folded.strip().rsplit(" ", 1)
+        assert count == "1"
+        assert ";" in stack  # full stack, not just the leaf
+
+    def test_empty_profiler_reports_cleanly(self):
+        prof = SamplingProfiler()
+        report = prof.report()
+        assert report["samples"] == 0
+        assert report["folded"] == []
+        assert prof.to_folded() == ""
+
+    def test_profile_for_returns_a_report(self):
+        report = profile_for(duration_s=0.05, interval_s=0.005)
+        assert report["interval_s"] == 0.005
+        assert report["duration_s"] >= 0.05
+        assert set(report["by_subsystem"]) <= set(SUBSYSTEMS)

@@ -1,0 +1,159 @@
+"""The `cast-plan top` renderer: pure payloads in, one text frame out."""
+
+from repro.obs.top import CLEAR, render_dashboard
+
+
+def histogram(op_counts, bounds=(0.1, 1.0, 10.0)):
+    """A cast_op_latency_seconds entry; one series per (op, counts)."""
+    values = []
+    for labels, counts in op_counts:
+        values.append({
+            "labels": labels,
+            "value": {
+                "counts": list(counts),
+                "count": float(sum(counts)),
+                "sum": 0.0,
+            },
+        })
+    return {"kind": "histogram", "buckets": list(bounds), "values": values}
+
+
+def counter(samples):
+    return {
+        "kind": "counter",
+        "values": [{"labels": dict(labels), "value": value}
+                   for labels, value in samples],
+    }
+
+
+def full_metrics():
+    return {
+        "cast_op_latency_seconds": histogram([
+            ({"op": "plan"}, [10, 5, 1]),
+            ({"op": "whatif"}, [100, 0, 0]),
+        ]),
+        "cast_plan_cache_events_total": counter([
+            ({"event": "hit"}, 30.0), ({"event": "miss"}, 10.0),
+        ]),
+        "cast_session_events_total": counter([
+            ({"kind": "append"}, 12.0),
+        ]),
+        "cast_flightrec_records_total": counter([({}, 116.0)]),
+    }
+
+
+def slo_payload(state="ok", shards=None):
+    entry = {
+        "state": state,
+        "burn": {"fast_short": 0.2, "fast_long": 0.1,
+                 "slow_short": 0.1, "slow_long": 0.05},
+        "budget_remaining": 0.95,
+    }
+    if shards is not None:
+        entry["shards"] = shards
+    return {"scope": "server", "state": state, "ops": {"solve": entry}}
+
+
+class TestServerFrame:
+    def test_frame_has_every_section(self):
+        frame = render_dashboard(
+            metrics=full_metrics(),
+            slo=slo_payload(),
+            stats={"uptime_s": 42.0, "counters": {"requests": 116}},
+        )
+        assert frame.endswith("\n")
+        assert "state ok" in frame
+        assert "uptime 42s" in frame
+        assert "requests 116" in frame
+        assert "SLO" in frame and "solve" in frame
+        assert "Latency by op (ms)" in frame
+        assert "plan" in frame and "whatif" in frame
+        assert "hit-rate 75.0%" in frame
+        assert "append=12" in frame
+        assert "Flight recorder: 116 requests recorded" in frame
+        # Plain frame carries no ANSI codes unless color is asked for.
+        assert "\x1b[" not in frame
+
+    def test_latency_quantiles_are_per_op(self):
+        frame = render_dashboard(metrics=full_metrics())
+        plan_row = next(line for line in frame.splitlines()
+                        if line.strip().startswith("plan"))
+        whatif_row = next(line for line in frame.splitlines()
+                          if line.strip().startswith("whatif"))
+        # All whatif observations sit in the first (<=0.1 s) bucket.
+        assert "16" in plan_row  # count
+        assert "100" in whatif_row
+
+    def test_empty_payloads_render_placeholders(self):
+        frame = render_dashboard(metrics={})
+        assert "(no slo data)" in frame
+        assert "(no requests yet)" in frame
+        assert "(no cache traffic yet)" in frame
+
+    def test_color_paints_the_state(self):
+        frame = render_dashboard(
+            metrics={}, slo=slo_payload(state="page"), color=True,
+        )
+        assert "\x1b[31m" in frame  # red for page
+
+    def test_title_override(self):
+        frame = render_dashboard(metrics={}, title="top — 127.0.0.1:4815")
+        assert frame.startswith("top — 127.0.0.1:4815")
+
+    def test_clear_is_an_ansi_repaint(self):
+        assert CLEAR.startswith("\x1b[")
+
+
+class TestFleetFrame:
+    def test_fleet_section_lists_shards_worst_first_annotated(self):
+        metrics = full_metrics()
+        metrics["cast_fleet_tenant_queued"] = counter([
+            ({"tenant": "acme"}, 3.0),
+        ])
+        metrics["cast_fleet_tenant_inflight"] = counter([
+            ({"tenant": "acme"}, 2.0),
+        ])
+        stats = {
+            "uptime_s": 5.0,
+            "counters": {"requests": 7},
+            "shards": [
+                {"shard_id": "s1", "host": "127.0.0.1", "port": 2,
+                 "healthy": False},
+                {"shard_id": "s0", "host": "127.0.0.1", "port": 1,
+                 "healthy": True},
+            ],
+        }
+        frame = render_dashboard(
+            metrics=metrics,
+            slo=slo_payload(state="page",
+                            shards={"s0": "ok", "s1": "page"}),
+            stats=stats,
+            fleet=True,
+        )
+        assert "fleet" in frame.splitlines()[0]
+        assert "Fleet" in frame
+        lines = frame.splitlines()
+        s0_line = next(line for line in lines if line.strip().startswith("s0"))
+        s1_line = next(line for line in lines if line.strip().startswith("s1"))
+        assert "healthy" in s0_line and "127.0.0.1:1" in s0_line
+        assert "down" in s1_line
+        # Shards sorted by id regardless of input order.
+        assert lines.index(s0_line) < lines.index(s1_line)
+        # Only the paging shard is named in the SLO table.
+        slo_row = next(line for line in lines
+                       if line.strip().startswith("solve"))
+        assert slo_row.rstrip().endswith("s1")
+        assert "WFQ queue depth by tenant:" in frame
+        assert "queued 3" in frame and "inflight 2" in frame
+
+    def test_fleet_without_shards(self):
+        frame = render_dashboard(metrics={}, stats={}, fleet=True)
+        assert "(no shards registered)" in frame
+
+    def test_all_ok_shards_summarized(self):
+        frame = render_dashboard(
+            metrics={},
+            slo=slo_payload(shards={"s0": "ok", "s1": "ok"}),
+            fleet=True,
+        )
+        assert "all ok" in frame

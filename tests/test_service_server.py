@@ -616,3 +616,213 @@ class TestEvaluatorStats:
                 await shutdown(server, task)
 
         run(scenario())
+
+
+class TestOperationalOps:
+    """The observability surface: slo / profile / debug_dump, the
+    flight-recorder ring, and trace ids on error responses."""
+
+    TIGHT_POLICY_KW = dict(
+        fast_short_s=10.0, fast_long_s=60.0,
+        slow_short_s=30.0, slow_long_s=120.0,
+    )
+
+    def _server(self, tmp_path=None, solver_fn=None, clock=None):
+        from repro.obs.slo import BurnPolicy, Objective
+
+        return PlannerServer(
+            pool=SolverPool(processes=0, restarts=1),
+            solver_fn=solver_fn,
+            slo_objectives=[Objective("solve", ("plan",),
+                                      kind="availability", target=0.99)],
+            slo_policy=BurnPolicy(**self.TIGHT_POLICY_KW),
+            slo_clock=clock,
+            slo_eval_interval_s=0,  # evaluate on demand only
+            dump_dir=str(tmp_path) if tmp_path is not None else None,
+        )
+
+    def test_slo_op_reports_ok_on_a_healthy_server(self):
+        async def scenario():
+            server = self._server()
+            task = await serving(server)
+            try:
+                async with PlannerClient(*server.address) as client:
+                    await client.plan(small_spec(), n_vms=5, iterations=20)
+                    report = await client.slo()
+                    assert report["scope"] == "server"
+                    assert report["state"] == "ok"
+                    assert report["ops"]["solve"]["state"] == "ok"
+                    stats = await client.stats()
+                    assert stats["slo"] == {"solve": "ok"}
+                    assert stats["flight_recorder"]["recorded"] >= 1
+            finally:
+                await shutdown(server, task)
+
+        run(scenario())
+
+    def test_error_flood_pages_and_auto_writes_a_dump(self, tmp_path):
+        """ok -> page on a unit clock, with the page transition
+        dropping a postmortem bundle into dump_dir."""
+        import os
+
+        from repro.obs.flightrec import load_bundle
+
+        async def failing_solver(request):
+            raise WorkloadError("synthetic failure")
+
+        clock = [0.0]
+
+        async def scenario():
+            server = self._server(tmp_path=tmp_path,
+                                  solver_fn=failing_solver,
+                                  clock=lambda: clock[0])
+            task = await serving(server)
+            try:
+                async with PlannerClient(*server.address) as client:
+                    baseline = await client.slo()
+                    assert baseline["ops"]["solve"]["state"] == "ok"
+                    for seed in range(5):
+                        with pytest.raises(WorkloadError) as err:
+                            await client.plan(small_spec(), seed=seed,
+                                              iterations=10)
+                        # Error responses carry the request's trace id.
+                        assert err.value.trace_id
+                        assert len(err.value.trace_id) == 32
+                    clock[0] = 61.0
+                    report = await client.slo()
+                    assert report["ops"]["solve"]["state"] == "page"
+                    assert (await client.stats())["slo"]["solve"] == "page"
+
+                    dumps = os.listdir(tmp_path)
+                    assert len(dumps) == 1
+                    assert "page-solve" in dumps[0]
+                    bundle = load_bundle(str(tmp_path / dumps[0]))
+                    assert bundle["meta"]["reason"] == "page-solve"
+                    assert bundle["slo"]["ops"]["solve"]["state"] == "page"
+                    # The ring in the bundle shows the failing requests.
+                    assert any(r["ok"] is False and r["op"] == "plan"
+                               for r in bundle["records"])
+            finally:
+                await shutdown(server, task)
+
+        run(scenario())
+
+    def test_monitoring_ops_stay_out_of_the_flight_ring(self):
+        async def scenario():
+            server = self._server()
+            task = await serving(server)
+            try:
+                async with PlannerClient(*server.address) as client:
+                    await client.ping()
+                    await client.stats()
+                    await client.metrics(format="json")
+                    await client.slo()
+                    await client.plan(small_spec(), n_vms=5, iterations=20)
+                    ops = [r.op for r in server.recorder.records()]
+                    assert ops == ["plan"]
+                    # ...but they are still metered.
+                    snap = server.metrics.snapshot()
+                    metered = {
+                        s["labels"]["op"]
+                        for s in snap["cast_op_requests_total"]["values"]
+                    }
+                    assert {"ping", "stats", "metrics", "slo",
+                            "plan"} <= metered
+            finally:
+                await shutdown(server, task)
+
+        run(scenario())
+
+    def test_metrics_json_carries_exemplars(self):
+        async def scenario():
+            server = self._server()
+            task = await serving(server)
+            try:
+                async with PlannerClient(*server.address) as client:
+                    await client.plan(small_spec(), n_vms=5, iterations=20)
+                    payload = await client.metrics(format="json")
+                    series = [
+                        s for s in payload["metrics"]
+                        ["cast_op_latency_seconds"]["values"]
+                        if s["labels"]["op"] == "plan"
+                    ]
+                    assert series and series[0]["exemplars"]
+                    assert series[0]["exemplars"][0]["trace_id"]
+            finally:
+                await shutdown(server, task)
+
+        run(scenario())
+
+    def test_profile_op_round_trip_and_validation(self):
+        async def scenario():
+            server = self._server()
+            task = await serving(server)
+            try:
+                async with PlannerClient(*server.address) as client:
+                    report = await client.profile(duration_s=0.05,
+                                                  interval_s=0.005)
+                    assert report["interval_s"] == 0.005
+                    assert "by_subsystem" in report
+                    with pytest.raises(ProtocolError, match="duration"):
+                        await client.profile(duration_s=0.0)
+                    with pytest.raises(ProtocolError, match="duration"):
+                        await client.profile(duration_s=31.0)
+                    with pytest.raises(ProtocolError, match="interval"):
+                        await client.profile(duration_s=0.1,
+                                             interval_s=0.0)
+            finally:
+                await shutdown(server, task)
+
+        run(scenario())
+
+    def test_debug_dump_op_returns_a_loadable_bundle(self, tmp_path):
+        from repro.obs.flightrec import dump_bundle, load_bundle
+
+        async def scenario():
+            server = self._server()
+            task = await serving(server)
+            try:
+                async with PlannerClient(*server.address) as client:
+                    await client.plan(small_spec(), n_vms=5, iterations=20)
+                    bundle = await client.debug_dump(reason="unit")
+                    assert bundle["meta"]["reason"] == "unit"
+                    assert bundle["config"]["role"] == "server"
+                    path = str(tmp_path / "bundle.jsonl")
+                    dump_bundle(path, bundle)
+                    loaded = load_bundle(path)
+                    assert loaded["metrics"] == bundle["metrics"]
+                    assert [r["trace_id"] for r in loaded["records"]] == \
+                        [r["trace_id"] for r in bundle["records"]]
+            finally:
+                await shutdown(server, task)
+
+        run(scenario())
+
+    def test_sync_client_operational_facades(self):
+        import threading
+
+        async def host():
+            server = self._server()
+            task = await serving(server)
+            box["server"] = server
+            box["loop"] = asyncio.get_running_loop()
+            box["stopped"] = asyncio.Event()
+            started.set()
+            await box["stopped"].wait()
+            await shutdown(server, task)
+
+        box = {}
+        started = threading.Event()
+        thread = threading.Thread(
+            target=lambda: asyncio.run(host()), daemon=True
+        )
+        thread.start()
+        assert started.wait(timeout=10)
+        client = SyncPlannerClient(*box["server"].address)
+        try:
+            assert client.slo()["scope"] == "server"
+            assert client.profile(duration_s=0.02)["samples"] >= 0
+            assert client.debug_dump()["meta"]["reason"] == "request"
+        finally:
+            box["loop"].call_soon_threadsafe(box["stopped"].set)
+            thread.join(timeout=10)
